@@ -1,0 +1,53 @@
+// Shared scaffolding for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper against
+// a freshly simulated study. Scale is controlled by environment variables
+// so the default `for b in build/bench/*; do $b; done` run finishes in
+// minutes while still reproducing the paper's *shape*:
+//   V6_BENCH_SITES  — customer sites in the world   (default 20000)
+//   V6_BENCH_DAYS   — study duration in days        (default 219)
+//   V6_BENCH_SEED   — world seed                    (default 2022)
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/study.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace v6::bench {
+
+// The scaled-down study configuration shared by all benches.
+core::StudyConfig bench_config();
+
+// Prints the standard bench banner (scale, seed, stage timings).
+void print_banner(const std::string& bench_name, const core::StudyConfig&
+                      config);
+
+// "paper vs measured" comparison table helper.
+class Comparison {
+ public:
+  Comparison() : table_({"metric", "paper", "measured (scaled world)"}) {}
+
+  void row(const std::string& metric, const std::string& paper,
+           const std::string& measured) {
+    table_.add_row({metric, paper, measured});
+  }
+  void print() { table_.print(std::cout); }
+
+ private:
+  util::TablePrinter table_;
+};
+
+// Runs fn() and prints its wall-clock seconds.
+void timed(const std::string& label, const std::function<void()>& fn);
+
+// Renders a CDF as (x, F(x)) rows at `points` evenly spaced x values.
+void print_cdf(const std::string& caption,
+               const util::EmpiricalDistribution& distribution,
+               std::size_t points = 21);
+
+}  // namespace v6::bench

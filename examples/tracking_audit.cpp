@@ -1,0 +1,114 @@
+// The privacy audit of §5, as a program: what a passive adversary holding
+// a large hitlist learns about individual devices.
+//
+// From nothing but (address, timestamp) pairs, the audit extracts embedded
+// MAC addresses from EUI-64 IIDs, resolves manufacturers, classifies each
+// device's movement history, prints an exemplar tracking timeline, and
+// geolocates devices by linking their wired MACs to wardriven WiFi BSSIDs.
+#include <cstdio>
+
+#include "analysis/bad_apple.h"
+#include "analysis/eui64_tracking.h"
+#include "analysis/geolink.h"
+#include "analysis/manufacturers.h"
+#include "core/study.h"
+#include "util/strings.h"
+
+int main() {
+  using namespace v6;
+
+  core::StudyConfig config;
+  config.world.seed = 5;
+  config.world.total_sites = 4000;
+  config.world.study_duration = 120 * util::kDay;
+
+  core::Study study(config);
+  study.collect();
+  const auto& corpus = study.results().ntp;
+  std::printf("corpus: %s unique addresses\n\n",
+              util::with_commas(corpus.size()).c_str());
+
+  // --- §5.1: prevalence ---
+  analysis::Eui64Tracker tracker(corpus, study.world());
+  std::printf("EUI-64 addresses : %s (%.2f%% of corpus; random-match floor "
+              "would be %s)\n",
+              util::with_commas(tracker.eui64_addresses()).c_str(),
+              100.0 * static_cast<double>(tracker.eui64_addresses()) /
+                  static_cast<double>(tracker.corpus_addresses()),
+              util::with_commas(tracker.expected_random_matches()).c_str());
+  std::printf("embedded MACs    : %s\n\n",
+              util::with_commas(tracker.unique_macs()).c_str());
+
+  std::printf("manufacturers (Table 2 style):\n");
+  for (const auto& row : analysis::manufacturer_table(
+           tracker.tracks(), study.world().ouis(), 6)) {
+    std::printf("  %-48s %8s\n", row.name.c_str(),
+                util::with_commas(row.mac_count).c_str());
+  }
+
+  // --- §5.2: trackability ---
+  std::printf("\ntrackable MACs (seen in >= 2 /64s): %s of %s\n",
+              util::with_commas(tracker.trackable_macs()).c_str(),
+              util::with_commas(tracker.unique_macs()).c_str());
+  for (const auto& [cls, count] : tracker.class_counts()) {
+    std::printf("  %-20s %8s\n", to_string(cls),
+                util::with_commas(count).c_str());
+  }
+
+  // An exemplar journey (Fig 7 style).
+  const auto exemplars = tracker.exemplars();
+  for (const auto& [cls, mac] : exemplars) {
+    if (cls == analysis::TrackingClass::kMostlyStatic) continue;
+    std::printf("\nexemplar \"%s\": MAC %s\n", to_string(cls),
+                mac.to_string().c_str());
+    const auto timeline = tracker.timeline(mac);
+    const std::size_t step = std::max<std::size_t>(1, timeline.size() / 8);
+    for (std::size_t i = 0; i < timeline.size(); i += step) {
+      std::printf("  day %3u  AS%-6u %s  /64 %s\n",
+                  timeline[i].first_seen /
+                      static_cast<std::uint32_t>(util::kDay),
+                  timeline[i].asn, timeline[i].country.to_string().c_str(),
+                  net::Ipv6Address::from_u64(timeline[i].slash64_hi, 0)
+                      .to_string()
+                      .c_str());
+    }
+    break;  // one exemplar is enough for the demo
+  }
+
+  // --- the "one bad apple" joint attack (paper ref [66]) ---
+  const auto apples = analysis::bad_apple_linkage(corpus, tracker);
+  std::printf("\none bad apple: %s EUI-64 gadgets expose co-tenants; %s "
+              "other addresses\n  linked to a household (%s of them privacy "
+              "addresses); %s households\n  stitched across prefix "
+              "rotations.\n",
+              util::with_commas(apples.apples_with_cotenants).c_str(),
+              util::with_commas(apples.linked_addresses).c_str(),
+              util::with_commas(apples.linked_privacy_addresses).c_str(),
+              util::with_commas(
+                  apples.households_stitched_across_prefixes)
+                  .c_str());
+
+  // --- §5.3: geolocation ---
+  analysis::GeoLinkConfig link_config;
+  link_config.min_pairs_per_oui = 10;  // scaled-down world
+  const auto geo = analysis::link_eui64_to_bssids(
+      tracker.tracks(), study.world().wardriving(), link_config);
+  std::printf("\ngeolocation: %zu OUI offsets inferred, %zu devices pinned "
+              "to coordinates\n",
+              geo.oui_offsets.size(), geo.linked.size());
+  for (std::size_t i = 0; i < geo.by_country.size() && i < 3; ++i) {
+    std::printf("  %s %s devices\n",
+                geo.by_country[i].first.to_string().c_str(),
+                util::with_commas(geo.by_country[i].second).c_str());
+  }
+  if (!geo.linked.empty()) {
+    const auto& sample = geo.linked.front();
+    std::printf("  e.g. wired %s -> BSSID %s at (%.3f, %.3f)\n",
+                sample.mac.to_string().c_str(),
+                sample.bssid.to_string().c_str(), sample.location.latitude,
+                sample.location.longitude);
+  }
+  std::printf("\nthe defense (paper §6): stop using EUI-64 — random IIDs "
+              "sever every linkage shown above.\n");
+  return 0;
+}

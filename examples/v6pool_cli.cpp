@@ -1,0 +1,152 @@
+// v6pool_cli — a small command-line driver for the library, the sort of
+// entry point a downstream user scripts against.
+//
+//   v6pool_cli world  [--sites N] [--seed S]
+//       generate a world and print its inventory
+//   v6pool_cli study  [--sites N] [--days D] [--seed S] [--release FILE]
+//       run every stage and print the headline numbers; optionally write
+//       the /48-aggregated release (k-anonymity floor 3) to FILE
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/dataset_compare.h"
+#include "analysis/eui64_tracking.h"
+#include "core/study.h"
+#include "hitlist/corpus_io.h"
+#include "hitlist/release.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace v6;
+
+std::uint64_t flag_u64(int argc, char** argv, const char* name,
+                       std::uint64_t fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      return util::parse_dec_u64(argv[i + 1]).value_or(fallback);
+    }
+  }
+  return fallback;
+}
+
+const char* flag_str(int argc, char** argv, const char* name) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int cmd_world(int argc, char** argv) {
+  sim::WorldConfig config;
+  config.total_sites =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
+  config.seed = flag_u64(argc, argv, "--seed", 42);
+  const auto world = sim::World::generate(config);
+
+  std::printf("world seed %llu\n",
+              static_cast<unsigned long long>(config.seed));
+  std::printf("  countries : %zu\n", world.countries().size());
+  std::printf("  ASes      : %zu\n", world.ases().size());
+  std::printf("  sites     : %zu\n", world.sites().size());
+  std::printf("  devices   : %zu\n", world.devices().size());
+  std::printf("  vantages  : %zu\n", world.vantages().size());
+  std::printf("  wardriven access points: %zu\n", world.wardriving().size());
+
+  std::uint64_t pool_users = 0, eui64 = 0;
+  for (const auto& dev : world.devices()) {
+    pool_users += dev.ntp.uses_pool;
+    eui64 += dev.strategy == sim::IidStrategy::kEui64;
+  }
+  std::printf("  NTP pool users: %s, EUI-64 devices: %s\n",
+              util::with_commas(pool_users).c_str(),
+              util::with_commas(eui64).c_str());
+  return 0;
+}
+
+int cmd_study(int argc, char** argv) {
+  core::StudyConfig config;
+  config.world.total_sites =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
+  config.world.seed = flag_u64(argc, argv, "--seed", 42);
+  config.world.study_duration =
+      static_cast<util::SimDuration>(flag_u64(argc, argv, "--days", 120)) *
+      util::kDay;
+  config.backscan_start = config.world.study_duration + 26 * util::kDay;
+  config.hitlist_campaign.duration = std::max<util::SimDuration>(
+      config.world.study_duration - 25 * util::kDay, 4 * util::kWeek);
+  config.caida_campaign.duration =
+      std::min<util::SimDuration>(62 * util::kDay,
+                                  config.world.study_duration);
+
+  std::printf("running study: %u sites, %lld days, seed %llu\n",
+              config.world.total_sites,
+              static_cast<long long>(config.world.study_duration / util::kDay),
+              static_cast<unsigned long long>(config.world.seed));
+  core::Study study = core::Study::run(config);
+  const auto& r = study.results();
+
+  const auto ntp =
+      analysis::summarize_dataset("NTP", r.ntp, study.world());
+  std::printf("\nNTP corpus    : %s addresses in %s ASNs, %s /48s\n",
+              util::with_commas(ntp.addresses).c_str(),
+              util::with_commas(ntp.asns).c_str(),
+              util::with_commas(ntp.slash48s).c_str());
+  std::printf("IPv6 Hitlist  : %s addresses (%s aliased prefixes known)\n",
+              util::with_commas(r.hitlist.corpus.size()).c_str(),
+              util::with_commas(r.hitlist.aliased_prefixes.size()).c_str());
+  std::printf("CAIDA /48     : %s addresses\n",
+              util::with_commas(r.caida.corpus.size()).c_str());
+  std::printf("backscan      : %s clients probed, %s responded\n",
+              util::with_commas(r.backscan.clients_probed).c_str(),
+              util::with_commas(r.backscan.clients_responded).c_str());
+
+  analysis::Eui64Tracker tracker(r.ntp, study.world());
+  std::printf("privacy       : %s EUI-64 addresses, %s embedded MACs, %s "
+              "trackable\n",
+              util::with_commas(tracker.eui64_addresses()).c_str(),
+              util::with_commas(tracker.unique_macs()).c_str(),
+              util::with_commas(tracker.trackable_macs()).c_str());
+
+  if (const char* path = flag_str(argc, argv, "--save-corpus")) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    const auto bytes = hitlist::save_corpus(out, r.ntp);
+    std::printf("corpus        : %s bytes -> %s (binary snapshot)\n",
+                util::with_commas(bytes).c_str(), path);
+  }
+  if (const char* path = flag_str(argc, argv, "--release")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    const auto rows = hitlist::aggregate_to_slash48(r.ntp);
+    hitlist::write_release(out, rows, /*min_count=*/3);
+    std::printf("release       : %zu /48 rows -> %s (k-anonymity floor 3)\n",
+                rows.size(), path);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "world") == 0) {
+    return cmd_world(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "study") == 0) {
+    return cmd_study(argc, argv);
+  }
+  std::printf(
+      "usage:\n"
+      "  v6pool_cli world [--sites N] [--seed S]\n"
+      "  v6pool_cli study [--sites N] [--days D] [--seed S] "
+      "[--release FILE] [--save-corpus FILE]\n");
+  return argc >= 2 ? 1 : 0;
+}

@@ -1,0 +1,80 @@
+#include "analysis/address_categories.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace v6::analysis {
+
+namespace {
+
+bool in_window(const hitlist::AddressRecord& rec, util::SimTime start,
+               util::SimTime end) {
+  return static_cast<util::SimTime>(rec.first_seen) < end &&
+         static_cast<util::SimTime>(rec.last_seen) >= start;
+}
+
+}  // namespace
+
+CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
+                                    const sim::World& world,
+                                    util::SimTime window_start,
+                                    util::SimTime window_end,
+                                    const CategoryConfig& config) {
+  // Pass 1: per-AS totals and same-AS IPv4-embedding candidates.
+  struct AsStats {
+    std::uint64_t addresses = 0;
+    std::uint64_t ipv4_candidates = 0;
+  };
+  std::unordered_map<std::uint32_t, AsStats> per_as;
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    if (!in_window(rec, window_start, window_end)) return;
+    const auto as_index = world.as_index_of(rec.address);
+    if (!as_index) return;
+    AsStats& stats = per_as[*as_index];
+    ++stats.addresses;
+    for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
+      const auto v4_as = world.as_index_of_ipv4(cand.address);
+      if (v4_as && *v4_as == *as_index) {
+        ++stats.ipv4_candidates;
+        break;  // one acceptance per address
+      }
+    }
+  });
+
+  // Which ASes pass the acceptance gates.
+  std::unordered_map<std::uint32_t, bool> as_accepts;
+  for (const auto& [as_index, stats] : per_as) {
+    as_accepts[as_index] =
+        stats.ipv4_candidates >= config.min_instances_per_as &&
+        static_cast<double>(stats.ipv4_candidates) >
+            config.min_fraction_of_as * static_cast<double>(stats.addresses);
+  }
+
+  // Pass 2: final classification. Addresses outside the (simulated) BGP
+  // table are skipped, as in pass 1 — AS attribution is part of the
+  // methodology.
+  CategoryBreakdown breakdown;
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    if (!in_window(rec, window_start, window_end)) return;
+    const auto as_index = world.as_index_of(rec.address);
+    if (!as_index) return;
+    bool ipv4_accepted = false;
+    if (const auto it = as_accepts.find(*as_index);
+        it != as_accepts.end() && it->second) {
+      for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
+        const auto v4_as = world.as_index_of_ipv4(cand.address);
+        if (v4_as && *v4_as == *as_index) {
+          ipv4_accepted = true;
+          break;
+        }
+      }
+    }
+    const net::AddressCategory category =
+        net::classify_address(rec.address, ipv4_accepted);
+    ++breakdown.counts[static_cast<std::size_t>(category)];
+    ++breakdown.total;
+  });
+  return breakdown;
+}
+
+}  // namespace v6::analysis

@@ -1,0 +1,43 @@
+#include "analysis/as_entropy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "net/entropy.h"
+
+namespace v6::analysis {
+
+std::vector<AsEntropyProfile> top_as_entropy_profiles(
+    const hitlist::Corpus& corpus, const sim::World& world, std::size_t n,
+    util::SimTime window_start, util::SimTime window_end) {
+  std::unordered_map<std::uint32_t, std::vector<double>> samples;
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
+        static_cast<util::SimTime>(rec.last_seen) < window_start) {
+      return;
+    }
+    const auto as_index = world.as_index_of(rec.address);
+    if (!as_index) return;
+    samples[*as_index].push_back(net::iid_entropy(rec.address));
+  });
+
+  std::vector<AsEntropyProfile> profiles;
+  profiles.reserve(samples.size());
+  for (auto& [as_index, entropies] : samples) {
+    AsEntropyProfile p;
+    p.as_index = as_index;
+    p.asn = world.ases()[as_index].asn;
+    p.name = world.ases()[as_index].name;
+    p.addresses = entropies.size();
+    p.entropy = util::EmpiricalDistribution(std::move(entropies));
+    profiles.push_back(std::move(p));
+  }
+  std::sort(profiles.begin(), profiles.end(),
+            [](const AsEntropyProfile& a, const AsEntropyProfile& b) {
+              return a.addresses > b.addresses;
+            });
+  if (profiles.size() > n) profiles.resize(n);
+  return profiles;
+}
+
+}  // namespace v6::analysis

@@ -1,0 +1,78 @@
+#include "analysis/dataset_compare.h"
+
+#include <array>
+#include <unordered_set>
+
+namespace v6::analysis {
+
+DatasetSummary summarize_dataset(const std::string& name,
+                                 const hitlist::Corpus& corpus,
+                                 const sim::World& world,
+                                 const hitlist::Corpus* base) {
+  DatasetSummary summary;
+  summary.name = name;
+  summary.addresses = corpus.size();
+
+  std::unordered_set<std::uint32_t> asns, common_asns;
+  std::unordered_set<std::uint64_t> s48s, common_s48s;
+
+  // Base-dataset coverage for the "common" columns.
+  std::unordered_set<std::uint32_t> base_asns;
+  std::unordered_set<std::uint64_t> base_s48s;
+  if (base != nullptr) {
+    base->for_each([&](const hitlist::AddressRecord& rec) {
+      if (const auto as_index = world.as_index_of(rec.address)) {
+        base_asns.insert(*as_index);
+      }
+      base_s48s.insert(rec.address.hi64() >> 16);
+    });
+  }
+
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    const std::uint64_t s48 = rec.address.hi64() >> 16;
+    s48s.insert(s48);
+    if (const auto as_index = world.as_index_of(rec.address)) {
+      asns.insert(*as_index);
+      if (base != nullptr && base_asns.contains(*as_index)) {
+        common_asns.insert(*as_index);
+      }
+    }
+    if (base != nullptr) {
+      if (base->find(rec.address) != nullptr) ++summary.common_addresses;
+      if (base_s48s.contains(s48)) common_s48s.insert(s48);
+    }
+  });
+
+  summary.asns = asns.size();
+  summary.slash48s = s48s.size();
+  summary.common_asns = common_asns.size();
+  summary.common_slash48s = common_s48s.size();
+  summary.addrs_per_slash48 =
+      summary.slash48s == 0
+          ? 0.0
+          : static_cast<double>(summary.addresses) /
+                static_cast<double>(summary.slash48s);
+  return summary;
+}
+
+std::vector<std::pair<sim::AsType, double>> as_type_fractions(
+    const hitlist::Corpus& corpus, const sim::World& world) {
+  std::array<std::uint64_t, 5> counts{};
+  std::uint64_t total = 0;
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    const auto as_index = world.as_index_of(rec.address);
+    if (!as_index) return;
+    ++counts[static_cast<std::size_t>(world.ases()[*as_index].type)];
+    ++total;
+  });
+  std::vector<std::pair<sim::AsType, double>> out;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    out.emplace_back(static_cast<sim::AsType>(i),
+                     total == 0 ? 0.0
+                                : static_cast<double>(counts[i]) /
+                                      static_cast<double>(total));
+  }
+  return out;
+}
+
+}  // namespace v6::analysis

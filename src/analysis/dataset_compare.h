@@ -1,0 +1,39 @@
+// Dataset comparison (Table 1): size, overlap, AS and /48 coverage, and
+// address density of a corpus, plus the AS-type mix (§4.1's "Phone
+// Provider" observation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hitlist/corpus.h"
+#include "sim/world.h"
+
+namespace v6::analysis {
+
+struct DatasetSummary {
+  std::string name;
+  std::uint64_t addresses = 0;
+  std::uint64_t asns = 0;
+  std::uint64_t slash48s = 0;
+  double addrs_per_slash48 = 0.0;
+  // Intersections with the base (NTP) corpus; zero for the base itself.
+  std::uint64_t common_addresses = 0;
+  std::uint64_t common_asns = 0;
+  std::uint64_t common_slash48s = 0;
+};
+
+// Summarizes `corpus`; when `base` is non-null, fills the intersection
+// columns against it.
+DatasetSummary summarize_dataset(const std::string& name,
+                                 const hitlist::Corpus& corpus,
+                                 const sim::World& world,
+                                 const hitlist::Corpus* base = nullptr);
+
+// Fraction of corpus addresses originating in ASes of each type (the ASdb
+// classification proxy). Indexed by sim::AsType.
+std::vector<std::pair<sim::AsType, double>> as_type_fractions(
+    const hitlist::Corpus& corpus, const sim::World& world);
+
+}  // namespace v6::analysis

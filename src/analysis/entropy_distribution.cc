@@ -1,0 +1,48 @@
+#include "analysis/entropy_distribution.h"
+
+#include "net/entropy.h"
+
+namespace v6::analysis {
+
+util::EmpiricalDistribution entropy_distribution(const hitlist::Corpus& c) {
+  std::vector<double> samples;
+  samples.reserve(c.size());
+  c.for_each([&samples](const hitlist::AddressRecord& rec) {
+    samples.push_back(net::iid_entropy(rec.address));
+  });
+  return util::EmpiricalDistribution(std::move(samples));
+}
+
+util::EmpiricalDistribution entropy_distribution(
+    std::span<const net::Ipv6Address> addresses) {
+  std::vector<double> samples;
+  samples.reserve(addresses.size());
+  for (const auto& a : addresses) samples.push_back(net::iid_entropy(a));
+  return util::EmpiricalDistribution(std::move(samples));
+}
+
+util::EmpiricalDistribution intersection_entropy_distribution(
+    const hitlist::Corpus& a, const hitlist::Corpus& b) {
+  const hitlist::Corpus& small = a.size() <= b.size() ? a : b;
+  const hitlist::Corpus& large = a.size() <= b.size() ? b : a;
+  std::vector<double> samples;
+  small.for_each([&](const hitlist::AddressRecord& rec) {
+    if (large.find(rec.address) != nullptr) {
+      samples.push_back(net::iid_entropy(rec.address));
+    }
+  });
+  return util::EmpiricalDistribution(std::move(samples));
+}
+
+std::uint64_t intersection_size(const hitlist::Corpus& a,
+                                const hitlist::Corpus& b) {
+  const hitlist::Corpus& small = a.size() <= b.size() ? a : b;
+  const hitlist::Corpus& large = a.size() <= b.size() ? b : a;
+  std::uint64_t n = 0;
+  small.for_each([&](const hitlist::AddressRecord& rec) {
+    if (large.find(rec.address) != nullptr) ++n;
+  });
+  return n;
+}
+
+}  // namespace v6::analysis

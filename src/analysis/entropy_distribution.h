@@ -1,0 +1,28 @@
+// IID-entropy distributions over corpora (Figures 1, 3, 4).
+#pragma once
+
+#include <span>
+
+#include "hitlist/corpus.h"
+#include "net/ipv6.h"
+#include "util/stats.h"
+
+namespace v6::analysis {
+
+// Entropy of every unique address's IID in the corpus.
+util::EmpiricalDistribution entropy_distribution(const hitlist::Corpus& c);
+
+// Same, over an explicit address set.
+util::EmpiricalDistribution entropy_distribution(
+    std::span<const net::Ipv6Address> addresses);
+
+// Entropy of addresses present in BOTH corpora (Fig 1's intersection
+// curves). Iterates the smaller corpus.
+util::EmpiricalDistribution intersection_entropy_distribution(
+    const hitlist::Corpus& a, const hitlist::Corpus& b);
+
+// Number of addresses present in both corpora.
+std::uint64_t intersection_size(const hitlist::Corpus& a,
+                                const hitlist::Corpus& b);
+
+}  // namespace v6::analysis

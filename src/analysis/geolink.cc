@@ -1,0 +1,86 @@
+#include "analysis/geolink.h"
+
+#include <algorithm>
+#include <map>
+
+namespace v6::analysis {
+
+GeoLinkResult link_eui64_to_bssids(std::span<const MacTrack> tracks,
+                                   const geo::BssidLocationDb& wardriving,
+                                   const GeoLinkConfig& config) {
+  GeoLinkResult result;
+
+  // Group wired MAC suffixes per OUI.
+  std::unordered_map<std::uint32_t, std::vector<std::uint32_t>> wired_by_oui;
+  for (const auto& track : tracks) {
+    wired_by_oui[track.mac.oui().value()].push_back(track.mac.suffix());
+  }
+
+  for (auto& [oui_value, wired] : wired_by_oui) {
+    const net::Oui oui(oui_value);
+    const auto bssids = wardriving.bssids_in_oui(oui);
+    if (bssids.empty()) continue;
+
+    std::vector<std::uint32_t> bssid_suffixes;
+    bssid_suffixes.reserve(bssids.size());
+    for (const auto& b : bssids) bssid_suffixes.push_back(b.suffix());
+    std::sort(bssid_suffixes.begin(), bssid_suffixes.end());
+
+    // Tally deltas between each wired MAC and every BSSID within the
+    // window; the modal delta is the candidate per-OUI offset.
+    std::map<std::int32_t, std::uint32_t> delta_votes;
+    for (const auto suffix : wired) {
+      const auto lo = static_cast<std::int64_t>(suffix) - config.max_offset;
+      const auto hi = static_cast<std::int64_t>(suffix) + config.max_offset;
+      auto it = std::lower_bound(
+          bssid_suffixes.begin(), bssid_suffixes.end(),
+          static_cast<std::uint32_t>(std::max<std::int64_t>(lo, 0)));
+      for (; it != bssid_suffixes.end() &&
+             static_cast<std::int64_t>(*it) <= hi;
+           ++it) {
+        const auto delta = static_cast<std::int32_t>(
+            static_cast<std::int64_t>(*it) - suffix);
+        ++delta_votes[delta];
+      }
+    }
+    std::int32_t best_delta = 0;
+    std::uint32_t best_votes = 0;
+    for (const auto& [delta, votes] : delta_votes) {
+      if (votes > best_votes) {
+        best_votes = votes;
+        best_delta = delta;
+      }
+    }
+    if (best_votes < config.min_pairs_per_oui) continue;
+    result.oui_offsets[oui_value] = best_delta;
+
+    // Apply the inferred offset: every wired MAC whose shifted sibling is
+    // wardriven geolocates.
+    for (const auto suffix : wired) {
+      const std::int64_t shifted =
+          static_cast<std::int64_t>(suffix) + best_delta;
+      if (shifted < 0 || shifted > 0xffffff) continue;
+      const net::MacAddress bssid = net::MacAddress::from_u64(
+          (static_cast<std::uint64_t>(oui_value) << 24) |
+          static_cast<std::uint64_t>(shifted));
+      if (const auto location = wardriving.lookup(bssid)) {
+        const net::MacAddress mac = net::MacAddress::from_u64(
+            (static_cast<std::uint64_t>(oui_value) << 24) | suffix);
+        result.linked.push_back({mac, bssid, *location});
+      }
+    }
+  }
+
+  // Country attribution of the geolocated devices.
+  std::unordered_map<geo::CountryCode, std::uint64_t> by_country;
+  for (const auto& link : result.linked) {
+    ++by_country[geo::nearest_country(link.location.latitude,
+                                      link.location.longitude)];
+  }
+  result.by_country.assign(by_country.begin(), by_country.end());
+  std::sort(result.by_country.begin(), result.by_country.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return result;
+}
+
+}  // namespace v6::analysis

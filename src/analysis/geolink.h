@@ -1,0 +1,52 @@
+// Wired-MAC -> WiFi-BSSID geolocation linkage (§5.3, the IPvSeeYou
+// technique of Rye & Beverly applied to the passive corpus).
+//
+// Device makers allocate the wired (EUI-64-leaked) MAC and the WiFi BSSID
+// of one box at a small constant offset within the same OUI. The linker
+// never sees that ground truth: per OUI it tallies suffix deltas between
+// every (wired MAC, wardriven BSSID) pair within a bounded window, takes
+// the modal delta as the OUI's offset when enough pairs support it, and
+// then geolocates each wired MAC whose shifted BSSID exists in the
+// wardriving database.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "analysis/eui64_tracking.h"
+#include "geo/bssid_db.h"
+#include "geo/country.h"
+#include "net/mac.h"
+
+namespace v6::analysis {
+
+struct GeoLinkConfig {
+  // Only offsets within +/- this window are tallied (keeps inference
+  // O(n log n) and rejects cross-batch noise).
+  std::int32_t max_offset = 1024;
+  // Minimum supporting pairs before an OUI's modal offset is trusted
+  // (the paper required 500 at Internet scale).
+  std::uint32_t min_pairs_per_oui = 50;
+};
+
+struct GeoLinked {
+  net::MacAddress mac;
+  net::MacAddress bssid;
+  geo::LatLon location;
+};
+
+struct GeoLinkResult {
+  // OUIs for which a modal offset was inferred, with the offset.
+  std::unordered_map<std::uint32_t, std::int32_t> oui_offsets;
+  std::vector<GeoLinked> linked;
+  // linked.size() grouped by nearest-country of the location, descending.
+  std::vector<std::pair<geo::CountryCode, std::uint64_t>> by_country;
+};
+
+GeoLinkResult link_eui64_to_bssids(std::span<const MacTrack> tracks,
+                                   const geo::BssidLocationDb& wardriving,
+                                   const GeoLinkConfig& config = {});
+
+}  // namespace v6::analysis

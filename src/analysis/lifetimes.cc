@@ -1,0 +1,93 @@
+#include "analysis/lifetimes.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace v6::analysis {
+
+AddressLifetimeReport address_lifetimes(
+    const hitlist::Corpus& corpus,
+    std::span<const util::SimDuration> ccdf_points) {
+  AddressLifetimeReport report;
+  std::vector<std::uint64_t> at_least(ccdf_points.size(), 0);
+  std::uint64_t once = 0, week = 0, month = 0, six = 0;
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    ++report.total;
+    const util::SimDuration life = rec.lifetime();
+    if (life == 0) ++once;
+    if (life >= util::kWeek) ++week;
+    if (life >= util::kMonth) ++month;
+    if (life >= 6 * util::kMonth) ++six;
+    for (std::size_t i = 0; i < ccdf_points.size(); ++i) {
+      if (life >= ccdf_points[i]) ++at_least[i];
+    }
+  });
+  if (report.total == 0) return report;
+  const auto total = static_cast<double>(report.total);
+  report.fraction_once = static_cast<double>(once) / total;
+  report.fraction_week = static_cast<double>(week) / total;
+  report.fraction_month = static_cast<double>(month) / total;
+  report.fraction_six_months = static_cast<double>(six) / total;
+  report.ccdf.reserve(ccdf_points.size());
+  for (std::size_t i = 0; i < ccdf_points.size(); ++i) {
+    report.ccdf.emplace_back(ccdf_points[i],
+                             static_cast<double>(at_least[i]) / total);
+  }
+  return report;
+}
+
+IidLifetimeReport iid_lifetimes(
+    const hitlist::Corpus& corpus,
+    std::span<const util::SimDuration> cdf_points) {
+  // Collapse addresses to IIDs: lifetime spans all sightings of the IID
+  // across every prefix it appeared under.
+  struct Span {
+    std::uint32_t first;
+    std::uint32_t last;
+  };
+  std::unordered_map<std::uint64_t, Span> iids;
+  iids.reserve(corpus.size());
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    const auto [it, inserted] =
+        iids.try_emplace(rec.address.iid(), Span{rec.first_seen, rec.last_seen});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, rec.first_seen);
+      it->second.last = std::max(it->second.last, rec.last_seen);
+    }
+  });
+
+  IidLifetimeReport report;
+  report.unique_iids = iids.size();
+  std::array<std::vector<std::uint64_t>, 3> at_most;
+  for (auto& v : at_most) v.assign(cdf_points.size(), 0);
+  std::array<std::uint64_t, 3> once{}, week{};
+
+  for (const auto& [iid, span] : iids) {
+    const auto band = static_cast<std::size_t>(
+        net::entropy_band(net::iid_entropy(iid)));
+    auto& b = report.bands[band];
+    ++b.total;
+    const auto life =
+        static_cast<util::SimDuration>(span.last) - span.first;
+    if (life == 0) ++once[band];
+    if (life >= util::kWeek) ++week[band];
+    for (std::size_t i = 0; i < cdf_points.size(); ++i) {
+      if (life <= cdf_points[i]) ++at_most[band][i];
+    }
+  }
+  for (std::size_t band = 0; band < 3; ++band) {
+    auto& b = report.bands[band];
+    if (b.total == 0) continue;
+    const auto total = static_cast<double>(b.total);
+    b.fraction_once = static_cast<double>(once[band]) / total;
+    b.fraction_week = static_cast<double>(week[band]) / total;
+    b.cdf.reserve(cdf_points.size());
+    for (std::size_t i = 0; i < cdf_points.size(); ++i) {
+      b.cdf.emplace_back(cdf_points[i],
+                         static_cast<double>(at_most[band][i]) / total);
+    }
+  }
+  return report;
+}
+
+}  // namespace v6::analysis

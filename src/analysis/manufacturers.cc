@@ -1,0 +1,49 @@
+#include "analysis/manufacturers.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace v6::analysis {
+
+std::vector<ManufacturerRow> manufacturer_table(
+    std::span<const MacTrack> tracks, const sim::OuiRegistry& registry,
+    std::size_t top) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  for (const auto& track : tracks) {
+    const auto name = registry.resolve(track.mac.oui());
+    counts[std::string(name.value_or("Unlisted"))]++;
+  }
+  std::vector<ManufacturerRow> rows;
+  rows.reserve(counts.size());
+  for (auto& [name, count] : counts) rows.push_back({name, count});
+  std::sort(rows.begin(), rows.end(),
+            [](const ManufacturerRow& a, const ManufacturerRow& b) {
+              if (a.mac_count != b.mac_count) return a.mac_count > b.mac_count;
+              return a.name < b.name;
+            });
+  if (rows.size() > top) {
+    ManufacturerRow rest{"(other)", 0};
+    for (std::size_t i = top; i < rows.size(); ++i) {
+      rest.mac_count += rows[i].mac_count;
+    }
+    rows.resize(top);
+    rows.push_back(rest);
+  }
+  return rows;
+}
+
+std::uint64_t single_mac_unlisted_ouis(std::span<const MacTrack> tracks,
+                                       const sim::OuiRegistry& registry) {
+  std::unordered_map<std::uint32_t, std::uint32_t> unlisted_oui_macs;
+  for (const auto& track : tracks) {
+    const net::Oui oui = track.mac.oui();
+    if (!registry.resolve(oui)) ++unlisted_oui_macs[oui.value()];
+  }
+  std::uint64_t singles = 0;
+  for (const auto& [oui, n] : unlisted_oui_macs) {
+    if (n == 1) ++singles;
+  }
+  return singles;
+}
+
+}  // namespace v6::analysis

@@ -1,0 +1,34 @@
+// Manufacturer resolution of EUI-64-embedded MACs (Table 2).
+//
+// Each embedded MAC's OUI is looked up in the (synthetic) IEEE registry;
+// unresolvable OUIs land in the "Unlisted" bucket, which the paper found to
+// be — surprisingly — the largest one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/eui64_tracking.h"
+#include "sim/oui_registry.h"
+
+namespace v6::analysis {
+
+struct ManufacturerRow {
+  std::string name;  // "Unlisted" for unregistered OUIs
+  std::uint64_t mac_count = 0;
+};
+
+// Counts unique MACs per manufacturer, descending; `top` rows plus an
+// aggregated remainder row ("(other)") when more exist.
+std::vector<ManufacturerRow> manufacturer_table(
+    std::span<const MacTrack> tracks, const sim::OuiRegistry& registry,
+    std::size_t top);
+
+// Distinct unregistered OUIs that appear in exactly one MAC — the paper's
+// estimate of random IIDs masquerading as EUI-64.
+std::uint64_t single_mac_unlisted_ouis(std::span<const MacTrack> tracks,
+                                       const sim::OuiRegistry& registry);
+
+}  // namespace v6::analysis

@@ -1,0 +1,82 @@
+#include "analysis/outage.h"
+
+#include <algorithm>
+
+namespace v6::analysis {
+
+namespace {
+
+std::uint64_t bucket_key(std::uint32_t as_index, std::int64_t day) {
+  return (static_cast<std::uint64_t>(as_index) << 24) |
+         (static_cast<std::uint64_t>(day) & 0xffffff);
+}
+
+}  // namespace
+
+void OutageMonitor::record(const net::Ipv6Address& client, util::SimTime t) {
+  const auto as_index = world_->as_index_of(client);
+  if (!as_index) return;
+  const std::int64_t day = t / util::kDay;
+  if (day < 0) return;
+  ++buckets_[bucket_key(*as_index, day)];
+}
+
+std::vector<std::uint64_t> OutageMonitor::daily_series(
+    std::uint32_t as_index, std::int64_t window_days) const {
+  std::vector<std::uint64_t> series(
+      static_cast<std::size_t>(std::max<std::int64_t>(window_days, 0)), 0);
+  for (std::int64_t day = 0; day < window_days; ++day) {
+    const auto it = buckets_.find(bucket_key(as_index, day));
+    if (it != buckets_.end()) series[static_cast<std::size_t>(day)] = it->second;
+  }
+  return series;
+}
+
+std::vector<DetectedOutage> OutageMonitor::detect(
+    std::int64_t window_days) const {
+  std::vector<DetectedOutage> outages;
+  for (std::uint32_t as_index = 0; as_index < world_->ases().size();
+       ++as_index) {
+    const auto series = daily_series(as_index, window_days);
+    if (series.empty()) continue;
+
+    // Baseline: the AS's own median daily volume.
+    std::vector<std::uint64_t> sorted = series;
+    std::sort(sorted.begin(), sorted.end());
+    const std::uint64_t median = sorted[sorted.size() / 2];
+    if (median < config_.min_daily_volume) continue;
+
+    const double threshold =
+        config_.dark_fraction * static_cast<double>(median);
+    // An outage is a dark run *bracketed by normal days*: a network that
+    // only ramps up mid-study (new deployment) or dies at the window edge
+    // is not a confirmed outage, just like production detectors require
+    // an up -> down -> up pattern.
+    int run = 0;
+    bool was_up_before_run = false;
+    for (std::int64_t day = 0; day <= window_days; ++day) {
+      const bool dark =
+          day < window_days &&
+          static_cast<double>(series[static_cast<std::size_t>(day)]) <
+              threshold;
+      if (dark) {
+        ++run;
+        continue;
+      }
+      if (run >= config_.min_dark_days && was_up_before_run &&
+          day < window_days) {
+        DetectedOutage outage;
+        outage.as_index = as_index;
+        outage.asn = world_->ases()[as_index].asn;
+        outage.first_day = day - run;
+        outage.last_day = day - 1;
+        outages.push_back(outage);
+      }
+      run = 0;
+      was_up_before_run = true;
+    }
+  }
+  return outages;
+}
+
+}  // namespace v6::analysis

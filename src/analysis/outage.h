@@ -1,0 +1,68 @@
+// Outage detection from passive NTP observation time series.
+//
+// One of the paper's opening claims: larger, passively collected hitlists
+// improve applications like outage detection, because an eyeball network
+// that goes dark simply stops appearing at the vantage servers. The
+// OutageMonitor hooks into collection, buckets observations per (AS, day),
+// and flags runs of days whose volume collapses versus that AS's own
+// baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::analysis {
+
+struct DetectedOutage {
+  std::uint32_t as_index = 0;
+  sim::Asn asn = 0;
+  // Inclusive day range (days since study start).
+  std::int64_t first_day = 0;
+  std::int64_t last_day = 0;
+
+  friend bool operator==(const DetectedOutage&,
+                         const DetectedOutage&) = default;
+};
+
+class OutageMonitor {
+ public:
+  struct Config {
+    // A day counts as dark when its observation count falls below this
+    // fraction of the AS's median daily volume.
+    double dark_fraction = 0.15;
+    // Minimum consecutive dark days to report (single-day dips in small
+    // ASes are sampling noise, not outages).
+    int min_dark_days = 2;
+    // ASes with fewer median observations per day than this are too quiet
+    // to judge.
+    std::uint64_t min_daily_volume = 25;
+  };
+
+  explicit OutageMonitor(const sim::World& world) : world_(&world) {}
+  OutageMonitor(const sim::World& world, const Config& config)
+      : world_(&world), config_(config) {}
+
+  // Feed every observation (wire directly into the collection hook).
+  void record(const net::Ipv6Address& client, util::SimTime t);
+
+  // Scans the accumulated series; `window_days` bounds the analysis range
+  // (days since study start).
+  std::vector<DetectedOutage> detect(std::int64_t window_days) const;
+
+  // Observations bucketed per day for one AS (empty if never seen).
+  std::vector<std::uint64_t> daily_series(std::uint32_t as_index,
+                                          std::int64_t window_days) const;
+
+ private:
+  const sim::World* world_;
+  Config config_{};
+  // (as_index, day) -> observation count.
+  std::unordered_map<std::uint64_t, std::uint64_t> buckets_;
+};
+
+}  // namespace v6::analysis

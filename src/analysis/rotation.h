@@ -1,0 +1,43 @@
+// Prefix-rotation inference (the "Follow the Scent" analysis the paper
+// builds on, §2.1/§5.2): how often does each provider renumber its
+// customers?
+//
+// A stable EUI-64 IID acts as a tracer through prefix changes: the gaps
+// between consecutive first-sightings of the same MAC in *different* /64s
+// of the same AS estimate that AS's delegation lifetime. The estimator
+// takes the median gap across all trackable MACs in the AS — robust to
+// devices that merely moved house.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/eui64_tracking.h"
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::analysis {
+
+struct RotationEstimate {
+  std::uint32_t as_index = 0;
+  sim::Asn asn = 0;
+  // Median observed dwell time between /64 changes.
+  util::SimDuration estimated_period = 0;
+  // Number of (MAC, transition) samples behind the estimate.
+  std::uint64_t samples = 0;
+  // Ground truth from the world's profile (0 = static) — for validation
+  // only; the estimator never reads it.
+  util::SimDuration true_period = 0;
+};
+
+struct RotationConfig {
+  // ASes with fewer transition samples than this are not estimated.
+  std::uint64_t min_samples = 8;
+};
+
+// Estimates per-AS rotation periods from the tracker's EUI-64 timelines.
+std::vector<RotationEstimate> infer_rotation_periods(
+    const Eui64Tracker& tracker, const sim::World& world,
+    const RotationConfig& config = RotationConfig());
+
+}  // namespace v6::analysis

@@ -1,0 +1,130 @@
+#include "core/study.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace v6::core {
+
+Study::Study(const StudyConfig& config) : config_(config) {
+  world_ = std::make_unique<sim::World>(sim::World::generate(config.world));
+  plane_ = std::make_unique<netsim::DataPlane>(*world_, config.plane);
+  // A quarter of pool answers come from the global zone: under-served
+  // regions routinely get far-away servers, which is also what lets five
+  // backscan vantages observe clients worldwide.
+  dns_ = std::make_unique<netsim::PoolDns>(*world_, 0.25,
+                                           config.pool_capture_share);
+}
+
+void Study::collect() {
+  if (collected_) return;
+  collected_ = true;
+  hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
+                                      config_.collector);
+  // Reserve roughly: polls produce ~0.5 unique addresses each.
+  collector.run(results_.ntp, config_.world.study_start,
+                config_.world.study_start + config_.world.study_duration);
+  results_.polls_attempted = collector.polls_attempted();
+  results_.polls_answered = collector.polls_answered();
+}
+
+void Study::run_campaigns() {
+  if (campaigned_) return;
+  campaigned_ = true;
+  results_.hitlist =
+      hitlist::run_hitlist_campaign(*world_, *plane_, config_.hitlist_campaign);
+  results_.caida =
+      hitlist::run_caida_campaign(*world_, *plane_, config_.caida_campaign);
+}
+
+void Study::run_backscan() {
+  if (backscanned_) return;
+  backscanned_ = true;
+
+  scan::Backscanner backscanner(*plane_, config_.backscan);
+  // Spread the participating servers across countries (probing from five
+  // co-located servers would only ever see one region's clients).
+  std::unordered_set<std::uint8_t> participating;
+  {
+    std::unordered_set<std::uint16_t> countries_taken;
+    for (const auto& v : world_->vantages()) {
+      if (participating.size() >= config_.backscan_vantages) break;
+      if (countries_taken.insert(v.country.value()).second) {
+        participating.insert(v.id);
+      }
+    }
+  }
+  hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
+                                      config_.collector);
+  const auto hook = [&](const ntp::Observation& obs,
+                        const net::Ipv6Address& vantage_address) {
+    results_.backscan_week.add(obs.client, obs.time, obs.vantage);
+    if (participating.contains(obs.vantage)) {
+      backscanner.observe(obs, vantage_address);
+    }
+  };
+  hitlist::Corpus scratch(1 << 10);
+  collector.run(scratch, config_.backscan_start,
+                config_.backscan_start + config_.backscan_duration, hook);
+  results_.backscan =
+      backscanner.finish(config_.backscan_start + config_.backscan_duration);
+
+  // §4.2 cross-checks against the Hitlist campaign's alias knowledge.
+  // The Hitlist publishes aliased prefixes at /64, /48, and /36; a
+  // backscan /64 counts as "known" when any published prefix covers it.
+  AliasCrossCheck check;
+  std::unordered_set<net::Ipv6Prefix> hitlist_aliased(
+      results_.hitlist.aliased_prefixes.begin(),
+      results_.hitlist.aliased_prefixes.end());
+  const auto known_to_hitlist = [&](const net::Ipv6Prefix& p64) {
+    return hitlist_aliased.contains(p64) ||
+           hitlist_aliased.contains(p64.truncated(48)) ||
+           hitlist_aliased.contains(p64.truncated(36));
+  };
+  std::unordered_set<net::Ipv6Prefix> ours(
+      results_.backscan.aliased_slash64s.begin(),
+      results_.backscan.aliased_slash64s.end());
+  for (const auto& p64 : ours) {
+    if (known_to_hitlist(p64)) {
+      ++check.aliased_known_to_hitlist;
+    } else {
+      ++check.aliased_new;
+    }
+  }
+  results_.backscan_week.for_each([&](const hitlist::AddressRecord& rec) {
+    if (ours.contains(net::slash64_of(rec.address))) {
+      ++check.ntp_clients_in_aliased;
+    }
+  });
+  results_.hitlist.corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    if (ours.contains(net::slash64_of(rec.address))) {
+      ++check.hitlist_addresses_in_aliased;
+    }
+  });
+  results_.alias_check = check;
+}
+
+std::vector<std::pair<geo::CountryCode, std::uint64_t>> Study::country_mix()
+    const {
+  std::unordered_map<geo::CountryCode, std::uint64_t> counts;
+  results_.ntp.for_each([&](const hitlist::AddressRecord& rec) {
+    if (const auto as_index = world_->as_index_of(rec.address)) {
+      ++counts[world_->country_of_as(*as_index)];
+    }
+  });
+  std::vector<std::pair<geo::CountryCode, std::uint64_t>> out(counts.begin(),
+                                                              counts.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+Study Study::run(const StudyConfig& config) {
+  Study study(config);
+  study.collect();
+  study.run_campaigns();
+  study.run_backscan();
+  return study;
+}
+
+}  // namespace v6::core

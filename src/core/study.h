@@ -1,0 +1,108 @@
+// The end-to-end study: the paper's whole pipeline behind one API.
+//
+//   StudyConfig cfg;                 // scale knobs, seeds, stage toggles
+//   Study study(cfg);
+//   study.collect();                 // 27 NTP servers, 7 months, passive
+//   study.run_campaigns();           // IPv6-Hitlist + CAIDA comparisons
+//   study.run_backscan();            // probe clients back, find aliases
+//   const StudyResults& r = study.results();
+//
+// Each stage is optional and idempotent; `Study::run(cfg)` performs all of
+// them. Every bench and example builds on this type.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hitlist/campaigns.h"
+#include "hitlist/corpus.h"
+#include "hitlist/passive_collector.h"
+#include "netsim/data_plane.h"
+#include "netsim/pool_dns.h"
+#include "scan/backscanner.h"
+#include "sim/world.h"
+
+namespace v6::core {
+
+struct StudyConfig {
+  sim::WorldConfig world;
+  netsim::DataPlaneConfig plane;
+  hitlist::CollectorConfig collector;
+  // Share of pool queries that land on our 27 servers (the pool has
+  // thousands; the study sees a sample of every client's polls).
+  double pool_capture_share = 0.03;
+
+  // Backscanning (§3): one week, from a handful of the vantage servers,
+  // months after the main window (the paper ran it in January 2023).
+  std::uint8_t backscan_vantages = 5;
+  util::SimTime backscan_start = 345 * util::kDay;
+  util::SimDuration backscan_duration = util::kWeek;
+  scan::BackscanConfig backscan;
+
+  hitlist::HitlistCampaignConfig hitlist_campaign;
+  hitlist::CaidaCampaignConfig caida_campaign;
+};
+
+// §4.2's alias cross-checks between backscanning and the Hitlist.
+struct AliasCrossCheck {
+  // Backscan-inferred aliased /64s also known to the Hitlist campaign.
+  std::uint64_t aliased_known_to_hitlist = 0;
+  // ...and those the Hitlist does not know (the paper's 46.5K discovery).
+  std::uint64_t aliased_new = 0;
+  // NTP clients (backscan week) living inside backscan-aliased /64s...
+  std::uint64_t ntp_clients_in_aliased = 0;
+  // ...versus Hitlist addresses inside those same /64s (the "only 23").
+  std::uint64_t hitlist_addresses_in_aliased = 0;
+};
+
+struct StudyResults {
+  hitlist::Corpus ntp{1 << 16};
+  // Clients observed during the backscan week (a separate, later window).
+  hitlist::Corpus backscan_week{1 << 12};
+  hitlist::HitlistResult hitlist;
+  hitlist::CaidaResult caida;
+  scan::BackscanReport backscan;
+  AliasCrossCheck alias_check;
+  std::uint64_t polls_attempted = 0;
+  std::uint64_t polls_answered = 0;
+};
+
+class Study {
+ public:
+  explicit Study(const StudyConfig& config);
+
+  const sim::World& world() const noexcept { return *world_; }
+  const StudyConfig& config() const noexcept { return config_; }
+  netsim::DataPlane& plane() noexcept { return *plane_; }
+
+  // Stage 1: passive NTP collection over the study window.
+  void collect();
+  // Stage 2: the two active comparison campaigns.
+  void run_campaigns();
+  // Stage 3: backscan week (collects clients in its own window, probes
+  // them back, cross-checks aliases against the Hitlist campaign).
+  void run_backscan();
+
+  const StudyResults& results() const noexcept { return results_; }
+  StudyResults& mutable_results() noexcept { return results_; }
+
+  // Unique-address count per (true) country of the NTP corpus, descending
+  // (§3's country mix).
+  std::vector<std::pair<geo::CountryCode, std::uint64_t>> country_mix() const;
+
+  // Convenience: run all stages.
+  static Study run(const StudyConfig& config);
+
+ private:
+  StudyConfig config_;
+  std::unique_ptr<sim::World> world_;
+  std::unique_ptr<netsim::DataPlane> plane_;
+  std::unique_ptr<netsim::PoolDns> dns_;
+  StudyResults results_;
+  bool collected_ = false;
+  bool campaigned_ = false;
+  bool backscanned_ = false;
+};
+
+}  // namespace v6::core

@@ -1,0 +1,174 @@
+#include "dns/rdns.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace v6::dns {
+
+namespace {
+
+// Compares the first `nibble_depth` nibbles of two addresses.
+// Returns <0, 0, >0 like memcmp.
+int compare_prefix(const net::Ipv6Address& a, const net::Ipv6Address& b,
+                   int nibble_depth) {
+  const int bytes = nibble_depth / 2;
+  for (int i = 0; i < bytes; ++i) {
+    if (a.byte(static_cast<std::size_t>(i)) !=
+        b.byte(static_cast<std::size_t>(i))) {
+      return a.byte(static_cast<std::size_t>(i)) <
+                     b.byte(static_cast<std::size_t>(i))
+                 ? -1
+                 : 1;
+    }
+  }
+  if (nibble_depth % 2) {
+    const auto an = a.byte(static_cast<std::size_t>(bytes)) >> 4;
+    const auto bn = b.byte(static_cast<std::size_t>(bytes)) >> 4;
+    if (an != bn) return an < bn ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RdnsZone::add(const net::Ipv6Address& address, std::string hostname) {
+  records_.emplace_back(address, std::move(hostname));
+  sorted_ = false;
+}
+
+void RdnsZone::ensure_sorted() const {
+  if (sorted_) return;
+  std::sort(records_.begin(), records_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  records_.erase(std::unique(records_.begin(), records_.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 records_.end());
+  sorted_ = true;
+}
+
+RdnsZone::Answer RdnsZone::query(const net::Ipv6Address& prefix,
+                                 int nibble_depth) const {
+  ensure_sorted();
+  // Binary search for any record sharing the queried prefix.
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), prefix,
+      [nibble_depth](const auto& record, const net::Ipv6Address& key) {
+        return compare_prefix(record.first, key, nibble_depth) < 0;
+      });
+  if (it == records_.end() ||
+      compare_prefix(it->first, prefix, nibble_depth) != 0) {
+    return Answer::kNxDomain;
+  }
+  if (nibble_depth >= 32) return Answer::kPtrRecord;
+  return Answer::kEmptyNonTerminal;
+}
+
+std::optional<std::string> RdnsZone::ptr(
+    const net::Ipv6Address& address) const {
+  ensure_sorted();
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), address,
+      [](const auto& record, const net::Ipv6Address& key) {
+        return record.first < key;
+      });
+  if (it == records_.end() || it->first != address) return std::nullopt;
+  return it->second;
+}
+
+namespace {
+
+// Sets nibble `position` (0 = most significant) of the byte array.
+net::Ipv6Address with_nibble(const net::Ipv6Address& base, int position,
+                             int value) {
+  auto bytes = base.bytes();
+  const auto index = static_cast<std::size_t>(position / 2);
+  if (position % 2 == 0) {
+    bytes[index] = static_cast<std::uint8_t>((bytes[index] & 0x0f) |
+                                             (value << 4));
+  } else {
+    bytes[index] =
+        static_cast<std::uint8_t>((bytes[index] & 0xf0) | value);
+  }
+  return net::Ipv6Address(bytes);
+}
+
+void walk(const RdnsZone& zone, const net::Ipv6Address& prefix, int depth,
+          ZoneWalkResult& result) {
+  if (depth == 32) {
+    result.discovered.push_back(prefix);
+    return;
+  }
+  for (int nibble = 0; nibble < 16; ++nibble) {
+    const auto child = with_nibble(prefix, depth, nibble);
+    ++result.queries;
+    switch (zone.query(child, depth + 1)) {
+      case RdnsZone::Answer::kNxDomain:
+        break;  // RFC 8020: nothing below — prune the whole subtree
+      case RdnsZone::Answer::kEmptyNonTerminal:
+      case RdnsZone::Answer::kPtrRecord:
+        walk(zone, child, depth + 1, result);
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+ZoneWalkResult walk_rdns(const RdnsZone& zone, const net::Ipv6Prefix& apex) {
+  ZoneWalkResult result;
+  if (apex.length() % 4 != 0) {
+    // ip6.arpa delegates on nibble boundaries.
+    return result;
+  }
+  const int start_depth = apex.length() / 4;
+  ++result.queries;
+  if (zone.query(apex.address(), start_depth) ==
+      RdnsZone::Answer::kNxDomain) {
+    return result;
+  }
+  walk(zone, apex.address(), start_depth, result);
+  std::sort(result.discovered.begin(), result.discovered.end());
+  return result;
+}
+
+RdnsZone build_world_zone(const sim::World& world, util::SimTime t,
+                          double cpe_fraction) {
+  RdnsZone zone;
+  // Routers: operators name infrastructure interfaces.
+  for (std::uint32_t ai = 0; ai < world.ases().size(); ++ai) {
+    const sim::AsInfo& as = world.ases()[ai];
+    for (std::uint32_t r = 0; r < as.router_count; ++r) {
+      if (util::mix64(as.seed ^ 0x4d46 ^ r) % 16 == 0) {
+        zone.add(world.router_address(ai, r, 1),
+                 "core" + std::to_string(r) + ".as" + std::to_string(as.asn) +
+                     ".example.net");
+      }
+    }
+    // DNS-published servers have forward and reverse names.
+    for (std::uint32_t s = 0; s < as.server_count; ++s) {
+      const sim::DeviceId d = as.first_server + s;
+      if (util::mix64(world.devices()[d].seed ^ 0xd25) % 5 < 2) {
+        zone.add(world.server_address(d),
+                 "host" + std::to_string(s) + ".as" + std::to_string(as.asn) +
+                     ".example.com");
+      }
+    }
+  }
+  // The rDNS-exposed CPE slice (dynamic pool names).
+  const auto threshold = static_cast<std::uint64_t>(
+      cpe_fraction >= 1.0 ? ~std::uint64_t{0} : cpe_fraction * 0x1p64);
+  for (const auto& site : world.sites()) {
+    if (site.cpe == sim::kNoDevice) continue;
+    const sim::Device& cpe = world.devices()[site.cpe];
+    if (util::mix64(cpe.seed ^ 0x4d45) < threshold) {
+      zone.add(world.device_address(site.cpe, t),
+               "cpe-" + std::to_string(site.id) + ".pool.example.org");
+    }
+  }
+  return zone;
+}
+
+}  // namespace v6::dns

@@ -1,0 +1,68 @@
+// Reverse DNS (ip6.arpa) simulation and NXDOMAIN tree walking.
+//
+// The related work the paper builds on (Fiebig et al., Borgolte et al.,
+// Strowes) enumerates active IPv6 addresses by *walking* the ip6.arpa
+// tree: under RFC 8020 an authoritative server answers NXDOMAIN for a
+// label with no descendants, and NOERROR (an "empty non-terminal") for an
+// interior node that has some. That semantic difference lets a walker
+// prune the 2^128 space down to O(populated-branches) queries.
+//
+// RdnsZone is the authoritative side (populated from the world's
+// rDNS-published devices); walk_rdns is the enumerator. A test shows the
+// walk recovers exactly the published set with query counts linear in it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "net/prefix.h"
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::dns {
+
+// Authoritative ip6.arpa view over a set of PTR records.
+class RdnsZone {
+ public:
+  enum class Answer : std::uint8_t {
+    kNxDomain,          // no names below this label (RFC 8020)
+    kEmptyNonTerminal,  // interior node: descendants exist
+    kPtrRecord,         // full 32-nibble name with a PTR record
+  };
+
+  void add(const net::Ipv6Address& address, std::string hostname);
+
+  // Queries the name formed by the first `nibble_depth` nibbles of
+  // `prefix` (most-significant first; the ip6.arpa label reversal is an
+  // encoding detail the logical API hides).
+  Answer query(const net::Ipv6Address& prefix, int nibble_depth) const;
+
+  std::optional<std::string> ptr(const net::Ipv6Address& address) const;
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<std::pair<net::Ipv6Address, std::string>> records_;
+  mutable bool sorted_ = false;
+};
+
+struct ZoneWalkResult {
+  std::vector<net::Ipv6Address> discovered;
+  std::uint64_t queries = 0;
+};
+
+// Enumerates every PTR record under `apex` by NXDOMAIN tree walking.
+ZoneWalkResult walk_rdns(const RdnsZone& zone, const net::Ipv6Prefix& apex);
+
+// Builds the world's rDNS zone as of time `t`: routers, DNS-published
+// servers, and the rDNS-exposed slice of CPE (the same population the
+// Hitlist campaign's "public sources" model).
+RdnsZone build_world_zone(const sim::World& world, util::SimTime t,
+                          double cpe_fraction);
+
+}  // namespace v6::dns

@@ -1,0 +1,29 @@
+#include "geo/bssid_db.h"
+
+namespace v6::geo {
+
+void BssidLocationDb::add(const net::MacAddress& bssid,
+                          const LatLon& location) {
+  const auto [it, inserted] = locations_.emplace(bssid, location);
+  if (inserted) {
+    by_oui_[bssid.oui()].push_back(bssid);
+  } else {
+    it->second = location;
+  }
+}
+
+std::optional<LatLon> BssidLocationDb::lookup(
+    const net::MacAddress& bssid) const {
+  const auto it = locations_.find(bssid);
+  if (it == locations_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::span<const net::MacAddress> BssidLocationDb::bssids_in_oui(
+    net::Oui oui) const {
+  static const std::vector<net::MacAddress> kEmpty;
+  const auto it = by_oui_.find(oui);
+  return it == by_oui_.end() ? kEmpty : it->second;
+}
+
+}  // namespace v6::geo

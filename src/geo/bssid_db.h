@@ -1,0 +1,38 @@
+// BSSID -> location wardriving database (our WiGLE / Apple / Google WiFi
+// location API stand-in).
+//
+// §5.3 of the paper geolocates EUI-64 devices by linking the wired MAC
+// embedded in the IID to the WiFi BSSID of the same device via a per-OUI
+// constant offset, then looking the BSSID up in public wardriving data.
+// The simulated world populates this database from devices whose access
+// points were "observed" by wardrivers; GeoLinker then runs the paper's
+// offset-inference algorithm against it with no access to ground truth.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/location.h"
+#include "net/mac.h"
+
+namespace v6::geo {
+
+class BssidLocationDb {
+ public:
+  void add(const net::MacAddress& bssid, const LatLon& location);
+
+  std::optional<LatLon> lookup(const net::MacAddress& bssid) const;
+
+  // All BSSIDs sharing the given OUI (used by offset inference).
+  std::span<const net::MacAddress> bssids_in_oui(net::Oui oui) const;
+
+  std::size_t size() const noexcept { return locations_.size(); }
+
+ private:
+  std::unordered_map<net::MacAddress, LatLon> locations_;
+  std::unordered_map<net::Oui, std::vector<net::MacAddress>> by_oui_;
+};
+
+}  // namespace v6::geo

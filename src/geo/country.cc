@@ -1,0 +1,96 @@
+#include "geo/country.h"
+
+#include <array>
+
+namespace v6::geo {
+
+std::optional<CountryCode> CountryCode::parse(std::string_view text) {
+  if (text.size() != 2) return std::nullopt;
+  const char a = text[0], b = text[1];
+  const auto upper = [](char c) {
+    return c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A') : c;
+  };
+  const char ua = upper(a), ub = upper(b);
+  if (ua < 'A' || ua > 'Z' || ub < 'A' || ub > 'Z') return std::nullopt;
+  return CountryCode(ua, ub);
+}
+
+namespace {
+
+// Client weights follow §3 of the paper: India, China, US, Brazil and
+// Indonesia together account for 76% of observed addresses; 170 further
+// countries share the remaining 24% with a heavy tail. Coordinates are
+// rough population centroids (country-level accuracy is all the paper
+// uses). The list is sorted by descending client_weight.
+constexpr std::array<CountryInfo, 40> kCountries = {{
+    {{'I', 'N'}, "India", 21.0, 78.0, 0.240},
+    {{'C', 'N'}, "China", 34.0, 104.0, 0.200},
+    {{'U', 'S'}, "United States", 39.0, -98.0, 0.150},
+    {{'B', 'R'}, "Brazil", -10.0, -52.0, 0.089},
+    {{'I', 'D'}, "Indonesia", -2.5, 118.0, 0.080},
+    {{'D', 'E'}, "Germany", 51.0, 10.0, 0.034},
+    {{'J', 'P'}, "Japan", 36.0, 138.0, 0.026},
+    {{'G', 'B'}, "United Kingdom", 54.0, -2.0, 0.020},
+    {{'F', 'R'}, "France", 46.0, 2.0, 0.017},
+    {{'M', 'X'}, "Mexico", 23.0, -102.0, 0.015},
+    {{'V', 'N'}, "Vietnam", 16.0, 108.0, 0.013},
+    {{'T', 'H'}, "Thailand", 15.0, 101.0, 0.011},
+    {{'I', 'T'}, "Italy", 42.5, 12.5, 0.010},
+    {{'E', 'S'}, "Spain", 40.0, -4.0, 0.009},
+    {{'P', 'L'}, "Poland", 52.0, 20.0, 0.008},
+    {{'N', 'L'}, "Netherlands", 52.2, 5.3, 0.007},
+    {{'K', 'R'}, "South Korea", 36.5, 127.8, 0.007},
+    {{'T', 'W'}, "Taiwan", 23.7, 121.0, 0.006},
+    {{'A', 'U'}, "Australia", -25.0, 134.0, 0.006},
+    {{'C', 'A'}, "Canada", 56.0, -106.0, 0.005},
+    {{'A', 'R'}, "Argentina", -34.0, -64.0, 0.005},
+    {{'T', 'R'}, "Turkey", 39.0, 35.0, 0.004},
+    {{'R', 'U'}, "Russia", 60.0, 90.0, 0.004},
+    {{'P', 'H'}, "Philippines", 12.0, 122.0, 0.004},
+    {{'M', 'Y'}, "Malaysia", 3.5, 102.0, 0.003},
+    {{'S', 'E'}, "Sweden", 62.0, 15.0, 0.003},
+    {{'C', 'H'}, "Switzerland", 47.0, 8.2, 0.003},
+    {{'A', 'T'}, "Austria", 47.5, 14.5, 0.002},
+    {{'B', 'E'}, "Belgium", 50.6, 4.6, 0.002},
+    {{'C', 'Z'}, "Czechia", 49.8, 15.5, 0.002},
+    {{'Z', 'A'}, "South Africa", -29.0, 24.0, 0.002},
+    {{'S', 'G'}, "Singapore", 1.35, 103.8, 0.002},
+    {{'H', 'K'}, "Hong Kong", 22.3, 114.2, 0.002},
+    {{'L', 'U'}, "Luxembourg", 49.8, 6.1, 0.001},
+    {{'B', 'G'}, "Bulgaria", 42.7, 25.5, 0.001},
+    {{'B', 'H'}, "Bahrain", 26.0, 50.5, 0.001},
+    {{'N', 'Z'}, "New Zealand", -41.0, 174.0, 0.001},
+    {{'P', 'T'}, "Portugal", 39.5, -8.0, 0.001},
+    {{'C', 'L'}, "Chile", -33.0, -71.0, 0.001},
+    {{'E', 'G'}, "Egypt", 26.0, 30.0, 0.001},
+}};
+
+}  // namespace
+
+std::span<const CountryInfo> all_countries() { return kCountries; }
+
+CountryCode nearest_country(double latitude, double longitude) {
+  // Squared Euclidean in (lat, lon) degrees is enough for centroid
+  // attribution; ties break toward the more populous (earlier) country.
+  double best = 1e18;
+  CountryCode out;
+  for (const auto& info : kCountries) {
+    const double dlat = info.latitude - latitude;
+    const double dlon = info.longitude - longitude;
+    const double d = dlat * dlat + dlon * dlon;
+    if (d < best) {
+      best = d;
+      out = info.code;
+    }
+  }
+  return out;
+}
+
+const CountryInfo* find_country(CountryCode code) {
+  for (const auto& info : kCountries) {
+    if (info.code == code) return &info;
+  }
+  return nullptr;
+}
+
+}  // namespace v6::geo

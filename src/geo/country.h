@@ -1,0 +1,72 @@
+// ISO 3166-1 alpha-2 country codes.
+//
+// The paper reports all geography at country granularity (MaxMind lookups
+// aggregated to country; vantage steering by coarse geolocation). A
+// CountryCode packs the two ASCII letters into a u16 so it can key flat maps
+// cheaply.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace v6::geo {
+
+class CountryCode {
+ public:
+  constexpr CountryCode() = default;
+  constexpr CountryCode(char a, char b)
+      : value_(static_cast<std::uint16_t>((a << 8) | b)) {}
+
+  static std::optional<CountryCode> parse(std::string_view text);
+
+  constexpr std::uint16_t value() const noexcept { return value_; }
+  constexpr bool valid() const noexcept { return value_ != 0; }
+
+  std::string to_string() const {
+    if (!valid()) return "??";
+    return std::string{static_cast<char>(value_ >> 8),
+                       static_cast<char>(value_ & 0xff)};
+  }
+
+  friend constexpr auto operator<=>(CountryCode, CountryCode) = default;
+
+ private:
+  std::uint16_t value_ = 0;
+};
+
+// Metadata for a country known to the simulation.
+struct CountryInfo {
+  CountryCode code;
+  std::string_view name;
+  double latitude;   // representative centroid
+  double longitude;
+  // Relative share of the world's NTP-client population; drives the
+  // country mix of the generated world (paper: IN/CN/US/BR/ID = 76%).
+  double client_weight;
+};
+
+// The static registry of countries the simulation draws from (a superset of
+// every country named in the paper). Sorted by descending client_weight.
+std::span<const CountryInfo> all_countries();
+
+// Lookup by code; nullptr when unknown.
+const CountryInfo* find_country(CountryCode code);
+
+// The registry country whose centroid is nearest to (latitude, longitude).
+// Used to attribute wardriving-derived locations to countries, the way the
+// paper reports its geolocation results per country.
+CountryCode nearest_country(double latitude, double longitude);
+
+}  // namespace v6::geo
+
+template <>
+struct std::hash<v6::geo::CountryCode> {
+  std::size_t operator()(v6::geo::CountryCode c) const noexcept {
+    return std::hash<std::uint16_t>{}(c.value());
+  }
+};

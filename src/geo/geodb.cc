@@ -1,0 +1,29 @@
+#include "geo/geodb.h"
+
+#include <stdexcept>
+
+namespace v6::geo {
+
+void GeoDatabase::add(const net::Ipv6Prefix& prefix, CountryCode country) {
+  if (prefix.length() > 64) {
+    throw std::invalid_argument("GeoDatabase prefixes must be <= /64");
+  }
+  entries_[{prefix.address().hi64(), prefix.length()}] = country;
+}
+
+std::optional<CountryCode> GeoDatabase::lookup(
+    const net::Ipv6Address& address) const {
+  const std::uint64_t hi = address.hi64();
+  // Try lengths from most to least specific. Entry count per address is
+  // small (ASes register /32 and sites /48-/64), so probing each length is
+  // cheaper than a trie for our sizes.
+  for (int length = 64; length >= 0; --length) {
+    const std::uint64_t mask =
+        length == 0 ? 0 : ~std::uint64_t{0} << (64 - length);
+    const auto it = entries_.find({hi & mask, length});
+    if (it != entries_.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+}  // namespace v6::geo

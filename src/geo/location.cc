@@ -1,0 +1,21 @@
+#include "geo/location.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace v6::geo {
+
+double distance_km(const LatLon& a, const LatLon& b) noexcept {
+  constexpr double kEarthRadiusKm = 6371.0;
+  constexpr double kDegToRad = std::numbers::pi / 180.0;
+  const double lat1 = a.latitude * kDegToRad;
+  const double lat2 = b.latitude * kDegToRad;
+  const double dlat = (b.latitude - a.latitude) * kDegToRad;
+  const double dlon = (b.longitude - a.longitude) * kDegToRad;
+  const double s = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(s)));
+}
+
+}  // namespace v6::geo

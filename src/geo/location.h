@@ -1,0 +1,18 @@
+// Geographic coordinates and great-circle distance.
+#pragma once
+
+#include <compare>
+
+namespace v6::geo {
+
+struct LatLon {
+  double latitude = 0.0;
+  double longitude = 0.0;
+
+  friend auto operator<=>(const LatLon&, const LatLon&) = default;
+};
+
+// Haversine great-circle distance in kilometers.
+double distance_km(const LatLon& a, const LatLon& b) noexcept;
+
+}  // namespace v6::geo

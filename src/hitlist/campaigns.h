@@ -1,0 +1,84 @@
+// The two comparison datasets of Table 1, produced by *running the actual
+// methodologies* against the same simulated world as the NTP collection:
+//
+//   * HitlistCampaign — an IPv6-Hitlist-style weekly campaign: seed from
+//     public sources (DNS-published servers, rDNS-published CPE/routers),
+//     ZMap6-scan the frontier, Yarrp-trace a sample, expand with
+//     target-generation around discovered structure, and filter aliased
+//     prefixes with the Gasser detector.
+//   * CaidaCampaign — CAIDA's routed-/48 topology sweep: split every
+//     announced /32 into /48s and Yarrp-trace the ::1 of each (subsampled
+//     to scale, as the paper's 1.08B traces scale to our world).
+//
+// Because both run against ground truth, the Table 1 comparisons (overlap,
+// ASes, density) are emergent rather than baked in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hitlist/alias_detection.h"
+#include "hitlist/corpus.h"
+#include "net/prefix.h"
+#include "netsim/data_plane.h"
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::hitlist {
+
+struct HitlistCampaignConfig {
+  // Feb 16 .. Aug 29 relative to the study epoch (Jan 25).
+  util::SimTime start = 22 * util::kDay;
+  util::SimDuration duration = 194 * util::kDay;
+  util::SimDuration snapshot_interval = util::kWeek;
+  // TGA expansion rounds per snapshot.
+  std::uint32_t tga_iterations = 2;
+  // Frontier cap per snapshot (probe budget).
+  std::size_t max_frontier = 150000;
+  // Fraction of frontier targets additionally traced with Yarrp.
+  double trace_fraction = 0.12;
+  std::uint8_t yarrp_max_hops = 12;
+  // Fraction of CPEs whose current address is exposed via reverse DNS.
+  double rdns_cpe_fraction = 0.08;
+  // Fraction of client devices whose current address leaks through
+  // crowdsourced panels / CDN logs / CT-style public sources per snapshot
+  // (the Hitlist ingests such feeds; Gasser et al. even ran MTurk).
+  double crowdsourced_client_fraction = 0.005;
+  // BGP-informed candidates: a light routed-/48 ::1 sample folded into the
+  // first snapshot's frontier (the real Hitlist also consumes BGP data).
+  double routed_seed_fraction = 0.001;
+  std::uint64_t seed = 17;
+};
+
+struct HitlistResult {
+  Corpus corpus;  // responsive, alias-filtered addresses (cumulative)
+  std::vector<net::Ipv6Prefix> aliased_prefixes;  // detected aliased /48+/64
+  std::uint64_t probes_sent = 0;
+  std::uint32_t snapshots = 0;
+};
+
+HitlistResult run_hitlist_campaign(const sim::World& world,
+                                   netsim::DataPlane& plane,
+                                   const HitlistCampaignConfig& config);
+
+struct CaidaCampaignConfig {
+  // Feb 3 .. Apr 6 relative to the study epoch.
+  util::SimTime start = 9 * util::kDay;
+  util::SimDuration duration = 62 * util::kDay;
+  // Deterministic subsample of each /32's 65536 constituent /48s.
+  double slash48_fraction = 0.02;
+  std::uint8_t max_hops = 12;
+  std::uint64_t seed = 19;
+};
+
+struct CaidaResult {
+  Corpus corpus;  // every responding interface (hops + reached ::1s)
+  std::uint64_t traces = 0;
+  std::uint64_t probes_sent = 0;
+};
+
+CaidaResult run_caida_campaign(const sim::World& world,
+                               netsim::DataPlane& plane,
+                               const CaidaCampaignConfig& config);
+
+}  // namespace v6::hitlist

@@ -1,0 +1,103 @@
+#include "hitlist/corpus.h"
+
+#include <algorithm>
+
+namespace v6::hitlist {
+
+namespace {
+
+std::size_t capacity_for(std::size_t expected) {
+  std::size_t cap = 64;
+  // Keep the load factor at or below ~0.66.
+  while (cap * 2 < expected * 3) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+Corpus::Corpus(std::size_t expected_addresses) {
+  const std::size_t cap = capacity_for(expected_addresses);
+  slots_.assign(cap, AddressRecord{});
+  mask_ = cap - 1;
+}
+
+AddressRecord* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
+  std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
+  while (true) {
+    AddressRecord& slot = slots_[i];
+    // count == 0 marks an empty slot (every stored record has count >= 1).
+    if (slot.count == 0 || slot.address == address) return &slot;
+    i = (i + 1) & mask_;
+  }
+}
+
+void Corpus::add(const net::Ipv6Address& address, util::SimTime t,
+                 std::uint8_t vantage) {
+  const auto ts = static_cast<std::uint32_t>(std::max<util::SimTime>(t, 0));
+  ++observations_;
+  AddressRecord* slot = lookup_slot(address);
+  if (slot->count == 0) {
+    if ((size_ + 1) * 3 > slots_.size() * 2) {
+      grow();
+      slot = lookup_slot(address);
+    }
+    slot->address = address;
+    slot->first_seen = ts;
+    slot->last_seen = ts;
+    slot->count = 1;
+    slot->vantage_mask = vantage < 32 ? (1u << vantage) : 0;
+    ++size_;
+    return;
+  }
+  slot->first_seen = std::min(slot->first_seen, ts);
+  slot->last_seen = std::max(slot->last_seen, ts);
+  ++slot->count;
+  if (vantage < 32) slot->vantage_mask |= 1u << vantage;
+}
+
+void Corpus::add_record(const AddressRecord& rec) {
+  AddressRecord* slot = lookup_slot(rec.address);
+  if (slot->count == 0) {
+    if ((size_ + 1) * 3 > slots_.size() * 2) {
+      grow();
+      slot = lookup_slot(rec.address);
+    }
+    *slot = rec;
+    ++size_;
+  } else {
+    slot->first_seen = std::min(slot->first_seen, rec.first_seen);
+    slot->last_seen = std::max(slot->last_seen, rec.last_seen);
+    slot->count += rec.count;
+    slot->vantage_mask |= rec.vantage_mask;
+  }
+  observations_ += rec.count;
+}
+
+void Corpus::merge(const Corpus& other) {
+  other.for_each([this](const AddressRecord& rec) { add_record(rec); });
+}
+
+const AddressRecord* Corpus::find(
+    const net::Ipv6Address& address) const noexcept {
+  std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
+  while (true) {
+    const AddressRecord& slot = slots_[i];
+    if (slot.count == 0) return nullptr;
+    if (slot.address == address) return &slot;
+    i = (i + 1) & mask_;
+  }
+}
+
+void Corpus::grow() {
+  std::vector<AddressRecord> old = std::move(slots_);
+  slots_.assign(old.size() * 2, AddressRecord{});
+  mask_ = slots_.size() - 1;
+  for (const auto& rec : old) {
+    if (rec.count == 0) continue;
+    std::size_t i = net::Ipv6AddressHash{}(rec.address) & mask_;
+    while (slots_[i].count != 0) i = (i + 1) & mask_;
+    slots_[i] = rec;
+  }
+}
+
+}  // namespace v6::hitlist

@@ -1,0 +1,74 @@
+// Corpus: the aggregated observation store behind every dataset in the
+// study (the NTP corpus, the simulated IPv6 Hitlist, the CAIDA campaign).
+//
+// Billions-of-addresses scale (paper) maps to millions here, so the store
+// is a cache-friendly open-addressing hash table rather than node-based
+// std::unordered_map: 16-byte key + 16-byte aggregate per slot, linear
+// probing, power-of-two capacity. Per address it keeps exactly what the
+// analyses need — first/last sighting, observation count, vantage bitmask —
+// so collection is O(1) memory per *unique address*, not per observation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "util/sim_time.h"
+
+namespace v6::hitlist {
+
+struct AddressRecord {
+  net::Ipv6Address address;
+  std::uint32_t first_seen = 0;  // seconds since study epoch
+  std::uint32_t last_seen = 0;
+  std::uint32_t count = 0;
+  std::uint32_t vantage_mask = 0;  // bit v set: seen at vantage v (v < 32)
+
+  util::SimDuration lifetime() const noexcept {
+    return static_cast<util::SimDuration>(last_seen) - first_seen;
+  }
+};
+
+class Corpus {
+ public:
+  explicit Corpus(std::size_t expected_addresses = 1 << 16);
+
+  Corpus(Corpus&&) noexcept = default;
+  Corpus& operator=(Corpus&&) noexcept = default;
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+
+  // Records one sighting. `t` must be >= 0 (clamped into u32 seconds).
+  void add(const net::Ipv6Address& address, util::SimTime t,
+           std::uint8_t vantage = 0);
+
+  // Merges every record of `other` into *this.
+  void merge(const Corpus& other);
+
+  // Merges one pre-aggregated record (same semantics as merge()).
+  void add_record(const AddressRecord& record);
+
+  const AddressRecord* find(const net::Ipv6Address& address) const noexcept;
+
+  std::size_t size() const noexcept { return size_; }
+  std::uint64_t total_observations() const noexcept { return observations_; }
+
+  // Iterates all records (unspecified order).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.count != 0) fn(slot);
+    }
+  }
+
+ private:
+  AddressRecord* lookup_slot(const net::Ipv6Address& address) noexcept;
+  void grow();
+
+  std::vector<AddressRecord> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+}  // namespace v6::hitlist

@@ -1,0 +1,80 @@
+#include "hitlist/corpus_io.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <vector>
+
+#include "proto/buffer.h"
+
+namespace v6::hitlist {
+
+namespace {
+constexpr char kMagic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+}  // namespace
+
+std::size_t save_corpus(std::ostream& out, const Corpus& corpus) {
+  proto::BufferWriter writer;
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
+  writer.u64(corpus.size());
+  writer.u64(corpus.total_observations());
+  corpus.for_each([&writer](const AddressRecord& rec) {
+    writer.bytes(rec.address.bytes());
+    writer.u32(rec.first_seen);
+    writer.u32(rec.last_seen);
+    writer.u32(rec.count);
+    writer.u32(rec.vantage_mask);
+  });
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) throw std::runtime_error("corpus write failed");
+  return writer.size();
+}
+
+Corpus load_corpus(std::istream& in) {
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  proto::BufferReader reader(bytes);
+
+  std::uint8_t magic[8];
+  reader.bytes(magic);
+  if (reader.truncated() ||
+      !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+    throw std::runtime_error("corpus snapshot: bad magic");
+  }
+  const std::uint64_t records = reader.u64();
+  const std::uint64_t observations = reader.u64();
+  if (reader.truncated()) {
+    throw std::runtime_error("corpus snapshot: truncated header");
+  }
+
+  Corpus corpus(records);
+  std::uint64_t observations_seen = 0;
+  for (std::uint64_t i = 0; i < records; ++i) {
+    net::Ipv6Address::Bytes address{};
+    reader.bytes(address);
+    AddressRecord rec;
+    rec.address = net::Ipv6Address(address);
+    rec.first_seen = reader.u32();
+    rec.last_seen = reader.u32();
+    rec.count = reader.u32();
+    rec.vantage_mask = reader.u32();
+    if (reader.truncated()) {
+      throw std::runtime_error("corpus snapshot: truncated");
+    }
+    if (rec.count == 0) {
+      throw std::runtime_error("corpus snapshot: empty record");
+    }
+    corpus.add_record(rec);
+    observations_seen += rec.count;
+  }
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("corpus snapshot: trailing bytes");
+  }
+  if (observations_seen != observations) {
+    throw std::runtime_error("corpus snapshot: observation count mismatch");
+  }
+  return corpus;
+}
+
+}  // namespace v6::hitlist

@@ -1,0 +1,27 @@
+// Corpus serialization: a compact, versioned binary snapshot so studies
+// can be collected once and analyzed many times (or shipped between
+// machines). Format:
+//
+//   magic "V6CORP01"            8 bytes
+//   record count                u64 LE-free (big-endian like the wire)
+//   total observations          u64
+//   records: address(16) first_seen(4) last_seen(4) count(4) vantages(4)
+//
+// Everything goes through proto::BufferWriter/Reader, so byte order and
+// truncation handling match the rest of the codebase.
+#pragma once
+
+#include <iosfwd>
+
+#include "hitlist/corpus.h"
+
+namespace v6::hitlist {
+
+// Writes a snapshot; returns bytes written.
+std::size_t save_corpus(std::ostream& out, const Corpus& corpus);
+
+// Loads a snapshot. Throws std::runtime_error on bad magic, truncation,
+// or trailing garbage.
+Corpus load_corpus(std::istream& in);
+
+}  // namespace v6::hitlist

@@ -1,0 +1,93 @@
+#include "hitlist/passive_collector.h"
+
+#include "ntp/client_schedule.h"
+#include "proto/ntp_packet.h"
+#include "proto/udp.h"
+#include "util/rng.h"
+
+namespace v6::hitlist {
+
+PassiveCollector::PassiveCollector(const sim::World& world,
+                                   netsim::DataPlane& plane,
+                                   const netsim::PoolDns& dns,
+                                   const CollectorConfig& config)
+    : world_(&world), plane_(&plane), dns_(&dns), config_(config) {}
+
+void PassiveCollector::run(Corpus& corpus, util::SimTime start,
+                           util::SimTime end, const ObservationHook& hook) {
+  // One server object per vantage, all sinking into the corpus.
+  std::vector<std::unique_ptr<ntp::NtpServer>> servers;
+  servers.reserve(world_->vantages().size());
+  for (const auto& vantage : world_->vantages()) {
+    auto sink = [&corpus, &hook, address = vantage.address](
+                    const ntp::Observation& obs) {
+      corpus.add(obs.client, obs.time, obs.vantage);
+      if (hook) hook(obs, address);
+    };
+    servers.push_back(std::make_unique<ntp::NtpServer>(vantage, sink));
+    if (config_.wire_fidelity) servers.back()->bind(*plane_);
+  }
+
+  const bool outages_possible = world_->config().outage_count > 0;
+  const auto devices = world_->devices();
+  for (sim::DeviceId d = 0; d < devices.size(); ++d) {
+    const sim::Device& dev = devices[d];
+    if (!dev.ntp.uses_pool) continue;
+    // Order-independent per-device stream: the collection result does not
+    // depend on enumeration order (a prerequisite for sharding devices
+    // across threads or machines).
+    util::Rng dev_rng(
+        util::mix64(config_.seed ^ 0xc0111ec7 ^ util::mix64(dev.seed)));
+    ntp::ClientSchedule schedule(dev, start, end);
+    schedule.for_each([&](util::SimTime t) {
+      // An AS-wide outage silences every host in it (the intro's outage-
+      // detection use case: the corpus time series shows the hole).
+      if (outages_possible &&
+          world_->in_outage(world_->attachment(d, t).as_index, t)) {
+        return;
+      }
+      const net::Ipv6Address client = world_->device_address(d, t);
+      // One DNS resolution per sync event; every packet of an iburst
+      // rides it to the same server.
+      const sim::VantagePoint* vantage = dns_->resolve(client, dev_rng);
+      // A burst is one sync event: its packets go out ~2s apart.
+      const std::uint8_t burst =
+          config_.ignore_bursts ? 1 : std::max<std::uint8_t>(dev.ntp.burst, 1);
+      for (std::uint8_t k = 0; k < burst; ++k) {
+        const util::SimTime tk = t + 2 * k;
+        if (tk >= end) break;  // the collection window closes mid-burst
+        ++polls_;
+        if (vantage == nullptr) continue;
+        if (config_.wire_fidelity) {
+          const auto nonce = static_cast<std::uint32_t>(dev_rng.next());
+          const proto::NtpPacket request =
+              proto::make_client_request(tk, nonce);
+          const auto src_port =
+              static_cast<std::uint16_t>(49152 + dev_rng.bounded(16384));
+          const auto response_bytes =
+              plane_->send_udp(client, src_port, vantage->address,
+                               proto::kNtpPort, request.encode(), tk);
+          if (!response_bytes) continue;
+          // SNTP client-side validation: server mode, origin echoes our
+          // transmit timestamp.
+          const auto response = proto::NtpPacket::decode(*response_bytes);
+          if (!response || response->mode != proto::NtpMode::kServer ||
+              response->origin_time != request.transmit_time) {
+            continue;
+          }
+          ++answered_;
+        } else {
+          // Fast path: identical steering and loss model, no
+          // serialization. Request-direction loss suppresses the
+          // observation entirely...
+          if (dev_rng.chance(config_.loss_rate)) continue;
+          servers[vantage->id]->record(client, tk);
+          // ...response-direction loss costs only the client's answer.
+          if (!dev_rng.chance(config_.loss_rate)) ++answered_;
+        }
+      }
+    });
+  }
+}
+
+}  // namespace v6::hitlist

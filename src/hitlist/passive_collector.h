@@ -1,0 +1,64 @@
+// The passive collection pipeline: every pool-using device's NTP polls,
+// steered to vantage servers by the pool DNS, logged into a Corpus.
+//
+// Two execution paths produce identical corpora (a test asserts it):
+//   * wire-fidelity — each poll runs the full stack: RFC 5905 client
+//     request -> UDP with pseudo-header checksum -> data-plane delivery
+//     (loss applies) -> server decode/validate/respond -> client validates
+//     the response (mode, origin echo). This is the honest path.
+//   * fast — skips serialization but keeps the identical control flow
+//     (same DNS steering, same loss decisions, same server-side record
+//     call), which makes the 10M+-poll benches tractable.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "hitlist/corpus.h"
+#include "netsim/data_plane.h"
+#include "netsim/pool_dns.h"
+#include "ntp/server.h"
+#include "sim/world.h"
+
+namespace v6::hitlist {
+
+struct CollectorConfig {
+  bool wire_fidelity = false;
+  // Loss applied on the fast path (the wire path inherits the data
+  // plane's own loss); keep the two equal so the paths agree.
+  double loss_rate = 0.01;
+  std::uint64_t seed = 3;
+  // Ablation switch: treat every client as a single-packet (non-iburst)
+  // poller.
+  bool ignore_bursts = false;
+};
+
+// Called for every accepted observation, after it is added to the corpus.
+// `vantage_address` is the server the client spoke to (backscanning probes
+// from there).
+using ObservationHook = std::function<void(
+    const ntp::Observation&, const net::Ipv6Address& vantage_address)>;
+
+class PassiveCollector {
+ public:
+  PassiveCollector(const sim::World& world, netsim::DataPlane& plane,
+                   const netsim::PoolDns& dns, const CollectorConfig& config);
+
+  // Runs collection over [start, end); fills `corpus`.
+  void run(Corpus& corpus, util::SimTime start, util::SimTime end,
+           const ObservationHook& hook = {});
+
+  std::uint64_t polls_attempted() const noexcept { return polls_; }
+  std::uint64_t polls_answered() const noexcept { return answered_; }
+
+ private:
+  const sim::World* world_;
+  netsim::DataPlane* plane_;
+  const netsim::PoolDns* dns_;
+  CollectorConfig config_;
+  std::uint64_t polls_ = 0;
+  std::uint64_t answered_ = 0;
+};
+
+}  // namespace v6::hitlist

@@ -1,0 +1,99 @@
+#include "net/classify.h"
+
+namespace v6::net {
+
+const char* to_string(AddressCategory c) noexcept {
+  switch (c) {
+    case AddressCategory::kZeroes:
+      return "Zeroes";
+    case AddressCategory::kLowByte:
+      return "Low Byte";
+    case AddressCategory::kLow2Bytes:
+      return "Low 2 Bytes";
+    case AddressCategory::kIpv4Mapped:
+      return "IPv4";
+    case AddressCategory::kHighEntropy:
+      return "High Entropy";
+    case AddressCategory::kMediumEntropy:
+      return "Medium Entropy";
+    case AddressCategory::kLowEntropy:
+      return "Low Entropy";
+  }
+  return "?";
+}
+
+namespace {
+
+// Reads a hextet "as decimal": 0x0192 prints as "192" which is a valid
+// decimal octet. Returns nullopt when any nibble is a-f or value > 255.
+std::optional<std::uint8_t> hextet_as_decimal_octet(std::uint16_t h) {
+  std::uint32_t value = 0;
+  bool started = false;
+  for (int shift = 12; shift >= 0; shift -= 4) {
+    const auto nibble = static_cast<std::uint32_t>((h >> shift) & 0xf);
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    if (nibble > 9) return std::nullopt;
+    value = value * 10 + nibble;
+  }
+  if (value > 255) return std::nullopt;
+  return static_cast<std::uint8_t>(value);
+}
+
+}  // namespace
+
+std::vector<Ipv4Candidate> ipv4_candidates(std::uint64_t iid) {
+  std::vector<Ipv4Candidate> out;
+  const auto low32 = static_cast<std::uint32_t>(iid);
+  const auto high32 = static_cast<std::uint32_t>(iid >> 32);
+
+  // kLow32: v4 in the low 32 bits, high 32 bits zero (the common form).
+  if (high32 == 0 && low32 != 0) {
+    out.push_back({Ipv4Embedding::kLow32, Ipv4Address(low32)});
+  }
+  // kHigh32: v4 in the high 32 bits, low 32 bits zero.
+  if (low32 == 0 && high32 != 0) {
+    out.push_back({Ipv4Embedding::kHigh32, Ipv4Address(high32)});
+  }
+  // kDecimalHextets: each of the four hextets reads as a decimal octet.
+  std::array<std::uint8_t, 4> octets{};
+  bool ok = true;
+  for (int i = 0; i < 4; ++i) {
+    const auto h = static_cast<std::uint16_t>(iid >> (48 - 16 * i));
+    const auto octet = hextet_as_decimal_octet(h);
+    if (!octet) {
+      ok = false;
+      break;
+    }
+    octets[static_cast<std::size_t>(i)] = *octet;
+  }
+  if (ok) {
+    const Ipv4Address v4(octets[0], octets[1], octets[2], octets[3]);
+    if (v4.value() != 0) {
+      out.push_back({Ipv4Embedding::kDecimalHextets, v4});
+    }
+  }
+  return out;
+}
+
+AddressCategory classify_iid(std::uint64_t iid, bool ipv4_accepted) {
+  if (iid == 0) return AddressCategory::kZeroes;
+  if ((iid & ~std::uint64_t{0xff}) == 0) return AddressCategory::kLowByte;
+  if ((iid & ~std::uint64_t{0xffff}) == 0) return AddressCategory::kLow2Bytes;
+  if (ipv4_accepted) return AddressCategory::kIpv4Mapped;
+  switch (entropy_band(iid_entropy(iid))) {
+    case EntropyBand::kHigh:
+      return AddressCategory::kHighEntropy;
+    case EntropyBand::kMedium:
+      return AddressCategory::kMediumEntropy;
+    case EntropyBand::kLow:
+      return AddressCategory::kLowEntropy;
+  }
+  return AddressCategory::kLowEntropy;
+}
+
+AddressCategory classify_address(const Ipv6Address& a, bool ipv4_accepted) {
+  return classify_iid(a.iid(), ipv4_accepted);
+}
+
+}  // namespace v6::net

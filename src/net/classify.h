@@ -1,0 +1,70 @@
+// Structural classification of IPv6 addresses (Fig 5 of the paper).
+//
+// Addresses fall into seven mutually exclusive categories, checked in this
+// order:
+//   1. Zeroes       — IID is all zero (subnet-router anycast style, `::`)
+//   2. Low Byte     — only the least-significant byte set (e.g. ::1)
+//   3. Low 2 Bytes  — only the two least-significant bytes set (e.g. ::1:0)
+//   4. IPv4 mapped  — IID embeds the interface's IPv4 address (one of three
+//                     encodings); acceptance is *contextual* (the paper
+//                     requires >= 100 instances per AS, > 10% of the AS's
+//                     addresses, and the v4 address mapping to the same AS),
+//                     so this module only extracts candidate embeddings and
+//                     the analysis layer applies the AS-level gates.
+//   5-7. High / Medium / Low entropy bands of the remaining IIDs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/entropy.h"
+#include "net/ipv4.h"
+#include "net/ipv6.h"
+
+namespace v6::net {
+
+enum class AddressCategory : std::uint8_t {
+  kZeroes,
+  kLowByte,
+  kLow2Bytes,
+  kIpv4Mapped,
+  kHighEntropy,
+  kMediumEntropy,
+  kLowEntropy,
+};
+
+inline constexpr std::array<AddressCategory, 7> kAllAddressCategories = {
+    AddressCategory::kZeroes,       AddressCategory::kLowByte,
+    AddressCategory::kLow2Bytes,    AddressCategory::kIpv4Mapped,
+    AddressCategory::kHighEntropy,  AddressCategory::kMediumEntropy,
+    AddressCategory::kLowEntropy,
+};
+
+const char* to_string(AddressCategory c) noexcept;
+
+// The three IPv4-in-IID encodings the classifier recognizes.
+enum class Ipv4Embedding : std::uint8_t {
+  kLow32,           // v4 in IID bits 31..0:        ::c0a8:0101
+  kHigh32,          // v4 in IID bits 63..32:       ::c0a8:0101:0:0
+  kDecimalHextets,  // hextets read as decimals:    ::192:168:1:1
+};
+
+struct Ipv4Candidate {
+  Ipv4Embedding encoding;
+  Ipv4Address address;
+};
+
+// Extracts every plausible embedded IPv4 address from the IID. Purely
+// syntactic; the caller applies per-AS acceptance gates.
+std::vector<Ipv4Candidate> ipv4_candidates(std::uint64_t iid);
+
+// Structural classification. `ipv4_accepted` is the verdict of the
+// AS-contextual gate for this address (false when unknown).
+AddressCategory classify_address(const Ipv6Address& a, bool ipv4_accepted);
+
+// Same, for a bare IID.
+AddressCategory classify_iid(std::uint64_t iid, bool ipv4_accepted);
+
+}  // namespace v6::net

@@ -1,0 +1,59 @@
+#include "net/entropy.h"
+
+#include <array>
+#include <cmath>
+
+namespace v6::net {
+
+namespace {
+
+// log2 lookup for counts 0..16: entropy only ever sees nibble counts of a
+// 16-symbol string, so the whole computation is table-driven.
+constexpr std::array<double, 17> make_log2_table() {
+  std::array<double, 17> t{};
+  // std::log2 is not constexpr in C++20 on all compilers; fill at runtime
+  // instead via the initializer below.
+  return t;
+}
+
+struct Log2Table {
+  std::array<double, 17> value = make_log2_table();
+  Log2Table() {
+    for (int i = 1; i <= 16; ++i) {
+      value[static_cast<std::size_t>(i)] = std::log2(static_cast<double>(i));
+    }
+  }
+};
+
+const Log2Table kLog2;
+
+}  // namespace
+
+double iid_entropy(std::uint64_t iid) noexcept {
+  std::array<std::uint8_t, 16> counts{};
+  for (int i = 0; i < 16; ++i) {
+    counts[(iid >> (4 * i)) & 0xf]++;
+  }
+  // H = -sum p log2 p with p = c/16
+  //   = log2(16) - (1/16) sum c*log2(c).
+  double weighted = 0.0;
+  for (const auto c : counts) {
+    if (c > 1) weighted += static_cast<double>(c) * kLog2.value[c];
+  }
+  const double h = 4.0 - weighted / 16.0;
+  return h / 4.0;  // normalize by log2(16)
+}
+
+const char* to_string(EntropyBand band) noexcept {
+  switch (band) {
+    case EntropyBand::kLow:
+      return "low";
+    case EntropyBand::kMedium:
+      return "medium";
+    case EntropyBand::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
+}  // namespace v6::net

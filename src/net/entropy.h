@@ -1,0 +1,39 @@
+// Normalized Shannon entropy of IPv6 interface identifiers.
+//
+// Following the paper (and Gasser et al.'s hitlist work), entropy is
+// computed over the 16 hexadecimal nibbles of the 64-bit IID and normalized
+// by log2(16) = 4 bits, yielding a value in [0, 1]:
+//   * IID `::` (all zero nibbles)          -> 0.0
+//   * IID `0123:4567:89ab:cdef` (all 16
+//     nibbles distinct)                    -> 1.0  (the paper's example)
+// The paper buckets IIDs into three bands: low (< 0.25),
+// medium ([0.25, 0.75)), and high (>= 0.75).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv6.h"
+
+namespace v6::net {
+
+// Normalized Shannon entropy over the 16 nibbles of `iid`, in [0, 1].
+double iid_entropy(std::uint64_t iid) noexcept;
+
+inline double iid_entropy(const Ipv6Address& a) noexcept {
+  return iid_entropy(a.iid());
+}
+
+enum class EntropyBand : std::uint8_t { kLow, kMedium, kHigh };
+
+inline constexpr double kLowEntropyCutoff = 0.25;
+inline constexpr double kHighEntropyCutoff = 0.75;
+
+constexpr EntropyBand entropy_band(double entropy) noexcept {
+  if (entropy < kLowEntropyCutoff) return EntropyBand::kLow;
+  if (entropy < kHighEntropyCutoff) return EntropyBand::kMedium;
+  return EntropyBand::kHigh;
+}
+
+const char* to_string(EntropyBand band) noexcept;
+
+}  // namespace v6::net

@@ -1,0 +1,4 @@
+// EUI-64 helpers are fully constexpr and live in the header; this file
+// exists so the module has a translation unit to anchor vtables/symbols if
+// any are added later.
+#include "net/eui64.h"

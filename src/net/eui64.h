@@ -1,0 +1,57 @@
+// EUI-64 SLAAC interface identifiers (RFC 4291 appendix A).
+//
+// An EUI-64 IID embeds the interface's 48-bit MAC address: the MAC is split
+// after its third byte, 0xFF 0xFE is inserted, and the Universal/Local bit
+// (bit 1 of byte 0) is inverted. Because the MAC is a stable link-layer
+// identifier, these IIDs enable the cross-network device tracking and
+// geolocation attacks of §5 of the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/ipv6.h"
+#include "net/mac.h"
+
+namespace v6::net {
+
+// True iff the IID has the 0xFFFE marker in bytes 3-4 (address bytes 11-12).
+// Randomly generated IIDs match with probability 2^-16; the analysis layer
+// accounts for that expected false-positive rate as the paper does.
+constexpr bool looks_like_eui64(std::uint64_t iid) noexcept {
+  return ((iid >> 24) & 0xffff) == 0xfffe;
+}
+
+constexpr bool looks_like_eui64(const Ipv6Address& a) noexcept {
+  return looks_like_eui64(a.iid());
+}
+
+// Builds the EUI-64 IID for a MAC address.
+constexpr std::uint64_t eui64_iid_from_mac(const MacAddress& mac) noexcept {
+  const std::uint64_t m = mac.with_ul_flipped().to_u64();
+  const std::uint64_t upper = (m >> 24) & 0xffffff;  // first 3 MAC bytes
+  const std::uint64_t lower = m & 0xffffff;          // last 3 MAC bytes
+  return (upper << 40) | (std::uint64_t{0xfffe} << 24) | lower;
+}
+
+// Recovers the embedded MAC address, or nullopt if the IID is not EUI-64
+// shaped. Inverse of eui64_iid_from_mac.
+constexpr std::optional<MacAddress> mac_from_eui64(std::uint64_t iid) noexcept {
+  if (!looks_like_eui64(iid)) return std::nullopt;
+  const std::uint64_t upper = (iid >> 40) & 0xffffff;
+  const std::uint64_t lower = iid & 0xffffff;
+  return MacAddress::from_u64((upper << 24) | lower).with_ul_flipped();
+}
+
+constexpr std::optional<MacAddress> mac_from_eui64(
+    const Ipv6Address& a) noexcept {
+  return mac_from_eui64(a.iid());
+}
+
+// Convenience: the full EUI-64 address for (prefix hi64, MAC).
+constexpr Ipv6Address eui64_address(std::uint64_t prefix_hi,
+                                    const MacAddress& mac) noexcept {
+  return Ipv6Address::from_u64(prefix_hi, eui64_iid_from_mac(mac));
+}
+
+}  // namespace v6::net

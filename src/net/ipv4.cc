@@ -1,0 +1,31 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace v6::net {
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t value = 0;
+  for (const auto part : parts) {
+    if (part.empty() || part.size() > 3) return std::nullopt;
+    const auto octet = util::parse_dec_u64(part);
+    if (!octet || *octet > 255) return std::nullopt;
+    // Reject leading zeros ("01") which some parsers treat as octal.
+    if (part.size() > 1 && part.front() == '0') return std::nullopt;
+    value = (value << 8) | static_cast<std::uint32_t>(*octet);
+  }
+  return Ipv4Address(value);
+}
+
+}  // namespace v6::net

@@ -1,0 +1,39 @@
+// Minimal IPv4 address value type.
+//
+// IPv4 appears in this codebase only as a payload: operators sometimes embed
+// a host's IPv4 address inside the IID of its IPv6 address, and the Fig 5
+// classifier must recognize those embeddings.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6::net {
+
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (24 - 8 * i));
+  }
+
+  // Dotted-quad "a.b.c.d".
+  std::string to_string() const;
+  static std::optional<Ipv4Address> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace v6::net

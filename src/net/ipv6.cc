@@ -1,0 +1,130 @@
+#include "net/ipv6.h"
+
+#include <cstdio>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace v6::net {
+
+std::string Ipv6Address::to_string() const {
+  // Find the longest run of >= 2 consecutive zero hextets (leftmost wins).
+  int best_start = -1, best_len = 0;
+  int run_start = -1, run_len = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (hextet(static_cast<std::size_t>(i)) == 0) {
+      if (run_start < 0) run_start = i;
+      ++run_len;
+      if (run_len > best_len) {
+        best_len = run_len;
+        best_start = run_start;
+      }
+    } else {
+      run_start = -1;
+      run_len = 0;
+    }
+  }
+  if (best_len < 2) best_start = -1;  // RFC 5952 §4.2.2
+
+  std::string out;
+  out.reserve(40);
+  char buf[8];
+  for (int i = 0; i < 8;) {
+    if (i == best_start) {
+      // The group before the run already emitted its ':' — one more makes
+      // the "::"; at the very start both colons are ours to write.
+      out += i == 0 ? "::" : ":";
+      i += best_len;
+      continue;
+    }
+    std::snprintf(buf, sizeof buf, "%x", hextet(static_cast<std::size_t>(i)));
+    out += buf;
+    if (i + 1 < 8) out += ':';
+    ++i;
+  }
+  // A trailing single colon only arises for a non-compressed final group,
+  // which the loop above never produces; but a run ending exactly at 8
+  // already wrote its second colon.
+  return out;
+}
+
+std::optional<Ipv6Address> Ipv6Address::parse(std::string_view text) {
+  if (text.size() < 2 || text.size() > 45) return std::nullopt;
+
+  // Split once on "::" (at most one allowed).
+  std::string_view head = text, tail;
+  bool compressed = false;
+  if (const auto pos = text.find("::"); pos != std::string_view::npos) {
+    if (text.find("::", pos + 1) != std::string_view::npos) {
+      return std::nullopt;
+    }
+    compressed = true;
+    head = text.substr(0, pos);
+    tail = text.substr(pos + 2);
+  }
+
+  auto parse_groups =
+      [](std::string_view part,
+         std::array<std::uint16_t, 8>& groups, std::size_t& count,
+         std::optional<Ipv4Address>& v4_tail) -> bool {
+    if (part.empty()) return true;
+    for (const auto token : util::split(part, ':')) {
+      if (count >= 8) return false;
+      if (token.find('.') != std::string_view::npos) {
+        // IPv4 dotted-quad: only legal as the final token.
+        const auto v4 = Ipv4Address::parse(token);
+        if (!v4) return false;
+        v4_tail = v4;
+        if (count + 2 > 8) return false;
+        groups[count++] = static_cast<std::uint16_t>(v4->value() >> 16);
+        groups[count++] = static_cast<std::uint16_t>(v4->value() & 0xffff);
+        return true;  // caller verifies it was the last token
+      }
+      if (token.empty() || token.size() > 4) return false;
+      const auto value = util::parse_hex_u64(token);
+      if (!value) return false;
+      groups[count++] = static_cast<std::uint16_t>(*value);
+    }
+    return true;
+  };
+
+  std::array<std::uint16_t, 8> head_groups{}, tail_groups{};
+  std::size_t head_count = 0, tail_count = 0;
+  std::optional<Ipv4Address> v4_head, v4_tail;
+  if (!parse_groups(head, head_groups, head_count, v4_head)) {
+    return std::nullopt;
+  }
+  if (!parse_groups(tail, tail_groups, tail_count, v4_tail)) {
+    return std::nullopt;
+  }
+  // A dotted-quad must be the final token of the whole address.
+  auto quad_is_last = [](std::string_view part) {
+    const auto dot = part.find('.');
+    const auto last_colon = part.rfind(':');
+    return last_colon == std::string_view::npos || dot > last_colon;
+  };
+  if (v4_head && (compressed || !quad_is_last(head))) return std::nullopt;
+  if (v4_tail && !quad_is_last(tail)) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  if (compressed) {
+    // "::" stands for at least one zero group.
+    if (head_count + tail_count > 7) return std::nullopt;
+    for (std::size_t i = 0; i < head_count; ++i) groups[i] = head_groups[i];
+    for (std::size_t i = 0; i < tail_count; ++i) {
+      groups[8 - tail_count + i] = tail_groups[i];
+    }
+  } else {
+    if (head_count != 8 || tail_count != 0) return std::nullopt;
+    groups = head_groups;
+  }
+  return from_hextets(groups);
+}
+
+std::size_t Ipv6AddressHash::operator()(const Ipv6Address& a) const noexcept {
+  const std::uint64_t h =
+      util::mix64(a.hi64() ^ 0x9e3779b97f4a7c15ULL) ^ util::mix64(a.lo64());
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace v6::net

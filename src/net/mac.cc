@@ -1,0 +1,37 @@
+#include "net/mac.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace v6::net {
+
+std::string Oui::to_string() const {
+  char buf[12];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x", (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string MacAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%02x:%02x:%02x:%02x:%02x:%02x", bytes_[0],
+                bytes_[1], bytes_[2], bytes_[3], bytes_[4], bytes_[5]);
+  return buf;
+}
+
+std::optional<MacAddress> MacAddress::parse(std::string_view text) {
+  const char sep = text.find('-') != std::string_view::npos ? '-' : ':';
+  const auto parts = util::split(text, sep);
+  if (parts.size() != 6) return std::nullopt;
+  Bytes bytes{};
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (parts[i].size() != 2) return std::nullopt;
+    const auto value = util::parse_hex_u64(parts[i]);
+    if (!value) return std::nullopt;
+    bytes[i] = static_cast<std::uint8_t>(*value);
+  }
+  return MacAddress(bytes);
+}
+
+}  // namespace v6::net

@@ -1,0 +1,111 @@
+// MAC (EUI-48) address value type and the OUI (Organizationally Unique
+// Identifier) prefix used to resolve manufacturers.
+//
+// MAC addresses enter the pipeline in two ways: embedded in EUI-64 IPv6
+// interface identifiers (the privacy leak the paper studies) and as WiFi
+// BSSIDs in the synthetic wardriving database used for geolocation.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace v6::net {
+
+// Three-byte vendor prefix of a MAC address.
+class Oui {
+ public:
+  constexpr Oui() = default;
+  // Value in the low 24 bits.
+  constexpr explicit Oui(std::uint32_t value) : value_(value & 0xffffff) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  // "f0:02:20" form.
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Oui, Oui) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+class MacAddress {
+ public:
+  using Bytes = std::array<std::uint8_t, 6>;
+
+  constexpr MacAddress() = default;
+  constexpr explicit MacAddress(const Bytes& bytes) : bytes_(bytes) {}
+
+  // Value in the low 48 bits of a u64.
+  static constexpr MacAddress from_u64(std::uint64_t v) {
+    Bytes b{};
+    for (int i = 0; i < 6; ++i) {
+      b[static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (40 - 8 * i));
+    }
+    return MacAddress(b);
+  }
+
+  constexpr const Bytes& bytes() const noexcept { return bytes_; }
+  constexpr std::uint8_t byte(std::size_t i) const noexcept {
+    return bytes_[i];
+  }
+
+  constexpr std::uint64_t to_u64() const noexcept {
+    std::uint64_t v = 0;
+    for (const auto b : bytes_) v = (v << 8) | b;
+    return v;
+  }
+
+  constexpr Oui oui() const noexcept {
+    return Oui(static_cast<std::uint32_t>(to_u64() >> 24));
+  }
+
+  // Low 24 bits: the device-specific suffix within the OUI.
+  constexpr std::uint32_t suffix() const noexcept {
+    return static_cast<std::uint32_t>(to_u64() & 0xffffff);
+  }
+
+  // The Universal/Local bit (bit 1 of the first byte); 0 = globally unique.
+  constexpr bool is_local() const noexcept { return bytes_[0] & 0x02; }
+  constexpr bool is_multicast() const noexcept { return bytes_[0] & 0x01; }
+
+  // Returns a copy with the U/L bit flipped (the EUI-64 transform).
+  constexpr MacAddress with_ul_flipped() const noexcept {
+    Bytes b = bytes_;
+    b[0] ^= 0x02;
+    return MacAddress(b);
+  }
+
+  // "aa:bb:cc:dd:ee:ff" (lowercase).
+  std::string to_string() const;
+  // Accepts ':' or '-' separators, case-insensitive.
+  static std::optional<MacAddress> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(const MacAddress&,
+                                    const MacAddress&) = default;
+
+ private:
+  Bytes bytes_{};
+};
+
+}  // namespace v6::net
+
+template <>
+struct std::hash<v6::net::MacAddress> {
+  std::size_t operator()(const v6::net::MacAddress& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64() * 0x9e3779b97f4a7c15ULL);
+  }
+};
+
+template <>
+struct std::hash<v6::net::Oui> {
+  std::size_t operator()(v6::net::Oui o) const noexcept {
+    return std::hash<std::uint32_t>{}(o.value() * 0x9e3779b9U);
+  }
+};

@@ -1,0 +1,87 @@
+#include "net/prefix.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace v6::net {
+
+namespace {
+
+// Masks the address down to `length` bits.
+Ipv6Address mask_to(const Ipv6Address& a, int length) {
+  Ipv6Address::Bytes b = a.bytes();
+  const int full_bytes = length / 8;
+  const int rem_bits = length % 8;
+  for (int i = full_bytes; i < 16; ++i) {
+    if (i == full_bytes && rem_bits != 0) {
+      const auto mask = static_cast<std::uint8_t>(0xff << (8 - rem_bits));
+      b[static_cast<std::size_t>(i)] &= mask;
+    } else {
+      b[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return Ipv6Address(b);
+}
+
+}  // namespace
+
+Ipv6Prefix::Ipv6Prefix(const Ipv6Address& address, int length)
+    : length_(std::clamp(length, 0, 128)) {
+  address_ = mask_to(address, length_);
+}
+
+bool Ipv6Prefix::contains(const Ipv6Address& a) const noexcept {
+  return mask_to(a, length_) == address_;
+}
+
+bool Ipv6Prefix::contains(const Ipv6Prefix& other) const noexcept {
+  return other.length_ >= length_ && contains(other.address_);
+}
+
+Ipv6Prefix Ipv6Prefix::truncated(int length) const {
+  if (length > length_) {
+    throw std::invalid_argument("truncated() to a longer prefix");
+  }
+  return Ipv6Prefix(address_, length);
+}
+
+std::uint64_t Ipv6Prefix::address_count() const noexcept {
+  const int host_bits = 128 - length_;
+  if (host_bits >= 64) return ~std::uint64_t{0};
+  return std::uint64_t{1} << host_bits;
+}
+
+Ipv6Address Ipv6Prefix::nth_subnet64(std::uint64_t n) const {
+  if (length_ > 64) throw std::invalid_argument("nth_subnet64 on > /64");
+  const int shift_bits = 64 - length_;
+  if (shift_bits < 64 && n >= (std::uint64_t{1} << shift_bits)) {
+    throw std::out_of_range("subnet index outside prefix");
+  }
+  return Ipv6Address::from_u64(address_.hi64() | n, 0);
+}
+
+std::string Ipv6Prefix::to_string() const {
+  return address_.to_string() + "/" + std::to_string(length_);
+}
+
+std::optional<Ipv6Prefix> Ipv6Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto address = Ipv6Address::parse(text.substr(0, slash));
+  const auto length = util::parse_dec_u64(text.substr(slash + 1));
+  if (!address || !length || *length > 128) return std::nullopt;
+  return Ipv6Prefix(*address, static_cast<int>(*length));
+}
+
+Ipv6Prefix slash48_of(const Ipv6Address& a) { return Ipv6Prefix(a, 48); }
+Ipv6Prefix slash64_of(const Ipv6Address& a) { return Ipv6Prefix(a, 64); }
+
+std::size_t Ipv6PrefixHash::operator()(const Ipv6Prefix& p) const noexcept {
+  return Ipv6AddressHash{}(p.address()) ^
+         util::mix64(static_cast<std::uint64_t>(p.length()));
+}
+
+}  // namespace v6::net

@@ -1,0 +1,70 @@
+// IPv6 prefix (CIDR) value type.
+//
+// Prefixes are stored canonically: host bits are zeroed at construction, so
+// two prefixes compare equal iff they denote the same network. The hitlist
+// pipeline leans on three lengths in particular: /32 (AS allocation), /48
+// (routing + the paper's release granularity), and /64 (subnet/IID split).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv6.h"
+
+namespace v6::net {
+
+class Ipv6Prefix {
+ public:
+  constexpr Ipv6Prefix() = default;
+
+  // Canonicalizes: bits past `length` are cleared. length is clamped to 128.
+  Ipv6Prefix(const Ipv6Address& address, int length);
+
+  const Ipv6Address& address() const noexcept { return address_; }
+  int length() const noexcept { return length_; }
+
+  bool contains(const Ipv6Address& a) const noexcept;
+  // True iff `other` is equal to or more specific than *this.
+  bool contains(const Ipv6Prefix& other) const noexcept;
+
+  // The enclosing prefix of the given (shorter or equal) length.
+  Ipv6Prefix truncated(int length) const;
+
+  // Number of addresses if length >= 64 (else saturates at u64 max).
+  std::uint64_t address_count() const noexcept;
+
+  // First address of the n-th /64 subnet within this prefix (length <= 64).
+  Ipv6Address nth_subnet64(std::uint64_t n) const;
+
+  // "2001:db8::/32".
+  std::string to_string() const;
+  static std::optional<Ipv6Prefix> parse(std::string_view text);
+
+  friend auto operator<=>(const Ipv6Prefix&, const Ipv6Prefix&) = default;
+
+ private:
+  Ipv6Address address_;
+  int length_ = 0;
+};
+
+// Convenience: the /48 and /64 containing an address. These two
+// granularities appear throughout the paper's analyses.
+Ipv6Prefix slash48_of(const Ipv6Address& a);
+Ipv6Prefix slash64_of(const Ipv6Address& a);
+
+struct Ipv6PrefixHash {
+  std::size_t operator()(const Ipv6Prefix& p) const noexcept;
+};
+
+}  // namespace v6::net
+
+template <>
+struct std::hash<v6::net::Ipv6Prefix> {
+  std::size_t operator()(const v6::net::Ipv6Prefix& p) const noexcept {
+    return v6::net::Ipv6PrefixHash{}(p);
+  }
+};

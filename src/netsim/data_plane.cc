@@ -1,0 +1,177 @@
+#include "netsim/data_plane.h"
+
+#include "proto/tcp.h"
+#include "proto/udp.h"
+
+namespace v6::netsim {
+
+DataPlane::DataPlane(const sim::World& world, const DataPlaneConfig& config)
+    : world_(&world),
+      config_(config),
+      topology_(world),
+      rng_(util::mix64(config.seed ^ 0xda7a)) {}
+
+bool DataPlane::lost() {
+  if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
+    ++drops_;
+    return true;
+  }
+  return false;
+}
+
+bool DataPlane::icmp_error_allowed(const net::Ipv6Address& router,
+                                   util::SimTime t) {
+  if (config_.router_icmp_rate_limit == 0) return true;
+  if (t != budget_second_) {
+    budget_second_ = t;
+    icmp_budget_.clear();
+  }
+  auto& used = icmp_budget_[router.hi64() ^ util::mix64(router.lo64())];
+  if (used >= config_.router_icmp_rate_limit) {
+    ++rate_limited_;
+    return false;
+  }
+  ++used;
+  return true;
+}
+
+ProbeResult DataPlane::echo(const net::Ipv6Address& src,
+                            const net::Ipv6Address& dst,
+                            std::uint16_t identifier, std::uint16_t sequence,
+                            util::SimTime t) {
+  return hop_limited_echo(src, dst, 255, identifier, sequence, t);
+}
+
+ProbeResult DataPlane::hop_limited_echo(const net::Ipv6Address& src,
+                                        const net::Ipv6Address& dst,
+                                        std::uint8_t hop_limit,
+                                        std::uint16_t identifier,
+                                        std::uint16_t sequence,
+                                        util::SimTime t) {
+  ProbeResult result;
+  // Serialize the request exactly as a scanner would put it on the wire.
+  const proto::Icmpv6Message request =
+      proto::make_echo_request(identifier, sequence);
+  const std::vector<std::uint8_t> wire =
+      proto::encode_icmpv6(request, src, dst);
+  if (lost()) return result;
+
+  // Walk the forwarding path; a hop-limit expiry elicits Time Exceeded.
+  const std::vector<Hop> path = topology_.path(src, dst, t);
+  if (hop_limit <= path.size()) {
+    const Hop& hop = path[hop_limit - 1];
+    if (!hop.responds || !icmp_error_allowed(hop.address, t) || lost()) {
+      return result;
+    }
+    // The router quotes the invoking packet back; decode to stay honest.
+    const proto::Icmpv6Message te = proto::make_time_exceeded(wire);
+    const auto te_wire = proto::encode_icmpv6(te, hop.address, src);
+    const auto decoded = proto::decode_icmpv6(te_wire, hop.address, src);
+    if (!decoded) return result;
+    result.kind = ProbeResult::Kind::kTimeExceeded;
+    result.responder = hop.address;
+    return result;
+  }
+
+  // Delivered: the destination stack validates the datagram.
+  const auto delivered = proto::decode_icmpv6(wire, src, dst);
+  if (!delivered) return result;
+  const auto res = world_->resolve(dst, t);
+  using Kind = sim::World::Resolution::Kind;
+  const bool answers =
+      (res.kind == Kind::kDevice && !res.firewalled && !res.icmp_silent) ||
+      res.kind == Kind::kRouter || res.kind == Kind::kAlias;
+  if (!answers || lost()) return result;
+
+  const proto::Icmpv6Message reply = proto::make_echo_reply(*delivered);
+  const auto reply_wire = proto::encode_icmpv6(reply, dst, src);
+  const auto decoded_reply = proto::decode_icmpv6(reply_wire, dst, src);
+  if (!decoded_reply ||
+      decoded_reply->type != proto::Icmpv6Type::kEchoReply) {
+    return result;
+  }
+  result.kind = ProbeResult::Kind::kEchoReply;
+  result.responder = dst;
+  result.sequence = decoded_reply->sequence();
+  return result;
+}
+
+DataPlane::SynOutcome DataPlane::tcp_syn(const net::Ipv6Address& src,
+                                         const net::Ipv6Address& dst,
+                                         std::uint16_t dst_port,
+                                         std::uint32_t sequence,
+                                         util::SimTime t) {
+  // The SYN travels as real bytes.
+  const proto::TcpSegment syn = proto::make_syn(54321, dst_port, sequence);
+  const auto wire = proto::encode_tcp(syn, src, dst);
+  if (lost()) return SynOutcome::kTimeout;
+  const auto delivered = proto::decode_tcp(wire, src, dst);
+  if (!delivered || !delivered->is_syn()) return SynOutcome::kTimeout;
+
+  const auto res = world_->resolve(dst, t);
+  using Kind = sim::World::Resolution::Kind;
+  bool listening = false, reachable = false;
+  switch (res.kind) {
+    case Kind::kDevice:
+      reachable = !res.firewalled;
+      listening = reachable && world_->serves_tcp(res.device, dst_port);
+      break;
+    case Kind::kRouter:
+      // Routers drop unsolicited TCP to their interfaces (control-plane
+      // protection), but the interface is alive: answer RST.
+      reachable = true;
+      break;
+    case Kind::kAlias:
+      reachable = listening = true;  // the alias box fronts everything
+      break;
+    case Kind::kNone:
+      break;
+  }
+  if (!reachable || lost()) return SynOutcome::kTimeout;
+
+  const proto::TcpSegment reply =
+      listening
+          ? proto::make_syn_ack(*delivered,
+                                static_cast<std::uint32_t>(
+                                    util::mix64(dst.lo64() ^ sequence)))
+          : proto::make_rst(*delivered);
+  const auto reply_wire = proto::encode_tcp(reply, dst, src);
+  const auto decoded = proto::decode_tcp(reply_wire, dst, src);
+  if (!decoded || decoded->ack_number != sequence + 1) {
+    return SynOutcome::kTimeout;
+  }
+  return decoded->is_syn_ack() ? SynOutcome::kSynAck : SynOutcome::kRst;
+}
+
+void DataPlane::bind_udp(const net::Ipv6Address& address, std::uint16_t port,
+                         UdpService service) {
+  services_[{address, port}] = std::move(service);
+}
+
+std::optional<std::vector<std::uint8_t>> DataPlane::send_udp(
+    const net::Ipv6Address& src, std::uint16_t src_port,
+    const net::Ipv6Address& dst, std::uint16_t dst_port,
+    const std::vector<std::uint8_t>& payload, util::SimTime t) {
+  // Outbound: wire-encode, lose, deliver, decode (checksum verified).
+  const proto::UdpDatagram datagram{src_port, dst_port, payload};
+  const auto wire = proto::encode_udp(datagram, src, dst);
+  if (lost()) return std::nullopt;
+  const auto delivered = proto::decode_udp(wire, src, dst);
+  if (!delivered) return std::nullopt;
+
+  const auto it = services_.find({dst, dst_port});
+  if (it == services_.end()) return std::nullopt;
+  auto response =
+      it->second(src, delivered->src_port, delivered->payload, t);
+  if (!response) return std::nullopt;
+
+  // Return path.
+  const proto::UdpDatagram back{dst_port, delivered->src_port, *response};
+  const auto back_wire = proto::encode_udp(back, dst, src);
+  if (lost()) return std::nullopt;
+  const auto back_delivered = proto::decode_udp(back_wire, dst, src);
+  if (!back_delivered) return std::nullopt;
+  return back_delivered->payload;
+}
+
+}  // namespace v6::netsim

@@ -1,0 +1,132 @@
+// The simulated data plane: delivers ICMPv6 probes and UDP datagrams
+// between addresses, consulting the world for ownership, firewalls, and
+// aliases, and the topology for hop-limited (traceroute) behaviour.
+//
+// Probes travel as real wire bytes: an echo() call serializes an ICMPv6
+// Echo Request, the "destination stack" decodes and validates it (checksum
+// included), and the reply takes the same path back. A configurable loss
+// rate models the real Internet's flakiness; scanners must tolerate it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "netsim/topology.h"
+#include "proto/icmpv6.h"
+#include "sim/world.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace v6::netsim {
+
+struct DataPlaneConfig {
+  // Probability any single datagram is dropped in transit.
+  double loss_rate = 0.01;
+  std::uint64_t seed = 7;
+  // Per-router ICMPv6 error generation budget per simulated second
+  // (control-plane policing): Time Exceeded messages beyond it are
+  // silently dropped. 0 disables the limit. Yarrp's randomized probe
+  // order exists precisely to spread load under such budgets.
+  std::uint32_t router_icmp_rate_limit = 0;
+};
+
+// Outcome of an ICMPv6 probe.
+struct ProbeResult {
+  enum class Kind : std::uint8_t {
+    kEchoReply,     // destination answered
+    kTimeExceeded,  // a router on the path answered (hop-limited probe)
+    kTimeout,       // silence: filtered, dead, lost, or unrouted
+  };
+  Kind kind = Kind::kTimeout;
+  // Who answered (valid unless kTimeout).
+  net::Ipv6Address responder;
+  // Echoed sequence number (kEchoReply only).
+  std::uint16_t sequence = 0;
+};
+
+// A UDP service bound to an address (e.g. a vantage NTP server). Returns
+// the response payload, if any.
+using UdpService = std::function<std::optional<std::vector<std::uint8_t>>(
+    const net::Ipv6Address& src, std::uint16_t src_port,
+    const std::vector<std::uint8_t>& payload, util::SimTime t)>;
+
+class DataPlane {
+ public:
+  DataPlane(const sim::World& world, const DataPlaneConfig& config);
+
+  // Sends an ICMPv6 Echo Request from src to dst with unlimited hops.
+  ProbeResult echo(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                   std::uint16_t identifier, std::uint16_t sequence,
+                   util::SimTime t);
+
+  // Hop-limited echo (the Yarrp primitive): if the path is longer than
+  // `hop_limit`, the router at that hop answers Time Exceeded.
+  ProbeResult hop_limited_echo(const net::Ipv6Address& src,
+                               const net::Ipv6Address& dst,
+                               std::uint8_t hop_limit,
+                               std::uint16_t identifier,
+                               std::uint16_t sequence, util::SimTime t);
+
+  // TCP SYN probe (the Hitlist's 80/443 scans). A listener answers
+  // SYN-ACK; a reachable host without one answers RST (still proof of
+  // liveness); firewalled/absent targets stay silent. Aliased prefixes
+  // SYN-ACK everything.
+  enum class SynOutcome : std::uint8_t { kSynAck, kRst, kTimeout };
+  SynOutcome tcp_syn(const net::Ipv6Address& src, const net::Ipv6Address& dst,
+                     std::uint16_t dst_port, std::uint32_t sequence,
+                     util::SimTime t);
+
+  // Registers a UDP service on (address, port). Datagrams to anyone else
+  // are resolved against the world (devices do not run open UDP services,
+  // so they produce no answer).
+  void bind_udp(const net::Ipv6Address& address, std::uint16_t port,
+                UdpService service);
+
+  // Sends a UDP payload; returns the response payload when the service
+  // answers and nothing was lost.
+  std::optional<std::vector<std::uint8_t>> send_udp(
+      const net::Ipv6Address& src, std::uint16_t src_port,
+      const net::Ipv6Address& dst, std::uint16_t dst_port,
+      const std::vector<std::uint8_t>& payload, util::SimTime t);
+
+  const Topology& topology() const noexcept { return topology_; }
+
+  // Number of datagrams dropped so far (both directions).
+  std::uint64_t drops() const noexcept { return drops_; }
+  // Time Exceeded messages suppressed by router rate limiting.
+  std::uint64_t rate_limited() const noexcept { return rate_limited_; }
+
+ private:
+  bool lost();
+  // Charges one ICMP error against `router`'s budget for second `t`.
+  bool icmp_error_allowed(const net::Ipv6Address& router, util::SimTime t);
+
+  const sim::World* world_;
+  DataPlaneConfig config_;
+  Topology topology_;
+  util::Rng rng_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t rate_limited_ = 0;
+  // ICMP error budget for the current second only (probes arrive in
+  // near-chronological order; the map resets when the clock advances).
+  util::SimTime budget_second_ = -1;
+  std::unordered_map<std::uint64_t, std::uint32_t> icmp_budget_;
+
+  struct Endpoint {
+    net::Ipv6Address address;
+    std::uint16_t port;
+    bool operator==(const Endpoint&) const = default;
+  };
+  struct EndpointHash {
+    std::size_t operator()(const Endpoint& e) const noexcept {
+      return net::Ipv6AddressHash{}(e.address) ^ e.port;
+    }
+  };
+  std::unordered_map<Endpoint, UdpService, EndpointHash> services_;
+};
+
+}  // namespace v6::netsim

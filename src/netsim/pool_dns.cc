@@ -1,0 +1,69 @@
+#include "netsim/pool_dns.h"
+
+#include <limits>
+
+#include "geo/location.h"
+
+namespace v6::netsim {
+
+PoolDns::PoolDns(const sim::World& world, double global_fraction,
+                 double vantage_share)
+    : world_(&world),
+      global_fraction_(global_fraction),
+      vantage_share_(vantage_share) {
+  for (const auto& v : world.vantages()) {
+    by_country_[v.country].push_back(&v);
+    all_.push_back(&v);
+  }
+}
+
+const std::vector<const sim::VantagePoint*>& PoolDns::candidates(
+    geo::CountryCode country) const {
+  if (const auto it = steer_cache_.find(country); it != steer_cache_.end()) {
+    return it->second;
+  }
+  auto& entry = steer_cache_[country];
+  if (const auto it = by_country_.find(country); it != by_country_.end()) {
+    entry = it->second;
+    return entry;
+  }
+  // No vantage in-country: steer to the geographically nearest vantage
+  // country (what the pool's coarse geolocation effectively does).
+  const geo::CountryInfo* origin = geo::find_country(country);
+  if (origin == nullptr) {
+    entry = all_;
+    return entry;
+  }
+  double best = std::numeric_limits<double>::max();
+  const std::vector<const sim::VantagePoint*>* best_list = &all_;
+  for (const auto& [code, list] : by_country_) {
+    const geo::CountryInfo* info = geo::find_country(code);
+    if (info == nullptr) continue;
+    const double d =
+        geo::distance_km({origin->latitude, origin->longitude},
+                         {info->latitude, info->longitude});
+    if (d < best) {
+      best = d;
+      best_list = &list;
+    }
+  }
+  entry = *best_list;
+  return entry;
+}
+
+const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
+                                          util::Rng& rng) const {
+  if (all_.empty()) return nullptr;
+  // Most queries go to pool servers that are not ours.
+  if (vantage_share_ < 1.0 && !rng.chance(vantage_share_)) return nullptr;
+  if (global_fraction_ > 0.0 && rng.chance(global_fraction_)) {
+    return all_[rng.bounded(all_.size())];
+  }
+  const auto country = world_->geodb().lookup(client);
+  const auto& list =
+      country ? candidates(*country) : all_;
+  if (list.empty()) return all_[rng.bounded(all_.size())];
+  return list[rng.bounded(list.size())];
+}
+
+}  // namespace v6::netsim

@@ -1,0 +1,59 @@
+// The NTP Pool's DNS round-robin with coarse geo-steering.
+//
+// pool.ntp.org resolves differently per client: the pool geolocates the
+// resolver/client IP and returns servers near it, rotating among candidates
+// (DNS round robin). This stand-in steers by the *IP-geolocation database's*
+// country verdict — not ground truth — so MaxMind errors propagate into
+// vantage assignment exactly as they would in production, then falls back
+// to great-circle-nearest vantage countries.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/country.h"
+#include "net/ipv6.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace v6::netsim {
+
+class PoolDns {
+ public:
+  // `global_fraction` models the pool's global-zone fallback: that share
+  // of queries is answered with a random worldwide server regardless of
+  // client location (under-served regions lean on it heavily).
+  // `vantage_share` is the probability a pool query lands on one of *our*
+  // vantage servers at all: the pool has thousands of servers and ours
+  // are a sliver of the rotation, so most polls are simply invisible to
+  // the study. resolve() returns nullptr for those.
+  explicit PoolDns(const sim::World& world, double global_fraction = 0.10,
+                   double vantage_share = 1.0);
+
+  // Resolves pool.ntp.org for this client: picks one of the vantage
+  // servers appropriate for the client's (IP-geolocated) country, with
+  // round-robin rotation driven by `rng`. Returns nullptr when the pool
+  // has no vantage at all (empty world).
+  const sim::VantagePoint* resolve(const net::Ipv6Address& client,
+                                   util::Rng& rng) const;
+
+  // The steering candidates for a country (exposed for tests): vantages in
+  // the country itself if any, else those of the nearest vantage country.
+  const std::vector<const sim::VantagePoint*>& candidates(
+      geo::CountryCode country) const;
+
+ private:
+  const sim::World* world_;
+  double global_fraction_;
+  double vantage_share_;
+  std::unordered_map<geo::CountryCode, std::vector<const sim::VantagePoint*>>
+      by_country_;
+  // Country (any known to the registry) -> steering candidates.
+  mutable std::unordered_map<geo::CountryCode,
+                             std::vector<const sim::VantagePoint*>>
+      steer_cache_;
+  std::vector<const sim::VantagePoint*> all_;
+};
+
+}  // namespace v6::netsim

@@ -1,0 +1,44 @@
+// Deterministic router-level paths through the simulated Internet.
+//
+// Yarrp-style traceroute needs per-hop responders. Paths are synthesized on
+// demand from the world's structure: source-AS edge, source-country
+// backbone, destination-country backbone, destination-AS core and edge
+// routers, then (for customer-site targets) the site CPE, then the
+// destination itself. Router choices hash on the destination /48 so that
+// traces to the same region reuse hops, as real topology does.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "sim/world.h"
+
+namespace v6::netsim {
+
+// One forwarding hop on a path.
+struct Hop {
+  net::Ipv6Address address;
+  // True when this hop answers TTL-exceeded (routers nearly always do;
+  // CPE hops answer unless the site declines).
+  bool responds = true;
+};
+
+class Topology {
+ public:
+  explicit Topology(const sim::World& world) : world_(&world) {}
+
+  // The router hops a packet from `src` to `dst` traverses at time `t`,
+  // excluding the destination itself. Empty when src and dst are the same
+  // /64. The destination's reachability is the data plane's concern.
+  std::vector<Hop> path(const net::Ipv6Address& src,
+                        const net::Ipv6Address& dst, util::SimTime t) const;
+
+ private:
+  // The backbone (transit) AS of a country, if any.
+  std::optional<std::uint32_t> backbone_of(std::uint16_t country_index) const;
+
+  const sim::World* world_;
+};
+
+}  // namespace v6::netsim

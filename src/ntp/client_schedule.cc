@@ -1,0 +1,20 @@
+#include "ntp/client_schedule.h"
+
+#include <algorithm>
+
+namespace v6::ntp {
+
+ClientSchedule::ClientSchedule(const sim::Device& device,
+                               util::SimTime window_start,
+                               util::SimTime window_end) noexcept
+    : device_(&device),
+      start_(std::max(window_start, device.active_start)),
+      end_(std::min(window_end, device.active_end)) {}
+
+std::uint64_t ClientSchedule::count() const noexcept {
+  std::uint64_t n = 0;
+  for_each([&n](util::SimTime) { ++n; });
+  return n;
+}
+
+}  // namespace v6::ntp

@@ -1,0 +1,59 @@
+// Deterministic NTP client poll schedules.
+//
+// Every pool-using device polls on an irregular cadence around its
+// configured interval, gated by how often it is online. The schedule is a
+// pure function of the device seed, so collection passes can re-enumerate
+// it identically — the reproducibility backbone of the whole study.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace v6::ntp {
+
+class ClientSchedule {
+ public:
+  ClientSchedule(const sim::Device& device, util::SimTime window_start,
+                 util::SimTime window_end) noexcept;
+
+  // Enumerates poll instants in [window_start, window_end); calls
+  // `fn(SimTime)` for each. Polls while the device is offline are skipped
+  // (the device simply doesn't ask for time).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    if (!device_->ntp.uses_pool || device_->ntp.poll_interval <= 0) return;
+    const double interval =
+        static_cast<double>(device_->ntp.poll_interval);
+    // Phase-shift the first poll so fleets don't thunder in lockstep.
+    util::SimTime t =
+        start_ + static_cast<util::SimTime>(
+                     util::mix64(device_->seed ^ 0x9011) %
+                     static_cast<std::uint64_t>(device_->ntp.poll_interval));
+    for (std::uint64_t k = 0; t < end_; ++k) {
+      const double online_roll =
+          unit(util::mix64(device_->seed ^ 0x0411e ^ util::mix64(k)));
+      if (online_roll < device_->ntp.online_fraction) fn(t);
+      // Next poll: 0.5x..1.5x the nominal interval.
+      const double jitter =
+          0.5 + unit(util::mix64(device_->seed ^ 0x171e4 ^ util::mix64(k)));
+      t += static_cast<util::SimDuration>(interval * jitter) + 1;
+    }
+  }
+
+  // Number of polls that will fire (same enumeration, counted).
+  std::uint64_t count() const noexcept;
+
+ private:
+  static double unit(std::uint64_t h) noexcept {
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  }
+
+  const sim::Device* device_;
+  util::SimTime start_;
+  util::SimTime end_;
+};
+
+}  // namespace v6::ntp

@@ -1,0 +1,87 @@
+#include "proto/buffer.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace v6::proto {
+
+void BufferWriter::u8(std::uint8_t v) { data_.push_back(v); }
+
+void BufferWriter::u16(std::uint16_t v) {
+  data_.push_back(static_cast<std::uint8_t>(v >> 8));
+  data_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void BufferWriter::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v >> 16));
+  u16(static_cast<std::uint16_t>(v));
+}
+
+void BufferWriter::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void BufferWriter::bytes(std::span<const std::uint8_t> data) {
+  data_.insert(data_.end(), data.begin(), data.end());
+}
+
+void BufferWriter::patch_u16(std::size_t offset, std::uint16_t v) {
+  if (offset + 2 > data_.size()) {
+    throw std::out_of_range("patch_u16 outside buffer");
+  }
+  data_[offset] = static_cast<std::uint8_t>(v >> 8);
+  data_[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+bool BufferReader::ensure(std::size_t n) noexcept {
+  if (data_.size() - pos_ < n) {
+    truncated_ = true;
+    pos_ = data_.size();
+    return false;
+  }
+  return true;
+}
+
+std::uint8_t BufferReader::u8() noexcept {
+  if (!ensure(1)) return 0;
+  return data_[pos_++];
+}
+
+std::uint16_t BufferReader::u16() noexcept {
+  if (!ensure(2)) return 0;
+  const auto hi = data_[pos_], lo = data_[pos_ + 1];
+  pos_ += 2;
+  return static_cast<std::uint16_t>((hi << 8) | lo);
+}
+
+std::uint32_t BufferReader::u32() noexcept {
+  // Whole-value semantics: a short buffer yields 0, never a partial read.
+  if (!ensure(4)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+std::uint64_t BufferReader::u64() noexcept {
+  if (!ensure(8)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_++];
+  return v;
+}
+
+void BufferReader::bytes(std::span<std::uint8_t> out) noexcept {
+  if (!ensure(out.size())) {
+    std::fill(out.begin(), out.end(), std::uint8_t{0});
+    return;
+  }
+  std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(pos_), out.size(),
+              out.begin());
+  pos_ += out.size();
+}
+
+void BufferReader::skip(std::size_t n) noexcept {
+  if (ensure(n)) pos_ += n;
+}
+
+}  // namespace v6::proto

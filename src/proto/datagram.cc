@@ -1,0 +1,59 @@
+#include "proto/datagram.h"
+
+namespace v6::proto {
+
+std::optional<ParsedDatagram> parse_datagram(
+    std::span<const std::uint8_t> wire) {
+  BufferReader reader(wire);
+  const auto header = Ipv6Header::decode(reader);
+  if (!header) return std::nullopt;
+  if (reader.remaining() != header->payload_length) return std::nullopt;
+  const std::span<const std::uint8_t> payload =
+      wire.subspan(wire.size() - reader.remaining());
+
+  ParsedDatagram parsed;
+  parsed.header = *header;
+  switch (header->next_header) {
+    case kProtoIcmpv6: {
+      const auto message = decode_icmpv6(payload, header->src, header->dst);
+      if (!message) return std::nullopt;
+      parsed.payload = *message;
+      return parsed;
+    }
+    case kProtoUdp: {
+      const auto datagram = decode_udp(payload, header->src, header->dst);
+      if (!datagram) return std::nullopt;
+      parsed.payload = *datagram;
+      return parsed;
+    }
+    case kProtoTcp: {
+      const auto segment = decode_tcp(payload, header->src, header->dst);
+      if (!segment) return std::nullopt;
+      parsed.payload = *segment;
+      return parsed;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> build_icmpv6_datagram(Ipv6Header header,
+                                                const Icmpv6Message& message) {
+  header.next_header = kProtoIcmpv6;
+  return build_datagram(header,
+                        encode_icmpv6(message, header.src, header.dst));
+}
+
+std::vector<std::uint8_t> build_udp_datagram(Ipv6Header header,
+                                             const UdpDatagram& datagram) {
+  header.next_header = kProtoUdp;
+  return build_datagram(header, encode_udp(datagram, header.src, header.dst));
+}
+
+std::vector<std::uint8_t> build_tcp_datagram(Ipv6Header header,
+                                             const TcpSegment& segment) {
+  header.next_header = kProtoTcp;
+  return build_datagram(header, encode_tcp(segment, header.src, header.dst));
+}
+
+}  // namespace v6::proto

@@ -1,0 +1,49 @@
+// Full-datagram composition and dispatch: one entry point that parses a
+// complete IPv6 packet off the wire and hands back the upper-layer payload
+// as a typed variant — what a capture loop or endpoint stack would do.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "proto/icmpv6.h"
+#include "proto/ipv6_header.h"
+#include "proto/tcp.h"
+#include "proto/udp.h"
+
+namespace v6::proto {
+
+struct ParsedDatagram {
+  Ipv6Header header;
+  // Exactly one of these, selected by the header's next_header field.
+  std::variant<Icmpv6Message, UdpDatagram, TcpSegment> payload;
+
+  bool is_icmpv6() const noexcept {
+    return std::holds_alternative<Icmpv6Message>(payload);
+  }
+  bool is_udp() const noexcept {
+    return std::holds_alternative<UdpDatagram>(payload);
+  }
+  bool is_tcp() const noexcept {
+    return std::holds_alternative<TcpSegment>(payload);
+  }
+};
+
+// Parses an entire IPv6 datagram: header, payload-length consistency, and
+// the upper-layer protocol including its checksum. Unknown next-header
+// values, length mismatches, and checksum failures all yield nullopt.
+std::optional<ParsedDatagram> parse_datagram(
+    std::span<const std::uint8_t> wire);
+
+// Serializes a full datagram around an upper-layer message (fills
+// next_header and payload_length).
+std::vector<std::uint8_t> build_icmpv6_datagram(Ipv6Header header,
+                                                const Icmpv6Message& message);
+std::vector<std::uint8_t> build_udp_datagram(Ipv6Header header,
+                                             const UdpDatagram& datagram);
+std::vector<std::uint8_t> build_tcp_datagram(Ipv6Header header,
+                                             const TcpSegment& segment);
+
+}  // namespace v6::proto

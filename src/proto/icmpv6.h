@@ -1,0 +1,63 @@
+// ICMPv6 (RFC 4443) messages used by the scanners: Echo Request/Reply for
+// ZMap6-style probing, Time Exceeded for Yarrp-style traceroute, and
+// Destination Unreachable for filtered targets.
+//
+// Encoding computes the pseudo-header checksum; decoding verifies it, so a
+// corrupted datagram fails to parse exactly as it would be dropped by a real
+// stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "proto/buffer.h"
+
+namespace v6::proto {
+
+enum class Icmpv6Type : std::uint8_t {
+  kDestinationUnreachable = 1,
+  kTimeExceeded = 3,
+  kEchoRequest = 128,
+  kEchoReply = 129,
+};
+
+struct Icmpv6Message {
+  Icmpv6Type type = Icmpv6Type::kEchoRequest;
+  std::uint8_t code = 0;
+  // Meaning depends on type: identifier<<16 | sequence for echo, unused for
+  // time-exceeded/unreachable.
+  std::uint32_t body = 0;
+  // Echo payload or the invoking-packet excerpt.
+  std::vector<std::uint8_t> payload;
+
+  std::uint16_t identifier() const noexcept {
+    return static_cast<std::uint16_t>(body >> 16);
+  }
+  std::uint16_t sequence() const noexcept {
+    return static_cast<std::uint16_t>(body);
+  }
+
+  friend bool operator==(const Icmpv6Message&, const Icmpv6Message&) = default;
+};
+
+// Serializes with a valid checksum for the given src/dst pair.
+std::vector<std::uint8_t> encode_icmpv6(const Icmpv6Message& msg,
+                                        const net::Ipv6Address& src,
+                                        const net::Ipv6Address& dst);
+
+// Parses and verifies the checksum; nullopt on truncation or bad checksum.
+std::optional<Icmpv6Message> decode_icmpv6(std::span<const std::uint8_t> data,
+                                           const net::Ipv6Address& src,
+                                           const net::Ipv6Address& dst);
+
+// Convenience constructors.
+Icmpv6Message make_echo_request(std::uint16_t identifier,
+                                std::uint16_t sequence,
+                                std::vector<std::uint8_t> payload = {});
+Icmpv6Message make_echo_reply(const Icmpv6Message& request);
+Icmpv6Message make_time_exceeded(std::vector<std::uint8_t> invoking_excerpt);
+
+}  // namespace v6::proto

@@ -1,0 +1,43 @@
+#include "proto/ipv6_header.h"
+
+namespace v6::proto {
+
+void Ipv6Header::encode(BufferWriter& out) const {
+  const std::uint32_t vtf = (std::uint32_t{6} << 28) |
+                            (std::uint32_t{traffic_class} << 20) |
+                            (flow_label & 0xfffff);
+  out.u32(vtf);
+  out.u16(payload_length);
+  out.u8(next_header);
+  out.u8(hop_limit);
+  out.bytes(src.bytes());
+  out.bytes(dst.bytes());
+}
+
+std::optional<Ipv6Header> Ipv6Header::decode(BufferReader& in) {
+  Ipv6Header h;
+  const std::uint32_t vtf = in.u32();
+  h.payload_length = in.u16();
+  h.next_header = in.u8();
+  h.hop_limit = in.u8();
+  net::Ipv6Address::Bytes src{}, dst{};
+  in.bytes(src);
+  in.bytes(dst);
+  if (in.truncated() || (vtf >> 28) != 6) return std::nullopt;
+  h.traffic_class = static_cast<std::uint8_t>(vtf >> 20);
+  h.flow_label = vtf & 0xfffff;
+  h.src = net::Ipv6Address(src);
+  h.dst = net::Ipv6Address(dst);
+  return h;
+}
+
+std::vector<std::uint8_t> build_datagram(
+    Ipv6Header header, std::span<const std::uint8_t> payload) {
+  header.payload_length = static_cast<std::uint16_t>(payload.size());
+  BufferWriter out;
+  header.encode(out);
+  out.bytes(payload);
+  return std::move(out).take();
+}
+
+}  // namespace v6::proto

@@ -1,0 +1,39 @@
+// The fixed 40-byte IPv6 header (RFC 8200 §3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "proto/buffer.h"
+
+namespace v6::proto {
+
+// IANA protocol numbers used by this library.
+inline constexpr std::uint8_t kProtoUdp = 17;
+inline constexpr std::uint8_t kProtoIcmpv6 = 58;
+
+struct Ipv6Header {
+  std::uint8_t traffic_class = 0;
+  std::uint32_t flow_label = 0;  // 20 bits
+  std::uint16_t payload_length = 0;
+  std::uint8_t next_header = 0;
+  std::uint8_t hop_limit = 64;
+  net::Ipv6Address src;
+  net::Ipv6Address dst;
+
+  void encode(BufferWriter& out) const;
+  // Returns nullopt when truncated or the version field is not 6.
+  static std::optional<Ipv6Header> decode(BufferReader& in);
+
+  friend bool operator==(const Ipv6Header&, const Ipv6Header&) = default;
+};
+
+// Serializes header + payload into one datagram, setting payload_length.
+std::vector<std::uint8_t> build_datagram(Ipv6Header header,
+                                         std::span<const std::uint8_t>
+                                             payload);
+
+}  // namespace v6::proto

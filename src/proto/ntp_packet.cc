@@ -1,0 +1,75 @@
+#include "proto/ntp_packet.h"
+
+#include "proto/buffer.h"
+
+namespace v6::proto {
+
+std::vector<std::uint8_t> NtpPacket::encode() const {
+  BufferWriter out;
+  const auto li_vn_mode = static_cast<std::uint8_t>(
+      ((leap_indicator & 0x3) << 6) | ((version & 0x7) << 3) |
+      (static_cast<std::uint8_t>(mode) & 0x7));
+  out.u8(li_vn_mode);
+  out.u8(stratum);
+  out.u8(static_cast<std::uint8_t>(poll));
+  out.u8(static_cast<std::uint8_t>(precision));
+  out.u32(root_delay);
+  out.u32(root_dispersion);
+  out.u32(reference_id);
+  out.u64(reference_time.to_u64());
+  out.u64(origin_time.to_u64());
+  out.u64(receive_time.to_u64());
+  out.u64(transmit_time.to_u64());
+  return std::move(out).take();
+}
+
+std::optional<NtpPacket> NtpPacket::decode(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < 48) return std::nullopt;
+  BufferReader in(data);
+  NtpPacket p;
+  const std::uint8_t li_vn_mode = in.u8();
+  p.leap_indicator = li_vn_mode >> 6;
+  p.version = (li_vn_mode >> 3) & 0x7;
+  p.mode = static_cast<NtpMode>(li_vn_mode & 0x7);
+  p.stratum = in.u8();
+  p.poll = static_cast<std::int8_t>(in.u8());
+  p.precision = static_cast<std::int8_t>(in.u8());
+  p.root_delay = in.u32();
+  p.root_dispersion = in.u32();
+  p.reference_id = in.u32();
+  p.reference_time = NtpTimestamp::from_u64(in.u64());
+  p.origin_time = NtpTimestamp::from_u64(in.u64());
+  p.receive_time = NtpTimestamp::from_u64(in.u64());
+  p.transmit_time = NtpTimestamp::from_u64(in.u64());
+  if (in.truncated()) return std::nullopt;
+  if (p.version < 3 || p.version > 4) return std::nullopt;
+  return p;
+}
+
+NtpPacket make_client_request(util::SimTime now,
+                              std::uint32_t nonce_fraction) {
+  NtpPacket p;
+  p.mode = NtpMode::kClient;
+  p.stratum = 0;
+  // Clients randomize the transmit fraction as an anti-spoofing nonce.
+  p.transmit_time = NtpTimestamp::from_sim_time(now, nonce_fraction);
+  return p;
+}
+
+NtpPacket make_server_response(const NtpPacket& request, util::SimTime now,
+                               std::uint8_t stratum,
+                               std::uint32_t reference_id) {
+  NtpPacket p;
+  p.mode = NtpMode::kServer;
+  p.stratum = stratum;
+  p.poll = request.poll;
+  p.reference_id = reference_id;
+  p.reference_time = NtpTimestamp::from_sim_time(now - 64);
+  p.origin_time = request.transmit_time;
+  p.receive_time = NtpTimestamp::from_sim_time(now);
+  p.transmit_time = NtpTimestamp::from_sim_time(now, 1);
+  return p;
+}
+
+}  // namespace v6::proto

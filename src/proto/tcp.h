@@ -1,0 +1,62 @@
+// Minimal TCP segment codec (RFC 9293) — enough for SYN scanning.
+//
+// The IPv6 Hitlist probes TCP 80/443 besides ICMPv6; a scanner only ever
+// needs three segment shapes: the SYN it sends, and the SYN-ACK or RST it
+// gets back. Checksums use the IPv6 pseudo-header like UDP/ICMPv6.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "proto/buffer.h"
+
+namespace v6::proto {
+
+inline constexpr std::uint8_t kProtoTcp = 6;
+
+// Flag bits in the TCP header (subset).
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct TcpSegment {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t sequence = 0;
+  std::uint32_t ack_number = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+
+  bool is_syn() const noexcept { return (flags & (kTcpSyn | kTcpAck)) == kTcpSyn; }
+  bool is_syn_ack() const noexcept {
+    return (flags & (kTcpSyn | kTcpAck)) == (kTcpSyn | kTcpAck);
+  }
+  bool is_rst() const noexcept { return flags & kTcpRst; }
+
+  friend bool operator==(const TcpSegment&, const TcpSegment&) = default;
+};
+
+// Serializes a bare 20-byte header with a valid checksum.
+std::vector<std::uint8_t> encode_tcp(const TcpSegment& segment,
+                                     const net::Ipv6Address& src,
+                                     const net::Ipv6Address& dst);
+
+// Parses and verifies length/checksum; rejects segments with a data offset
+// other than 5 (we never emit options).
+std::optional<TcpSegment> decode_tcp(std::span<const std::uint8_t> data,
+                                     const net::Ipv6Address& src,
+                                     const net::Ipv6Address& dst);
+
+// Scanner-side constructors.
+TcpSegment make_syn(std::uint16_t src_port, std::uint16_t dst_port,
+                    std::uint32_t sequence);
+// Listener answers: SYN-ACK acknowledging the SYN's sequence.
+TcpSegment make_syn_ack(const TcpSegment& syn, std::uint32_t server_sequence);
+// Closed port answers: RST with the proper acknowledgement.
+TcpSegment make_rst(const TcpSegment& syn);
+
+}  // namespace v6::proto

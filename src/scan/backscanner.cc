@@ -1,0 +1,80 @@
+#include "scan/backscanner.h"
+
+#include <algorithm>
+
+namespace v6::scan {
+
+Backscanner::Backscanner(netsim::DataPlane& plane,
+                         const BackscanConfig& config)
+    : plane_(&plane), config_(config), rng_(util::mix64(config.seed ^ 0xbac)) {}
+
+void Backscanner::observe(const ntp::Observation& obs,
+                          const net::Ipv6Address& vantage_source) {
+  const auto interval = static_cast<std::uint64_t>(
+      obs.time / std::max<util::SimDuration>(config_.interval, 1));
+  // "No IP probed more than once during a 10 minute interval."
+  const std::uint64_t key =
+      util::mix64(interval ^ util::mix64(obs.client.hi64()) ^
+                  util::mix64(obs.client.lo64() + 0x9e37));
+  if (!probed_keys_.insert(key).second) return;
+
+  const util::SimTime probe_time = static_cast<util::SimTime>(interval + 1) *
+                                   config_.interval;
+  // A per-client deterministic RNG keeps the probe sequence independent of
+  // observation arrival order.
+  util::Rng probe_rng(key);
+
+  Zmap6Scanner zmap(*plane_, {vantage_source, 100000, 0, probe_rng.next()});
+
+  BackscanOutcome outcome;
+  outcome.client = obs.client;
+  outcome.vantage = obs.vantage;
+  outcome.client_responded = zmap.probe(obs.client, probe_time);
+  ++report_.clients_probed;
+  if (outcome.client_responded) ++report_.clients_responded;
+
+  // One random address in the client's /64.
+  std::uint64_t iid = probe_rng.next();
+  if (iid == obs.client.lo64()) iid ^= 1;
+  outcome.random_target = net::Ipv6Address::from_u64(obs.client.hi64(), iid);
+  outcome.random_responded = zmap.probe(outcome.random_target, probe_time);
+  ++report_.random_probed;
+  if (outcome.random_responded) {
+    responsive_random_.insert(outcome.random_target);
+    aliased_.insert(net::slash64_of(outcome.random_target));
+  }
+
+  // A sampled Yarrp trace back to the client.
+  if (probe_rng.chance(config_.trace_fraction)) {
+    YarrpTracer yarrp(*plane_, {vantage_source, config_.yarrp_max_hops, 50000,
+                                probe_rng.next()});
+    const net::Ipv6Address targets[] = {obs.client};
+    const auto traces = yarrp.trace(targets, probe_time);
+    for (const auto& addr : YarrpTracer::discovered(traces)) {
+      trace_found_.insert(addr);
+    }
+    if (!outcome.client_responded && traces[0].destination_reached) {
+      outcome.client_responded = true;
+      ++report_.clients_responded;
+    }
+  }
+  report_.outcomes.push_back(outcome);
+}
+
+BackscanReport Backscanner::finish(util::SimTime /*now*/) {
+  report_.aliased_slash64s.assign(aliased_.begin(), aliased_.end());
+  std::sort(report_.aliased_slash64s.begin(), report_.aliased_slash64s.end());
+  report_.responsive_random_addresses = responsive_random_.size();
+  report_.trace_discovered.assign(trace_found_.begin(), trace_found_.end());
+  std::sort(report_.trace_discovered.begin(), report_.trace_discovered.end());
+
+  BackscanReport out = std::move(report_);
+  report_ = {};
+  probed_keys_.clear();
+  aliased_.clear();
+  responsive_random_.clear();
+  trace_found_.clear();
+  return out;
+}
+
+}  // namespace v6::scan

@@ -1,0 +1,263 @@
+#include "scan/tga.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace v6::scan {
+
+namespace {
+
+// Nibble i (0 = most significant) of an address.
+int nibble_at(const net::Ipv6Address& a, int i) {
+  const std::uint64_t half = i < 16 ? a.hi64() : a.lo64();
+  const int shift = 60 - 4 * (i % 16);
+  return static_cast<int>((half >> shift) & 0xf);
+}
+
+// Writes nibble i into (hi, lo).
+void set_nibble(std::uint64_t& hi, std::uint64_t& lo, int i, int value) {
+  const int shift = 60 - 4 * (i % 16);
+  std::uint64_t& half = i < 16 ? hi : lo;
+  half = (half & ~(std::uint64_t{0xf} << shift)) |
+         (static_cast<std::uint64_t>(value & 0xf) << shift);
+}
+
+// Right-aligned value of nibbles [first, first + count) of an address.
+std::uint64_t slice_value(const net::Ipv6Address& a, int first, int count) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < count; ++i) {
+    value = (value << 4) | static_cast<std::uint64_t>(nibble_at(a, first + i));
+  }
+  return value;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------- Entropy/IP
+
+void EntropyIpModel::train(std::span<const net::Ipv6Address> addresses) {
+  if (addresses.empty()) {
+    throw std::invalid_argument("EntropyIpModel::train on empty set");
+  }
+  segments_.clear();
+
+  // Per-nibble normalized entropy across the training set.
+  std::array<double, 32> entropy{};
+  for (int position = 0; position < 32; ++position) {
+    std::array<std::uint64_t, 16> counts{};
+    for (const auto& a : addresses) {
+      ++counts[static_cast<std::size_t>(nibble_at(a, position))];
+    }
+    double h = 0.0;
+    const double n = static_cast<double>(addresses.size());
+    for (const auto c : counts) {
+      if (c == 0) continue;
+      const double p = static_cast<double>(c) / n;
+      h -= p * std::log2(p);
+    }
+    entropy[static_cast<std::size_t>(position)] = h / 4.0;
+  }
+
+  auto classify = [&](int position) {
+    const double h = entropy[static_cast<std::size_t>(position)];
+    if (h <= config_.stable_cutoff) return Segment::Kind::kStable;
+    if (h >= config_.random_cutoff) return Segment::Kind::kRandom;
+    return Segment::Kind::kValued;
+  };
+
+  // Group consecutive same-kind positions into segments (length-capped).
+  int position = 0;
+  while (position < 32) {
+    Segment segment;
+    segment.first_nibble = position;
+    segment.kind = classify(position);
+    int end = position + 1;
+    while (end < 32 && classify(end) == segment.kind &&
+           end - position < config_.max_segment_nibbles) {
+      ++end;
+    }
+    segment.nibble_count = end - position;
+
+    if (segment.kind != Segment::Kind::kRandom) {
+      // Value histogram over the slice.
+      std::map<std::uint64_t, std::uint64_t> histogram;
+      for (const auto& a : addresses) {
+        ++histogram[slice_value(a, segment.first_nibble,
+                                segment.nibble_count)];
+      }
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> sorted(
+          histogram.begin(), histogram.end());
+      std::sort(sorted.begin(), sorted.end(),
+                [](const auto& x, const auto& y) {
+                  return x.second > y.second;
+                });
+      const double total = static_cast<double>(addresses.size());
+      double covered = 0.0;
+      for (std::size_t i = 0;
+           i < sorted.size() && i < config_.max_values_per_segment; ++i) {
+        const double weight = static_cast<double>(sorted[i].second) / total;
+        segment.values.emplace_back(sorted[i].first, weight);
+        covered += weight;
+      }
+      segment.random_mass = std::max(0.0, 1.0 - covered);
+    } else {
+      segment.random_mass = 1.0;
+    }
+    segments_.push_back(std::move(segment));
+    position = end;
+  }
+}
+
+net::Ipv6Address EntropyIpModel::generate_one(util::Rng& rng) const {
+  if (segments_.empty()) {
+    throw std::logic_error("EntropyIpModel::generate before train");
+  }
+  std::uint64_t hi = 0, lo = 0;
+  for (const auto& segment : segments_) {
+    std::uint64_t value;
+    const double draw = rng.uniform();
+    if (draw < segment.random_mass) {
+      const int bits = 4 * segment.nibble_count;
+      value = bits >= 64 ? rng.next() : rng.next() & ((1ULL << bits) - 1);
+    } else {
+      // Walk the histogram.
+      double remaining = draw - segment.random_mass;
+      value = segment.values.empty() ? 0 : segment.values.back().first;
+      for (const auto& [candidate, weight] : segment.values) {
+        if (remaining < weight) {
+          value = candidate;
+          break;
+        }
+        remaining -= weight;
+      }
+    }
+    for (int i = segment.nibble_count - 1; i >= 0; --i) {
+      set_nibble(hi, lo, segment.first_nibble + i,
+                 static_cast<int>(value & 0xf));
+      value >>= 4;
+    }
+  }
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+std::vector<net::Ipv6Address> EntropyIpModel::generate(
+    std::size_t n, util::Rng& rng) const {
+  std::vector<net::Ipv6Address> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(generate_one(rng));
+  return out;
+}
+
+// ------------------------------------------------------------------ 6Tree
+
+void SpaceTreeModel::train(std::span<const net::Ipv6Address> addresses) {
+  if (addresses.empty()) {
+    throw std::invalid_argument("SpaceTreeModel::train on empty set");
+  }
+  regions_.clear();
+  cumulative_.clear();
+  std::vector<net::Ipv6Address> sorted(addresses.begin(), addresses.end());
+  std::sort(sorted.begin(), sorted.end());
+  split(sorted, 0, sorted.size(), 0);
+
+  double total = 0.0;
+  for (const auto& region : regions_) {
+    total += static_cast<double>(region.count);
+    cumulative_.push_back(total);
+  }
+  for (auto& c : cumulative_) c /= total;
+}
+
+void SpaceTreeModel::split(std::vector<net::Ipv6Address>& addresses,
+                           std::size_t begin, std::size_t end, int depth) {
+  if (end - begin <= config_.leaf_threshold || depth >= config_.max_depth) {
+    Region region;
+    region.prefix = addresses[begin];  // canonical representative
+    region.depth = depth;
+    region.count = end - begin;
+    // Extend through nibbles the whole leaf agrees on (e.g. a constant
+    // ::1 suffix): only genuinely varying positions stay free, so the
+    // generator explores structure instead of destroying it.
+    while (region.depth < 32) {
+      const int shared = nibble_at(addresses[begin], region.depth);
+      bool uniform = true;
+      for (std::size_t i = begin + 1; i < end && uniform; ++i) {
+        uniform = nibble_at(addresses[i], region.depth) == shared;
+      }
+      if (!uniform) break;
+      ++region.depth;
+    }
+    regions_.push_back(region);
+    return;
+  }
+  // Partition by the nibble at `depth` (addresses are sorted, so each
+  // value forms a contiguous run).
+  std::size_t run_start = begin;
+  int run_value = nibble_at(addresses[begin], depth);
+  for (std::size_t i = begin + 1; i <= end; ++i) {
+    const int value =
+        i < end ? nibble_at(addresses[i], depth) : -1;
+    if (value != run_value) {
+      split(addresses, run_start, i, depth + 1);
+      run_start = i;
+      run_value = value;
+    }
+  }
+}
+
+net::Ipv6Address SpaceTreeModel::generate_one(util::Rng& rng) const {
+  if (regions_.empty()) {
+    throw std::logic_error("SpaceTreeModel::generate before train");
+  }
+  // Density-proportional region choice via the precomputed CDF.
+  const double draw = rng.uniform();
+  std::size_t lo = 0, hi = cumulative_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (cumulative_[mid] < draw) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  const Region& region = regions_[lo];
+  std::uint64_t h = region.prefix.hi64(), l = region.prefix.lo64();
+  for (int position = region.depth; position < 32; ++position) {
+    set_nibble(h, l, position, static_cast<int>(rng.bounded(16)));
+  }
+  return net::Ipv6Address::from_u64(h, l);
+}
+
+std::vector<net::Ipv6Address> SpaceTreeModel::generate(
+    std::size_t n, util::Rng& rng) const {
+  std::vector<net::Ipv6Address> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(generate_one(rng));
+  return out;
+}
+
+// -------------------------------------------------------------- evaluation
+
+TgaEvaluation evaluate_candidates(
+    std::span<const net::Ipv6Address> candidates,
+    std::span<const net::Ipv6Address> training, Zmap6Scanner& scanner,
+    util::SimTime t) {
+  TgaEvaluation evaluation;
+  evaluation.generated = candidates.size();
+  const std::unordered_set<net::Ipv6Address> known(training.begin(),
+                                                   training.end());
+  std::unordered_set<net::Ipv6Address> unique(candidates.begin(),
+                                              candidates.end());
+  evaluation.unique = unique.size();
+  for (const auto& target : unique) {
+    if (!scanner.probe(target, t)) continue;
+    ++evaluation.responsive;
+    if (!known.contains(target)) ++evaluation.new_responsive;
+  }
+  return evaluation;
+}
+
+}  // namespace v6::scan

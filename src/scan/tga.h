@@ -1,0 +1,147 @@
+// Target generation algorithms (TGAs).
+//
+// The paper's motivation section: without brute-force scanning, IPv6
+// measurement leans on TGAs (Entropy/IP, 6Gen, 6Tree, 6Forest, ...) that
+// must be *trained on some hitlist* and are therefore "biased to the types
+// of addresses contained in their training data". This module implements
+// two classic model families so that bias is measurable in-repo:
+//
+//   * EntropyIpModel — Foremski et al.'s Entropy/IP (IMC'16) in spirit:
+//     segment the 32 nibbles of an address by per-position entropy, learn
+//     per-segment value distributions, and sample candidates by drawing
+//     segments independently.
+//   * SpaceTreeModel — 6Tree-style divisive hierarchical clustering: a
+//     nibble-trie over the training set whose dense leaves define regions
+//     to explore; candidates are drawn inside leaf regions proportional
+//     to observed density.
+//
+// The bench (bench_tga_bias) trains both on the NTP corpus and on the
+// active datasets, probes the generated candidates, and shows the paper's
+// point: ephemeral client-rich training data yields far fewer responsive
+// targets than infrastructure-rich data — bigger is not automatically
+// better for this use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "scan/zmap6.h"
+#include "util/rng.h"
+
+namespace v6::scan {
+
+// ------------------------------------------------------------ Entropy/IP
+
+class EntropyIpModel {
+ public:
+  struct Config {
+    // Below this normalized per-nibble entropy a position is "stable"
+    // and modeled by its value histogram; above `random_cutoff` it is
+    // modeled as uniformly random.
+    double stable_cutoff = 0.05;
+    double random_cutoff = 0.95;
+    // Cap on distinct values kept per segment (the rest of the mass
+    // becomes a uniform-random fallback).
+    std::size_t max_values_per_segment = 64;
+    // Maximum nibbles per segment (segments longer than this are split).
+    int max_segment_nibbles = 8;
+  };
+
+  // One learned segment of consecutive nibble positions.
+  struct Segment {
+    int first_nibble = 0;  // 0 = most significant nibble of the address
+    int nibble_count = 0;
+    enum class Kind : std::uint8_t { kStable, kValued, kRandom } kind =
+        Kind::kRandom;
+    // For kStable/kValued: observed values (right-aligned) and weights.
+    std::vector<std::pair<std::uint64_t, double>> values;
+    // Probability mass not covered by `values` (sampled uniformly).
+    double random_mass = 0.0;
+  };
+
+  EntropyIpModel() = default;
+  explicit EntropyIpModel(const Config& config) : config_(config) {}
+
+  // Fits segments to the training addresses. Requires at least one.
+  void train(std::span<const net::Ipv6Address> addresses);
+
+  net::Ipv6Address generate_one(util::Rng& rng) const;
+  // Generates n candidates (duplicates possible, as in the real tool).
+  std::vector<net::Ipv6Address> generate(std::size_t n, util::Rng& rng) const;
+
+  std::span<const Segment> segments() const noexcept { return segments_; }
+  bool trained() const noexcept { return !segments_.empty(); }
+
+ private:
+  Config config_{};
+  std::vector<Segment> segments_;
+};
+
+// --------------------------------------------------------------- 6Tree
+
+class SpaceTreeModel {
+ public:
+  struct Config {
+    // A node holding at most this many addresses becomes a leaf region.
+    std::size_t leaf_threshold = 16;
+    // Never descend past this nibble depth (remaining nibbles free).
+    int max_depth = 24;
+  };
+
+  // A dense region discovered by the clustering: a nibble-prefix plus the
+  // number of training addresses inside it.
+  struct Region {
+    net::Ipv6Address prefix;  // high `depth` nibbles meaningful
+    int depth = 0;            // in nibbles
+    std::size_t count = 0;
+  };
+
+  SpaceTreeModel() = default;
+  explicit SpaceTreeModel(const Config& config) : config_(config) {}
+
+  void train(std::span<const net::Ipv6Address> addresses);
+
+  // Draws a region ~ density, fills the free nibbles randomly.
+  net::Ipv6Address generate_one(util::Rng& rng) const;
+  std::vector<net::Ipv6Address> generate(std::size_t n, util::Rng& rng) const;
+
+  std::span<const Region> regions() const noexcept { return regions_; }
+  bool trained() const noexcept { return !regions_.empty(); }
+
+ private:
+  void split(std::vector<net::Ipv6Address>& addresses, std::size_t begin,
+             std::size_t end, int depth);
+
+  Config config_{};
+  std::vector<Region> regions_;
+  std::vector<double> cumulative_;  // region-selection CDF
+};
+
+// ------------------------------------------------------------ evaluation
+
+struct TgaEvaluation {
+  std::uint64_t generated = 0;
+  std::uint64_t unique = 0;
+  std::uint64_t responsive = 0;
+  // Responsive addresses that were NOT in the training set — the ones a
+  // TGA is actually for.
+  std::uint64_t new_responsive = 0;
+
+  double hit_rate() const noexcept {
+    return unique == 0 ? 0.0
+                       : static_cast<double>(responsive) /
+                             static_cast<double>(unique);
+  }
+};
+
+// Probes `candidates` (deduplicated) with the given scanner at time t and
+// scores them against the training set.
+TgaEvaluation evaluate_candidates(
+    std::span<const net::Ipv6Address> candidates,
+    std::span<const net::Ipv6Address> training, Zmap6Scanner& scanner,
+    util::SimTime t);
+
+}  // namespace v6::scan

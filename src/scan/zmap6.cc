@@ -1,0 +1,65 @@
+#include "scan/zmap6.h"
+
+#include "util/rng.h"
+
+namespace v6::scan {
+
+Zmap6Scanner::Zmap6Scanner(netsim::DataPlane& plane,
+                           const Zmap6Config& config)
+    : plane_(&plane), config_(config) {}
+
+std::uint32_t Zmap6Scanner::validator(
+    const net::Ipv6Address& target) const noexcept {
+  return static_cast<std::uint32_t>(
+      util::mix64(target.hi64() ^ util::mix64(target.lo64()) ^ config_.seed));
+}
+
+bool Zmap6Scanner::probe(const net::Ipv6Address& target, util::SimTime t) {
+  const std::uint32_t v = validator(target);
+  ++sent_;
+  switch (config_.protocol) {
+    case ProbeProtocol::kIcmpv6Echo: {
+      const auto ident = static_cast<std::uint16_t>(v >> 16);
+      const auto seq = static_cast<std::uint16_t>(v);
+      const auto result =
+          plane_->echo(config_.source, target, ident, seq, t);
+      return result.kind == netsim::ProbeResult::Kind::kEchoReply &&
+             result.responder == target && result.sequence == seq;
+    }
+    case ProbeProtocol::kTcpSyn80:
+    case ProbeProtocol::kTcpSyn443: {
+      const std::uint16_t port =
+          config_.protocol == ProbeProtocol::kTcpSyn80 ? 80 : 443;
+      // Any answer — SYN-ACK or RST — proves a live host, exactly how the
+      // Hitlist counts TCP responsiveness.
+      const auto outcome =
+          plane_->tcp_syn(config_.source, target, port, v, t);
+      return outcome != netsim::DataPlane::SynOutcome::kTimeout;
+    }
+  }
+  return false;
+}
+
+std::vector<EchoRecord> Zmap6Scanner::scan(
+    std::span<const net::Ipv6Address> targets, util::SimTime t0) {
+  std::vector<EchoRecord> records;
+  records.reserve(targets.size());
+  const std::uint64_t rate = config_.probe_rate ? config_.probe_rate : 1;
+  std::uint64_t i = 0;
+  for (const auto& target : targets) {
+    const util::SimTime t =
+        t0 + static_cast<util::SimTime>(i++ / rate);
+    records.push_back({target, probe(target, t)});
+  }
+  for (std::uint32_t r = 0; r < config_.retries; ++r) {
+    for (auto& rec : records) {
+      if (rec.responded) continue;
+      const util::SimTime t =
+          t0 + static_cast<util::SimTime>(i++ / rate);
+      rec.responded = probe(rec.target, t);
+    }
+  }
+  return records;
+}
+
+}  // namespace v6::scan

@@ -1,0 +1,36 @@
+// IID construction: how each addressing strategy turns (device, prefix,
+// time) into the low 64 bits of an address.
+//
+// Everything here is a pure function of its arguments, which is what makes
+// the world reversible: the data plane can recompute any device's address
+// at any instant and compare it against a probed target.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv6.h"
+#include "sim/device.h"
+#include "util/sim_time.h"
+
+namespace v6::sim {
+
+// Day number since the simulation epoch; privacy-extension IIDs regenerate
+// at day boundaries.
+constexpr std::int64_t day_index(util::SimTime t) noexcept {
+  return t / util::kDay;
+}
+
+// The IID the device uses at time `t` inside the /64 whose network half is
+// `prefix_hi`. Strategies that are prefix-dependent (RFC 7217) or
+// time-dependent (RFC 4941) take both into account.
+std::uint64_t iid_for(const Device& device, std::uint64_t prefix_hi,
+                      util::SimTime t) noexcept;
+
+// Full address given the /64's network half.
+inline net::Ipv6Address address_for(const Device& device,
+                                    std::uint64_t prefix_hi,
+                                    util::SimTime t) noexcept {
+  return net::Ipv6Address::from_u64(prefix_hi, iid_for(device, prefix_hi, t));
+}
+
+}  // namespace v6::sim

@@ -1,0 +1,99 @@
+#include "sim/as_profile.h"
+
+namespace v6::sim {
+
+AsProfile make_profile(AsType type, util::Rng& rng) {
+  AsProfile p;
+  using S = IidStrategy;
+
+  // Client devices lean heavily on privacy extensions everywhere; the
+  // EUI-64 share matches the paper's 3% corpus-wide prevalence once mixed
+  // across device kinds (IoT pushes it up, phones pull it down).
+  weight(p.client_strategies, S::kRandomEphemeral) = 0.65;
+  weight(p.client_strategies, S::kRandomStable) = 0.12;
+  weight(p.client_strategies, S::kEui64) = 0.02;
+  weight(p.client_strategies, S::kDhcpSequential) = 0.02;
+  weight(p.client_strategies, S::kStructuredLow) = 0.04;
+  weight(p.client_strategies, S::kLow2Bytes) = 0.01;
+  weight(p.client_strategies, S::kSparseEphemeral) = 0.14;
+
+  weight(p.cpe_strategies, S::kLowByte) = 0.45;
+  weight(p.cpe_strategies, S::kEui64) = 0.12;
+  weight(p.cpe_strategies, S::kRandomStable) = 0.28;
+  weight(p.cpe_strategies, S::kIpv4Embedded) = 0.15;
+
+  // Cloud platforms hand VMs pseudo-random stable addresses; manually
+  // numbered low-IID servers are the minority (the Hitlist's biggest AS
+  // category is "Computer and Information Technology", not routers).
+  weight(p.server_strategies, S::kLowByte) = 0.25;
+  weight(p.server_strategies, S::kLow2Bytes) = 0.10;
+  weight(p.server_strategies, S::kIpv4Embedded) = 0.12;
+  weight(p.server_strategies, S::kRandomStable) = 0.50;
+  weight(p.server_strategies, S::kZero) = 0.03;
+
+  switch (type) {
+    case AsType::kIspBroadband:
+      // Some broadband providers rotate customer prefixes daily (§2.1),
+      // some on lease-renewal timescales; most delegations are effectively
+      // static (the paper's "mostly static hosts" dominate trackable
+      // EUI-64 devices).
+      if (rng.chance(0.06)) {
+        p.rotation_period = util::kDay;
+      } else if (rng.chance(0.08)) {
+        p.rotation_period = util::kWeek;
+      } else if (rng.chance(0.22)) {
+        p.rotation_period = 60 * util::kDay;
+      } else {
+        p.rotation_period = 0;
+      }
+      p.firewall_fraction = rng.uniform(0.20, 0.45);
+      p.pool_usage_fraction = rng.uniform(0.45, 0.70);
+      p.aliased_site_fraction =
+          rng.chance(0.04) ? rng.uniform(0.1, 0.4) : 0.0;
+      break;
+    case AsType::kIspMobile:
+      // Cellular pools rotate fast, clients are overwhelmingly
+      // privacy-addressed phones, and carriers filter inbound ICMP to
+      // handsets far more often than broadband ISPs do — one driver of
+      // Fig 3's "unresponsive clients skew high-entropy".
+      p.rotation_period = util::kDay;
+      p.firewall_fraction = rng.uniform(0.30, 0.55);
+      p.pool_usage_fraction = rng.uniform(0.50, 0.75);
+      p.mobile_subscriber_ratio = rng.uniform(2.0, 5.0);
+      weight(p.client_strategies, S::kRandomEphemeral) = 0.82;
+      weight(p.client_strategies, S::kDhcpSequential) = 0.02;
+      if (rng.chance(0.25)) {
+        if (rng.chance(0.75)) {
+          p.cellular_fully_aliased = true;
+          p.aliased_site_fraction = 1.0;
+        } else {
+          p.aliased_site_fraction = rng.uniform(0.1, 0.4);
+        }
+      }
+      break;
+    case AsType::kCloud:
+      p.rotation_period = 0;
+      p.firewall_fraction = rng.uniform(0.4, 0.7);
+      p.pool_usage_fraction = rng.uniform(0.15, 0.35);
+      p.alias_slash48_count = rng.chance(0.5)
+                                  ? static_cast<std::uint32_t>(rng.range(1, 6))
+                                  : 0;
+      break;
+    case AsType::kEducation:
+      p.rotation_period = 0;
+      p.firewall_fraction = rng.uniform(0.5, 0.8);
+      p.pool_usage_fraction = rng.uniform(0.2, 0.5);
+      weight(p.client_strategies, S::kDhcpSequential) = 0.25;
+      weight(p.client_strategies, S::kRandomEphemeral) = 0.55;
+      break;
+    case AsType::kTransit:
+      // Backbone: no customers, no clients; exists so active topology
+      // campaigns discover ASes the passive corpus never sees.
+      p.pool_usage_fraction = 0.0;
+      p.firewall_fraction = 0.0;
+      break;
+  }
+  return p;
+}
+
+}  // namespace v6::sim

@@ -1,0 +1,58 @@
+// Per-AS behavioural profile: addressing conventions, prefix rotation,
+// firewalling, NTP Pool usage, and aliasing.
+//
+// §4.3 of the paper shows addressing strategy is strongly AS-specific
+// (Reliance Jio's two-mode IIDs, low-entropy Telkomsel, high-entropy
+// T-Mobile). Profiles capture that: the world generator derives a profile
+// from the AS type and then applies per-AS tweaks for the named exemplars.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/types.h"
+#include "util/rng.h"
+#include "util/sim_time.h"
+
+namespace v6::sim {
+
+inline constexpr std::size_t kIidStrategyCount = 10;
+
+// Weights over IidStrategy values (indexed by static_cast<size_t>).
+using StrategyWeights = std::array<double, kIidStrategyCount>;
+
+constexpr double& weight(StrategyWeights& w, IidStrategy s) {
+  return w[static_cast<std::size_t>(s)];
+}
+
+struct AsProfile {
+  // Strategy mix for client devices (desktops, phones, IoT).
+  StrategyWeights client_strategies{};
+  // Strategy mix for CPE WAN interfaces.
+  StrategyWeights cpe_strategies{};
+  // Strategy mix for datacenter servers.
+  StrategyWeights server_strategies{};
+  // How often delegated customer prefixes are reassigned; 0 = static.
+  util::SimDuration rotation_period = 0;
+  // Fraction of customer sites whose CPE firewalls unsolicited inbound.
+  double firewall_fraction = 0.3;
+  // Fraction of client devices configured to use the NTP Pool.
+  double pool_usage_fraction = 0.5;
+  // Fraction of sites whose /64s are aliased (CPE answers any address).
+  double aliased_site_fraction = 0.0;
+  // Mobile carriers only: the entire cellular pool is aliased (a CGN-style
+  // middlebox answers for every address). Such whole-region aliasing is
+  // what BGP-driven alias detection — and hence the IPv6 Hitlist — can
+  // find; partially aliased pools escape it.
+  bool cellular_fully_aliased = false;
+  // Standalone aliased /48s in the AS (CDN-style datacenter aliasing).
+  std::uint32_t alias_slash48_count = 0;
+  // Fraction of mobile subscribers relative to sites (mobile carriers).
+  double mobile_subscriber_ratio = 0.0;
+};
+
+// Baseline profile for an AS of the given type; `rng` adds bounded per-AS
+// variability so no two ASes behave identically.
+AsProfile make_profile(AsType type, util::Rng& rng);
+
+}  // namespace v6::sim

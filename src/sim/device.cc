@@ -1,0 +1,67 @@
+#include "sim/device.h"
+
+#include "sim/types.h"
+
+namespace v6::sim {
+
+const char* to_string(AsType t) noexcept {
+  switch (t) {
+    case AsType::kIspBroadband:
+      return "ISP (broadband)";
+    case AsType::kIspMobile:
+      return "Phone Provider";
+    case AsType::kCloud:
+      return "Computer and IT";
+    case AsType::kEducation:
+      return "Education";
+    case AsType::kTransit:
+      return "Transit";
+  }
+  return "?";
+}
+
+const char* to_string(DeviceKind k) noexcept {
+  switch (k) {
+    case DeviceKind::kRouter:
+      return "router";
+    case DeviceKind::kCpe:
+      return "cpe";
+    case DeviceKind::kServer:
+      return "server";
+    case DeviceKind::kDesktop:
+      return "desktop";
+    case DeviceKind::kMobile:
+      return "mobile";
+    case DeviceKind::kIot:
+      return "iot";
+  }
+  return "?";
+}
+
+const char* to_string(IidStrategy s) noexcept {
+  switch (s) {
+    case IidStrategy::kEui64:
+      return "eui64";
+    case IidStrategy::kRandomEphemeral:
+      return "random-ephemeral";
+    case IidStrategy::kRandomStable:
+      return "random-stable";
+    case IidStrategy::kLowByte:
+      return "low-byte";
+    case IidStrategy::kLow2Bytes:
+      return "low-2-bytes";
+    case IidStrategy::kZero:
+      return "zero";
+    case IidStrategy::kIpv4Embedded:
+      return "ipv4-embedded";
+    case IidStrategy::kStructuredLow:
+      return "structured-low";
+    case IidStrategy::kDhcpSequential:
+      return "dhcp-sequential";
+    case IidStrategy::kSparseEphemeral:
+      return "sparse-ephemeral";
+  }
+  return "?";
+}
+
+}  // namespace v6::sim

@@ -1,0 +1,95 @@
+// Device model: everything the world knows about one simulated interface.
+//
+// A device's IPv6 address at any instant is a *pure function* of the device,
+// the world's prefix-rotation state, and the simulated time (see
+// sim/addressing.h). That makes collection a stateless sweep and lets the
+// data plane answer reverse lookups without per-second state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+
+#include "net/mac.h"
+#include "sim/types.h"
+#include "util/sim_time.h"
+
+namespace v6::sim {
+
+// How (and whether) a mobile device hops between its home WiFi network and
+// cellular carriers. Attachment is re-decided every kAttachEpoch.
+struct MobilityProfile {
+  bool mobile = false;
+  // Home-country mobile carrier AS indices this device can attach to.
+  // One entry for a typical user; several model the paper's "likely user
+  // movement" class (e.g., dual-SIM or roaming between carriers).
+  std::uint32_t carrier_as[3] = {0, 0, 0};
+  // Position of this device in the corresponding carrier's subscriber
+  // list (drives its cellular /64 slot).
+  std::uint32_t carrier_pos[3] = {0, 0, 0};
+  std::uint8_t carrier_count = 0;
+  // Fraction of attach epochs spent on cellular rather than home WiFi.
+  double cellular_fraction = 0.0;
+  // Models the paper's "changing providers" class: a static device (IoT /
+  // CPE-attached gadget) that moves to a different site — typically in
+  // another AS of the same country — partway through the study.
+  SiteId relocation_site = kNoSite;
+  util::SimTime relocation_time = 0;
+};
+
+// Length of one mobility attachment epoch (how often a phone re-rolls
+// which network it is on).
+inline constexpr util::SimDuration kAttachEpoch = 8 * util::kHour;
+
+// "End of time" for activity windows.
+inline constexpr util::SimTime kForever =
+    std::numeric_limits<util::SimTime>::max();
+
+// When, and how, the device talks to the NTP Pool.
+struct NtpBehavior {
+  bool uses_pool = false;
+  // Mean interval between NTP polls while online.
+  util::SimDuration poll_interval = 6 * util::kHour;
+  // Probability the device is online (and thus polls) in a given interval.
+  double online_fraction = 1.0;
+  // Packets per sync event: 1 for plain SNTP, 4-8 for ntpdate/iburst-style
+  // clients. A burst rides one DNS resolution, so all of its packets hit
+  // the same pool server seconds apart — the paper's corpus shows this as
+  // addresses observed several times within a tiny lifetime.
+  std::uint8_t burst = 1;
+};
+
+struct Device {
+  DeviceId id = kNoDevice;
+  DeviceKind kind = DeviceKind::kDesktop;
+  IidStrategy strategy = IidStrategy::kRandomEphemeral;
+  net::MacAddress mac;
+  // Index into OuiRegistry::manufacturers().
+  std::uint32_t maker_index = 0;
+  // Customer site the device lives in; kNoSite for datacenter/cellular-only
+  // devices.
+  SiteId site = kNoSite;
+  // Home AS (index into World::ases()).
+  std::uint32_t as_index = 0;
+  // Interface's IPv4 address (used by kIpv4Embedded only).
+  std::uint32_t ipv4 = 0;
+  // True when the site's CPE drops unsolicited inbound traffic to it.
+  bool firewalled = false;
+  // Whether the device answers ICMPv6 echo at all when reachable.
+  bool responds_icmp = true;
+  // Per-device deterministic seed (drives IIDs, schedules, mobility rolls).
+  std::uint64_t seed = 0;
+  // Activity window: the device exists on the network only inside
+  // [active_start, active_end). Infrastructure runs for the whole study;
+  // client devices churn — most are present only briefly, which is what
+  // makes most corpus addresses (and most EUI-64 MACs) one-shot sightings.
+  util::SimTime active_start = 0;
+  util::SimTime active_end = kForever;
+  MobilityProfile mobility;
+  NtpBehavior ntp;
+  // WiFi BSSID for devices with an access point (CPE); the geolocation
+  // linkage target.
+  std::optional<net::MacAddress> bssid;
+};
+
+}  // namespace v6::sim

@@ -1,0 +1,38 @@
+// Keyed pseudo-random permutation over [0, n) via a Feistel network with
+// cycle-walking.
+//
+// The world model needs *invertible* stateless mappings: customer sites are
+// assigned prefix slots that rotate over time (slot = perm_g(site)), and the
+// data plane must answer "which site owns this slot in generation g?"
+// without materializing per-generation tables (slot -> perm_g^{-1}(slot)).
+#pragma once
+
+#include <cstdint>
+
+namespace v6::sim {
+
+class FeistelPermutation {
+ public:
+  // Permutes [0, domain_size). domain_size must be >= 1. The permutation is
+  // determined entirely by (domain_size, key).
+  FeistelPermutation(std::uint64_t domain_size, std::uint64_t key) noexcept;
+
+  std::uint64_t domain_size() const noexcept { return domain_size_; }
+
+  // x must be < domain_size.
+  std::uint64_t apply(std::uint64_t x) const noexcept;
+  // Inverse: invert(apply(x)) == x.
+  std::uint64_t invert(std::uint64_t y) const noexcept;
+
+ private:
+  std::uint64_t round_function(std::uint64_t half, int round) const noexcept;
+  std::uint64_t encrypt_once(std::uint64_t x) const noexcept;
+  std::uint64_t decrypt_once(std::uint64_t y) const noexcept;
+
+  std::uint64_t domain_size_;
+  std::uint64_t key_;
+  int half_bits_;          // each Feistel half is this wide
+  std::uint64_t half_mask_;
+};
+
+}  // namespace v6::sim

@@ -1,0 +1,211 @@
+#include "sim/oui_registry.h"
+
+#include <unordered_map>
+
+namespace v6::sim {
+
+namespace {
+
+net::Oui oui(std::uint8_t a, std::uint8_t b, std::uint8_t c) {
+  return net::Oui((std::uint32_t{a} << 16) | (std::uint32_t{b} << 8) | c);
+}
+
+}  // namespace
+
+OuiRegistry OuiRegistry::standard() {
+  OuiRegistry reg;
+  auto& m = reg.makers_;
+  using K = DeviceKind;
+
+  // The Table 2 manufacturers. EUI-64 propensities are tuned so the
+  // reproduced Table 2 ordering matches the paper: a large "Unlisted"
+  // bucket, then Amazon, Samsung, Sonos, vivo, Sunnovo, Gaoshengda,
+  // Huawei, Chuangwei-RGB, Skyworth.
+  // White-label IoT silicon with OUIs that never made it into the IEEE
+  // registry. These gadgets have no WiFi AP interface of their own
+  // (bssid_offset 0), so they leak trackable MACs but are not directly
+  // geolocatable — exactly the split the paper observed.
+  m.push_back({"Unlisted", false,
+               {oui(0xf0, 0x02, 0x20), oui(0xa8, 0xaa, 0x20),
+                oui(0xf2, 0x10, 0x30), oui(0xee, 0x43, 0x87),
+                oui(0xd6, 0x21, 0x09), oui(0xc2, 0x5a, 0x11)},
+               {K::kIot},
+               0.55,
+               0,
+               true,
+               4.0});
+  m.push_back({"Amazon Technologies Inc.", true,
+               {oui(0x0c, 0x47, 0xc9), oui(0x74, 0xc2, 0x46),
+                oui(0xf0, 0x27, 0x2d)},
+               {K::kIot},
+               0.40,
+               0x10,
+               false,
+               2.6});
+  m.push_back({"Samsung Electronics Co.,Ltd", true,
+               {oui(0x8c, 0x71, 0xf8), oui(0x5c, 0x49, 0x7d)},
+               {K::kMobile, K::kIot},
+               0.06,
+               0x08,
+               false,
+               2.2});
+  m.push_back({"Sonos, Inc.", true,
+               {oui(0x94, 0x9f, 0x3e)},
+               {K::kIot},
+               0.60,
+               0x04,
+               false,
+               0.9});
+  m.push_back({"vivo Mobile Communication Co., Ltd.", true,
+               {oui(0xa8, 0x9c, 0xed)},
+               {K::kMobile},
+               0.08,
+               0x02,
+               false,
+               0.8});
+  m.push_back({"Sunnovo International Limited", true,
+               {oui(0x64, 0x51, 0x7e)},
+               {K::kCpe, K::kIot},
+               0.50,
+               0x20,
+               false,
+               0.7});
+  m.push_back({"Hui Zhou Gaoshengda Technology Co.,LTD", true,
+               {oui(0x18, 0x28, 0x61)},
+               {K::kCpe},
+               0.45,
+               0x12,
+               false,
+               0.65});
+  m.push_back({"Huawei Technologies", true,
+               {oui(0x00, 0x9a, 0xcd), oui(0x48, 0x46, 0xfb)},
+               {K::kMobile, K::kCpe, K::kRouter},
+               0.15,
+               0x06,
+               true,
+               0.6});
+  m.push_back({"Shenzhen Chuangwei-RGB Electronics", true,
+               {oui(0x14, 0x6b, 0x9c)},
+               {K::kIot},
+               0.45,
+               0x30,
+               false,
+               0.55});
+  m.push_back({"Skyworth Digital Technology (Shenzhen) Co.,Ltd", true,
+               {oui(0xcc, 0x05, 0x77)},
+               {K::kIot, K::kCpe},
+               0.40,
+               0x14,
+               false,
+               0.5});
+  // AVM's Fritz!Box dominates the §5.3 geolocation result: EUI-64 on the
+  // WAN interface, WiFi BSSID at a small fixed offset, heavily wardriven
+  // in Germany.
+  // Sold almost exclusively in the DACH market (the world generator
+  // additionally forces AVM for most German sites).
+  m.push_back({"AVM GmbH", true,
+               {oui(0x3c, 0xa6, 0x2f), oui(0xe0, 0x28, 0x6d)},
+               {K::kCpe},
+               0.92,
+               0x03,
+               false,
+               0.12});
+  // Mostly-random manufacturers: big client vendors whose devices use
+  // privacy addresses (almost never EUI-64).
+  m.push_back({"Apple, Inc.", true,
+               {oui(0xf0, 0x18, 0x98), oui(0xa4, 0x83, 0xe7)},
+               {K::kMobile, K::kDesktop},
+               0.0,
+               0x01,
+               false,
+               2.4});
+  m.push_back({"Intel Corporate", true,
+               {oui(0x3c, 0x6a, 0xa7), oui(0x94, 0xe6, 0xf7)},
+               {K::kDesktop, K::kServer},
+               0.01,
+               0,
+               false,
+               2.0});
+  m.push_back({"Xiaomi Communications Co Ltd", true,
+               {oui(0x50, 0xec, 0x50)},
+               {K::kMobile, K::kIot},
+               0.05,
+               0x05,
+               false,
+               1.4});
+  m.push_back({"TP-Link Systems Inc.", true,
+               {oui(0x5c, 0xa6, 0xe6)},
+               {K::kCpe, K::kIot},
+               0.30,
+               0x09,
+               false,
+               0.9});
+  m.push_back({"Cisco Systems, Inc", true,
+               {oui(0x00, 0x27, 0x90), oui(0x70, 0x6d, 0x15)},
+               {K::kRouter, K::kServer},
+               0.02,
+               0,
+               false,
+               1.5});
+  m.push_back({"Juniper Networks", true,
+               {oui(0x28, 0x8a, 0x1c)},
+               {K::kRouter},
+               0.02,
+               0,
+               false,
+               0.8});
+  m.push_back({"Dell Inc.", true,
+               {oui(0x8c, 0x47, 0xbe)},
+               {K::kServer, K::kDesktop},
+               0.02,
+               0,
+               false,
+               1.0});
+  m.push_back({"zte corporation", true,
+               {oui(0x68, 0x02, 0xb8)},
+               {K::kCpe, K::kMobile},
+               0.25,
+               0x07,
+               false,
+               0.8});
+  m.push_back({"Nokia", true,
+               {oui(0x10, 0xf9, 0xee)},
+               {K::kRouter, K::kCpe},
+               0.20,
+               0x0b,
+               false,
+               0.6});
+
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    for (const auto o : m[i].ouis) reg.index_[o.value()] = i;
+  }
+  return reg;
+}
+
+std::optional<std::string_view> OuiRegistry::resolve(net::Oui oui) const {
+  const auto idx = manufacturer_index(oui);
+  if (!idx || !makers_[*idx].registered) return std::nullopt;
+  return makers_[*idx].name;
+}
+
+std::optional<std::size_t> OuiRegistry::manufacturer_index(
+    net::Oui oui) const {
+  const auto it = index_.find(oui.value());
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::size_t> OuiRegistry::makers_for_kind(DeviceKind kind) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < makers_.size(); ++i) {
+    for (const auto k : makers_[i].kinds) {
+      if (k == kind) {
+        out.push_back(i);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace v6::sim

@@ -1,0 +1,61 @@
+// Core identifier and enum types of the simulated world.
+#pragma once
+
+#include <cstdint>
+
+namespace v6::sim {
+
+// Autonomous system number.
+using Asn = std::uint32_t;
+
+// Index of a device in World::devices().
+using DeviceId = std::uint32_t;
+inline constexpr DeviceId kNoDevice = ~DeviceId{0};
+
+// Index of a customer site in World::sites().
+using SiteId = std::uint32_t;
+inline constexpr SiteId kNoSite = ~SiteId{0};
+
+// Coarse AS business classification, mirroring the ASdb categories the
+// paper reports (phone providers vs. fixed-line ISPs vs. cloud etc.).
+enum class AsType : std::uint8_t {
+  kIspBroadband,   // residential fixed-line ISP
+  kIspMobile,      // "Phone Provider" in ASdb terms
+  kCloud,          // hosting / "Computer and Information Technology"
+  kEducation,      // campus networks
+  kTransit,        // backbone carriers; infrastructure only
+};
+
+const char* to_string(AsType t) noexcept;
+
+// What a device is; drives its addressing, firewalling, NTP habits, and
+// discoverability by active scans.
+enum class DeviceKind : std::uint8_t {
+  kRouter,     // core / AS infrastructure router interface
+  kCpe,        // customer premises router (the site's gateway)
+  kServer,     // datacenter server
+  kDesktop,    // PC / laptop in a customer LAN
+  kMobile,     // phone; moves between WiFi and cellular
+  kIot,        // smart-home / IoT gadget
+};
+
+const char* to_string(DeviceKind k) noexcept;
+
+// How a device forms the interface identifier of its IPv6 address.
+enum class IidStrategy : std::uint8_t {
+  kEui64,            // SLAAC with embedded MAC (the privacy leak)
+  kRandomEphemeral,  // RFC 4941 privacy extensions; regenerates daily
+  kRandomStable,     // RFC 7217 opaque per-prefix stable IID
+  kLowByte,          // operator-assigned ::1, ::2, ...
+  kLow2Bytes,        // operator-assigned ::xxxx
+  kZero,             // all-zero IID (subnet-router style)
+  kIpv4Embedded,     // interface's IPv4 address in the low 32 bits
+  kStructuredLow,    // upper 4 IID bytes zero, lower 4 random (Jio pattern)
+  kDhcpSequential,   // small sequential values from a DHCPv6 pool
+  kSparseEphemeral,  // ephemeral but sparse: 3 random nibbles, rest zero
+                     // (low-entropy yet unique — the Fig 2b "low" curve)
+};
+
+const char* to_string(IidStrategy s) noexcept;
+
+}  // namespace v6::sim

@@ -1,0 +1,30 @@
+// Simulated time.
+//
+// The study runs on a virtual clock measured in seconds since the simulated
+// epoch (2022-01-25T00:00:00Z in study terms, but the library only needs
+// relative arithmetic). Library code never consults the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace v6::util {
+
+// Seconds since the simulation epoch.
+using SimTime = std::int64_t;
+// Difference between two SimTime values, in seconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 3600;
+inline constexpr SimDuration kDay = 86400;
+inline constexpr SimDuration kWeek = 7 * kDay;
+// Paper durations are quoted in calendar months; 30 days is close enough for
+// bucketing lifetimes.
+inline constexpr SimDuration kMonth = 30 * kDay;
+
+// "0s", "90s", "12m", "3h", "2d", "5w" — coarse human form for figure axes.
+std::string format_duration(SimDuration d);
+
+}  // namespace v6::util

@@ -1,0 +1,150 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace v6::util {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void EmpiricalDistribution::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::add_n(double x, std::size_t n) {
+  samples_.insert(samples_.end(), n, x);
+  sorted_ = false;
+}
+
+void EmpiricalDistribution::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalDistribution::cdf(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::quantile(double q) const {
+  if (samples_.empty()) throw std::out_of_range("quantile of empty sample");
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto n = samples_.size();
+  // Rank statistic: smallest sample s with cdf(s) >= q; rank is clamped to
+  // [1, n] so q == 0 returns the minimum.
+  const double raw_rank = std::ceil(q * static_cast<double>(n));
+  const auto rank = static_cast<std::size_t>(
+      std::clamp(raw_rank, 1.0, static_cast<double>(n)));
+  return samples_[rank - 1];
+}
+
+double EmpiricalDistribution::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalDistribution::min() const {
+  if (samples_.empty()) throw std::out_of_range("min of empty sample");
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalDistribution::max() const {
+  if (samples_.empty()) throw std::out_of_range("max of empty sample");
+  ensure_sorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> EmpiricalDistribution::cdf_curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points < 2) return curve;
+  ensure_sorted();
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  curve.reserve(points);
+  for (double x : linspace(lo, hi, points)) curve.emplace_back(x, cdf(x));
+  return curve;
+}
+
+const std::vector<double>& EmpiricalDistribution::sorted_samples() const {
+  ensure_sorted();
+  return samples_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)) {
+  if (buckets == 0 || !(hi > lo)) {
+    throw std::invalid_argument("Histogram requires hi > lo and buckets > 0");
+  }
+  counts_.assign(buckets, 0);
+}
+
+void Histogram::add(double x, std::uint64_t weight) noexcept {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::cumulative_fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) sum += counts_[b];
+  return static_cast<double>(sum) / static_cast<double>(total_);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  std::vector<double> xs;
+  if (n < 2) {
+    xs.push_back(lo);
+    return xs;
+  }
+  xs.reserve(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    xs.push_back(lo + step * static_cast<double>(i));
+  xs.back() = hi;
+  return xs;
+}
+
+}  // namespace v6::util

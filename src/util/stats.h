@@ -1,0 +1,99 @@
+// Small statistics toolkit used by the analysis layer: running moments,
+// empirical CDF/CCDF construction, histograms, and quantiles.
+//
+// The paper's figures are all CDFs/CCDFs over large sample sets; the types
+// here build those curves once and let benches print them as (x, F(x)) rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace v6::util {
+
+// Welford-style online mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // population variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Empirical distribution over a sample set. Samples are accumulated with
+// add() and the curve is finalized on first query (lazily sorts).
+class EmpiricalDistribution {
+ public:
+  EmpiricalDistribution() = default;
+  explicit EmpiricalDistribution(std::vector<double> samples);
+
+  void add(double x);
+  void add_n(double x, std::size_t n);
+
+  std::size_t count() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+
+  // Fraction of samples <= x.
+  double cdf(double x) const;
+  // Fraction of samples > x.
+  double ccdf(double x) const { return 1.0 - cdf(x); }
+  // Smallest sample s such that cdf(s) >= q, for q in [0, 1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Evaluates the CDF at `points` evenly spaced x values across
+  // [min, max]; returns (x, cdf(x)) pairs. Useful for printing figures.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t points) const;
+
+  const std::vector<double>& sorted_samples() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
+// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x, std::uint64_t weight = 1) noexcept;
+
+  std::size_t buckets() const noexcept { return counts_.size(); }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+  // Fraction of all weight at or below the upper edge of bucket i.
+  double cumulative_fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Returns evenly spaced values [lo..hi] inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+}  // namespace v6::util

@@ -1,0 +1,39 @@
+// String helpers shared across modules: splitting, joining, hex codecs,
+// and human-readable number formatting for bench output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace v6::util {
+
+// Splits on a single character; keeps empty fields ("a::b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+std::string join(std::span<const std::string> parts, std::string_view sep);
+
+std::string to_lower(std::string_view s);
+
+// Parses a hexadecimal string (no 0x prefix, 1..16 digits) to a u64.
+std::optional<std::uint64_t> parse_hex_u64(std::string_view s);
+
+// Parses a decimal string to a u64; rejects empty/overflow/non-digits.
+std::optional<std::uint64_t> parse_dec_u64(std::string_view s);
+
+// Lower-case hex encoding of a byte span ("deadbeef").
+std::string hex_encode(std::span<const std::uint8_t> bytes);
+
+// Formats with thousands separators: 7914066999 -> "7,914,066,999".
+std::string with_commas(std::uint64_t value);
+
+// Compact human form: 7914066999 -> "7.91B", 21409629 -> "21.4M".
+std::string human_count(std::uint64_t value);
+
+// Fixed-precision percentage: (1,3) -> "33.33%".
+std::string percent(double fraction, int decimals = 2);
+
+}  // namespace v6::util

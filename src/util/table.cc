@@ -1,0 +1,114 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace v6::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != '-' &&
+        c != '+' && c != ',' && c != '%' && c != 'e' && c != 'x') {
+      return false;
+    }
+  }
+  return true;
+}
+}  // namespace
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const auto pad = widths[c] - cells[c].size();
+      const bool right = align_numeric && looks_numeric(cells[c]);
+      if (c) out << "  ";
+      if (right) out << std::string(pad, ' ');
+      out << cells[c];
+      if (!right && c + 1 < cells.size()) out << std::string(pad, ' ');
+    }
+    out << '\n';
+  };
+
+  emit(headers_, false);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    rule += widths[c] + (c ? 2 : 0);
+  out << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) emit(row, true);
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> headers)
+    : out_(out), columns_(headers.size()) {
+  row(headers);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (cells.size() != columns_) {
+    throw std::invalid_argument("CsvWriter row width mismatch");
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void print_series(std::ostream& out, const std::string& caption,
+                  const std::vector<std::string>& column_names,
+                  const std::vector<std::vector<double>>& columns) {
+  out << "# " << caption << '\n';
+  for (std::size_t i = 0; i < column_names.size(); ++i) {
+    if (i) out << ',';
+    out << column_names[i];
+  }
+  out << '\n';
+  std::size_t rows = 0;
+  for (const auto& col : columns) rows = std::max(rows, col.size());
+  char buf[64];
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c) out << ',';
+      if (r < columns[c].size()) {
+        std::snprintf(buf, sizeof buf, "%.6g", columns[c][r]);
+        out << buf;
+      }
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace v6::util

@@ -1,0 +1,46 @@
+// Console table and CSV emission for benches and examples.
+//
+// Every bench prints two artifacts: a human-readable table (paper value vs.
+// measured value) and optionally machine-readable CSV series for the figure
+// curves. TablePrinter right-aligns numeric-looking cells automatically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace v6::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  // Renders the table with a header rule to `out`.
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class CsvWriter {
+ public:
+  // Writes the header row immediately.
+  CsvWriter(std::ostream& out, std::vector<std::string> headers);
+
+  void row(const std::vector<std::string>& cells);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& out_;
+  std::size_t columns_;
+};
+
+// Prints a "figure" as CSV-ish aligned series rows, prefixed with a caption
+// line. Used by benches to dump CDF curves.
+void print_series(std::ostream& out, const std::string& caption,
+                  const std::vector<std::string>& column_names,
+                  const std::vector<std::vector<double>>& columns);
+
+}  // namespace v6::util

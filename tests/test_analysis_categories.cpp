@@ -1,0 +1,137 @@
+#include "analysis/address_categories.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::analysis {
+namespace {
+
+class CategoriesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 27;
+    config.total_sites = 300;
+    world_ = new sim::World(sim::World::generate(config));
+  }
+  static void TearDownTestSuite() { delete world_; }
+
+  static std::uint64_t site_hi(std::uint32_t as_index, std::uint64_t n) {
+    return world_->ases()[as_index].prefix_hi | (2ULL << 28) | (n << 8);
+  }
+
+  static sim::World* world_;
+};
+
+sim::World* CategoriesTest::world_ = nullptr;
+
+TEST_F(CategoriesTest, StructuralCategoriesCounted) {
+  hitlist::Corpus corpus;
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 1), 0), 10);       // zeroes
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 2), 0x1), 10);     // low byte
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 3), 0x1234), 10);  // low 2B
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 4),
+                                        0x0123456789abcdefULL),
+             10);                                                     // high
+  const auto breakdown = categorize_corpus(corpus, *world_, 0, 100);
+  EXPECT_EQ(breakdown.total, 4u);
+  using C = net::AddressCategory;
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kZeroes)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kLowByte)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kLow2Bytes)], 1u);
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kHighEntropy)], 1u);
+  EXPECT_DOUBLE_EQ(breakdown.fraction(C::kZeroes), 0.25);
+}
+
+TEST_F(CategoriesTest, WindowFilterExcludesOutsideRecords) {
+  hitlist::Corpus corpus;
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 1), 0x1), 10);
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 2), 0x2), 500);
+  const auto in_window = categorize_corpus(corpus, *world_, 0, 100);
+  EXPECT_EQ(in_window.total, 1u);
+  const auto whole = categorize_corpus(corpus, *world_, 0, 1000);
+  EXPECT_EQ(whole.total, 2u);
+}
+
+TEST_F(CategoriesTest, SpanningRecordCountsInWindow) {
+  hitlist::Corpus corpus;
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 1), 0x1), 10);
+  corpus.add(net::Ipv6Address::from_u64(site_hi(0, 1), 0x1), 5000);
+  // Observed before and after the window, so it was active during it.
+  EXPECT_EQ(categorize_corpus(corpus, *world_, 100, 200).total, 1u);
+}
+
+TEST_F(CategoriesTest, Ipv4MappedRequiresAsGates) {
+  using C = net::AddressCategory;
+  const auto& as = world_->ases()[0];
+  CategoryConfig config;
+  config.min_instances_per_as = 10;
+  config.min_fraction_of_as = 0.10;
+
+  // 20 addresses embedding IPv4 addresses owned by the same AS: passes
+  // both gates.
+  hitlist::Corpus accepted;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    accepted.add(net::Ipv6Address::from_u64(site_hi(0, i),
+                                            as.ipv4_base + 100 + i),
+                 10);
+  }
+  const auto yes = categorize_corpus(accepted, *world_, 0, 100, config);
+  EXPECT_EQ(yes.counts[static_cast<std::size_t>(C::kIpv4Mapped)], 20u);
+
+  // Too few instances: gate fails, addresses fall into entropy bands.
+  hitlist::Corpus sparse;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    sparse.add(net::Ipv6Address::from_u64(site_hi(0, i),
+                                          as.ipv4_base + 100 + i),
+               10);
+  }
+  const auto no = categorize_corpus(sparse, *world_, 0, 100, config);
+  EXPECT_EQ(no.counts[static_cast<std::size_t>(C::kIpv4Mapped)], 0u);
+}
+
+TEST_F(CategoriesTest, Ipv4FromWrongAsRejected) {
+  using C = net::AddressCategory;
+  const auto& other = world_->ases()[5];
+  CategoryConfig config;
+  config.min_instances_per_as = 5;
+  hitlist::Corpus corpus;
+  // Embedded v4 belongs to a different AS than the v6 address.
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    corpus.add(net::Ipv6Address::from_u64(site_hi(0, i),
+                                          other.ipv4_base + 100 + i),
+               10);
+  }
+  const auto breakdown = categorize_corpus(corpus, *world_, 0, 100, config);
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kIpv4Mapped)], 0u);
+}
+
+TEST_F(CategoriesTest, DilutionBelowTenPercentFailsGate) {
+  using C = net::AddressCategory;
+  const auto& as = world_->ases()[0];
+  CategoryConfig config;
+  config.min_instances_per_as = 10;
+  hitlist::Corpus corpus;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    corpus.add(net::Ipv6Address::from_u64(site_hi(0, i),
+                                          as.ipv4_base + 100 + i),
+               10);
+  }
+  // Flood the AS with 300 random-IID addresses: v4 share drops to ~6%.
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    corpus.add(net::Ipv6Address::from_u64(site_hi(0, 100 + i),
+                                          0x8000000000000000ULL |
+                                              (i * 0x123456789abULL)),
+               10);
+  }
+  const auto breakdown = categorize_corpus(corpus, *world_, 0, 100, config);
+  EXPECT_EQ(breakdown.counts[static_cast<std::size_t>(C::kIpv4Mapped)], 0u);
+}
+
+TEST_F(CategoriesTest, UnroutedAddressesAreSkipped) {
+  hitlist::Corpus corpus;
+  corpus.add(*net::Ipv6Address::parse("2001:db8::1"), 10);
+  EXPECT_EQ(categorize_corpus(corpus, *world_, 0, 100).total, 0u);
+}
+
+}  // namespace
+}  // namespace v6::analysis

@@ -1,0 +1,59 @@
+#include "analysis/entropy_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include "net/entropy.h"
+
+namespace v6::analysis {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+TEST(EntropyDistribution, OneSamplePerUniqueAddress) {
+  hitlist::Corpus corpus;
+  corpus.add(addr(1, 0x0123456789abcdefULL), 0);
+  corpus.add(addr(1, 0x0123456789abcdefULL), 5);  // duplicate sighting
+  corpus.add(addr(2, 0x1ULL), 0);
+  const auto dist = entropy_distribution(corpus);
+  EXPECT_EQ(dist.count(), 2u);
+  EXPECT_DOUBLE_EQ(dist.max(), 1.0);
+  EXPECT_LT(dist.min(), 0.25);
+}
+
+TEST(EntropyDistribution, AddressSpanOverload) {
+  const net::Ipv6Address addresses[] = {addr(1, 0), addr(2, 0xffULL)};
+  const auto dist = entropy_distribution(addresses);
+  EXPECT_EQ(dist.count(), 2u);
+}
+
+TEST(EntropyDistribution, IntersectionFindsCommonOnly) {
+  hitlist::Corpus a, b;
+  a.add(addr(1, 0x0123456789abcdefULL), 0);
+  a.add(addr(2, 0x2ULL), 0);
+  b.add(addr(1, 0x0123456789abcdefULL), 9);
+  b.add(addr(3, 0x3ULL), 9);
+  EXPECT_EQ(intersection_size(a, b), 1u);
+  const auto dist = intersection_entropy_distribution(a, b);
+  ASSERT_EQ(dist.count(), 1u);
+  EXPECT_DOUBLE_EQ(dist.median(), 1.0);
+}
+
+TEST(EntropyDistribution, IntersectionIsSymmetric) {
+  hitlist::Corpus a, b;
+  for (std::uint64_t i = 0; i < 100; ++i) a.add(addr(i, i), 0);
+  for (std::uint64_t i = 50; i < 200; ++i) b.add(addr(i, i), 0);
+  EXPECT_EQ(intersection_size(a, b), intersection_size(b, a));
+  EXPECT_EQ(intersection_size(a, b), 50u);
+}
+
+TEST(EntropyDistribution, EmptyCorpus) {
+  hitlist::Corpus corpus;
+  EXPECT_TRUE(entropy_distribution(corpus).empty());
+  hitlist::Corpus other;
+  EXPECT_EQ(intersection_size(corpus, other), 0u);
+}
+
+}  // namespace
+}  // namespace v6::analysis

@@ -1,0 +1,130 @@
+#include "analysis/geolink.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace v6::analysis {
+namespace {
+
+constexpr std::uint32_t kOui = 0x3ca62f;  // AVM-style
+
+net::MacAddress mac_with(std::uint32_t oui, std::uint32_t suffix) {
+  return net::MacAddress::from_u64(
+      (static_cast<std::uint64_t>(oui) << 24) | suffix);
+}
+
+std::vector<MacTrack> tracks_for(std::uint32_t oui, std::uint32_t first,
+                                 std::uint32_t count) {
+  std::vector<MacTrack> tracks;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    MacTrack t;
+    t.mac = mac_with(oui, first + i * 3);  // non-contiguous suffixes
+    tracks.push_back(t);
+  }
+  return tracks;
+}
+
+TEST(GeoLink, InfersOffsetAndLinks) {
+  // Ground truth: BSSID = wired MAC + 0x40, wardriven at a known spot.
+  const auto tracks = tracks_for(kOui, 1000, 200);
+  geo::BssidLocationDb db;
+  for (const auto& t : tracks) {
+    // Near the German registry centroid so attribution is unambiguous.
+    db.add(mac_with(kOui, t.mac.suffix() + 0x40), {51.0, 10.1});
+  }
+  GeoLinkConfig config;
+  config.min_pairs_per_oui = 50;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+
+  ASSERT_TRUE(result.oui_offsets.contains(kOui));
+  EXPECT_EQ(result.oui_offsets.at(kOui), 0x40);
+  EXPECT_EQ(result.linked.size(), tracks.size());
+  ASSERT_FALSE(result.by_country.empty());
+  EXPECT_EQ(result.by_country.front().first.to_string(), "DE");
+  EXPECT_EQ(result.by_country.front().second, tracks.size());
+}
+
+TEST(GeoLink, NegativeOffsetsWork) {
+  const auto tracks = tracks_for(kOui, 5000, 150);
+  geo::BssidLocationDb db;
+  for (const auto& t : tracks) {
+    db.add(mac_with(kOui, t.mac.suffix() - 0x10), {48.8, 2.3});
+  }
+  GeoLinkConfig config;
+  config.min_pairs_per_oui = 50;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+  ASSERT_TRUE(result.oui_offsets.contains(kOui));
+  EXPECT_EQ(result.oui_offsets.at(kOui), -0x10);
+  EXPECT_EQ(result.linked.size(), tracks.size());
+}
+
+TEST(GeoLink, TooFewPairsNoInference) {
+  const auto tracks = tracks_for(kOui, 1000, 10);
+  geo::BssidLocationDb db;
+  for (const auto& t : tracks) {
+    db.add(mac_with(kOui, t.mac.suffix() + 0x40), {52.5, 13.4});
+  }
+  GeoLinkConfig config;
+  config.min_pairs_per_oui = 50;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+  EXPECT_FALSE(result.oui_offsets.contains(kOui));
+  EXPECT_TRUE(result.linked.empty());
+}
+
+TEST(GeoLink, PartialWardrivingCoverageLinksSubset) {
+  const auto tracks = tracks_for(kOui, 1000, 200);
+  geo::BssidLocationDb db;
+  util::Rng rng(9);
+  std::size_t covered = 0;
+  for (const auto& t : tracks) {
+    if (rng.chance(0.5)) {
+      db.add(mac_with(kOui, t.mac.suffix() + 0x08), {50.1, 8.7});
+      ++covered;
+    }
+  }
+  GeoLinkConfig config;
+  config.min_pairs_per_oui = 30;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+  ASSERT_TRUE(result.oui_offsets.contains(kOui));
+  EXPECT_EQ(result.oui_offsets.at(kOui), 0x08);
+  EXPECT_EQ(result.linked.size(), covered);
+}
+
+TEST(GeoLink, UnrelatedOuiBssidsDoNotConfuse) {
+  const auto tracks = tracks_for(kOui, 1000, 100);
+  geo::BssidLocationDb db;
+  for (const auto& t : tracks) {
+    db.add(mac_with(kOui, t.mac.suffix() + 0x20), {52.5, 13.4});
+    // Same-suffix BSSIDs under a different OUI must be ignored entirely.
+    db.add(mac_with(0x111111, t.mac.suffix() + 0x99), {0.0, 0.0});
+  }
+  GeoLinkConfig config;
+  config.min_pairs_per_oui = 30;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+  EXPECT_EQ(result.oui_offsets.at(kOui), 0x20);
+  EXPECT_FALSE(result.oui_offsets.contains(0x111111));
+}
+
+TEST(GeoLink, OffsetOutsideWindowNotFound) {
+  const auto tracks = tracks_for(kOui, 100000, 100);
+  geo::BssidLocationDb db;
+  for (const auto& t : tracks) {
+    db.add(mac_with(kOui, t.mac.suffix() + 5000), {1, 1});
+  }
+  GeoLinkConfig config;
+  config.max_offset = 1024;
+  config.min_pairs_per_oui = 30;
+  const auto result = link_eui64_to_bssids(tracks, db, config);
+  EXPECT_FALSE(result.oui_offsets.contains(kOui));
+}
+
+TEST(GeoLink, EmptyInputsAreFine) {
+  geo::BssidLocationDb db;
+  const auto result = link_eui64_to_bssids({}, db, {});
+  EXPECT_TRUE(result.linked.empty());
+  EXPECT_TRUE(result.by_country.empty());
+}
+
+}  // namespace
+}  // namespace v6::analysis

@@ -1,0 +1,84 @@
+#include "analysis/lifetimes.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::analysis {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+TEST(AddressLifetimes, FractionsOnHandBuiltCorpus) {
+  hitlist::Corpus corpus;
+  // Two once-seen addresses, one week-long, one seven-month.
+  corpus.add(addr(1, 0xa), 0);
+  corpus.add(addr(2, 0xb), 50);
+  corpus.add(addr(3, 0xc), 0);
+  corpus.add(addr(3, 0xc), util::kWeek);
+  corpus.add(addr(4, 0xd), 0);
+  corpus.add(addr(4, 0xd), 7 * util::kMonth);
+
+  const util::SimDuration points[] = {0, util::kDay, util::kWeek};
+  const auto report = address_lifetimes(corpus, points);
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_DOUBLE_EQ(report.fraction_once, 0.5);
+  EXPECT_DOUBLE_EQ(report.fraction_week, 0.5);
+  EXPECT_DOUBLE_EQ(report.fraction_month, 0.25);
+  EXPECT_DOUBLE_EQ(report.fraction_six_months, 0.25);
+  ASSERT_EQ(report.ccdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.ccdf[0].second, 1.0);   // lifetime >= 0: all
+  EXPECT_DOUBLE_EQ(report.ccdf[1].second, 0.5);   // >= 1 day
+  EXPECT_DOUBLE_EQ(report.ccdf[2].second, 0.5);   // >= 1 week
+}
+
+TEST(AddressLifetimes, EmptyCorpus) {
+  hitlist::Corpus corpus;
+  const auto report = address_lifetimes(corpus, {});
+  EXPECT_EQ(report.total, 0u);
+  EXPECT_DOUBLE_EQ(report.fraction_once, 0.0);
+}
+
+TEST(IidLifetimes, SpansAcrossPrefixes) {
+  hitlist::Corpus corpus;
+  // Same low-entropy IID (::1) in two prefixes, a week apart: its IID
+  // lifetime bridges both addresses.
+  corpus.add(addr(1, 1), 0);
+  corpus.add(addr(2, 1), util::kWeek);
+  const util::SimDuration points[] = {0, util::kDay, util::kWeek};
+  const auto report = iid_lifetimes(corpus, points);
+  EXPECT_EQ(report.unique_iids, 1u);
+  const auto& low = report.bands[static_cast<std::size_t>(
+      net::EntropyBand::kLow)];
+  EXPECT_EQ(low.total, 1u);
+  EXPECT_DOUBLE_EQ(low.fraction_once, 0.0);
+  EXPECT_DOUBLE_EQ(low.fraction_week, 1.0);
+  // CDF at one day: lifetime (1 week) > 1 day, so 0.
+  EXPECT_DOUBLE_EQ(low.cdf[1].second, 0.0);
+  EXPECT_DOUBLE_EQ(low.cdf[2].second, 1.0);
+}
+
+TEST(IidLifetimes, BandsSeparateByEntropy) {
+  hitlist::Corpus corpus;
+  corpus.add(addr(1, 1), 0);                         // low entropy
+  corpus.add(addr(1, 0x0123456789abcdefULL), 0);     // high entropy
+  corpus.add(addr(1, 0x1111111100000000ULL), 0);     // medium (0.25)
+  const auto report = iid_lifetimes(corpus, {});
+  EXPECT_EQ(report.unique_iids, 3u);
+  for (const auto& band : report.bands) {
+    EXPECT_EQ(band.total, 1u);
+    EXPECT_DOUBLE_EQ(band.fraction_once, 1.0);
+  }
+}
+
+TEST(IidLifetimes, DuplicateIidsCollapse) {
+  hitlist::Corpus corpus;
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    corpus.add(addr(p, 0xabcdef0123456789ULL), p * util::kDay);
+  }
+  const auto report = iid_lifetimes(corpus, {});
+  EXPECT_EQ(report.unique_iids, 1u);
+}
+
+}  // namespace
+}  // namespace v6::analysis

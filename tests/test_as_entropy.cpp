@@ -1,0 +1,80 @@
+#include "analysis/as_entropy.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::analysis {
+namespace {
+
+class AsEntropyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 41;
+    config.total_sites = 300;
+    world_ = new sim::World(sim::World::generate(config));
+  }
+  static void TearDownTestSuite() { delete world_; }
+
+  static net::Ipv6Address in_as(std::uint32_t as_index, std::uint64_t n,
+                                std::uint64_t iid) {
+    return net::Ipv6Address::from_u64(
+        world_->ases()[as_index].prefix_hi | (2ULL << 28) | (n << 8), iid);
+  }
+
+  static sim::World* world_;
+};
+
+sim::World* AsEntropyTest::world_ = nullptr;
+
+TEST_F(AsEntropyTest, RanksByAddressCount) {
+  hitlist::Corpus corpus;
+  for (std::uint64_t i = 0; i < 30; ++i) corpus.add(in_as(0, i, 0xabc + i), 5);
+  for (std::uint64_t i = 0; i < 10; ++i) corpus.add(in_as(1, i, 0xdef + i), 5);
+  for (std::uint64_t i = 0; i < 20; ++i) corpus.add(in_as(2, i, 0x123 + i), 5);
+
+  const auto top = top_as_entropy_profiles(corpus, *world_, 2, 0, 100);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].as_index, 0u);
+  EXPECT_EQ(top[0].addresses, 30u);
+  EXPECT_EQ(top[1].as_index, 2u);
+  EXPECT_EQ(top[1].name, world_->ases()[2].name);
+  EXPECT_EQ(top[0].asn, world_->ases()[0].asn);
+}
+
+TEST_F(AsEntropyTest, EntropySamplesMatchAddresses) {
+  hitlist::Corpus corpus;
+  corpus.add(in_as(0, 1, 0x0123456789abcdefULL), 5);  // entropy 1.0
+  corpus.add(in_as(0, 2, 0), 5);                      // entropy 0.0
+  const auto top = top_as_entropy_profiles(corpus, *world_, 1, 0, 100);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].entropy.count(), 2u);
+  EXPECT_DOUBLE_EQ(top[0].entropy.min(), 0.0);
+  EXPECT_DOUBLE_EQ(top[0].entropy.max(), 1.0);
+}
+
+TEST_F(AsEntropyTest, WindowFilters) {
+  hitlist::Corpus corpus;
+  corpus.add(in_as(0, 1, 0x111), 5);
+  corpus.add(in_as(0, 2, 0x222), 500);
+  const auto early = top_as_entropy_profiles(corpus, *world_, 5, 0, 100);
+  ASSERT_EQ(early.size(), 1u);
+  EXPECT_EQ(early[0].addresses, 1u);
+  const auto all = top_as_entropy_profiles(corpus, *world_, 5, 0, 1000);
+  EXPECT_EQ(all[0].addresses, 2u);
+}
+
+TEST_F(AsEntropyTest, UnroutedAddressesIgnored) {
+  hitlist::Corpus corpus;
+  corpus.add(*net::Ipv6Address::parse("2001:db8::1"), 5);
+  EXPECT_TRUE(top_as_entropy_profiles(corpus, *world_, 5, 0, 100).empty());
+}
+
+TEST_F(AsEntropyTest, FewerAsesThanRequested) {
+  hitlist::Corpus corpus;
+  corpus.add(in_as(3, 1, 0x9), 5);
+  const auto top = top_as_entropy_profiles(corpus, *world_, 10, 0, 100);
+  EXPECT_EQ(top.size(), 1u);
+}
+
+}  // namespace
+}  // namespace v6::analysis

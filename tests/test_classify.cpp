@@ -1,0 +1,117 @@
+#include "net/classify.h"
+
+#include <gtest/gtest.h>
+
+namespace v6::net {
+namespace {
+
+TEST(Classify, Zeroes) {
+  EXPECT_EQ(classify_iid(0, false), AddressCategory::kZeroes);
+}
+
+TEST(Classify, LowByte) {
+  EXPECT_EQ(classify_iid(0x1, false), AddressCategory::kLowByte);
+  EXPECT_EQ(classify_iid(0xff, false), AddressCategory::kLowByte);
+}
+
+TEST(Classify, LowTwoBytes) {
+  EXPECT_EQ(classify_iid(0x100, false), AddressCategory::kLow2Bytes);
+  EXPECT_EQ(classify_iid(0xffff, false), AddressCategory::kLow2Bytes);
+}
+
+TEST(Classify, StructuralBeatsIpv4Flag) {
+  // ::1 stays Low Byte even if an AS-level IPv4 gate fired.
+  EXPECT_EQ(classify_iid(0x1, true), AddressCategory::kLowByte);
+}
+
+TEST(Classify, Ipv4MappedWhenAccepted) {
+  const std::uint64_t iid = 0xc0a80101ULL;  // 192.168.1.1 in low 32
+  EXPECT_EQ(classify_iid(iid, true), AddressCategory::kIpv4Mapped);
+  // Without AS acceptance it falls through to an entropy band.
+  EXPECT_NE(classify_iid(iid, false), AddressCategory::kIpv4Mapped);
+}
+
+TEST(Classify, EntropyBands) {
+  EXPECT_EQ(classify_iid(0x0123456789abcdefULL, false),
+            AddressCategory::kHighEntropy);
+  // 8 zeros + 8 ones -> 0.25 normalized -> medium.
+  EXPECT_EQ(classify_iid(0x1111111100000000ULL, false),
+            AddressCategory::kMediumEntropy);
+  // Mostly one symbol -> low entropy (but not structurally low-byte).
+  EXPECT_EQ(classify_iid(0x7770000000000000ULL, false),
+            AddressCategory::kLowEntropy);
+}
+
+TEST(Classify, AddressOverload) {
+  const auto a = Ipv6Address::from_u64(0x20010db800000000ULL, 0x1);
+  EXPECT_EQ(classify_address(a, false), AddressCategory::kLowByte);
+}
+
+TEST(Classify, CategoryNames) {
+  EXPECT_STREQ(to_string(AddressCategory::kZeroes), "Zeroes");
+  EXPECT_STREQ(to_string(AddressCategory::kLowByte), "Low Byte");
+  EXPECT_STREQ(to_string(AddressCategory::kIpv4Mapped), "IPv4");
+}
+
+TEST(Ipv4Candidates, Low32Encoding) {
+  const auto candidates = ipv4_candidates(0x00000000c0a80101ULL);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (c.encoding == Ipv4Embedding::kLow32) {
+      EXPECT_EQ(c.address.to_string(), "192.168.1.1");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ipv4Candidates, High32Encoding) {
+  const auto candidates = ipv4_candidates(0x0a00000100000000ULL);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (c.encoding == Ipv4Embedding::kHigh32) {
+      EXPECT_EQ(c.address.to_string(), "10.0.0.1");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ipv4Candidates, DecimalHextetsEncoding) {
+  // IID 0192:0168:0001:0001 reads as 192.168.1.1 when each hextet's hex
+  // digits are taken as decimals.
+  const auto candidates = ipv4_candidates(0x0192016800010001ULL);
+  bool found = false;
+  for (const auto& c : candidates) {
+    if (c.encoding == Ipv4Embedding::kDecimalHextets) {
+      EXPECT_EQ(c.address.to_string(), "192.168.1.1");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Ipv4Candidates, RejectsHexDigitsInDecimalEncoding) {
+  // 0x1ab is not a decimal reading.
+  for (const auto& c : ipv4_candidates(0x01ab016800010001ULL)) {
+    EXPECT_NE(c.encoding, Ipv4Embedding::kDecimalHextets);
+  }
+}
+
+TEST(Ipv4Candidates, RejectsOver255InDecimalEncoding) {
+  // 0x0999 reads as 999 > 255.
+  for (const auto& c : ipv4_candidates(0x0999016800010001ULL)) {
+    EXPECT_NE(c.encoding, Ipv4Embedding::kDecimalHextets);
+  }
+}
+
+TEST(Ipv4Candidates, NoCandidatesForRandomHighEntropy) {
+  EXPECT_TRUE(ipv4_candidates(0x9f3a7cd2e45b8a61ULL).empty());
+}
+
+TEST(Ipv4Candidates, ZeroIidHasNoCandidates) {
+  EXPECT_TRUE(ipv4_candidates(0).empty());
+}
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,177 @@
+#include "hitlist/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace v6::hitlist {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+TEST(Corpus, EmptyState) {
+  Corpus c;
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.total_observations(), 0u);
+  EXPECT_EQ(c.find(addr(1, 1)), nullptr);
+}
+
+TEST(Corpus, SingleAddMakesRecord) {
+  Corpus c;
+  c.add(addr(1, 2), 100, 3);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.total_observations(), 1u);
+  const auto* rec = c.find(addr(1, 2));
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->first_seen, 100u);
+  EXPECT_EQ(rec->last_seen, 100u);
+  EXPECT_EQ(rec->count, 1u);
+  EXPECT_EQ(rec->vantage_mask, 1u << 3);
+  EXPECT_EQ(rec->lifetime(), 0);
+}
+
+TEST(Corpus, RepeatSightingsAggregate) {
+  Corpus c;
+  c.add(addr(1, 2), 500, 0);
+  c.add(addr(1, 2), 100, 1);  // earlier (out-of-order arrival)
+  c.add(addr(1, 2), 900, 2);
+  EXPECT_EQ(c.size(), 1u);
+  const auto* rec = c.find(addr(1, 2));
+  EXPECT_EQ(rec->first_seen, 100u);
+  EXPECT_EQ(rec->last_seen, 900u);
+  EXPECT_EQ(rec->count, 3u);
+  EXPECT_EQ(rec->vantage_mask, 0b111u);
+  EXPECT_EQ(rec->lifetime(), 800);
+}
+
+TEST(Corpus, NegativeTimeClampsToZero) {
+  Corpus c;
+  c.add(addr(1, 2), -50, 0);
+  EXPECT_EQ(c.find(addr(1, 2))->first_seen, 0u);
+}
+
+TEST(Corpus, VantageAbove31Ignored) {
+  Corpus c;
+  c.add(addr(1, 2), 1, 40);
+  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 0u);
+}
+
+TEST(Corpus, GrowsPastInitialCapacity) {
+  Corpus c(16);
+  util::Rng rng(1);
+  std::vector<net::Ipv6Address> addresses;
+  for (int i = 0; i < 5000; ++i) {
+    addresses.push_back(addr(rng.next(), rng.next()));
+    c.add(addresses.back(), i, static_cast<std::uint8_t>(i % 27));
+  }
+  EXPECT_EQ(c.size(), 5000u);
+  for (const auto& a : addresses) {
+    EXPECT_NE(c.find(a), nullptr);
+  }
+}
+
+TEST(Corpus, ForEachVisitsEveryRecordOnce) {
+  Corpus c;
+  for (std::uint64_t i = 0; i < 100; ++i) c.add(addr(i, i), 1, 0);
+  std::size_t visits = 0;
+  c.for_each([&](const AddressRecord&) { ++visits; });
+  EXPECT_EQ(visits, 100u);
+}
+
+TEST(Corpus, MergeCombinesAggregates) {
+  Corpus a, b;
+  a.add(addr(1, 1), 100, 0);
+  a.add(addr(2, 2), 200, 1);
+  b.add(addr(1, 1), 50, 2);
+  b.add(addr(3, 3), 300, 3);
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.total_observations(), 4u);
+  const auto* rec = a.find(addr(1, 1));
+  EXPECT_EQ(rec->first_seen, 50u);
+  EXPECT_EQ(rec->last_seen, 100u);
+  EXPECT_EQ(rec->count, 2u);
+  EXPECT_EQ(rec->vantage_mask, 0b101u);
+}
+
+TEST(Corpus, AddRecordMergesLikeMerge) {
+  Corpus corpus;
+  corpus.add(addr(1, 1), 100, 0);
+  AddressRecord rec;
+  rec.address = addr(1, 1);
+  rec.first_seen = 50;
+  rec.last_seen = 400;
+  rec.count = 3;
+  rec.vantage_mask = 0b10;
+  corpus.add_record(rec);
+  const auto* merged = corpus.find(addr(1, 1));
+  EXPECT_EQ(merged->first_seen, 50u);
+  EXPECT_EQ(merged->last_seen, 400u);
+  EXPECT_EQ(merged->count, 4u);
+  EXPECT_EQ(merged->vantage_mask, 0b11u);
+  EXPECT_EQ(corpus.total_observations(), 4u);
+
+  AddressRecord fresh;
+  fresh.address = addr(9, 9);
+  fresh.first_seen = fresh.last_seen = 7;
+  fresh.count = 2;
+  corpus.add_record(fresh);
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.find(addr(9, 9))->count, 2u);
+}
+
+TEST(Corpus, MoveTransfersContents) {
+  Corpus a;
+  a.add(addr(1, 1), 1, 0);
+  Corpus b = std::move(a);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_NE(b.find(addr(1, 1)), nullptr);
+}
+
+// Property: Corpus agrees with a reference std::unordered_map aggregate
+// under a random workload.
+class CorpusReferenceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusReferenceProperty, MatchesReferenceImplementation) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Corpus corpus(32);
+  struct Ref {
+    std::uint32_t first, last, count, mask;
+  };
+  std::unordered_map<net::Ipv6Address, Ref> reference;
+
+  for (int i = 0; i < 20000; ++i) {
+    // Small key space forces plenty of repeat sightings.
+    const auto a = addr(rng.bounded(64), rng.bounded(64));
+    const auto t = static_cast<std::uint32_t>(rng.bounded(1000000));
+    const auto v = static_cast<std::uint8_t>(rng.bounded(27));
+    corpus.add(a, t, v);
+    auto [it, inserted] = reference.try_emplace(a, Ref{t, t, 1, 1u << v});
+    if (!inserted) {
+      it->second.first = std::min(it->second.first, t);
+      it->second.last = std::max(it->second.last, t);
+      ++it->second.count;
+      it->second.mask |= 1u << v;
+    }
+  }
+
+  ASSERT_EQ(corpus.size(), reference.size());
+  for (const auto& [a, ref] : reference) {
+    const auto* rec = corpus.find(a);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->first_seen, ref.first);
+    EXPECT_EQ(rec->last_seen, ref.last);
+    EXPECT_EQ(rec->count, ref.count);
+    EXPECT_EQ(rec->vantage_mask, ref.mask);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CorpusReferenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace v6::hitlist

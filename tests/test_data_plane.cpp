@@ -1,0 +1,236 @@
+#include "netsim/data_plane.h"
+
+#include <gtest/gtest.h>
+
+#include "proto/udp.h"
+#include "util/rng.h"
+
+namespace v6::netsim {
+namespace {
+
+class DataPlaneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 21;
+    config.total_sites = 500;
+    world_ = new sim::World(sim::World::generate(config));
+  }
+  static void TearDownTestSuite() { delete world_; }
+
+  static DataPlane lossless() { return DataPlane(*world_, {0.0, 1}); }
+
+  static sim::World* world_;
+};
+
+sim::World* DataPlaneTest::world_ = nullptr;
+
+// A reachable (non-firewalled, echo-answering) device, or kNoDevice.
+sim::DeviceId find_reachable(const sim::World& w, util::SimTime t) {
+  for (const auto& dev : w.devices()) {
+    if (dev.kind != sim::DeviceKind::kCpe || !dev.responds_icmp) continue;
+    const auto res = w.resolve(w.device_address(dev.id, t), t);
+    if (res.kind == sim::World::Resolution::Kind::kDevice &&
+        !res.firewalled) {
+      return dev.id;
+    }
+  }
+  return sim::kNoDevice;
+}
+
+sim::DeviceId find_firewalled(const sim::World& w, util::SimTime /*t*/) {
+  for (const auto& dev : w.devices()) {
+    if (dev.site == sim::kNoSite || dev.kind == sim::DeviceKind::kCpe) {
+      continue;
+    }
+    if (!w.sites()[dev.site].firewalled || w.sites()[dev.site].aliased) {
+      continue;
+    }
+    return dev.id;
+  }
+  return sim::kNoDevice;
+}
+
+TEST_F(DataPlaneTest, EchoToLiveDeviceGetsReply) {
+  auto plane = lossless();
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  ASSERT_NE(d, sim::kNoDevice);
+  const auto target = world_->device_address(d, t);
+  const auto result =
+      plane.echo(world_->vantages().front().address, target, 7, 9, t);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kEchoReply);
+  EXPECT_EQ(result.responder, target);
+  EXPECT_EQ(result.sequence, 9);
+}
+
+TEST_F(DataPlaneTest, EchoToFirewalledDeviceTimesOut) {
+  auto plane = lossless();
+  const util::SimTime t = 1000;
+  const auto d = find_firewalled(*world_, t);
+  ASSERT_NE(d, sim::kNoDevice);
+  const auto target = world_->device_address(d, t);
+  const auto result =
+      plane.echo(world_->vantages().front().address, target, 7, 9, t);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kTimeout);
+}
+
+TEST_F(DataPlaneTest, EchoToNowhereTimesOut) {
+  auto plane = lossless();
+  const auto result =
+      plane.echo(world_->vantages().front().address,
+                 *net::Ipv6Address::parse("2001:db8::dead"), 1, 1, 50);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kTimeout);
+}
+
+TEST_F(DataPlaneTest, HopLimitedProbeElicitsTimeExceeded) {
+  auto plane = lossless();
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  ASSERT_NE(d, sim::kNoDevice);
+  const auto src = world_->vantages().front().address;
+  const auto dst = world_->device_address(d, t);
+  const auto path = plane.topology().path(src, dst, t);
+  ASSERT_FALSE(path.empty());
+  const auto result = plane.hop_limited_echo(src, dst, 1, 3, 1, t);
+  ASSERT_EQ(result.kind, ProbeResult::Kind::kTimeExceeded);
+  EXPECT_EQ(result.responder, path.front().address);
+}
+
+TEST_F(DataPlaneTest, HopLimitBeyondPathReachesDestination) {
+  auto plane = lossless();
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  const auto src = world_->vantages().front().address;
+  const auto dst = world_->device_address(d, t);
+  const auto path = plane.topology().path(src, dst, t);
+  const auto result = plane.hop_limited_echo(
+      src, dst, static_cast<std::uint8_t>(path.size() + 1), 3, 1, t);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kEchoReply);
+}
+
+TEST_F(DataPlaneTest, FullLossDropsEverything) {
+  DataPlane plane(*world_, {1.0, 1});
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  const auto result = plane.echo(world_->vantages().front().address,
+                                 world_->device_address(d, t), 1, 1, t);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kTimeout);
+  EXPECT_GT(plane.drops(), 0u);
+}
+
+TEST_F(DataPlaneTest, LossRateIsRoughlyHonored) {
+  DataPlane plane(*world_, {0.2, 2});
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  const auto target = world_->device_address(d, t);
+  const auto src = world_->vantages().front().address;
+  int replies = 0;
+  constexpr int kProbes = 2000;
+  for (int i = 0; i < kProbes; ++i) {
+    if (plane.echo(src, target, 1, static_cast<std::uint16_t>(i), t).kind ==
+        ProbeResult::Kind::kEchoReply) {
+      ++replies;
+    }
+  }
+  // Two loss opportunities per exchange: P(reply) = 0.8^2 = 0.64.
+  EXPECT_NEAR(static_cast<double>(replies) / kProbes, 0.64, 0.05);
+}
+
+TEST_F(DataPlaneTest, UdpServiceRoundTrip) {
+  auto plane = lossless();
+  const auto server = world_->vantages().front().address;
+  plane.bind_udp(server, proto::kNtpPort,
+                 [](const net::Ipv6Address&, std::uint16_t,
+                    const std::vector<std::uint8_t>& payload, util::SimTime)
+                     -> std::optional<std::vector<std::uint8_t>> {
+                   auto echo = payload;
+                   echo.push_back(0x99);
+                   return echo;
+                 });
+  const auto client = world_->device_address(0, 0);
+  const auto response = plane.send_udp(client, 40000, server,
+                                       proto::kNtpPort, {1, 2, 3}, 0);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->size(), 4u);
+  EXPECT_EQ(response->back(), 0x99);
+}
+
+TEST_F(DataPlaneTest, UdpToUnboundPortIsSilent) {
+  auto plane = lossless();
+  const auto client = world_->device_address(0, 0);
+  EXPECT_FALSE(plane.send_udp(client, 40000,
+                              world_->vantages().front().address, 9999,
+                              {1}, 0));
+}
+
+TEST_F(DataPlaneTest, UdpServiceMayDecline) {
+  auto plane = lossless();
+  const auto server = world_->vantages().front().address;
+  plane.bind_udp(server, proto::kNtpPort,
+                 [](const net::Ipv6Address&, std::uint16_t,
+                    const std::vector<std::uint8_t>&, util::SimTime)
+                     -> std::optional<std::vector<std::uint8_t>> {
+                   return std::nullopt;
+                 });
+  EXPECT_FALSE(plane.send_udp(world_->device_address(0, 0), 40000, server,
+                              proto::kNtpPort, {1}, 0));
+}
+
+TEST_F(DataPlaneTest, RouterIcmpRateLimiting) {
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  const auto src = world_->vantages().front().address;
+  const auto dst = world_->device_address(d, t);
+
+  netsim::DataPlaneConfig limited{0.0, 1, 5};  // 5 errors/router/second
+  DataPlane plane(*world_, limited);
+  int exceeded = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (plane.hop_limited_echo(src, dst, 1, 1,
+                               static_cast<std::uint16_t>(i), t)
+            .kind == ProbeResult::Kind::kTimeExceeded) {
+      ++exceeded;
+    }
+  }
+  EXPECT_EQ(exceeded, 5);
+  EXPECT_EQ(plane.rate_limited(), 35u);
+
+  // The budget resets the next second...
+  EXPECT_EQ(plane.hop_limited_echo(src, dst, 1, 1, 99, t + 1).kind,
+            ProbeResult::Kind::kTimeExceeded);
+  // ...and destination replies are never policed.
+  EXPECT_EQ(plane.echo(src, dst, 1, 7, t + 1).kind,
+            ProbeResult::Kind::kEchoReply);
+}
+
+TEST_F(DataPlaneTest, RateLimitDisabledByDefault) {
+  auto plane = lossless();
+  const util::SimTime t = 2000;
+  const auto d = find_reachable(*world_, t);
+  const auto src = world_->vantages().front().address;
+  const auto dst = world_->device_address(d, t);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(plane
+                  .hop_limited_echo(src, dst, 1, 1,
+                                    static_cast<std::uint16_t>(i), t)
+                  .kind,
+              ProbeResult::Kind::kTimeExceeded);
+  }
+  EXPECT_EQ(plane.rate_limited(), 0u);
+}
+
+TEST_F(DataPlaneTest, AliasRegionsAnswerEcho) {
+  auto plane = lossless();
+  const auto prefixes = world_->aliased_datacenter_prefixes();
+  ASSERT_FALSE(prefixes.empty());
+  util::Rng rng(3);
+  const auto target = net::Ipv6Address::from_u64(
+      prefixes[0].address().hi64() | 7, rng.next());
+  const auto result =
+      plane.echo(world_->vantages().front().address, target, 1, 1, 1000);
+  EXPECT_EQ(result.kind, ProbeResult::Kind::kEchoReply);
+}
+
+}  // namespace
+}  // namespace v6::netsim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hitlist/corpus_io.h"
+#include "proto/datagram.h"
+#include "util/rng.h"
+
+namespace v6 {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+proto::Ipv6Header header_between(std::uint64_t a, std::uint64_t b) {
+  proto::Ipv6Header header;
+  header.src = addr(a, 1);
+  header.dst = addr(b, 2);
+  header.hop_limit = 61;
+  return header;
+}
+
+TEST(Datagram, Icmpv6RoundTrip) {
+  const auto wire = proto::build_icmpv6_datagram(
+      header_between(10, 20), proto::make_echo_request(7, 9, {1, 2, 3}));
+  const auto parsed = proto::parse_datagram(wire);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_icmpv6());
+  const auto& message = std::get<proto::Icmpv6Message>(parsed->payload);
+  EXPECT_EQ(message.identifier(), 7);
+  EXPECT_EQ(message.sequence(), 9);
+  EXPECT_EQ(parsed->header.hop_limit, 61);
+}
+
+TEST(Datagram, UdpRoundTrip) {
+  const auto wire = proto::build_udp_datagram(
+      header_between(1, 2), {4000, 123, {9, 8, 7, 6}});
+  const auto parsed = proto::parse_datagram(wire);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_udp());
+  EXPECT_EQ(std::get<proto::UdpDatagram>(parsed->payload).payload.size(), 4u);
+}
+
+TEST(Datagram, TcpRoundTrip) {
+  const auto wire = proto::build_tcp_datagram(
+      header_between(3, 4), proto::make_syn(4000, 443, 0xabc));
+  const auto parsed = proto::parse_datagram(wire);
+  ASSERT_TRUE(parsed);
+  ASSERT_TRUE(parsed->is_tcp());
+  EXPECT_TRUE(std::get<proto::TcpSegment>(parsed->payload).is_syn());
+}
+
+TEST(Datagram, RejectsLengthMismatch) {
+  auto wire = proto::build_udp_datagram(header_between(1, 2), {1, 2, {3}});
+  wire.push_back(0);  // trailing byte breaks payload_length consistency
+  EXPECT_FALSE(proto::parse_datagram(wire));
+}
+
+TEST(Datagram, RejectsUnknownNextHeader) {
+  auto wire = proto::build_udp_datagram(header_between(1, 2), {1, 2, {3}});
+  wire[6] = 150;  // bogus next-header
+  EXPECT_FALSE(proto::parse_datagram(wire));
+}
+
+TEST(Datagram, RejectsUpperLayerCorruption) {
+  auto wire = proto::build_icmpv6_datagram(header_between(1, 2),
+                                           proto::make_echo_request(1, 2));
+  wire.back() ^= 0xff;
+  EXPECT_FALSE(proto::parse_datagram(wire));
+}
+
+TEST(Datagram, FuzzedInputNeverCrashes) {
+  util::Rng rng(5);
+  int accepted = 0;
+  for (int i = 0; i < 3000; ++i) {
+    std::vector<std::uint8_t> junk(rng.bounded(128));
+    for (auto& b : junk) b = static_cast<std::uint8_t>(rng.next());
+    if (proto::parse_datagram(junk)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);  // version+length+checksum gauntlet
+}
+
+TEST(CorpusIo, SaveLoadRoundTrip) {
+  hitlist::Corpus corpus;
+  util::Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    corpus.add(addr(rng.next(), rng.next()),
+               static_cast<util::SimTime>(rng.bounded(1 << 24)),
+               static_cast<std::uint8_t>(rng.bounded(27)));
+  }
+  // Re-observe some addresses so counts and masks exercise merging.
+  corpus.add(addr(1, 1), 10, 1);
+  corpus.add(addr(1, 1), 99999, 2);
+
+  std::stringstream stream;
+  const auto bytes = hitlist::save_corpus(stream, corpus);
+  EXPECT_EQ(bytes, 8u + 16 + corpus.size() * 32);
+
+  const auto loaded = hitlist::load_corpus(stream);
+  EXPECT_EQ(loaded.size(), corpus.size());
+  EXPECT_EQ(loaded.total_observations(), corpus.total_observations());
+  corpus.for_each([&](const hitlist::AddressRecord& rec) {
+    const auto* other = loaded.find(rec.address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->first_seen, rec.first_seen);
+    EXPECT_EQ(other->last_seen, rec.last_seen);
+    EXPECT_EQ(other->count, rec.count);
+    EXPECT_EQ(other->vantage_mask, rec.vantage_mask);
+  });
+}
+
+TEST(CorpusIo, EmptyCorpusRoundTrips) {
+  hitlist::Corpus corpus;
+  std::stringstream stream;
+  hitlist::save_corpus(stream, corpus);
+  EXPECT_EQ(hitlist::load_corpus(stream).size(), 0u);
+}
+
+TEST(CorpusIo, RejectsBadMagic) {
+  std::stringstream stream("NOTACORP........");
+  EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsTruncation) {
+  hitlist::Corpus corpus;
+  corpus.add(addr(1, 2), 5, 0);
+  std::stringstream stream;
+  hitlist::save_corpus(stream, corpus);
+  const std::string full = stream.str();
+  for (std::size_t cut : {9ul, 20ul, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(hitlist::load_corpus(truncated), std::runtime_error);
+  }
+}
+
+TEST(CorpusIo, RejectsTrailingGarbage) {
+  hitlist::Corpus corpus;
+  corpus.add(addr(1, 2), 5, 0);
+  std::stringstream stream;
+  hitlist::save_corpus(stream, corpus);
+  stream << "extra";
+  EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace v6

@@ -1,0 +1,83 @@
+#include "net/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace v6::net {
+namespace {
+
+TEST(IidEntropy, AllZeroIsZero) { EXPECT_DOUBLE_EQ(iid_entropy(0ULL), 0.0); }
+
+TEST(IidEntropy, AllSameNonZeroNibbleIsZero) {
+  EXPECT_DOUBLE_EQ(iid_entropy(0xffffffffffffffffULL), 0.0);
+  EXPECT_DOUBLE_EQ(iid_entropy(0x7777777777777777ULL), 0.0);
+}
+
+TEST(IidEntropy, PaperExampleAllDistinctIsOne) {
+  // The paper's own example: IID 0123:4567:89ab:cdef has entropy 1.0.
+  EXPECT_DOUBLE_EQ(iid_entropy(0x0123456789abcdefULL), 1.0);
+}
+
+TEST(IidEntropy, TwoSymbolsHalfEach) {
+  // 8 zeros and 8 ones -> H = 1 bit, normalized by 4 -> 0.25.
+  EXPECT_DOUBLE_EQ(iid_entropy(0x1111111100000000ULL), 0.25);
+}
+
+TEST(IidEntropy, LowByteAddressesAreLowEntropy) {
+  EXPECT_LT(iid_entropy(0x1ULL), 0.25);
+  EXPECT_LT(iid_entropy(0x2ULL), 0.25);
+  EXPECT_LT(iid_entropy(0x100ULL), 0.25);
+}
+
+TEST(IidEntropy, AddressOverloadMatchesIidOverload) {
+  const auto a = Ipv6Address::from_u64(0xdeadbeefcafef00dULL,
+                                       0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(iid_entropy(a), iid_entropy(a.iid()));
+}
+
+TEST(IidEntropy, RandomIidsClusterNearPointEightFive) {
+  // Uniform random 16-nibble strings have expected normalized entropy
+  // ~0.80 (nibble collisions keep it well below 1.0) — this is why the
+  // paper's client-heavy corpus has median ~0.8.
+  util::Rng rng(7);
+  double sum = 0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += iid_entropy(rng.next());
+  const double mean = sum / kDraws;
+  EXPECT_GT(mean, 0.78);
+  EXPECT_LT(mean, 0.83);
+}
+
+TEST(EntropyBand, CutoffsMatchPaper) {
+  EXPECT_EQ(entropy_band(0.0), EntropyBand::kLow);
+  EXPECT_EQ(entropy_band(0.2499), EntropyBand::kLow);
+  EXPECT_EQ(entropy_band(0.25), EntropyBand::kMedium);
+  EXPECT_EQ(entropy_band(0.7499), EntropyBand::kMedium);
+  EXPECT_EQ(entropy_band(0.75), EntropyBand::kHigh);
+  EXPECT_EQ(entropy_band(1.0), EntropyBand::kHigh);
+}
+
+TEST(EntropyBand, Names) {
+  EXPECT_STREQ(to_string(EntropyBand::kLow), "low");
+  EXPECT_STREQ(to_string(EntropyBand::kMedium), "medium");
+  EXPECT_STREQ(to_string(EntropyBand::kHigh), "high");
+}
+
+TEST(IidEntropy, RangeAlwaysNormalized) {
+  util::Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double h = iid_entropy(rng.next());
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+TEST(IidEntropy, PermutationInvariant) {
+  // Entropy only depends on nibble frequencies, not positions.
+  EXPECT_DOUBLE_EQ(iid_entropy(0x1122334455667788ULL),
+                   iid_entropy(0x8877665544332211ULL));
+}
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,84 @@
+#include "net/eui64.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace v6::net {
+namespace {
+
+TEST(Eui64, KnownVector) {
+  // RFC 4291 Appendix A example: MAC 34-56-78-9A-BC-DE ->
+  // IID 3656:78ff:fe9a:bcde (U/L bit of 0x34 flips to 0x36).
+  const auto mac = *MacAddress::parse("34:56:78:9a:bc:de");
+  EXPECT_EQ(eui64_iid_from_mac(mac), 0x365678fffe9abcdeULL);
+}
+
+TEST(Eui64, LooksLikeDetectsMarker) {
+  EXPECT_TRUE(looks_like_eui64(0x365678fffe9abcdeULL));
+  EXPECT_FALSE(looks_like_eui64(0x365678fffd9abcdeULL));
+  EXPECT_FALSE(looks_like_eui64(0ULL));
+  // The marker must be at bytes 3-4 of the IID, nowhere else.
+  EXPECT_FALSE(looks_like_eui64(0xfffe000000000000ULL));
+}
+
+TEST(Eui64, DecodeRecoversOriginalMac) {
+  const auto mac = *MacAddress::parse("34:56:78:9a:bc:de");
+  const auto decoded = mac_from_eui64(eui64_iid_from_mac(mac));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, mac);
+}
+
+TEST(Eui64, DecodeRejectsNonEui64) {
+  EXPECT_FALSE(mac_from_eui64(0x1234567890abcdefULL));
+}
+
+TEST(Eui64, AddressLevelHelpers) {
+  const auto mac = *MacAddress::parse("00:11:22:33:44:55");
+  const auto address = eui64_address(0x20010db8aaaa0001ULL, mac);
+  EXPECT_EQ(address.hi64(), 0x20010db8aaaa0001ULL);
+  EXPECT_TRUE(looks_like_eui64(address));
+  const auto decoded = mac_from_eui64(address);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, mac);
+}
+
+TEST(Eui64, LocalBitMacsRoundTripToo) {
+  // A locally-administered MAC flips to universal inside the IID and back.
+  const auto mac = *MacAddress::parse("02:00:00:00:00:01");
+  const auto iid = eui64_iid_from_mac(mac);
+  EXPECT_EQ((iid >> 56) & 0x02, 0u);  // U/L cleared in IID
+  EXPECT_EQ(*mac_from_eui64(iid), mac);
+}
+
+class Eui64RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Eui64RoundTrip, EncodeDecodeIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 2000; ++i) {
+    const auto mac = MacAddress::from_u64(rng.next() & 0xffffffffffffULL);
+    const auto iid = eui64_iid_from_mac(mac);
+    EXPECT_TRUE(looks_like_eui64(iid));
+    const auto decoded = mac_from_eui64(iid);
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(*decoded, mac);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Eui64RoundTrip, ::testing::Values(1, 2, 3));
+
+TEST(Eui64, RandomIidsMatchMarkerAtExpectedRate) {
+  // The paper's false-positive argument: a random IID looks like EUI-64
+  // with probability 2^-16.
+  util::Rng rng(99);
+  int matches = 0;
+  constexpr int kDraws = 1 << 22;  // 4M draws -> expect ~64
+  for (int i = 0; i < kDraws; ++i) {
+    if (looks_like_eui64(rng.next())) ++matches;
+  }
+  EXPECT_GT(matches, 20);
+  EXPECT_LT(matches, 160);
+}
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,94 @@
+#include "sim/feistel.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+namespace v6::sim {
+namespace {
+
+TEST(Feistel, IsBijectiveOnSmallDomain) {
+  const FeistelPermutation perm(100, 42);
+  std::vector<bool> hit(100, false);
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    const auto y = perm.apply(x);
+    ASSERT_LT(y, 100u);
+    ASSERT_FALSE(hit[y]) << "collision at " << x;
+    hit[y] = true;
+  }
+}
+
+TEST(Feistel, InvertUndoesApply) {
+  const FeistelPermutation perm(1 << 20, 0xabcdef);
+  for (std::uint64_t x = 0; x < 5000; ++x) {
+    EXPECT_EQ(perm.invert(perm.apply(x)), x);
+  }
+}
+
+TEST(Feistel, ApplyUndoesInvert) {
+  const FeistelPermutation perm(777, 3);
+  for (std::uint64_t y = 0; y < 777; ++y) {
+    EXPECT_EQ(perm.apply(perm.invert(y)), y);
+  }
+}
+
+TEST(Feistel, DifferentKeysDifferentPermutations) {
+  const FeistelPermutation a(1000, 1), b(1000, 2);
+  int same = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a.apply(x) == b.apply(x)) ++same;
+  }
+  EXPECT_LT(same, 20);
+}
+
+TEST(Feistel, DomainOfOne) {
+  const FeistelPermutation perm(1, 9);
+  EXPECT_EQ(perm.apply(0), 0u);
+  EXPECT_EQ(perm.invert(0), 0u);
+}
+
+TEST(Feistel, ZeroDomainTreatedAsOne) {
+  const FeistelPermutation perm(0, 9);
+  EXPECT_EQ(perm.domain_size(), 1u);
+  EXPECT_EQ(perm.apply(0), 0u);
+}
+
+TEST(Feistel, ScattersConsecutiveInputs) {
+  const FeistelPermutation perm(1 << 16, 0x5eed);
+  // Consecutive site indices must not map to consecutive slots.
+  int adjacent = 0;
+  std::uint64_t prev = perm.apply(0);
+  for (std::uint64_t x = 1; x < 1000; ++x) {
+    const auto y = perm.apply(x);
+    if (y == prev + 1 || prev == y + 1) ++adjacent;
+    prev = y;
+  }
+  EXPECT_LT(adjacent, 10);
+}
+
+class FeistelBijection
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, std::uint64_t>> {
+};
+
+TEST_P(FeistelBijection, FullDomainRoundTrip) {
+  const auto [domain, key] = GetParam();
+  const FeistelPermutation perm(domain, key);
+  std::vector<bool> hit(domain, false);
+  for (std::uint64_t x = 0; x < domain; ++x) {
+    const auto y = perm.apply(x);
+    ASSERT_LT(y, domain);
+    ASSERT_FALSE(hit[y]);
+    hit[y] = true;
+    ASSERT_EQ(perm.invert(y), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndKeys, FeistelBijection,
+    ::testing::Combine(::testing::Values<std::uint64_t>(2, 3, 7, 16, 255, 256,
+                                                        257, 1000, 4096),
+                       ::testing::Values<std::uint64_t>(0, 1, 0xdeadbeef)));
+
+}  // namespace
+}  // namespace v6::sim

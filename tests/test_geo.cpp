@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "geo/bssid_db.h"
+#include "geo/country.h"
+#include "geo/geodb.h"
+#include "geo/location.h"
+
+namespace v6::geo {
+namespace {
+
+TEST(CountryCode, ParseNormalizesCase) {
+  const auto a = CountryCode::parse("de");
+  const auto b = CountryCode::parse("DE");
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(a->to_string(), "DE");
+}
+
+TEST(CountryCode, ParseRejectsJunk) {
+  EXPECT_FALSE(CountryCode::parse(""));
+  EXPECT_FALSE(CountryCode::parse("D"));
+  EXPECT_FALSE(CountryCode::parse("DEU"));
+  EXPECT_FALSE(CountryCode::parse("1A"));
+}
+
+TEST(CountryCode, DefaultIsInvalid) {
+  CountryCode c;
+  EXPECT_FALSE(c.valid());
+  EXPECT_EQ(c.to_string(), "??");
+}
+
+TEST(CountryRegistry, PaperCountriesPresent) {
+  for (const char* code : {"IN", "CN", "US", "BR", "ID", "DE", "JP", "LU"}) {
+    const auto parsed = CountryCode::parse(code);
+    ASSERT_TRUE(parsed);
+    EXPECT_NE(find_country(*parsed), nullptr) << code;
+  }
+}
+
+TEST(CountryRegistry, WeightsDescendAndTopFiveDominate) {
+  const auto all = all_countries();
+  double total = 0.0, top5 = 0.0;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(all[i].client_weight, all[i - 1].client_weight);
+    }
+    total += all[i].client_weight;
+    if (i < 5) top5 += all[i].client_weight;
+  }
+  // §3: IN+CN+US+BR+ID = 76% of the corpus.
+  EXPECT_NEAR(top5 / total, 0.76, 0.03);
+}
+
+TEST(NearestCountry, CentroidsMapToThemselves) {
+  for (const auto& info : all_countries()) {
+    EXPECT_EQ(nearest_country(info.latitude, info.longitude), info.code)
+        << info.name;
+  }
+}
+
+TEST(Distance, KnownCityPair) {
+  // Berlin (52.52, 13.40) to Paris (48.86, 2.35) is ~878 km.
+  const double d = distance_km({52.52, 13.40}, {48.86, 2.35});
+  EXPECT_NEAR(d, 878.0, 15.0);
+}
+
+TEST(Distance, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(distance_km({10, 20}, {10, 20}), 0.0);
+}
+
+TEST(GeoDatabase, LongestPrefixMatchWins) {
+  GeoDatabase db;
+  const auto p32 = *net::Ipv6Prefix::parse("2001:db8::/32");
+  const auto p48 = *net::Ipv6Prefix::parse("2001:db8:1::/48");
+  db.add(p32, *CountryCode::parse("US"));
+  db.add(p48, *CountryCode::parse("DE"));
+  EXPECT_EQ(db.lookup(*net::Ipv6Address::parse("2001:db8:1::5"))->to_string(),
+            "DE");
+  EXPECT_EQ(db.lookup(*net::Ipv6Address::parse("2001:db8:2::5"))->to_string(),
+            "US");
+  EXPECT_FALSE(db.lookup(*net::Ipv6Address::parse("2002::1")));
+}
+
+TEST(GeoDatabase, OverwriteReplaces) {
+  GeoDatabase db;
+  const auto p = *net::Ipv6Prefix::parse("2001:db8::/32");
+  db.add(p, *CountryCode::parse("US"));
+  db.add(p, *CountryCode::parse("JP"));
+  EXPECT_EQ(db.lookup(*net::Ipv6Address::parse("2001:db8::1"))->to_string(),
+            "JP");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(GeoDatabase, RejectsOverlongPrefixes) {
+  GeoDatabase db;
+  EXPECT_THROW(db.add(*net::Ipv6Prefix::parse("2001:db8::/96"),
+                      *CountryCode::parse("US")),
+               std::invalid_argument);
+}
+
+TEST(BssidLocationDb, AddLookup) {
+  BssidLocationDb db;
+  const auto bssid = *net::MacAddress::parse("3c:a6:2f:00:00:01");
+  db.add(bssid, {52.5, 13.4});
+  const auto loc = db.lookup(bssid);
+  ASSERT_TRUE(loc);
+  EXPECT_DOUBLE_EQ(loc->latitude, 52.5);
+  EXPECT_FALSE(db.lookup(*net::MacAddress::parse("3c:a6:2f:00:00:02")));
+}
+
+TEST(BssidLocationDb, GroupsByOui) {
+  BssidLocationDb db;
+  db.add(*net::MacAddress::parse("3c:a6:2f:00:00:01"), {1, 1});
+  db.add(*net::MacAddress::parse("3c:a6:2f:00:00:02"), {2, 2});
+  db.add(*net::MacAddress::parse("aa:bb:cc:00:00:01"), {3, 3});
+  EXPECT_EQ(db.bssids_in_oui(net::Oui(0x3ca62f)).size(), 2u);
+  EXPECT_EQ(db.bssids_in_oui(net::Oui(0xaabbcc)).size(), 1u);
+  EXPECT_TRUE(db.bssids_in_oui(net::Oui(0x111111)).empty());
+}
+
+TEST(BssidLocationDb, DuplicateAddUpdatesInPlace) {
+  BssidLocationDb db;
+  const auto bssid = *net::MacAddress::parse("3c:a6:2f:00:00:01");
+  db.add(bssid, {1, 1});
+  db.add(bssid, {9, 9});
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(db.lookup(bssid)->latitude, 9);
+  EXPECT_EQ(db.bssids_in_oui(net::Oui(0x3ca62f)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace v6::geo

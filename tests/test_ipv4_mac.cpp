@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "net/mac.h"
+#include "util/rng.h"
+
+namespace v6::net {
+namespace {
+
+TEST(Ipv4Address, RoundTrip) {
+  const Ipv4Address a(192, 168, 1, 1);
+  EXPECT_EQ(a.to_string(), "192.168.1.1");
+  EXPECT_EQ(Ipv4Address::parse("192.168.1.1"), a);
+  EXPECT_EQ(a.value(), 0xc0a80101u);
+  EXPECT_EQ(a.octet(0), 192);
+  EXPECT_EQ(a.octet(3), 1);
+}
+
+TEST(Ipv4Address, ParseEdges) {
+  EXPECT_TRUE(Ipv4Address::parse("0.0.0.0"));
+  EXPECT_TRUE(Ipv4Address::parse("255.255.255.255"));
+  EXPECT_FALSE(Ipv4Address::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("1.1.1.1.1"));
+  EXPECT_FALSE(Ipv4Address::parse("01.1.1.1"));  // leading zero
+  EXPECT_FALSE(Ipv4Address::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4Address::parse(""));
+}
+
+TEST(MacAddress, RoundTripString) {
+  const auto mac = MacAddress::parse("aa:bb:cc:dd:ee:ff");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:dd:ee:ff");
+  EXPECT_EQ(mac->to_u64(), 0xaabbccddeeffULL);
+}
+
+TEST(MacAddress, DashSeparatorAndCase) {
+  const auto mac = MacAddress::parse("AA-BB-CC-00-11-22");
+  ASSERT_TRUE(mac);
+  EXPECT_EQ(mac->to_string(), "aa:bb:cc:00:11:22");
+}
+
+TEST(MacAddress, ParseInvalid) {
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee"));
+  EXPECT_FALSE(MacAddress::parse("aa:bb:cc:dd:ee:ff:00"));
+  EXPECT_FALSE(MacAddress::parse("aabb:cc:dd:ee:ff"));
+  EXPECT_FALSE(MacAddress::parse("gg:bb:cc:dd:ee:ff"));
+  EXPECT_FALSE(MacAddress::parse(""));
+}
+
+TEST(MacAddress, OuiAndSuffix) {
+  const auto mac = MacAddress::from_u64(0xf00220123456ULL);
+  EXPECT_EQ(mac.oui().value(), 0xf00220u);
+  EXPECT_EQ(mac.oui().to_string(), "f0:02:20");
+  EXPECT_EQ(mac.suffix(), 0x123456u);
+}
+
+TEST(MacAddress, UniversalLocalBit) {
+  const auto universal = MacAddress::from_u64(0x00aabbccddeeULL);
+  EXPECT_FALSE(universal.is_local());
+  const auto local = universal.with_ul_flipped();
+  EXPECT_TRUE(local.is_local());
+  EXPECT_EQ(local.with_ul_flipped(), universal);
+}
+
+TEST(MacAddress, MulticastBit) {
+  EXPECT_TRUE(MacAddress::from_u64(0x010000000000ULL).is_multicast());
+  EXPECT_FALSE(MacAddress::from_u64(0x020000000000ULL).is_multicast());
+}
+
+TEST(MacAddress, FromU64MasksTo48Bits) {
+  const auto mac = MacAddress::from_u64(0x0011223344556677ULL);
+  // Only the low 48 bits are kept.
+  EXPECT_EQ(mac.to_u64(), 0x223344556677ULL);
+}
+
+class MacRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MacRoundTrip, ParseFormatIdentity) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 500; ++i) {
+    const auto mac = MacAddress::from_u64(rng.next() & 0xffffffffffffULL);
+    const auto parsed = MacAddress::parse(mac.to_string());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, mac);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MacRoundTrip, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,96 @@
+#include "sim/oui_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace v6::sim {
+namespace {
+
+TEST(OuiRegistry, ResolvesRegisteredManufacturers) {
+  const auto reg = OuiRegistry::standard();
+  const auto avm = net::MacAddress::parse("3c:a6:2f:12:34:56");
+  ASSERT_TRUE(avm);
+  const auto name = reg.resolve(avm->oui());
+  ASSERT_TRUE(name);
+  EXPECT_EQ(*name, "AVM GmbH");
+}
+
+TEST(OuiRegistry, UnregisteredOuisResolveToNothing) {
+  const auto reg = OuiRegistry::standard();
+  // F0:02:20 is the paper's most common unlisted OUI; it is assigned in
+  // our world but deliberately absent from the IEEE view.
+  EXPECT_FALSE(reg.resolve(net::Oui(0xf00220)));
+  // A completely unknown OUI also resolves to nothing.
+  EXPECT_FALSE(reg.resolve(net::Oui(0x123456)));
+}
+
+TEST(OuiRegistry, ManufacturerIndexCoversAssignedOuis) {
+  const auto reg = OuiRegistry::standard();
+  const auto idx = reg.manufacturer_index(net::Oui(0xf00220));
+  ASSERT_TRUE(idx);
+  EXPECT_EQ(reg.manufacturer(*idx).name, "Unlisted");
+  EXPECT_FALSE(reg.manufacturer_index(net::Oui(0x000001)));
+}
+
+TEST(OuiRegistry, Table2ManufacturersPresent) {
+  const auto reg = OuiRegistry::standard();
+  const char* expected[] = {
+      "Amazon Technologies Inc.",
+      "Samsung Electronics Co.,Ltd",
+      "Sonos, Inc.",
+      "vivo Mobile Communication Co., Ltd.",
+      "Sunnovo International Limited",
+      "Hui Zhou Gaoshengda Technology Co.,LTD",
+      "Huawei Technologies",
+      "Shenzhen Chuangwei-RGB Electronics",
+      "Skyworth Digital Technology (Shenzhen) Co.,Ltd",
+  };
+  for (const char* name : expected) {
+    bool found = false;
+    for (const auto& maker : reg.manufacturers()) {
+      if (maker.name == name) found = true;
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(OuiRegistry, MakersForKindNonEmptyForEveryKind) {
+  const auto reg = OuiRegistry::standard();
+  for (const auto kind :
+       {DeviceKind::kRouter, DeviceKind::kCpe, DeviceKind::kServer,
+        DeviceKind::kDesktop, DeviceKind::kMobile, DeviceKind::kIot}) {
+    EXPECT_FALSE(reg.makers_for_kind(kind).empty()) << to_string(kind);
+  }
+}
+
+TEST(OuiRegistry, MakersForKindActuallyShipKind) {
+  const auto reg = OuiRegistry::standard();
+  for (const auto idx : reg.makers_for_kind(DeviceKind::kCpe)) {
+    const auto& maker = reg.manufacturer(idx);
+    bool ships = false;
+    for (const auto k : maker.kinds) ships |= k == DeviceKind::kCpe;
+    EXPECT_TRUE(ships) << maker.name;
+  }
+}
+
+TEST(OuiRegistry, OuisAreUniqueAcrossManufacturers) {
+  const auto reg = OuiRegistry::standard();
+  std::set<std::uint32_t> seen;
+  for (const auto& maker : reg.manufacturers()) {
+    for (const auto oui : maker.ouis) {
+      EXPECT_TRUE(seen.insert(oui.value()).second)
+          << maker.name << " duplicates OUI " << oui.to_string();
+    }
+  }
+}
+
+TEST(OuiRegistry, EnumNamesRoundTrip) {
+  EXPECT_STREQ(to_string(AsType::kIspMobile), "Phone Provider");
+  EXPECT_STREQ(to_string(DeviceKind::kCpe), "cpe");
+  EXPECT_STREQ(to_string(IidStrategy::kEui64), "eui64");
+  EXPECT_STREQ(to_string(IidStrategy::kStructuredLow), "structured-low");
+}
+
+}  // namespace
+}  // namespace v6::sim

@@ -1,0 +1,115 @@
+#include "netsim/pool_dns.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace v6::netsim {
+namespace {
+
+class PoolDnsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 31;
+    config.total_sites = 500;
+    config.geodb_error_rate = 0.0;  // exact steering for these tests
+    world_ = new sim::World(sim::World::generate(config));
+  }
+  static void TearDownTestSuite() { delete world_; }
+  static sim::World* world_;
+};
+
+sim::World* PoolDnsTest::world_ = nullptr;
+
+// Address of some device in the given country, if any.
+std::optional<net::Ipv6Address> address_in_country(const sim::World& w,
+                                                   std::string_view code) {
+  for (const auto& dev : w.devices()) {
+    if (w.country_of_as(dev.as_index).to_string() == code) {
+      return w.device_address(dev.id, 1000);
+    }
+  }
+  return std::nullopt;
+}
+
+TEST_F(PoolDnsTest, InCountryClientsSteerToInCountryVantage) {
+  const PoolDns dns(*world_, /*global_fraction=*/0.0);
+  util::Rng rng(1);
+  const auto client = address_in_country(*world_, "DE");
+  ASSERT_TRUE(client);
+  for (int i = 0; i < 50; ++i) {
+    const auto* vantage = dns.resolve(*client, rng);
+    ASSERT_NE(vantage, nullptr);
+    EXPECT_EQ(vantage->country.to_string(), "DE");
+  }
+}
+
+TEST_F(PoolDnsTest, RoundRobinRotatesAmongServers) {
+  const PoolDns dns(*world_, 0.0);
+  util::Rng rng(2);
+  const auto client = address_in_country(*world_, "US");
+  ASSERT_TRUE(client);
+  std::unordered_set<std::uint8_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(dns.resolve(*client, rng)->id);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all six US vantages get traffic
+}
+
+TEST_F(PoolDnsTest, NoVantageCountryFallsBackToNearest) {
+  const PoolDns dns(*world_, 0.0);
+  // France has no vantage; nearest vantage country should be European.
+  const auto& candidates =
+      dns.candidates(*geo::CountryCode::parse("FR"));
+  ASSERT_FALSE(candidates.empty());
+  const auto code = candidates.front()->country.to_string();
+  EXPECT_TRUE(code == "DE" || code == "NL" || code == "GB" || code == "ES")
+      << code;
+}
+
+TEST_F(PoolDnsTest, GlobalFractionHitsRemoteVantages) {
+  const PoolDns dns(*world_, 0.5);
+  util::Rng rng(3);
+  const auto client = address_in_country(*world_, "DE");
+  ASSERT_TRUE(client);
+  std::unordered_set<std::string> countries;
+  for (int i = 0; i < 300; ++i) {
+    countries.insert(dns.resolve(*client, rng)->country.to_string());
+  }
+  EXPECT_GT(countries.size(), 5u);
+}
+
+TEST_F(PoolDnsTest, ZeroVantageShareSeesNothing) {
+  const PoolDns dns(*world_, 0.0, /*vantage_share=*/0.0);
+  util::Rng rng(5);
+  const auto client = address_in_country(*world_, "US");
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(dns.resolve(*client, rng), nullptr);
+  }
+}
+
+TEST_F(PoolDnsTest, PartialVantageShareSamples) {
+  const PoolDns dns(*world_, 0.0, /*vantage_share=*/0.25);
+  util::Rng rng(6);
+  const auto client = address_in_country(*world_, "US");
+  int captured = 0;
+  constexpr int kQueries = 4000;
+  for (int i = 0; i < kQueries; ++i) {
+    if (dns.resolve(*client, rng) != nullptr) ++captured;
+  }
+  EXPECT_NEAR(static_cast<double>(captured) / kQueries, 0.25, 0.03);
+}
+
+TEST_F(PoolDnsTest, UnroutedClientStillGetsAServer) {
+  const PoolDns dns(*world_, 0.0);
+  util::Rng rng(4);
+  const auto* vantage =
+      dns.resolve(*net::Ipv6Address::parse("2001:db8::1"), rng);
+  EXPECT_NE(vantage, nullptr);
+}
+
+}  // namespace
+}  // namespace v6::netsim

@@ -1,0 +1,121 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace v6::net {
+namespace {
+
+Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return Ipv6Address::from_u64(hi, lo);
+}
+
+TEST(Ipv6Prefix, CanonicalizesHostBits) {
+  const Ipv6Prefix p(addr(0x20010db8deadbeefULL, 0x1234567890abcdefULL), 32);
+  EXPECT_EQ(p.address().hi64(), 0x20010db800000000ULL);
+  EXPECT_EQ(p.address().lo64(), 0u);
+  EXPECT_EQ(p.to_string(), "2001:db8::/32");
+}
+
+TEST(Ipv6Prefix, NonByteAlignedLength) {
+  const Ipv6Prefix p(addr(0xffffffffffffffffULL, 0), 36);
+  EXPECT_EQ(p.address().hi64(), 0xfffffffff0000000ULL);
+}
+
+TEST(Ipv6Prefix, LengthClamped) {
+  const Ipv6Prefix p(addr(1, 1), 200);
+  EXPECT_EQ(p.length(), 128);
+  const Ipv6Prefix q(addr(1, 1), -5);
+  EXPECT_EQ(q.length(), 0);
+}
+
+TEST(Ipv6Prefix, ContainsAddress) {
+  const auto p = *Ipv6Prefix::parse("2001:db8::/32");
+  EXPECT_TRUE(p.contains(*Ipv6Address::parse("2001:db8:1234::1")));
+  EXPECT_FALSE(p.contains(*Ipv6Address::parse("2001:db9::1")));
+}
+
+TEST(Ipv6Prefix, ContainsPrefix) {
+  const auto p32 = *Ipv6Prefix::parse("2001:db8::/32");
+  const auto p48 = *Ipv6Prefix::parse("2001:db8:1::/48");
+  EXPECT_TRUE(p32.contains(p48));
+  EXPECT_FALSE(p48.contains(p32));
+  EXPECT_TRUE(p32.contains(p32));
+}
+
+TEST(Ipv6Prefix, ZeroLengthContainsEverything) {
+  const Ipv6Prefix p(addr(0, 0), 0);
+  EXPECT_TRUE(p.contains(addr(~0ULL, ~0ULL)));
+}
+
+TEST(Ipv6Prefix, Length128IsExactMatch) {
+  const Ipv6Prefix p(addr(5, 6), 128);
+  EXPECT_TRUE(p.contains(addr(5, 6)));
+  EXPECT_FALSE(p.contains(addr(5, 7)));
+}
+
+TEST(Ipv6Prefix, Truncated) {
+  const auto p64 = *Ipv6Prefix::parse("2001:db8:1:2::/64");
+  EXPECT_EQ(p64.truncated(48).to_string(), "2001:db8:1::/48");
+  EXPECT_EQ(p64.truncated(64), p64);
+  EXPECT_THROW(p64.truncated(80), std::invalid_argument);
+}
+
+TEST(Ipv6Prefix, AddressCount) {
+  EXPECT_EQ(Ipv6Prefix(addr(0, 0), 128).address_count(), 1u);
+  EXPECT_EQ(Ipv6Prefix(addr(0, 0), 120).address_count(), 256u);
+  EXPECT_EQ(Ipv6Prefix(addr(0, 0), 64).address_count(), ~std::uint64_t{0});
+  EXPECT_EQ(Ipv6Prefix(addr(0, 0), 0).address_count(), ~std::uint64_t{0});
+}
+
+TEST(Ipv6Prefix, NthSubnet64) {
+  const auto p48 = *Ipv6Prefix::parse("2001:db8:1::/48");
+  EXPECT_EQ(p48.nth_subnet64(0).to_string(), "2001:db8:1::");
+  EXPECT_EQ(p48.nth_subnet64(0xff).to_string(), "2001:db8:1:ff::");
+  EXPECT_THROW(p48.nth_subnet64(0x10000), std::out_of_range);
+  EXPECT_THROW(Ipv6Prefix(addr(0, 0), 80).nth_subnet64(0),
+               std::invalid_argument);
+}
+
+TEST(Ipv6Prefix, ParseInvalid) {
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::"));      // no length
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::/129"));  // too long
+  EXPECT_FALSE(Ipv6Prefix::parse("2001:db8::/x"));
+  EXPECT_FALSE(Ipv6Prefix::parse("nonsense/48"));
+}
+
+TEST(Ipv6Prefix, SlashHelpers) {
+  const auto a = *Ipv6Address::parse("2001:db8:aaaa:bbbb:1:2:3:4");
+  EXPECT_EQ(slash48_of(a).to_string(), "2001:db8:aaaa::/48");
+  EXPECT_EQ(slash64_of(a).to_string(), "2001:db8:aaaa:bbbb::/64");
+}
+
+TEST(Ipv6Prefix, EqualityIncludesLength) {
+  const Ipv6Prefix a(addr(0x20010db800000000ULL, 0), 32);
+  const Ipv6Prefix b(addr(0x20010db800000000ULL, 0), 33);
+  EXPECT_NE(a, b);
+}
+
+// Property: containment is transitive over nested truncations.
+class PrefixNesting : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixNesting, TruncationChainContains) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 300; ++i) {
+    const auto a = addr(rng.next(), rng.next());
+    const int l1 = static_cast<int>(rng.bounded(129));
+    const int l2 = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(l1) + 1));
+    const Ipv6Prefix inner(a, l1);
+    const Ipv6Prefix outer = inner.truncated(l2);
+    EXPECT_TRUE(outer.contains(inner));
+    EXPECT_TRUE(outer.contains(a) || !inner.contains(a));
+    // The original address is always inside its own prefix.
+    EXPECT_TRUE(inner.contains(a));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixNesting, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace v6::net

@@ -1,0 +1,206 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace v6::util {
+namespace {
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  std::uint64_t s1 = 1234, s2 = 1234;
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  }
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, Mix64IsStateless) {
+  EXPECT_EQ(mix64(42), mix64(42));
+  EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng rng(0);
+  // The xoshiro state must not collapse to all-zero.
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 32; ++i) values.insert(rng.next());
+  EXPECT_GT(values.size(), 30u);
+}
+
+TEST(Rng, BoundedStaysInBounds) {
+  Rng rng(3);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+TEST(Rng, BoundedOneIsAlwaysZero) {
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.bounded(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / 10, kDraws / 100);
+  }
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) saw_lo = true;
+    if (v == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.5);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasConfiguredMean) {
+  Rng rng(31);
+  double sum = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.25);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(37);
+  const double weights[] = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kDraws, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kDraws, 0.75, 0.02);
+}
+
+TEST(Rng, WeightedAllZeroReturnsFirst) {
+  Rng rng(41);
+  const double weights[] = {0.0, 0.0};
+  EXPECT_EQ(rng.weighted(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(47);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(ZipfSampler, RankZeroDominates) {
+  Rng rng(53);
+  ZipfSampler zipf(100, 1.0);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 5000);  // ~1/H(100) ~ 19%
+}
+
+TEST(ZipfSampler, AllRanksReachable) {
+  Rng rng(59);
+  ZipfSampler zipf(5, 0.5);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(zipf.sample(rng));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+// Property sweep: bounded() never exceeds its bound across bounds and
+// seeds.
+class RngBoundedProperty
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(RngBoundedProperty, InBounds) {
+  const auto [bound, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_LT(rng.bounded(bound), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RngBoundedProperty,
+    ::testing::Combine(::testing::Values<std::uint64_t>(1, 2, 3, 10, 1000,
+                                                        1ull << 33),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace v6::util

@@ -1,0 +1,152 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace v6::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(EmpiricalDistribution, CdfBasics) {
+  EmpiricalDistribution d({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(d.cdf(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ccdf(2.5), 0.5);
+}
+
+TEST(EmpiricalDistribution, QuantileAndMedian) {
+  EmpiricalDistribution d({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(d.median(), 30.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.21), 20.0);
+}
+
+TEST(EmpiricalDistribution, AddAfterQueryResorts) {
+  EmpiricalDistribution d;
+  d.add(5.0);
+  EXPECT_DOUBLE_EQ(d.cdf(5.0), 1.0);
+  d.add(1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.5);
+}
+
+TEST(EmpiricalDistribution, AddNWeightsSamples) {
+  EmpiricalDistribution d;
+  d.add_n(1.0, 3);
+  d.add(2.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.75);
+}
+
+TEST(EmpiricalDistribution, MeanMinMax) {
+  EmpiricalDistribution d({1.0, 2.0, 6.0});
+  EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(d.min(), 1.0);
+  EXPECT_DOUBLE_EQ(d.max(), 6.0);
+}
+
+TEST(EmpiricalDistribution, EmptyQuantileThrows) {
+  EmpiricalDistribution d;
+  EXPECT_THROW(d.quantile(0.5), std::out_of_range);
+  EXPECT_THROW(d.min(), std::out_of_range);
+}
+
+TEST(EmpiricalDistribution, CdfCurveIsMonotone) {
+  Rng rng(1);
+  EmpiricalDistribution d;
+  for (int i = 0; i < 1000; ++i) d.add(rng.uniform(0.0, 10.0));
+  const auto curve = d.cdf_curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.99);
+  h.add(-5.0);   // clamps to first
+  h.add(100.0);  // clamps to last
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(3), 4.0);
+}
+
+TEST(Histogram, CumulativeFraction) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5, 1);
+  h.add(1.5, 3);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 1.0);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Linspace, EndpointsExact) {
+  const auto xs = linspace(0.0, 1.0, 11);
+  ASSERT_EQ(xs.size(), 11u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_NEAR(xs[5], 0.5, 1e-12);
+}
+
+TEST(Linspace, DegenerateCount) {
+  const auto xs = linspace(2.0, 5.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 2.0);
+}
+
+// Property: the empirical CDF of N uniform draws approaches x.
+class CdfUniformProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdfUniformProperty, TracksUniform) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  EmpiricalDistribution d;
+  for (int i = 0; i < 20000; ++i) d.add(rng.uniform());
+  for (double x : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+    EXPECT_NEAR(d.cdf(x), x, 0.02);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CdfUniformProperty,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace v6::util

@@ -1,0 +1,107 @@
+#include "util/strings.h"
+
+#include <gtest/gtest.h>
+
+#include "util/sim_time.h"
+
+namespace v6::util {
+namespace {
+
+TEST(FormatDuration, PicksCoarsestSensibleUnit) {
+  EXPECT_EQ(format_duration(0), "0s");
+  EXPECT_EQ(format_duration(45), "45s");
+  EXPECT_EQ(format_duration(119), "119s");
+  EXPECT_EQ(format_duration(2 * kMinute), "2m");
+  EXPECT_EQ(format_duration(90 * kMinute), "90m");
+  EXPECT_EQ(format_duration(3 * kHour), "3h");
+  EXPECT_EQ(format_duration(2 * kDay), "2d");
+  EXPECT_EQ(format_duration(3 * kWeek), "3w");
+  EXPECT_EQ(format_duration(-kHour), "-60m");
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a::b", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Split, SingleToken) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Split, EmptyString) {
+  const auto parts = split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Split, TrailingSeparator) {
+  const auto parts = split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(Join, Basic) {
+  const std::string parts[] = {"a", "b", "c"};
+  EXPECT_EQ(join(parts, ", "), "a, b, c");
+}
+
+TEST(Join, Empty) { EXPECT_EQ(join({}, ","), ""); }
+
+TEST(ToLower, MixedCase) { EXPECT_EQ(to_lower("AbC1:"), "abc1:"); }
+
+TEST(ParseHexU64, Valid) {
+  EXPECT_EQ(parse_hex_u64("ff"), 0xffu);
+  EXPECT_EQ(parse_hex_u64("0"), 0u);
+  EXPECT_EQ(parse_hex_u64("DeadBeef"), 0xdeadbeefu);
+  EXPECT_EQ(parse_hex_u64("ffffffffffffffff"), ~std::uint64_t{0});
+}
+
+TEST(ParseHexU64, Invalid) {
+  EXPECT_FALSE(parse_hex_u64(""));
+  EXPECT_FALSE(parse_hex_u64("xyz"));
+  EXPECT_FALSE(parse_hex_u64("12 "));
+  EXPECT_FALSE(parse_hex_u64("11111111111111111"));  // 17 digits
+}
+
+TEST(ParseDecU64, Valid) {
+  EXPECT_EQ(parse_dec_u64("0"), 0u);
+  EXPECT_EQ(parse_dec_u64("18446744073709551615"), ~std::uint64_t{0});
+}
+
+TEST(ParseDecU64, Invalid) {
+  EXPECT_FALSE(parse_dec_u64(""));
+  EXPECT_FALSE(parse_dec_u64("-1"));
+  EXPECT_FALSE(parse_dec_u64("1a"));
+  EXPECT_FALSE(parse_dec_u64("18446744073709551616"));  // overflow
+}
+
+TEST(HexEncode, Bytes) {
+  const std::uint8_t bytes[] = {0xde, 0xad, 0x00, 0x0f};
+  EXPECT_EQ(hex_encode(bytes), "dead000f");
+}
+
+TEST(WithCommas, Grouping) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(7914066999ULL), "7,914,066,999");
+}
+
+TEST(HumanCount, Scales) {
+  EXPECT_EQ(human_count(950), "950");
+  EXPECT_EQ(human_count(21409629), "21.41M");
+  EXPECT_EQ(human_count(7914066999ULL), "7.91B");
+}
+
+TEST(Percent, Formatting) {
+  EXPECT_EQ(percent(1.0 / 3.0), "33.33%");
+  EXPECT_EQ(percent(0.5, 0), "50%");
+}
+
+}  // namespace
+}  // namespace v6::util

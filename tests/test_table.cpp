@@ -1,0 +1,57 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace v6::util {
+namespace {
+
+TEST(TablePrinter, AlignsAndRules) {
+  TablePrinter table({"name", "count"});
+  table.add_row({"alpha", "12"});
+  table.add_row({"b", "3456"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  EXPECT_NE(text.find("3456"), std::string::npos);
+  // Numeric column right-aligned: "12" indented to width of "count".
+  EXPECT_NE(text.find("   12"), std::string::npos);
+}
+
+TEST(TablePrinter, RowWidthMismatchThrows) {
+  TablePrinter table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(CsvWriter, EscapesSpecials) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a", "b"});
+  csv.row({"plain", "with,comma"});
+  csv.row({"with\"quote", "multi\nline"});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a,b\n"), std::string::npos);
+  EXPECT_NE(text.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvWriter, WidthMismatchThrows) {
+  std::ostringstream out;
+  CsvWriter csv(out, {"a"});
+  EXPECT_THROW(csv.row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(PrintSeries, UnequalColumnLengths) {
+  std::ostringstream out;
+  print_series(out, "caption", {"x", "y"}, {{1.0, 2.0, 3.0}, {0.5}});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# caption"), std::string::npos);
+  EXPECT_NE(text.find("x,y"), std::string::npos);
+  EXPECT_NE(text.find("1,0.5"), std::string::npos);
+  EXPECT_NE(text.find("3,\n"), std::string::npos);  // missing y cell is empty
+}
+
+}  // namespace
+}  // namespace v6::util

@@ -1,0 +1,194 @@
+#include "proto/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "netsim/data_plane.h"
+#include "scan/zmap6.h"
+#include "util/rng.h"
+
+namespace v6::proto {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+TEST(TcpCodec, SynRoundTrip) {
+  const auto src = addr(1, 1), dst = addr(2, 2);
+  const auto syn = make_syn(40000, 443, 0xdeadbeef);
+  const auto wire = encode_tcp(syn, src, dst);
+  EXPECT_EQ(wire.size(), 20u);
+  const auto decoded = decode_tcp(wire, src, dst);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, syn);
+  EXPECT_TRUE(decoded->is_syn());
+  EXPECT_FALSE(decoded->is_syn_ack());
+  EXPECT_FALSE(decoded->is_rst());
+}
+
+TEST(TcpCodec, SynAckAcknowledgesSequence) {
+  const auto syn = make_syn(1, 80, 100);
+  const auto syn_ack = make_syn_ack(syn, 777);
+  EXPECT_TRUE(syn_ack.is_syn_ack());
+  EXPECT_EQ(syn_ack.ack_number, 101u);
+  EXPECT_EQ(syn_ack.src_port, 80);
+  EXPECT_EQ(syn_ack.dst_port, 1);
+}
+
+TEST(TcpCodec, RstAcknowledgesSequence) {
+  const auto syn = make_syn(1, 80, 100);
+  const auto rst = make_rst(syn);
+  EXPECT_TRUE(rst.is_rst());
+  EXPECT_EQ(rst.ack_number, 101u);
+}
+
+TEST(TcpCodec, ChecksumBindsToAddresses) {
+  const auto src = addr(1, 1), dst = addr(2, 2);
+  const auto wire = encode_tcp(make_syn(1, 80, 5), src, dst);
+  EXPECT_FALSE(decode_tcp(wire, src, addr(2, 3)));
+}
+
+TEST(TcpCodec, CorruptionDetected) {
+  const auto src = addr(1, 1), dst = addr(2, 2);
+  auto wire = encode_tcp(make_syn(1, 80, 5), src, dst);
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    auto corrupted = wire;
+    corrupted[i] ^= 0x20;
+    EXPECT_FALSE(decode_tcp(corrupted, src, dst)) << "byte " << i;
+  }
+}
+
+TEST(TcpCodec, TruncationDetected) {
+  const auto src = addr(1, 1), dst = addr(2, 2);
+  const auto wire = encode_tcp(make_syn(1, 80, 5), src, dst);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    EXPECT_FALSE(decode_tcp(std::span(wire.data(), n), src, dst));
+  }
+}
+
+class TcpPlaneTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 61;
+    config.total_sites = 500;
+    world_ = new sim::World(sim::World::generate(config));
+    plane_ = new netsim::DataPlane(*world_, {0.0, 5});
+  }
+  static void TearDownTestSuite() {
+    delete plane_;
+    delete world_;
+  }
+  static net::Ipv6Address source() {
+    return world_->vantages().front().address;
+  }
+  static sim::World* world_;
+  static netsim::DataPlane* plane_;
+};
+
+sim::World* TcpPlaneTest::world_ = nullptr;
+netsim::DataPlane* TcpPlaneTest::plane_ = nullptr;
+
+// First unfirewalled server with/without a listener on `port`.
+sim::DeviceId find_server(const sim::World& w, std::uint16_t port,
+                          bool listening) {
+  for (const auto& dev : w.devices()) {
+    if (dev.kind != sim::DeviceKind::kServer || dev.firewalled) continue;
+    if (w.serves_tcp(dev.id, port) == listening) return dev.id;
+  }
+  return sim::kNoDevice;
+}
+
+TEST_F(TcpPlaneTest, ListenerAnswersSynAck) {
+  const auto d = find_server(*world_, 443, true);
+  ASSERT_NE(d, sim::kNoDevice);
+  const auto outcome = plane_->tcp_syn(source(), world_->server_address(d),
+                                       443, 12345, 1000);
+  EXPECT_EQ(outcome, netsim::DataPlane::SynOutcome::kSynAck);
+}
+
+TEST_F(TcpPlaneTest, ClosedPortAnswersRst) {
+  const auto d = find_server(*world_, 443, false);
+  ASSERT_NE(d, sim::kNoDevice);
+  const auto outcome = plane_->tcp_syn(source(), world_->server_address(d),
+                                       443, 12345, 1000);
+  EXPECT_EQ(outcome, netsim::DataPlane::SynOutcome::kRst);
+}
+
+TEST_F(TcpPlaneTest, IcmpSilentHostsStillRst) {
+  // A host that ignores echo must still answer TCP — the reason the
+  // Hitlist scans multiple protocols.
+  for (const auto& dev : world_->devices()) {
+    if (dev.kind != sim::DeviceKind::kServer || dev.responds_icmp ||
+        dev.firewalled) {
+      continue;
+    }
+    const auto target = world_->server_address(dev.id);
+    const auto echo = plane_->echo(source(), target, 1, 1, 1000);
+    EXPECT_EQ(echo.kind, netsim::ProbeResult::Kind::kTimeout);
+    const auto syn = plane_->tcp_syn(source(), target, 443, 9, 1000);
+    EXPECT_NE(syn, netsim::DataPlane::SynOutcome::kTimeout);
+    return;
+  }
+  GTEST_SKIP() << "no ICMP-silent unfirewalled server in this seed";
+}
+
+TEST_F(TcpPlaneTest, FirewalledServerSilentOnTcpToo) {
+  for (const auto& dev : world_->devices()) {
+    if (dev.kind != sim::DeviceKind::kServer || !dev.firewalled) continue;
+    const auto outcome = plane_->tcp_syn(
+        source(), world_->server_address(dev.id), 443, 9, 1000);
+    EXPECT_EQ(outcome, netsim::DataPlane::SynOutcome::kTimeout);
+    return;
+  }
+  GTEST_SKIP() << "no firewalled server in this seed";
+}
+
+TEST_F(TcpPlaneTest, RouterInterfacesRst) {
+  const auto outcome =
+      plane_->tcp_syn(source(), world_->router_address(0, 0, 1), 80, 9, 50);
+  EXPECT_EQ(outcome, netsim::DataPlane::SynOutcome::kRst);
+}
+
+TEST_F(TcpPlaneTest, AliasedSpaceSynAcksEverything) {
+  const auto prefixes = world_->aliased_datacenter_prefixes();
+  ASSERT_FALSE(prefixes.empty());
+  util::Rng rng(3);
+  const auto target = net::Ipv6Address::from_u64(
+      prefixes[0].address().hi64() | 3, rng.next());
+  EXPECT_EQ(plane_->tcp_syn(source(), target, 443, 9, 1000),
+            netsim::DataPlane::SynOutcome::kSynAck);
+}
+
+TEST_F(TcpPlaneTest, UnroutedTargetTimesOut) {
+  EXPECT_EQ(plane_->tcp_syn(source(),
+                            *net::Ipv6Address::parse("2001:db8::1"), 443, 9,
+                            1000),
+            netsim::DataPlane::SynOutcome::kTimeout);
+}
+
+TEST_F(TcpPlaneTest, ZmapTcpProtocolCountsAnyAnswer) {
+  const auto listener = find_server(*world_, 443, true);
+  const auto closed = find_server(*world_, 443, false);
+  scan::Zmap6Scanner tcp(*plane_, {source(), 100000, 0, 7,
+                                   scan::ProbeProtocol::kTcpSyn443});
+  EXPECT_TRUE(tcp.probe(world_->server_address(listener), 1000));
+  EXPECT_TRUE(tcp.probe(world_->server_address(closed), 1000));
+  EXPECT_FALSE(tcp.probe(*net::Ipv6Address::parse("2001:db8::1"), 1000));
+}
+
+TEST_F(TcpPlaneTest, ClientsHaveNoListeners) {
+  int checked = 0;
+  for (const auto& dev : world_->devices()) {
+    if (dev.kind == sim::DeviceKind::kServer ||
+        dev.kind == sim::DeviceKind::kCpe) {
+      continue;
+    }
+    EXPECT_FALSE(world_->serves_tcp(dev.id, 80));
+    EXPECT_FALSE(world_->serves_tcp(dev.id, 443));
+    if (++checked > 200) break;
+  }
+}
+
+}  // namespace
+}  // namespace v6::proto

@@ -1,0 +1,186 @@
+#include "scan/tga.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "netsim/data_plane.h"
+
+namespace v6::scan {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+// Training set: constant /64 prefix, random low 32 bits, zero middle.
+std::vector<net::Ipv6Address> structured_training(std::size_t n,
+                                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<net::Ipv6Address> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(addr(0x20010db800420000ULL, rng.next() & 0xffffffffULL));
+  }
+  return out;
+}
+
+TEST(EntropyIp, LearnsStablePrefixAndRandomTail) {
+  EntropyIpModel model;
+  model.train(structured_training(500, 1));
+  ASSERT_TRUE(model.trained());
+
+  // First segments must be stable (the constant /64 + zero middle),
+  // the tail random.
+  EXPECT_EQ(model.segments().front().kind,
+            EntropyIpModel::Segment::Kind::kStable);
+  EXPECT_EQ(model.segments().back().kind,
+            EntropyIpModel::Segment::Kind::kRandom);
+}
+
+TEST(EntropyIp, GeneratesInsideLearnedStructure) {
+  EntropyIpModel model;
+  model.train(structured_training(500, 2));
+  util::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto candidate = model.generate_one(rng);
+    EXPECT_EQ(candidate.hi64(), 0x20010db800420000ULL);
+    EXPECT_EQ(candidate.lo64() >> 32, 0u);
+  }
+}
+
+TEST(EntropyIp, GeneratedTailsVary) {
+  EntropyIpModel model;
+  model.train(structured_training(500, 4));
+  util::Rng rng(5);
+  std::unordered_set<net::Ipv6Address> unique;
+  for (int i = 0; i < 300; ++i) unique.insert(model.generate_one(rng));
+  EXPECT_GT(unique.size(), 250u);
+}
+
+TEST(EntropyIp, ValuedSegmentsReproduceHistogram) {
+  // Two low-64 values at 70/30: the generator should visit both, biased.
+  std::vector<net::Ipv6Address> training;
+  for (int i = 0; i < 70; ++i) training.push_back(addr(0xaa, 0x1111));
+  for (int i = 0; i < 30; ++i) training.push_back(addr(0xaa, 0x2222));
+  EntropyIpModel model;
+  model.train(training);
+  util::Rng rng(6);
+  int ones = 0, twos = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto lo = model.generate_one(rng).lo64();
+    ones += lo == 0x1111;
+    twos += lo == 0x2222;
+  }
+  EXPECT_GT(ones, twos);
+  EXPECT_GT(twos, 300);
+  EXPECT_NEAR(static_cast<double>(ones) / 2000, 0.7, 0.08);
+}
+
+TEST(EntropyIp, DeterministicGivenSeed) {
+  EntropyIpModel model;
+  model.train(structured_training(200, 7));
+  util::Rng a(9), b(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(model.generate_one(a), model.generate_one(b));
+  }
+}
+
+TEST(EntropyIp, TrainOnEmptyThrows) {
+  EntropyIpModel model;
+  EXPECT_THROW(model.train({}), std::invalid_argument);
+  util::Rng rng(1);
+  EXPECT_THROW(model.generate_one(rng), std::logic_error);
+}
+
+TEST(SpaceTree, ClustersIntoDenseRegions) {
+  std::vector<net::Ipv6Address> training;
+  util::Rng rng(11);
+  // Two dense /96-ish clusters far apart.
+  for (int i = 0; i < 400; ++i) {
+    training.push_back(addr(0x2001000000000000ULL, rng.bounded(1 << 16)));
+    training.push_back(addr(0x2a00fff000000000ULL,
+                            0x5000000000000000ULL | rng.bounded(1 << 16)));
+  }
+  SpaceTreeModel model;
+  model.train(training);
+  ASSERT_TRUE(model.trained());
+  EXPECT_GE(model.regions().size(), 2u);
+
+  // Candidates stay inside one of the two clusters' /32s.
+  util::Rng gen(12);
+  for (int i = 0; i < 200; ++i) {
+    const auto hi = model.generate_one(gen).hi64() >> 32;
+    EXPECT_TRUE(hi == 0x20010000u || hi == 0x2a00fff0u) << std::hex << hi;
+  }
+}
+
+TEST(SpaceTree, DensityProportionalSampling) {
+  std::vector<net::Ipv6Address> training;
+  util::Rng rng(13);
+  for (int i = 0; i < 900; ++i) {
+    training.push_back(addr(0x2001000000000000ULL, rng.next()));
+  }
+  for (int i = 0; i < 100; ++i) {
+    training.push_back(addr(0x2a00000000000000ULL, rng.next()));
+  }
+  SpaceTreeModel model;
+  model.train(training);
+  util::Rng gen(14);
+  int dense = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if ((model.generate_one(gen).hi64() >> 48) == 0x2001) ++dense;
+  }
+  EXPECT_NEAR(static_cast<double>(dense) / 1000, 0.9, 0.05);
+}
+
+TEST(SpaceTree, LeafThresholdControlsGranularity) {
+  const auto training = structured_training(256, 15);
+  SpaceTreeModel coarse({256, 24});
+  coarse.train(training);
+  SpaceTreeModel fine({4, 30});
+  fine.train(training);
+  EXPECT_LT(coarse.regions().size(), fine.regions().size());
+}
+
+TEST(SpaceTree, RegionCountsSumToTrainingSize) {
+  const auto training = structured_training(333, 16);
+  SpaceTreeModel model;
+  model.train(training);
+  std::size_t total = 0;
+  for (const auto& region : model.regions()) total += region.count;
+  EXPECT_EQ(total, 333u);
+}
+
+TEST(TgaEvaluation, ScoresAgainstWorldGroundTruth) {
+  sim::WorldConfig config;
+  config.seed = 17;
+  config.total_sites = 400;
+  const auto world = sim::World::generate(config);
+  netsim::DataPlane plane(world, {0.0, 1});
+
+  // Train a space tree on router interface addresses: their region is
+  // dense and persistent, so generated ::1-style candidates hit.
+  std::vector<net::Ipv6Address> routers;
+  for (std::uint32_t ai = 0; ai < world.ases().size() && ai < 40; ++ai) {
+    for (std::uint32_t r = 0; r < world.ases()[ai].router_count; ++r) {
+      routers.push_back(world.router_address(ai, r, 1));
+    }
+  }
+  ASSERT_GT(routers.size(), 50u);
+  SpaceTreeModel model({4, 30});
+  model.train(routers);
+  util::Rng rng(18);
+  const auto candidates = model.generate(500, rng);
+
+  Zmap6Scanner scanner(plane, {world.vantages().front().address, 100000, 0,
+                               19});
+  const auto evaluation =
+      evaluate_candidates(candidates, routers, scanner, 1000);
+  EXPECT_EQ(evaluation.generated, 500u);
+  EXPECT_GT(evaluation.unique, 0u);
+  EXPECT_GT(evaluation.responsive, 0u);
+  EXPECT_LE(evaluation.new_responsive, evaluation.responsive);
+}
+
+}  // namespace
+}  // namespace v6::scan

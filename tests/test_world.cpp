@@ -1,0 +1,437 @@
+#include "sim/world.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/classify.h"
+#include "net/entropy.h"
+#include "net/eui64.h"
+#include "sim/addressing.h"
+#include "util/rng.h"
+
+namespace v6::sim {
+namespace {
+
+WorldConfig small_config(std::uint64_t seed = 1) {
+  WorldConfig config;
+  config.seed = seed;
+  config.total_sites = 600;
+  config.study_duration = 90 * util::kDay;
+  return config;
+}
+
+class WorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { world_ = new World(World::generate(small_config())); }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+  static World* world_;
+};
+
+World* WorldTest::world_ = nullptr;
+
+TEST_F(WorldTest, GeneratesRequestedStructure) {
+  const World& w = *world_;
+  // Country rounding plus education-lab sites add a small surplus.
+  EXPECT_NEAR(static_cast<double>(w.sites().size()), 600.0, 100.0);
+  EXPECT_GT(w.ases().size(), 100u);
+  EXPECT_GT(w.devices().size(), w.sites().size());
+  EXPECT_EQ(w.vantages().size(), 27u);  // the paper's 27 servers
+}
+
+TEST_F(WorldTest, VantageCountryPlanMatchesPaper) {
+  const World& w = *world_;
+  int us = 0, jp = 0, de = 0;
+  std::unordered_set<std::uint16_t> countries;
+  for (const auto& v : w.vantages()) {
+    countries.insert(v.country.value());
+    const auto code = v.country.to_string();
+    us += code == "US";
+    jp += code == "JP";
+    de += code == "DE";
+  }
+  EXPECT_EQ(us, 6);
+  EXPECT_EQ(jp, 2);
+  EXPECT_EQ(de, 2);
+  EXPECT_EQ(countries.size(), 20u);  // 20 countries
+}
+
+TEST_F(WorldTest, SiteDeviceRangesAreConsistent) {
+  const World& w = *world_;
+  for (const auto& site : w.sites()) {
+    ASSERT_NE(site.cpe, kNoDevice);
+    EXPECT_EQ(w.devices()[site.cpe].kind, DeviceKind::kCpe);
+    EXPECT_EQ(w.devices()[site.cpe].site, site.id);
+    for (DeviceId d = site.first_device;
+         d < site.first_device + site.device_count; ++d) {
+      EXPECT_EQ(w.devices()[d].site, site.id);
+      EXPECT_NE(w.devices()[d].kind, DeviceKind::kCpe);
+    }
+  }
+}
+
+TEST_F(WorldTest, ForwardReverseAddressingAgree) {
+  // The core invariant: resolve(device_address(d, t), t) returns d.
+  const World& w = *world_;
+  util::Rng rng(5);
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const auto d = static_cast<DeviceId>(rng.bounded(w.devices().size()));
+    util::SimTime t = static_cast<util::SimTime>(
+        rng.bounded(static_cast<std::uint64_t>(90 * util::kDay)));
+    // Clamp into the device's activity window — dead devices rightly
+    // resolve to nothing (verified separately below).
+    const Device& dev = w.devices()[d];
+    t = std::clamp(t, dev.active_start,
+                   dev.active_end == kForever ? t : dev.active_end - 1);
+    const auto address = w.device_address(d, t);
+    const auto res = w.resolve(address, t);
+    ASSERT_EQ(res.kind, World::Resolution::Kind::kDevice)
+        << "device " << d << " at t=" << t << " addr " << address.to_string();
+    EXPECT_EQ(res.device, d);
+    ++checked;
+  }
+  EXPECT_EQ(checked, 3000);
+}
+
+TEST_F(WorldTest, InactiveDevicesDoNotResolve) {
+  const World& w = *world_;
+  int checked = 0;
+  for (const auto& dev : w.devices()) {
+    if (dev.active_end == kForever) continue;
+    const util::SimTime after = dev.active_end + util::kDay;
+    const auto address = w.device_address(dev.id, after);
+    const auto res = w.resolve(address, after);
+    EXPECT_NE(res.kind, World::Resolution::Kind::kDevice)
+        << "retired device " << dev.id << " still answers";
+    if (++checked >= 100) break;
+  }
+  EXPECT_GT(checked, 10);
+}
+
+TEST_F(WorldTest, RouterAddressesResolve) {
+  const World& w = *world_;
+  for (std::uint32_t ai = 0; ai < w.ases().size(); ai += 7) {
+    const auto& as = w.ases()[ai];
+    if (as.router_count == 0) continue;
+    const auto address = w.router_address(ai, as.router_count - 1, 1);
+    const auto res = w.resolve(address, 1000);
+    EXPECT_EQ(res.kind, World::Resolution::Kind::kRouter);
+    EXPECT_EQ(res.as_index, ai);
+  }
+}
+
+TEST_F(WorldTest, UnroutedAddressResolvesToNothing) {
+  const World& w = *world_;
+  const auto res =
+      w.resolve(*net::Ipv6Address::parse("2001:db8::1"), 1000);
+  EXPECT_EQ(res.kind, World::Resolution::Kind::kNone);
+}
+
+TEST_F(WorldTest, RandomIidInOrdinarySiteDoesNotResolve) {
+  const World& w = *world_;
+  util::Rng rng(9);
+  int hits = 0, tries = 0;
+  for (const auto& site : w.sites()) {
+    if (site.aliased) continue;
+    const auto hi = w.site_prefix_hi(site.id, 1000) | 1;
+    const auto res =
+        w.resolve(net::Ipv6Address::from_u64(hi, rng.next()), 1000);
+    if (res.kind != World::Resolution::Kind::kNone) ++hits;
+    if (++tries >= 200) break;
+  }
+  // Guessing a random 64-bit IID never matches a live device.
+  EXPECT_EQ(hits, 0);
+}
+
+TEST_F(WorldTest, AliasedSitesAnswerAnyAddress) {
+  const World& w = *world_;
+  util::Rng rng(11);
+  int found = 0;
+  for (const auto& site : w.sites()) {
+    if (!site.aliased) continue;
+    const auto hi = w.site_prefix_hi(site.id, 1000) | 2;
+    const auto res =
+        w.resolve(net::Ipv6Address::from_u64(hi, rng.next()), 1000);
+    EXPECT_NE(res.kind, World::Resolution::Kind::kNone);
+    ++found;
+  }
+  // The config produces at least a few aliased sites.
+  EXPECT_GT(found, 0);
+}
+
+TEST_F(WorldTest, RotationChangesSitePrefix) {
+  const World& w = *world_;
+  int rotating_found = 0;
+  for (const auto& as : w.ases()) {
+    if (as.profile.rotation_period != util::kDay || as.site_count == 0) {
+      continue;
+    }
+    const auto& site = w.sites()[as.first_site];
+    const auto day0 = w.site_prefix_hi(site.id, 0);
+    const auto day1 = w.site_prefix_hi(site.id, util::kDay + 1);
+    EXPECT_NE(day0, day1);
+    // Within a generation the prefix is stable.
+    EXPECT_EQ(day0, w.site_prefix_hi(site.id, util::kDay - 1));
+    ++rotating_found;
+  }
+  EXPECT_GT(rotating_found, 0);
+}
+
+TEST_F(WorldTest, StaticAsKeepsSitePrefix) {
+  const World& w = *world_;
+  for (const auto& as : w.ases()) {
+    if (as.profile.rotation_period != 0 || as.site_count == 0) continue;
+    const auto& site = w.sites()[as.first_site];
+    EXPECT_EQ(w.site_prefix_hi(site.id, 0),
+              w.site_prefix_hi(site.id, 80 * util::kDay));
+    break;
+  }
+}
+
+TEST_F(WorldTest, MobileDevicesMoveBetweenNetworks) {
+  const World& w = *world_;
+  int movers = 0;
+  for (const auto& dev : w.devices()) {
+    if (!dev.mobility.mobile || dev.mobility.cellular_fraction >= 1.0) {
+      continue;
+    }
+    std::unordered_set<std::uint64_t> prefixes;
+    bool saw_cell = false, saw_wifi = false;
+    for (util::SimTime t = 0; t < 30 * util::kDay; t += kAttachEpoch) {
+      const auto att = w.attachment(dev.id, t);
+      prefixes.insert(att.prefix_hi);
+      saw_cell |= att.cellular;
+      saw_wifi |= !att.cellular;
+    }
+    if (saw_cell && saw_wifi && prefixes.size() > 2) ++movers;
+    if (movers > 10) break;
+  }
+  EXPECT_GT(movers, 10);
+}
+
+TEST_F(WorldTest, CellularOnlyPhonesAlwaysCellular) {
+  const World& w = *world_;
+  int checked = 0;
+  for (const auto& dev : w.devices()) {
+    if (dev.site != kNoSite || dev.kind != DeviceKind::kMobile) continue;
+    for (util::SimTime t = 0; t < 10 * util::kDay; t += kAttachEpoch) {
+      EXPECT_TRUE(w.attachment(dev.id, t).cellular);
+    }
+    if (++checked >= 20) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(WorldTest, Ipv4AsMappingMatchesDeviceHome) {
+  const World& w = *world_;
+  int checked = 0;
+  for (const auto& dev : w.devices()) {
+    if (dev.ipv4 == 0) continue;
+    const auto as_index = w.as_index_of_ipv4(net::Ipv4Address(dev.ipv4));
+    ASSERT_TRUE(as_index);
+    EXPECT_EQ(*as_index, dev.as_index);
+    if (++checked >= 200) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(WorldTest, DnsSeedsResolveToServersOrAliasedCdnSpace) {
+  const World& w = *world_;
+  const auto seeds = w.dns_seed_addresses();
+  EXPECT_GT(seeds.size(), 10u);
+  int servers = 0, cdn = 0;
+  for (const auto& seed : seeds) {
+    const auto res = w.resolve(seed, 0);
+    if (res.kind == World::Resolution::Kind::kDevice) {
+      EXPECT_EQ(w.devices()[res.device].kind, DeviceKind::kServer);
+      ++servers;
+    } else {
+      // CDN names resolve into aliased datacenter space.
+      EXPECT_EQ(res.kind, World::Resolution::Kind::kAlias);
+      ++cdn;
+    }
+  }
+  EXPECT_GT(servers, 0);
+  EXPECT_GT(cdn, 0);
+}
+
+TEST_F(WorldTest, AliasedDatacenterPrefixesAnswer) {
+  const World& w = *world_;
+  util::Rng rng(13);
+  const auto prefixes = w.aliased_datacenter_prefixes();
+  EXPECT_GT(prefixes.size(), 0u);
+  for (const auto& p : prefixes) {
+    const auto target = net::Ipv6Address::from_u64(
+        p.address().hi64() | rng.bounded(0x10000), rng.next());
+    EXPECT_EQ(w.resolve(target, 500).kind, World::Resolution::Kind::kAlias);
+  }
+}
+
+TEST_F(WorldTest, GermanBroadbandShipsAvmWithEui64) {
+  const World& w = *world_;
+  int avm_eui64_cpe = 0;
+  for (const auto& as : w.ases()) {
+    if (as.name != "Deutsche Telekom") continue;
+    for (std::uint32_t s = 0; s < as.site_count; ++s) {
+      const auto& site = w.sites()[as.first_site + s];
+      const auto& cpe = w.devices()[site.cpe];
+      const auto maker = w.ouis().manufacturer(cpe.maker_index).name;
+      if (maker == "AVM GmbH" && cpe.strategy == IidStrategy::kEui64) {
+        ++avm_eui64_cpe;
+      }
+    }
+  }
+  EXPECT_GT(avm_eui64_cpe, 0);
+}
+
+TEST_F(WorldTest, WardrivingDbIsPopulated) {
+  EXPECT_GT(world_->wardriving().size(), 50u);
+}
+
+TEST_F(WorldTest, GeoDbResolvesGeneratedAddresses) {
+  const World& w = *world_;
+  util::Rng rng(17);
+  int resolved = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto d = static_cast<DeviceId>(rng.bounded(w.devices().size()));
+    if (w.geodb().lookup(w.device_address(d, 0))) ++resolved;
+  }
+  EXPECT_EQ(resolved, 100);
+}
+
+TEST(WorldDeterminism, SameSeedSameWorld) {
+  const auto a = World::generate(small_config(7));
+  const auto b = World::generate(small_config(7));
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  ASSERT_EQ(a.sites().size(), b.sites().size());
+  for (std::size_t i = 0; i < a.devices().size(); i += 37) {
+    EXPECT_EQ(a.devices()[i].mac, b.devices()[i].mac);
+    EXPECT_EQ(a.devices()[i].strategy, b.devices()[i].strategy);
+    EXPECT_EQ(a.device_address(static_cast<DeviceId>(i), 12345),
+              b.device_address(static_cast<DeviceId>(i), 12345));
+  }
+}
+
+TEST(WorldDeterminism, DifferentSeedsDifferentWorlds) {
+  const auto a = World::generate(small_config(7));
+  const auto b = World::generate(small_config(8));
+  int same = 0, checked = 0;
+  const auto n = std::min(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < n; i += 11) {
+    same += a.devices()[i].mac == b.devices()[i].mac;
+    ++checked;
+  }
+  EXPECT_LT(same, checked / 4);
+}
+
+TEST(Addressing, StrategiesProduceExpectedShapes) {
+  Device dev;
+  dev.seed = 12345;
+  dev.mac = net::MacAddress::from_u64(0x0c47c9123456ULL);
+  dev.ipv4 = 0x0b010203;
+
+  dev.strategy = IidStrategy::kEui64;
+  EXPECT_EQ(iid_for(dev, 1, 0), net::eui64_iid_from_mac(dev.mac));
+
+  dev.strategy = IidStrategy::kZero;
+  EXPECT_EQ(iid_for(dev, 1, 0), 0u);
+
+  dev.strategy = IidStrategy::kLowByte;
+  const auto low = iid_for(dev, 1, 0);
+  EXPECT_GE(low, 1u);
+  EXPECT_LE(low, 0xfeu);
+
+  dev.strategy = IidStrategy::kLow2Bytes;
+  const auto low2 = iid_for(dev, 1, 0);
+  EXPECT_GE(low2, 0x100u);
+  EXPECT_LE(low2, 0xffffu);
+
+  dev.strategy = IidStrategy::kIpv4Embedded;
+  EXPECT_EQ(iid_for(dev, 1, 0), 0x0b010203u);
+
+  dev.strategy = IidStrategy::kStructuredLow;
+  EXPECT_EQ(iid_for(dev, 1, 0) >> 32, 0u);
+
+  dev.strategy = IidStrategy::kDhcpSequential;
+  const auto dhcp = iid_for(dev, 1, 0);
+  EXPECT_GE(dhcp, 0x100u);
+  EXPECT_LT(dhcp, 0x900u);
+}
+
+TEST(Addressing, SparseEphemeralIsLowEntropyAndUniqueish) {
+  Device dev;
+  dev.strategy = IidStrategy::kSparseEphemeral;
+  std::unordered_set<std::uint64_t> seen;
+  int low_band = 0, total = 0;
+  for (std::uint64_t seed = 1; seed <= 400; ++seed) {
+    dev.seed = util::mix64(seed);
+    // Non-stable devices re-roll every 8 hours.
+    for (util::SimTime t = 0; t < util::kDay; t += 8 * util::kHour) {
+      const auto iid = iid_for(dev, 42, t);
+      seen.insert(iid);
+      ++total;
+      if (net::entropy_band(net::iid_entropy(iid)) == net::EntropyBand::kLow) {
+        ++low_band;
+      }
+      // Never collides with the structural categories.
+      EXPECT_NE(net::classify_iid(iid, false), net::AddressCategory::kZeroes);
+      EXPECT_NE(net::classify_iid(iid, false), net::AddressCategory::kLowByte);
+    }
+  }
+  // Overwhelmingly low-entropy yet with high distinct-value counts.
+  EXPECT_GT(static_cast<double>(low_band) / total, 0.9);
+  EXPECT_GT(seen.size(), static_cast<std::size_t>(total) * 6 / 10);
+}
+
+TEST_F(WorldTest, CellularPhonesChangeSlash64AcrossEpochs) {
+  const World& w = *world_;
+  int checked = 0;
+  for (const auto& dev : w.devices()) {
+    if (dev.site != kNoSite || dev.kind != DeviceKind::kMobile) continue;
+    std::unordered_set<std::uint64_t> prefixes;
+    for (int e = 0; e < 12; ++e) {
+      prefixes.insert(
+          w.attachment(dev.id, e * kAttachEpoch + 100).prefix_hi);
+    }
+    EXPECT_GT(prefixes.size(), 6u) << "phone " << dev.id;
+    if (++checked >= 10) break;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST_F(WorldTest, BurstPollersExist) {
+  const World& w = *world_;
+  int burst = 0, plain = 0;
+  for (const auto& dev : w.devices()) {
+    if (!dev.ntp.uses_pool) continue;
+    (dev.ntp.burst > 1 ? burst : plain)++;
+  }
+  EXPECT_GT(burst, 0);
+  EXPECT_GT(plain, burst);  // bursting is the minority behaviour
+}
+
+TEST(Addressing, EphemeralIidsRotateDaily) {
+  Device dev;
+  dev.seed = 999;
+  dev.strategy = IidStrategy::kRandomEphemeral;
+  const auto day0 = iid_for(dev, 42, 1000);
+  EXPECT_EQ(day0, iid_for(dev, 42, util::kDay - 1));
+  EXPECT_NE(day0, iid_for(dev, 42, util::kDay + 1));
+  // And re-roll per prefix.
+  EXPECT_NE(day0, iid_for(dev, 43, 1000));
+}
+
+TEST(Addressing, StableIidsArePerPrefix) {
+  Device dev;
+  dev.seed = 1001;
+  dev.strategy = IidStrategy::kRandomStable;
+  EXPECT_EQ(iid_for(dev, 42, 0), iid_for(dev, 42, 80 * util::kDay));
+  EXPECT_NE(iid_for(dev, 42, 0), iid_for(dev, 43, 0));
+}
+
+}  // namespace
+}  // namespace v6::sim
