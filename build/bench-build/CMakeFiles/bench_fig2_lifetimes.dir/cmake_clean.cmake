@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_lifetimes"
+  "../bench/bench_fig2_lifetimes.pdb"
+  "CMakeFiles/bench_fig2_lifetimes.dir/bench_fig2_lifetimes.cpp.o"
+  "CMakeFiles/bench_fig2_lifetimes.dir/bench_fig2_lifetimes.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_lifetimes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_backscan"
+  "../bench/bench_fig3_backscan.pdb"
+  "CMakeFiles/bench_fig3_backscan.dir/bench_fig3_backscan.cpp.o"
+  "CMakeFiles/bench_fig3_backscan.dir/bench_fig3_backscan.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_backscan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

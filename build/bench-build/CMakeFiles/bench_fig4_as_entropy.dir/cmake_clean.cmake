@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_as_entropy"
+  "../bench/bench_fig4_as_entropy.pdb"
+  "CMakeFiles/bench_fig4_as_entropy.dir/bench_fig4_as_entropy.cpp.o"
+  "CMakeFiles/bench_fig4_as_entropy.dir/bench_fig4_as_entropy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_as_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_eui64_tracking"
+  "../bench/bench_fig6_eui64_tracking.pdb"
+  "CMakeFiles/bench_fig6_eui64_tracking.dir/bench_fig6_eui64_tracking.cpp.o"
+  "CMakeFiles/bench_fig6_eui64_tracking.dir/bench_fig6_eui64_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_eui64_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

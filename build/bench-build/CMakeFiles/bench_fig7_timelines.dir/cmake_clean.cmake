@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_timelines"
+  "../bench/bench_fig7_timelines.pdb"
+  "CMakeFiles/bench_fig7_timelines.dir/bench_fig7_timelines.cpp.o"
+  "CMakeFiles/bench_fig7_timelines.dir/bench_fig7_timelines.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

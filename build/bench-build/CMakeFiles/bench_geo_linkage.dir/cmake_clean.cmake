@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_geo_linkage"
+  "../bench/bench_geo_linkage.pdb"
+  "CMakeFiles/bench_geo_linkage.dir/bench_geo_linkage.cpp.o"
+  "CMakeFiles/bench_geo_linkage.dir/bench_geo_linkage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geo_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_manufacturers"
+  "../bench/bench_table2_manufacturers.pdb"
+  "CMakeFiles/bench_table2_manufacturers.dir/bench_table2_manufacturers.cpp.o"
+  "CMakeFiles/bench_table2_manufacturers.dir/bench_table2_manufacturers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_manufacturers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tga_bias"
+  "../bench/bench_tga_bias.pdb"
+  "CMakeFiles/bench_tga_bias.dir/bench_tga_bias.cpp.o"
+  "CMakeFiles/bench_tga_bias.dir/bench_tga_bias.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tga_bias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

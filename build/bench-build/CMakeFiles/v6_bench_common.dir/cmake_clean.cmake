@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/v6_bench_common.dir/bench_common.cc.o.d"
+  "libv6_bench_common.a"
+  "libv6_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backscan_aliases.dir/backscan_aliases.cpp.o"
+  "CMakeFiles/backscan_aliases.dir/backscan_aliases.cpp.o.d"
+  "backscan_aliases"
+  "backscan_aliases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backscan_aliases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

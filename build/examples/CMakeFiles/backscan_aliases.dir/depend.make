@@ -1,0 +1,2 @@
+# Empty dependencies file for backscan_aliases.
+# This may be replaced when dependencies are built.

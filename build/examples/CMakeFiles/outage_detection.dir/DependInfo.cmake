@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/outage_detection.cpp" "examples/CMakeFiles/outage_detection.dir/outage_detection.cpp.o" "gcc" "examples/CMakeFiles/outage_detection.dir/outage_detection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/v6_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/v6_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hitlist/CMakeFiles/v6_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/v6_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/v6_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/v6_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/v6_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

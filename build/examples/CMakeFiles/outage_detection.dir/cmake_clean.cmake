@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outage_detection.dir/outage_detection.cpp.o"
+  "CMakeFiles/outage_detection.dir/outage_detection.cpp.o.d"
+  "outage_detection"
+  "outage_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outage_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passive_collection.dir/passive_collection.cpp.o"
+  "CMakeFiles/passive_collection.dir/passive_collection.cpp.o.d"
+  "passive_collection"
+  "passive_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passive_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6pool_cli.dir/v6pool_cli.cpp.o"
+  "CMakeFiles/v6pool_cli.dir/v6pool_cli.cpp.o.d"
+  "v6pool_cli"
+  "v6pool_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6pool_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

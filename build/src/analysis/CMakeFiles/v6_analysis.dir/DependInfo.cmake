@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/address_categories.cc" "src/analysis/CMakeFiles/v6_analysis.dir/address_categories.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/address_categories.cc.o.d"
+  "/root/repo/src/analysis/as_entropy.cc" "src/analysis/CMakeFiles/v6_analysis.dir/as_entropy.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/as_entropy.cc.o.d"
+  "/root/repo/src/analysis/bad_apple.cc" "src/analysis/CMakeFiles/v6_analysis.dir/bad_apple.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/bad_apple.cc.o.d"
+  "/root/repo/src/analysis/dataset_compare.cc" "src/analysis/CMakeFiles/v6_analysis.dir/dataset_compare.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/dataset_compare.cc.o.d"
+  "/root/repo/src/analysis/entropy_distribution.cc" "src/analysis/CMakeFiles/v6_analysis.dir/entropy_distribution.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/entropy_distribution.cc.o.d"
+  "/root/repo/src/analysis/eui64_tracking.cc" "src/analysis/CMakeFiles/v6_analysis.dir/eui64_tracking.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/eui64_tracking.cc.o.d"
+  "/root/repo/src/analysis/geolink.cc" "src/analysis/CMakeFiles/v6_analysis.dir/geolink.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/geolink.cc.o.d"
+  "/root/repo/src/analysis/lifetimes.cc" "src/analysis/CMakeFiles/v6_analysis.dir/lifetimes.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/lifetimes.cc.o.d"
+  "/root/repo/src/analysis/manufacturers.cc" "src/analysis/CMakeFiles/v6_analysis.dir/manufacturers.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/manufacturers.cc.o.d"
+  "/root/repo/src/analysis/outage.cc" "src/analysis/CMakeFiles/v6_analysis.dir/outage.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/outage.cc.o.d"
+  "/root/repo/src/analysis/rotation.cc" "src/analysis/CMakeFiles/v6_analysis.dir/rotation.cc.o" "gcc" "src/analysis/CMakeFiles/v6_analysis.dir/rotation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hitlist/CMakeFiles/v6_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/v6_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/v6_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/v6_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/v6_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

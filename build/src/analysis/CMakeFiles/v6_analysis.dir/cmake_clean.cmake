@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_analysis.dir/address_categories.cc.o"
+  "CMakeFiles/v6_analysis.dir/address_categories.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/as_entropy.cc.o"
+  "CMakeFiles/v6_analysis.dir/as_entropy.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/bad_apple.cc.o"
+  "CMakeFiles/v6_analysis.dir/bad_apple.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/dataset_compare.cc.o"
+  "CMakeFiles/v6_analysis.dir/dataset_compare.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/entropy_distribution.cc.o"
+  "CMakeFiles/v6_analysis.dir/entropy_distribution.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/eui64_tracking.cc.o"
+  "CMakeFiles/v6_analysis.dir/eui64_tracking.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/geolink.cc.o"
+  "CMakeFiles/v6_analysis.dir/geolink.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/lifetimes.cc.o"
+  "CMakeFiles/v6_analysis.dir/lifetimes.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/manufacturers.cc.o"
+  "CMakeFiles/v6_analysis.dir/manufacturers.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/outage.cc.o"
+  "CMakeFiles/v6_analysis.dir/outage.cc.o.d"
+  "CMakeFiles/v6_analysis.dir/rotation.cc.o"
+  "CMakeFiles/v6_analysis.dir/rotation.cc.o.d"
+  "libv6_analysis.a"
+  "libv6_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_core.dir/study.cc.o"
+  "CMakeFiles/v6_core.dir/study.cc.o.d"
+  "libv6_core.a"
+  "libv6_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/rdns.cc" "src/dns/CMakeFiles/v6_dns.dir/rdns.cc.o" "gcc" "src/dns/CMakeFiles/v6_dns.dir/rdns.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/v6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

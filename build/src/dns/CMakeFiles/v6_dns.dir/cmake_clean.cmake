@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_dns.dir/rdns.cc.o"
+  "CMakeFiles/v6_dns.dir/rdns.cc.o.d"
+  "libv6_dns.a"
+  "libv6_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_geo.dir/bssid_db.cc.o"
+  "CMakeFiles/v6_geo.dir/bssid_db.cc.o.d"
+  "CMakeFiles/v6_geo.dir/country.cc.o"
+  "CMakeFiles/v6_geo.dir/country.cc.o.d"
+  "CMakeFiles/v6_geo.dir/geodb.cc.o"
+  "CMakeFiles/v6_geo.dir/geodb.cc.o.d"
+  "CMakeFiles/v6_geo.dir/location.cc.o"
+  "CMakeFiles/v6_geo.dir/location.cc.o.d"
+  "libv6_geo.a"
+  "libv6_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_hitlist.dir/alias_detection.cc.o"
+  "CMakeFiles/v6_hitlist.dir/alias_detection.cc.o.d"
+  "CMakeFiles/v6_hitlist.dir/campaigns.cc.o"
+  "CMakeFiles/v6_hitlist.dir/campaigns.cc.o.d"
+  "CMakeFiles/v6_hitlist.dir/corpus.cc.o"
+  "CMakeFiles/v6_hitlist.dir/corpus.cc.o.d"
+  "CMakeFiles/v6_hitlist.dir/corpus_io.cc.o"
+  "CMakeFiles/v6_hitlist.dir/corpus_io.cc.o.d"
+  "CMakeFiles/v6_hitlist.dir/passive_collector.cc.o"
+  "CMakeFiles/v6_hitlist.dir/passive_collector.cc.o.d"
+  "CMakeFiles/v6_hitlist.dir/release.cc.o"
+  "CMakeFiles/v6_hitlist.dir/release.cc.o.d"
+  "libv6_hitlist.a"
+  "libv6_hitlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_hitlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

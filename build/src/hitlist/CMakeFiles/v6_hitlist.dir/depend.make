@@ -1,0 +1,2 @@
+# Empty dependencies file for v6_hitlist.
+# This may be replaced when dependencies are built.

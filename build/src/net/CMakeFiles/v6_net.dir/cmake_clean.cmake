@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_net.dir/classify.cc.o"
+  "CMakeFiles/v6_net.dir/classify.cc.o.d"
+  "CMakeFiles/v6_net.dir/entropy.cc.o"
+  "CMakeFiles/v6_net.dir/entropy.cc.o.d"
+  "CMakeFiles/v6_net.dir/eui64.cc.o"
+  "CMakeFiles/v6_net.dir/eui64.cc.o.d"
+  "CMakeFiles/v6_net.dir/ipv4.cc.o"
+  "CMakeFiles/v6_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/v6_net.dir/ipv6.cc.o"
+  "CMakeFiles/v6_net.dir/ipv6.cc.o.d"
+  "CMakeFiles/v6_net.dir/mac.cc.o"
+  "CMakeFiles/v6_net.dir/mac.cc.o.d"
+  "CMakeFiles/v6_net.dir/prefix.cc.o"
+  "CMakeFiles/v6_net.dir/prefix.cc.o.d"
+  "libv6_net.a"
+  "libv6_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_netsim.dir/data_plane.cc.o"
+  "CMakeFiles/v6_netsim.dir/data_plane.cc.o.d"
+  "CMakeFiles/v6_netsim.dir/pool_dns.cc.o"
+  "CMakeFiles/v6_netsim.dir/pool_dns.cc.o.d"
+  "CMakeFiles/v6_netsim.dir/topology.cc.o"
+  "CMakeFiles/v6_netsim.dir/topology.cc.o.d"
+  "libv6_netsim.a"
+  "libv6_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_ntp.dir/client_schedule.cc.o"
+  "CMakeFiles/v6_ntp.dir/client_schedule.cc.o.d"
+  "CMakeFiles/v6_ntp.dir/server.cc.o"
+  "CMakeFiles/v6_ntp.dir/server.cc.o.d"
+  "libv6_ntp.a"
+  "libv6_ntp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_ntp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/buffer.cc" "src/proto/CMakeFiles/v6_proto.dir/buffer.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/buffer.cc.o.d"
+  "/root/repo/src/proto/checksum.cc" "src/proto/CMakeFiles/v6_proto.dir/checksum.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/checksum.cc.o.d"
+  "/root/repo/src/proto/datagram.cc" "src/proto/CMakeFiles/v6_proto.dir/datagram.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/datagram.cc.o.d"
+  "/root/repo/src/proto/icmpv6.cc" "src/proto/CMakeFiles/v6_proto.dir/icmpv6.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/icmpv6.cc.o.d"
+  "/root/repo/src/proto/ipv6_header.cc" "src/proto/CMakeFiles/v6_proto.dir/ipv6_header.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/ipv6_header.cc.o.d"
+  "/root/repo/src/proto/ntp_packet.cc" "src/proto/CMakeFiles/v6_proto.dir/ntp_packet.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/ntp_packet.cc.o.d"
+  "/root/repo/src/proto/tcp.cc" "src/proto/CMakeFiles/v6_proto.dir/tcp.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/tcp.cc.o.d"
+  "/root/repo/src/proto/udp.cc" "src/proto/CMakeFiles/v6_proto.dir/udp.cc.o" "gcc" "src/proto/CMakeFiles/v6_proto.dir/udp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

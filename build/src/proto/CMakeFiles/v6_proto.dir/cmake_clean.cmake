@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_proto.dir/buffer.cc.o"
+  "CMakeFiles/v6_proto.dir/buffer.cc.o.d"
+  "CMakeFiles/v6_proto.dir/checksum.cc.o"
+  "CMakeFiles/v6_proto.dir/checksum.cc.o.d"
+  "CMakeFiles/v6_proto.dir/datagram.cc.o"
+  "CMakeFiles/v6_proto.dir/datagram.cc.o.d"
+  "CMakeFiles/v6_proto.dir/icmpv6.cc.o"
+  "CMakeFiles/v6_proto.dir/icmpv6.cc.o.d"
+  "CMakeFiles/v6_proto.dir/ipv6_header.cc.o"
+  "CMakeFiles/v6_proto.dir/ipv6_header.cc.o.d"
+  "CMakeFiles/v6_proto.dir/ntp_packet.cc.o"
+  "CMakeFiles/v6_proto.dir/ntp_packet.cc.o.d"
+  "CMakeFiles/v6_proto.dir/tcp.cc.o"
+  "CMakeFiles/v6_proto.dir/tcp.cc.o.d"
+  "CMakeFiles/v6_proto.dir/udp.cc.o"
+  "CMakeFiles/v6_proto.dir/udp.cc.o.d"
+  "libv6_proto.a"
+  "libv6_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

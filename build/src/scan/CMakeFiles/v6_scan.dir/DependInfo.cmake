@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/backscanner.cc" "src/scan/CMakeFiles/v6_scan.dir/backscanner.cc.o" "gcc" "src/scan/CMakeFiles/v6_scan.dir/backscanner.cc.o.d"
+  "/root/repo/src/scan/target_gen.cc" "src/scan/CMakeFiles/v6_scan.dir/target_gen.cc.o" "gcc" "src/scan/CMakeFiles/v6_scan.dir/target_gen.cc.o.d"
+  "/root/repo/src/scan/tga.cc" "src/scan/CMakeFiles/v6_scan.dir/tga.cc.o" "gcc" "src/scan/CMakeFiles/v6_scan.dir/tga.cc.o.d"
+  "/root/repo/src/scan/yarrp.cc" "src/scan/CMakeFiles/v6_scan.dir/yarrp.cc.o" "gcc" "src/scan/CMakeFiles/v6_scan.dir/yarrp.cc.o.d"
+  "/root/repo/src/scan/zmap6.cc" "src/scan/CMakeFiles/v6_scan.dir/zmap6.cc.o" "gcc" "src/scan/CMakeFiles/v6_scan.dir/zmap6.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/v6_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/v6_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_scan.dir/backscanner.cc.o"
+  "CMakeFiles/v6_scan.dir/backscanner.cc.o.d"
+  "CMakeFiles/v6_scan.dir/target_gen.cc.o"
+  "CMakeFiles/v6_scan.dir/target_gen.cc.o.d"
+  "CMakeFiles/v6_scan.dir/tga.cc.o"
+  "CMakeFiles/v6_scan.dir/tga.cc.o.d"
+  "CMakeFiles/v6_scan.dir/yarrp.cc.o"
+  "CMakeFiles/v6_scan.dir/yarrp.cc.o.d"
+  "CMakeFiles/v6_scan.dir/zmap6.cc.o"
+  "CMakeFiles/v6_scan.dir/zmap6.cc.o.d"
+  "libv6_scan.a"
+  "libv6_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/addressing.cc" "src/sim/CMakeFiles/v6_sim.dir/addressing.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/addressing.cc.o.d"
+  "/root/repo/src/sim/as_profile.cc" "src/sim/CMakeFiles/v6_sim.dir/as_profile.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/as_profile.cc.o.d"
+  "/root/repo/src/sim/device.cc" "src/sim/CMakeFiles/v6_sim.dir/device.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/device.cc.o.d"
+  "/root/repo/src/sim/feistel.cc" "src/sim/CMakeFiles/v6_sim.dir/feistel.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/feistel.cc.o.d"
+  "/root/repo/src/sim/oui_registry.cc" "src/sim/CMakeFiles/v6_sim.dir/oui_registry.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/oui_registry.cc.o.d"
+  "/root/repo/src/sim/world.cc" "src/sim/CMakeFiles/v6_sim.dir/world.cc.o" "gcc" "src/sim/CMakeFiles/v6_sim.dir/world.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

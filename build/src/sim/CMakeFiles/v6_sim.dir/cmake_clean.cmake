@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_sim.dir/addressing.cc.o"
+  "CMakeFiles/v6_sim.dir/addressing.cc.o.d"
+  "CMakeFiles/v6_sim.dir/as_profile.cc.o"
+  "CMakeFiles/v6_sim.dir/as_profile.cc.o.d"
+  "CMakeFiles/v6_sim.dir/device.cc.o"
+  "CMakeFiles/v6_sim.dir/device.cc.o.d"
+  "CMakeFiles/v6_sim.dir/feistel.cc.o"
+  "CMakeFiles/v6_sim.dir/feistel.cc.o.d"
+  "CMakeFiles/v6_sim.dir/oui_registry.cc.o"
+  "CMakeFiles/v6_sim.dir/oui_registry.cc.o.d"
+  "CMakeFiles/v6_sim.dir/world.cc.o"
+  "CMakeFiles/v6_sim.dir/world.cc.o.d"
+  "libv6_sim.a"
+  "libv6_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

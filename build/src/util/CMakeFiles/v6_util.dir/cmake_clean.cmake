@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/v6_util.dir/rng.cc.o"
+  "CMakeFiles/v6_util.dir/rng.cc.o.d"
+  "CMakeFiles/v6_util.dir/sim_time.cc.o"
+  "CMakeFiles/v6_util.dir/sim_time.cc.o.d"
+  "CMakeFiles/v6_util.dir/stats.cc.o"
+  "CMakeFiles/v6_util.dir/stats.cc.o.d"
+  "CMakeFiles/v6_util.dir/strings.cc.o"
+  "CMakeFiles/v6_util.dir/strings.cc.o.d"
+  "CMakeFiles/v6_util.dir/table.cc.o"
+  "CMakeFiles/v6_util.dir/table.cc.o.d"
+  "libv6_util.a"
+  "libv6_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/v6_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

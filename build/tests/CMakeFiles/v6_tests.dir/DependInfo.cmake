@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_alias_detection.cpp" "tests/CMakeFiles/v6_tests.dir/test_alias_detection.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_alias_detection.cpp.o.d"
+  "/root/repo/tests/test_analysis_categories.cpp" "tests/CMakeFiles/v6_tests.dir/test_analysis_categories.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_analysis_categories.cpp.o.d"
+  "/root/repo/tests/test_analysis_entropy.cpp" "tests/CMakeFiles/v6_tests.dir/test_analysis_entropy.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_analysis_entropy.cpp.o.d"
+  "/root/repo/tests/test_analysis_eui64.cpp" "tests/CMakeFiles/v6_tests.dir/test_analysis_eui64.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_analysis_eui64.cpp.o.d"
+  "/root/repo/tests/test_analysis_geolink.cpp" "tests/CMakeFiles/v6_tests.dir/test_analysis_geolink.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_analysis_geolink.cpp.o.d"
+  "/root/repo/tests/test_analysis_lifetimes.cpp" "tests/CMakeFiles/v6_tests.dir/test_analysis_lifetimes.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_analysis_lifetimes.cpp.o.d"
+  "/root/repo/tests/test_as_entropy.cpp" "tests/CMakeFiles/v6_tests.dir/test_as_entropy.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_as_entropy.cpp.o.d"
+  "/root/repo/tests/test_bad_apple.cpp" "tests/CMakeFiles/v6_tests.dir/test_bad_apple.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_bad_apple.cpp.o.d"
+  "/root/repo/tests/test_campaigns.cpp" "tests/CMakeFiles/v6_tests.dir/test_campaigns.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_campaigns.cpp.o.d"
+  "/root/repo/tests/test_classify.cpp" "tests/CMakeFiles/v6_tests.dir/test_classify.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_classify.cpp.o.d"
+  "/root/repo/tests/test_corpus.cpp" "tests/CMakeFiles/v6_tests.dir/test_corpus.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_corpus.cpp.o.d"
+  "/root/repo/tests/test_data_plane.cpp" "tests/CMakeFiles/v6_tests.dir/test_data_plane.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_data_plane.cpp.o.d"
+  "/root/repo/tests/test_datagram_io.cpp" "tests/CMakeFiles/v6_tests.dir/test_datagram_io.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_datagram_io.cpp.o.d"
+  "/root/repo/tests/test_dataset_compare.cpp" "tests/CMakeFiles/v6_tests.dir/test_dataset_compare.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_dataset_compare.cpp.o.d"
+  "/root/repo/tests/test_entropy.cpp" "tests/CMakeFiles/v6_tests.dir/test_entropy.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_entropy.cpp.o.d"
+  "/root/repo/tests/test_eui64.cpp" "tests/CMakeFiles/v6_tests.dir/test_eui64.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_eui64.cpp.o.d"
+  "/root/repo/tests/test_feistel.cpp" "tests/CMakeFiles/v6_tests.dir/test_feistel.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_feistel.cpp.o.d"
+  "/root/repo/tests/test_geo.cpp" "tests/CMakeFiles/v6_tests.dir/test_geo.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_geo.cpp.o.d"
+  "/root/repo/tests/test_ipv4_mac.cpp" "tests/CMakeFiles/v6_tests.dir/test_ipv4_mac.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_ipv4_mac.cpp.o.d"
+  "/root/repo/tests/test_ipv6.cpp" "tests/CMakeFiles/v6_tests.dir/test_ipv6.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_ipv6.cpp.o.d"
+  "/root/repo/tests/test_ntp.cpp" "tests/CMakeFiles/v6_tests.dir/test_ntp.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_ntp.cpp.o.d"
+  "/root/repo/tests/test_oui_registry.cpp" "tests/CMakeFiles/v6_tests.dir/test_oui_registry.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_oui_registry.cpp.o.d"
+  "/root/repo/tests/test_outage.cpp" "tests/CMakeFiles/v6_tests.dir/test_outage.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_outage.cpp.o.d"
+  "/root/repo/tests/test_passive_collector.cpp" "tests/CMakeFiles/v6_tests.dir/test_passive_collector.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_passive_collector.cpp.o.d"
+  "/root/repo/tests/test_pool_dns.cpp" "tests/CMakeFiles/v6_tests.dir/test_pool_dns.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_pool_dns.cpp.o.d"
+  "/root/repo/tests/test_prefix.cpp" "tests/CMakeFiles/v6_tests.dir/test_prefix.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_prefix.cpp.o.d"
+  "/root/repo/tests/test_proto.cpp" "tests/CMakeFiles/v6_tests.dir/test_proto.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_proto.cpp.o.d"
+  "/root/repo/tests/test_rdns.cpp" "tests/CMakeFiles/v6_tests.dir/test_rdns.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_rdns.cpp.o.d"
+  "/root/repo/tests/test_release.cpp" "tests/CMakeFiles/v6_tests.dir/test_release.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_release.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/v6_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_rotation.cpp" "tests/CMakeFiles/v6_tests.dir/test_rotation.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_rotation.cpp.o.d"
+  "/root/repo/tests/test_scan.cpp" "tests/CMakeFiles/v6_tests.dir/test_scan.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_scan.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/v6_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_strings.cpp" "tests/CMakeFiles/v6_tests.dir/test_strings.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_strings.cpp.o.d"
+  "/root/repo/tests/test_study.cpp" "tests/CMakeFiles/v6_tests.dir/test_study.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_study.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/v6_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_tcp.cpp" "tests/CMakeFiles/v6_tests.dir/test_tcp.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_tcp.cpp.o.d"
+  "/root/repo/tests/test_tga.cpp" "tests/CMakeFiles/v6_tests.dir/test_tga.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_tga.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/v6_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_world.cpp" "tests/CMakeFiles/v6_tests.dir/test_world.cpp.o" "gcc" "tests/CMakeFiles/v6_tests.dir/test_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/v6_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/v6_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/hitlist/CMakeFiles/v6_hitlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/v6_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntp/CMakeFiles/v6_ntp.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/v6_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/v6_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/v6_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/proto/CMakeFiles/v6_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/v6_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/v6_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/v6_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
