@@ -55,13 +55,19 @@ void print_banner(const std::string& bench_name,
 }
 
 void timed(const std::string& label, const std::function<void()>& fn) {
+  timed_seconds(label, fn);
+}
+
+double timed_seconds(const std::string& label,
+                     const std::function<void()>& fn) {
   const auto start = std::chrono::steady_clock::now();
   fn();
   const auto elapsed =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - start);
-  std::printf("[%s: %.1fs]\n", label.c_str(),
-              static_cast<double>(elapsed.count()) / 1000.0);
+  const double seconds = static_cast<double>(elapsed.count()) / 1000.0;
+  std::printf("[%s: %.1fs]\n", label.c_str(), seconds);
+  return seconds;
 }
 
 void print_cdf(const std::string& caption,

@@ -45,6 +45,11 @@ class Comparison {
 // Runs fn() and prints its wall-clock seconds.
 void timed(const std::string& label, const std::function<void()>& fn);
 
+// Like timed(), and also returns the wall-clock seconds (for speedup
+// ratios between two timed stages).
+double timed_seconds(const std::string& label,
+                     const std::function<void()>& fn);
+
 // Renders a CDF as (x, F(x)) rows at `points` evenly spaced x values.
 void print_cdf(const std::string& caption,
                const util::EmpiricalDistribution& distribution,

@@ -54,8 +54,16 @@ void Study::run_backscan() {
       }
     }
   }
+  // The hook below is order-dependent — Backscanner draws probe targets
+  // and trace samples from one shared RNG and fires probes through the
+  // shared DataPlane as sightings arrive — so this collection pass runs
+  // single-threaded per the hook concurrency contract (see
+  // hitlist::ObservationHook). The main collect() pass has no hook and
+  // shards freely.
+  auto serial_config = config_.collector;
+  serial_config.threads = 1;
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
-                                      config_.collector);
+                                      serial_config);
   const auto hook = [&](const ntp::Observation& obs,
                         const net::Ipv6Address& vantage_address) {
     results_.backscan_week.add(obs.client, obs.time, obs.vantage);

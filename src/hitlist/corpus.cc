@@ -21,6 +21,31 @@ Corpus::Corpus(std::size_t expected_addresses) {
   mask_ = cap - 1;
 }
 
+Corpus::Corpus(Corpus&& other) noexcept
+    : slots_(std::move(other.slots_)),
+      size_(other.size_),
+      mask_(other.mask_),
+      observations_(other.observations_) {
+  other.slots_.clear();
+  other.size_ = 0;
+  other.mask_ = 0;
+  other.observations_ = 0;
+}
+
+Corpus& Corpus::operator=(Corpus&& other) noexcept {
+  if (this != &other) {
+    slots_ = std::move(other.slots_);
+    size_ = other.size_;
+    mask_ = other.mask_;
+    observations_ = other.observations_;
+    other.slots_.clear();
+    other.size_ = 0;
+    other.mask_ = 0;
+    other.observations_ = 0;
+  }
+  return *this;
+}
+
 AddressRecord* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
   std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
   while (true) {
@@ -31,9 +56,21 @@ AddressRecord* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
   }
 }
 
+void Corpus::revive_if_moved_from() {
+  if (slots_.empty()) {
+    slots_.assign(64, AddressRecord{});
+    mask_ = 63;
+  }
+}
+
 void Corpus::add(const net::Ipv6Address& address, util::SimTime t,
                  std::uint8_t vantage) {
   const auto ts = static_cast<std::uint32_t>(std::max<util::SimTime>(t, 0));
+  // Clamp into the mask: vantages past the width share bit 31 (see the
+  // vantage_mask contract in the header).
+  const std::uint32_t vantage_bit =
+      1u << std::min<std::uint8_t>(vantage, 31);
+  revive_if_moved_from();
   ++observations_;
   AddressRecord* slot = lookup_slot(address);
   if (slot->count == 0) {
@@ -45,17 +82,18 @@ void Corpus::add(const net::Ipv6Address& address, util::SimTime t,
     slot->first_seen = ts;
     slot->last_seen = ts;
     slot->count = 1;
-    slot->vantage_mask = vantage < 32 ? (1u << vantage) : 0;
+    slot->vantage_mask = vantage_bit;
     ++size_;
     return;
   }
   slot->first_seen = std::min(slot->first_seen, ts);
   slot->last_seen = std::max(slot->last_seen, ts);
   ++slot->count;
-  if (vantage < 32) slot->vantage_mask |= 1u << vantage;
+  slot->vantage_mask |= vantage_bit;
 }
 
 void Corpus::add_record(const AddressRecord& rec) {
+  revive_if_moved_from();
   AddressRecord* slot = lookup_slot(rec.address);
   if (slot->count == 0) {
     if ((size_ + 1) * 3 > slots_.size() * 2) {
@@ -79,6 +117,7 @@ void Corpus::merge(const Corpus& other) {
 
 const AddressRecord* Corpus::find(
     const net::Ipv6Address& address) const noexcept {
+  if (slots_.empty()) return nullptr;  // moved-from
   std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
   while (true) {
     const AddressRecord& slot = slots_[i];

@@ -22,7 +22,11 @@ struct AddressRecord {
   std::uint32_t first_seen = 0;  // seconds since study epoch
   std::uint32_t last_seen = 0;
   std::uint32_t count = 0;
-  std::uint32_t vantage_mask = 0;  // bit v set: seen at vantage v (v < 32)
+  // Bit v set: seen at vantage v, for v < 31. Bit 31 is the overflow
+  // bucket: a sighting from any vantage >= 31 sets it, so no observation
+  // is ever silently dropped from the mask (the study runs 27 vantages;
+  // the bucket only matters for configs beyond the mask's width).
+  std::uint32_t vantage_mask = 0;
 
   util::SimDuration lifetime() const noexcept {
     return static_cast<util::SimDuration>(last_seen) - first_seen;
@@ -33,12 +37,19 @@ class Corpus {
  public:
   explicit Corpus(std::size_t expected_addresses = 1 << 16);
 
-  Corpus(Corpus&&) noexcept = default;
-  Corpus& operator=(Corpus&&) noexcept = default;
+  // A moved-from Corpus is empty but fully usable: find() answers
+  // nullptr and the next add() lazily re-creates a minimal table (the
+  // default-move alternative left an empty slot vector that find()/add()
+  // would index into — UB).
+  Corpus(Corpus&& other) noexcept;
+  Corpus& operator=(Corpus&& other) noexcept;
   Corpus(const Corpus&) = delete;
   Corpus& operator=(const Corpus&) = delete;
 
   // Records one sighting. `t` must be >= 0 (clamped into u32 seconds).
+  // `vantage` sets bit min(vantage, 31) of the record's vantage_mask —
+  // out-of-range vantages land in the bit-31 overflow bucket rather than
+  // being dropped.
   void add(const net::Ipv6Address& address, util::SimTime t,
            std::uint8_t vantage = 0);
 
@@ -64,6 +75,8 @@ class Corpus {
  private:
   AddressRecord* lookup_slot(const net::Ipv6Address& address) noexcept;
   void grow();
+  // Re-creates a minimal table after a move emptied this corpus.
+  void revive_if_moved_from();
 
   std::vector<AddressRecord> slots_;
   std::size_t size_ = 0;

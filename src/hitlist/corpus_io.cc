@@ -47,6 +47,17 @@ Corpus load_corpus(std::istream& in) {
   if (reader.truncated()) {
     throw std::runtime_error("corpus snapshot: truncated header");
   }
+  // The record count is untrusted input and sizes the table allocation
+  // below: insist it agrees exactly with the payload that is actually
+  // present (32 bytes per record) before allocating anything. The
+  // division-form check also rejects counts whose byte size would
+  // overflow 64 bits.
+  constexpr std::uint64_t kRecordBytes = 32;
+  if (records > reader.remaining() / kRecordBytes ||
+      records * kRecordBytes != reader.remaining()) {
+    throw std::runtime_error(
+        "corpus snapshot: record count disagrees with payload size");
+  }
 
   Corpus corpus(records);
   std::uint64_t observations_seen = 0;

@@ -1,9 +1,12 @@
 #include "hitlist/passive_collector.h"
 
+#include <algorithm>
+
 #include "ntp/client_schedule.h"
 #include "proto/ntp_packet.h"
 #include "proto/udp.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace v6::hitlist {
 
@@ -13,16 +16,27 @@ PassiveCollector::PassiveCollector(const sim::World& world,
                                    const CollectorConfig& config)
     : world_(&world), plane_(&plane), dns_(&dns), config_(config) {}
 
-void PassiveCollector::run(Corpus& corpus, util::SimTime start,
-                           util::SimTime end, const ObservationHook& hook) {
-  // One server object per vantage, all sinking into the corpus.
+void PassiveCollector::collect_shard(Corpus& corpus, std::size_t first,
+                                     std::size_t last, util::SimTime start,
+                                     util::SimTime end,
+                                     const ObservationHook& hook,
+                                     std::mutex* hook_mu,
+                                     ShardTally& tally) const {
+  // One server object per vantage, all sinking into this shard's corpus.
   std::vector<std::unique_ptr<ntp::NtpServer>> servers;
   servers.reserve(world_->vantages().size());
   for (const auto& vantage : world_->vantages()) {
-    auto sink = [&corpus, &hook, address = vantage.address](
+    auto sink = [&corpus, &hook, hook_mu, address = vantage.address](
                     const ntp::Observation& obs) {
       corpus.add(obs.client, obs.time, obs.vantage);
-      if (hook) hook(obs, address);
+      if (hook) {
+        if (hook_mu == nullptr) {
+          hook(obs, address);
+        } else {
+          std::lock_guard<std::mutex> lock(*hook_mu);
+          hook(obs, address);
+        }
+      }
     };
     servers.push_back(std::make_unique<ntp::NtpServer>(vantage, sink));
     if (config_.wire_fidelity) servers.back()->bind(*plane_);
@@ -30,12 +44,12 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
 
   const bool outages_possible = world_->config().outage_count > 0;
   const auto devices = world_->devices();
-  for (sim::DeviceId d = 0; d < devices.size(); ++d) {
+  for (sim::DeviceId d = first; d < last; ++d) {
     const sim::Device& dev = devices[d];
     if (!dev.ntp.uses_pool) continue;
     // Order-independent per-device stream: the collection result does not
-    // depend on enumeration order (a prerequisite for sharding devices
-    // across threads or machines).
+    // depend on enumeration order (the property that makes sharding
+    // devices across threads or machines bit-exact).
     util::Rng dev_rng(
         util::mix64(config_.seed ^ 0xc0111ec7 ^ util::mix64(dev.seed)));
     ntp::ClientSchedule schedule(dev, start, end);
@@ -56,7 +70,7 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
       for (std::uint8_t k = 0; k < burst; ++k) {
         const util::SimTime tk = t + 2 * k;
         if (tk >= end) break;  // the collection window closes mid-burst
-        ++polls_;
+        ++tally.polls;
         if (vantage == nullptr) continue;
         if (config_.wire_fidelity) {
           const auto nonce = static_cast<std::uint32_t>(dev_rng.next());
@@ -75,7 +89,7 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
               response->origin_time != request.transmit_time) {
             continue;
           }
-          ++answered_;
+          ++tally.answered;
         } else {
           // Fast path: identical steering and loss model, no
           // serialization. Request-direction loss suppresses the
@@ -83,10 +97,51 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
           if (dev_rng.chance(config_.loss_rate)) continue;
           servers[vantage->id]->record(client, tk);
           // ...response-direction loss costs only the client's answer.
-          if (!dev_rng.chance(config_.loss_rate)) ++answered_;
+          if (!dev_rng.chance(config_.loss_rate)) ++tally.answered;
         }
       }
     });
+  }
+}
+
+void PassiveCollector::run(Corpus& corpus, util::SimTime start,
+                           util::SimTime end, const ObservationHook& hook) {
+  const auto devices = world_->devices();
+  unsigned shards = config_.threads != 0 ? config_.threads
+                                         : util::ThreadPool::hardware_threads();
+  // The wire path serializes every poll through the shared DataPlane
+  // (UDP delivery mutates its loss RNG and routing state), so it stays
+  // single-threaded; the fast path is the one built for scale.
+  if (config_.wire_fidelity) shards = 1;
+  shards = static_cast<unsigned>(std::min<std::size_t>(
+      shards, std::max<std::size_t>(devices.size(), 1)));
+
+  if (shards <= 1) {
+    ShardTally tally;
+    collect_shard(corpus, 0, devices.size(), start, end, hook, nullptr,
+                  tally);
+    polls_ += tally.polls;
+    answered_ += tally.answered;
+    return;
+  }
+
+  std::mutex hook_mu;
+  std::vector<Corpus> parts;
+  parts.reserve(shards);
+  for (unsigned s = 0; s < shards; ++s) parts.emplace_back(1 << 12);
+  std::vector<ShardTally> tallies(shards);
+  util::run_sharded(
+      devices.size(), shards,
+      [&](unsigned s, std::size_t begin, std::size_t shard_end) {
+        collect_shard(parts[s], begin, shard_end, start, end, hook,
+                      hook ? &hook_mu : nullptr, tallies[s]);
+      });
+  // Deterministic reduce: Corpus aggregates are commutative (min/max/
+  // sum/or), so the merged corpus matches the serial run field-for-field.
+  for (unsigned s = 0; s < shards; ++s) {
+    corpus.merge(parts[s]);
+    polls_ += tallies[s].polls;
+    answered_ += tallies[s].answered;
   }
 }
 

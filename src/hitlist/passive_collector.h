@@ -9,10 +9,19 @@
 //   * fast — skips serialization but keeps the identical control flow
 //     (same DNS steering, same loss decisions, same server-side record
 //     call), which makes the 10M+-poll benches tractable.
+//
+// Collection shards across threads: devices are partitioned into
+// contiguous ranges, each shard runs the per-device loop into its own
+// Corpus, and the shards reduce through Corpus::merge(). Because every
+// device's observation stream derives only from its own seeded RNG, the
+// merged corpus is bit-identical (size, total_observations, every record
+// field) to the threads=1 run — a property the tests assert.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "hitlist/corpus.h"
@@ -32,11 +41,23 @@ struct CollectorConfig {
   // Ablation switch: treat every client as a single-packet (non-iburst)
   // poller.
   bool ignore_bursts = false;
+  // Collection shards. 0 = one per hardware thread; 1 = the exact legacy
+  // single-threaded path. The wire_fidelity path always runs serially
+  // regardless of this knob: every poll mutates the shared DataPlane.
+  unsigned threads = 0;
 };
 
 // Called for every accepted observation, after it is added to the corpus.
 // `vantage_address` is the server the client spoke to (backscanning probes
 // from there).
+//
+// Concurrency contract: with more than one collection shard, hook
+// invocations are serialized (a shard-global mutex), so the hook body
+// needs no locking of its own — but the *order* in which observations
+// from different shards arrive is unspecified. Hooks whose results depend
+// on arrival order (e.g. one feeding a stateful scanner) must run with
+// `threads = 1`; order-independent aggregation (corpora, per-day
+// counters) is safe at any shard count.
 using ObservationHook = std::function<void(
     const ntp::Observation&, const net::Ipv6Address& vantage_address)>;
 
@@ -53,6 +74,21 @@ class PassiveCollector {
   std::uint64_t polls_answered() const noexcept { return answered_; }
 
  private:
+  // Per-shard poll counters, kept thread-local during collection and
+  // summed into the collector's totals once the shards join.
+  struct ShardTally {
+    std::uint64_t polls = 0;
+    std::uint64_t answered = 0;
+  };
+
+  // The per-device collection loop over devices [first, last), sinking
+  // into `corpus`. `hook_mu`, when non-null, serializes hook delivery
+  // across shards.
+  void collect_shard(Corpus& corpus, std::size_t first, std::size_t last,
+                     util::SimTime start, util::SimTime end,
+                     const ObservationHook& hook, std::mutex* hook_mu,
+                     ShardTally& tally) const;
+
   const sim::World* world_;
   netsim::DataPlane* plane_;
   const netsim::PoolDns* dns_;

@@ -15,6 +15,34 @@ PoolDns::PoolDns(const sim::World& world, double global_fraction,
     by_country_[v.country].push_back(&v);
     all_.push_back(&v);
   }
+  // Materialize the steering table for every country the registry knows:
+  // resolve() runs concurrently from collection shards, so lookups after
+  // construction must never write.
+  for (const auto& [code, list] : by_country_) steer_cache_[code] = list;
+  for (const auto& info : geo::all_countries()) {
+    auto& entry = steer_cache_[info.code];
+    if (const auto it = by_country_.find(info.code);
+        it != by_country_.end()) {
+      entry = it->second;
+      continue;
+    }
+    // No vantage in-country: steer to the geographically nearest vantage
+    // country (what the pool's coarse geolocation effectively does).
+    double best = std::numeric_limits<double>::max();
+    const std::vector<const sim::VantagePoint*>* best_list = &all_;
+    for (const auto& [code, list] : by_country_) {
+      const geo::CountryInfo* vantage_info = geo::find_country(code);
+      if (vantage_info == nullptr) continue;
+      const double d = geo::distance_km(
+          {info.latitude, info.longitude},
+          {vantage_info->latitude, vantage_info->longitude});
+      if (d < best) {
+        best = d;
+        best_list = &list;
+      }
+    }
+    entry = *best_list;
+  }
 }
 
 const std::vector<const sim::VantagePoint*>& PoolDns::candidates(
@@ -22,33 +50,9 @@ const std::vector<const sim::VantagePoint*>& PoolDns::candidates(
   if (const auto it = steer_cache_.find(country); it != steer_cache_.end()) {
     return it->second;
   }
-  auto& entry = steer_cache_[country];
-  if (const auto it = by_country_.find(country); it != by_country_.end()) {
-    entry = it->second;
-    return entry;
-  }
-  // No vantage in-country: steer to the geographically nearest vantage
-  // country (what the pool's coarse geolocation effectively does).
-  const geo::CountryInfo* origin = geo::find_country(country);
-  if (origin == nullptr) {
-    entry = all_;
-    return entry;
-  }
-  double best = std::numeric_limits<double>::max();
-  const std::vector<const sim::VantagePoint*>* best_list = &all_;
-  for (const auto& [code, list] : by_country_) {
-    const geo::CountryInfo* info = geo::find_country(code);
-    if (info == nullptr) continue;
-    const double d =
-        geo::distance_km({origin->latitude, origin->longitude},
-                         {info->latitude, info->longitude});
-    if (d < best) {
-      best = d;
-      best_list = &list;
-    }
-  }
-  entry = *best_list;
-  return entry;
+  // Country unknown to the registry (the cache holds every registered
+  // one): fall back to the whole pool.
+  return all_;
 }
 
 const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
@@ -60,8 +64,7 @@ const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
     return all_[rng.bounded(all_.size())];
   }
   const auto country = world_->geodb().lookup(client);
-  const auto& list =
-      country ? candidates(*country) : all_;
+  const auto& list = country ? candidates(*country) : all_;
   if (list.empty()) return all_[rng.bounded(all_.size())];
   return list[rng.bounded(list.size())];
 }

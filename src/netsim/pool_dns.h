@@ -34,7 +34,10 @@ class PoolDns {
   // Resolves pool.ntp.org for this client: picks one of the vantage
   // servers appropriate for the client's (IP-geolocated) country, with
   // round-robin rotation driven by `rng`. Returns nullptr when the pool
-  // has no vantage at all (empty world).
+  // has no vantage at all (empty world). Thread-safe: the steering table
+  // is materialized at construction and read-only afterwards (collection
+  // shards resolve concurrently), and all randomness comes from the
+  // caller's `rng`.
   const sim::VantagePoint* resolve(const net::Ipv6Address& client,
                                    util::Rng& rng) const;
 
@@ -49,9 +52,11 @@ class PoolDns {
   double vantage_share_;
   std::unordered_map<geo::CountryCode, std::vector<const sim::VantagePoint*>>
       by_country_;
-  // Country (any known to the registry) -> steering candidates.
-  mutable std::unordered_map<geo::CountryCode,
-                             std::vector<const sim::VantagePoint*>>
+  // Country (any known to the registry) -> steering candidates. Filled
+  // for every registry country in the constructor so lookups never write
+  // (concurrent resolve() calls would otherwise race on a lazy cache).
+  std::unordered_map<geo::CountryCode,
+                     std::vector<const sim::VantagePoint*>>
       steer_cache_;
   std::vector<const sim::VantagePoint*> all_;
 };

@@ -54,10 +54,23 @@ TEST(Corpus, NegativeTimeClampsToZero) {
   EXPECT_EQ(c.find(addr(1, 2))->first_seen, 0u);
 }
 
-TEST(Corpus, VantageAbove31Ignored) {
+TEST(Corpus, Vantage31SetsHighestBit) {
+  Corpus c;
+  c.add(addr(1, 2), 1, 31);
+  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 1u << 31);
+}
+
+TEST(Corpus, OutOfRangeVantageLandsInOverflowBucket) {
+  // The contract: vantages past the mask's width share bit 31 instead of
+  // being silently dropped (PassiveCollector forwards obs.vantage
+  // unclamped).
   Corpus c;
   c.add(addr(1, 2), 1, 40);
-  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 0u);
+  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 1u << 31);
+  c.add(addr(1, 2), 2, 255);
+  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 1u << 31);
+  c.add(addr(1, 2), 3, 0);
+  EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, (1u << 31) | 1u);
 }
 
 TEST(Corpus, GrowsPastInitialCapacity) {
@@ -131,6 +144,88 @@ TEST(Corpus, MoveTransfersContents) {
   EXPECT_EQ(b.size(), 1u);
   EXPECT_NE(b.find(addr(1, 1)), nullptr);
 }
+
+TEST(Corpus, MovedFromCorpusIsSafeToUse) {
+  // Regression: default moves left the source with an empty slot vector
+  // and mask 0, so find()/add() indexed into an empty vector (UB). The
+  // moved-from corpus must behave like an empty one and be revivable.
+  Corpus a;
+  a.add(addr(1, 1), 1, 0);
+  Corpus b = std::move(a);
+  EXPECT_EQ(a.size(), 0u);
+  EXPECT_EQ(a.total_observations(), 0u);
+  EXPECT_EQ(a.find(addr(1, 1)), nullptr);
+  std::size_t visits = 0;
+  a.for_each([&](const AddressRecord&) { ++visits; });
+  EXPECT_EQ(visits, 0u);
+
+  a.add(addr(2, 2), 5, 1);  // revives a minimal table
+  EXPECT_EQ(a.size(), 1u);
+  ASSERT_NE(a.find(addr(2, 2)), nullptr);
+  EXPECT_EQ(a.find(addr(2, 2))->count, 1u);
+
+  // Move assignment resets the source the same way, including the
+  // observation total.
+  Corpus c;
+  c.add(addr(3, 3), 9, 2);
+  Corpus d;
+  d = std::move(c);
+  EXPECT_EQ(c.find(addr(3, 3)), nullptr);
+  EXPECT_EQ(c.total_observations(), 0u);
+  AddressRecord rec;
+  rec.address = addr(4, 4);
+  rec.first_seen = rec.last_seen = 2;
+  rec.count = 3;
+  c.add_record(rec);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.total_observations(), 3u);
+  EXPECT_EQ(d.find(addr(3, 3))->count, 1u);
+}
+
+// Property the sharded collector relies on: merging K per-shard corpora
+// built from a partition of an observation stream equals adding the whole
+// interleaved stream into one corpus.
+class CorpusShardMergeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusShardMergeProperty, MergeOfShardsEqualsInterleavedAdd) {
+  const int shards = GetParam();
+  util::Rng rng(77 + static_cast<std::uint64_t>(shards));
+
+  Corpus combined(32);
+  std::vector<Corpus> parts;
+  for (int s = 0; s < shards; ++s) parts.emplace_back(16);
+
+  for (int i = 0; i < 30000; ++i) {
+    // Small key space forces heavy cross-shard overlap.
+    const auto a = addr(rng.bounded(48), rng.bounded(48));
+    const auto t = static_cast<util::SimTime>(rng.bounded(500000));
+    const auto v = static_cast<std::uint8_t>(rng.bounded(34));  // incl. >31
+    combined.add(a, t, v);
+    // Shard assignment is arbitrary (here: random) — merge order and
+    // partition shape must not matter.
+    parts[rng.bounded(static_cast<std::uint64_t>(shards))].add(a, t, v);
+  }
+
+  Corpus merged(16);
+  for (const auto& part : parts) merged.merge(part);
+
+  ASSERT_EQ(merged.size(), combined.size());
+  ASSERT_EQ(merged.total_observations(), combined.total_observations());
+  std::size_t checked = 0;
+  combined.for_each([&](const AddressRecord& rec) {
+    const auto* other = merged.find(rec.address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->first_seen, rec.first_seen);
+    EXPECT_EQ(other->last_seen, rec.last_seen);
+    EXPECT_EQ(other->count, rec.count);
+    EXPECT_EQ(other->vantage_mask, rec.vantage_mask);
+    ++checked;
+  });
+  EXPECT_EQ(checked, merged.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, CorpusShardMergeProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 16));
 
 // Property: Corpus agrees with a reference std::unordered_map aggregate
 // under a random workload.

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "hitlist/corpus_io.h"
+#include "proto/buffer.h"
 #include "proto/datagram.h"
 #include "util/rng.h"
 
@@ -141,6 +142,30 @@ TEST(CorpusIo, RejectsTrailingGarbage) {
   hitlist::save_corpus(stream, corpus);
   stream << "extra";
   EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsOversizedRecordCountBeforeAllocating) {
+  // A hostile header can claim any record count; the loader must reject
+  // it from the payload size alone instead of allocating a table for it.
+  // These counts would demand hundreds of GiB (or overflow the byte-size
+  // arithmetic entirely) if the check ran after the allocation.
+  for (const std::uint64_t claimed :
+       {std::uint64_t{1} << 40, std::uint64_t{1} << 61,
+        std::uint64_t{0xffffffffffffffff}, std::uint64_t{2}}) {
+    proto::BufferWriter writer;
+    const char magic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+    writer.bytes(
+        std::span(reinterpret_cast<const std::uint8_t*>(magic), 8));
+    writer.u64(claimed);  // record count
+    writer.u64(1);        // observation count
+    // Payload for exactly one record.
+    for (int i = 0; i < 32; ++i) writer.u8(i == 15 ? 1 : 0);
+    std::stringstream stream;
+    stream.write(reinterpret_cast<const char*>(writer.data().data()),
+                 static_cast<std::streamsize>(writer.size()));
+    EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error)
+        << "claimed record count " << claimed;
+  }
 }
 
 }  // namespace

@@ -129,6 +129,87 @@ TEST_F(PassiveCollectorTest, PollCountsCountBurstPackets) {
   EXPECT_EQ(collector.polls_attempted(), corpus.total_observations());
 }
 
+void expect_identical_corpora(const Corpus& a, const Corpus& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.total_observations(), b.total_observations());
+  a.for_each([&](const AddressRecord& rec) {
+    const auto* other = b.find(rec.address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->first_seen, rec.first_seen);
+    EXPECT_EQ(other->last_seen, rec.last_seen);
+    EXPECT_EQ(other->count, rec.count);
+    EXPECT_EQ(other->vantage_mask, rec.vantage_mask);
+  });
+}
+
+TEST_F(PassiveCollectorTest, ShardedCollectionIsBitIdenticalToSerial) {
+  // The tentpole guarantee: threads=N merges to the same corpus as the
+  // exact legacy threads=1 path — same size, total_observations, and
+  // per-record fields — because per-device streams are order-independent
+  // and Corpus aggregates are commutative.
+  CollectorConfig serial{false, 0.01, 3};
+  serial.threads = 1;
+  const auto base = collect(*world_, serial, 0, 5 * util::kDay);
+  for (const unsigned threads : {2u, 4u, 7u}) {
+    CollectorConfig sharded_config = serial;
+    sharded_config.threads = threads;
+    const auto sharded =
+        collect(*world_, sharded_config, 0, 5 * util::kDay);
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    expect_identical_corpora(base, sharded);
+  }
+}
+
+TEST_F(PassiveCollectorTest, ShardedCountersSumToSerialCounters) {
+  netsim::DataPlane plane(*world_, {0.01, 1});
+  netsim::PoolDns dns(*world_);
+  CollectorConfig config{false, 0.01, 3};
+  config.threads = 1;
+  PassiveCollector serial(*world_, plane, dns, config);
+  Corpus serial_corpus(1 << 12);
+  serial.run(serial_corpus, 0, 4 * util::kDay);
+
+  config.threads = 4;
+  PassiveCollector sharded(*world_, plane, dns, config);
+  Corpus sharded_corpus(1 << 12);
+  sharded.run(sharded_corpus, 0, 4 * util::kDay);
+
+  EXPECT_EQ(sharded.polls_attempted(), serial.polls_attempted());
+  EXPECT_EQ(sharded.polls_answered(), serial.polls_answered());
+}
+
+TEST_F(PassiveCollectorTest, ShardedHookDeliveryIsSerializedAndComplete) {
+  // Hooks under threads>1 are serialized by the collector, so an
+  // unsynchronized hook body must still see every observation exactly
+  // once (the count matches the corpus total).
+  CollectorConfig config{false, 0.0, 3};
+  config.threads = 4;
+  std::uint64_t hook_calls = 0;
+  std::set<std::uint8_t> vantages;
+  const auto corpus = collect(
+      *world_, config, 0, 2 * util::kDay,
+      [&](const ntp::Observation& obs, const net::Ipv6Address& vantage) {
+        ++hook_calls;
+        vantages.insert(obs.vantage);
+        EXPECT_FALSE(vantage.is_unspecified());
+      });
+  EXPECT_EQ(hook_calls, corpus.total_observations());
+  EXPECT_GT(vantages.size(), 10u);
+}
+
+TEST_F(PassiveCollectorTest, WireFidelityStaysSerialUnderThreadKnob) {
+  // The wire path mutates the shared DataPlane per poll, so the threads
+  // knob must not shard it; threads=8 and threads=1 run the same serial
+  // code and produce identical corpora.
+  CollectorConfig one{true, 0.0, 3};
+  one.threads = 1;
+  CollectorConfig eight = one;
+  eight.threads = 8;
+  const auto a = collect(*world_, one, 0, util::kDay);
+  const auto b = collect(*world_, eight, 0, util::kDay);
+  expect_identical_corpora(a, b);
+}
+
 TEST_F(PassiveCollectorTest, DeterministicAcrossRuns) {
   const auto a = collect(*world_, {false, 0.01, 3}, 0, 2 * util::kDay);
   const auto b = collect(*world_, {false, 0.01, 3}, 0, 2 * util::kDay);
