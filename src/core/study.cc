@@ -14,18 +14,44 @@ Study::Study(const StudyConfig& config) : config_(config) {
   // backscan vantages observe clients worldwide.
   dns_ = std::make_unique<netsim::PoolDns>(*world_, 0.25,
                                            config.pool_capture_share);
+  if (config.faults.active()) {
+    // One seeded plan shared by the data plane (drops datagrams to
+    // crashed vantages) and the pool DNS (health-aware steering). Being a
+    // pure function of time, the plan reconstructs identically in a
+    // resumed study.
+    faults_ = std::make_unique<netsim::FaultSchedule>(
+        world_->vantages(), config.faults, config.world.study_start,
+        config.world.study_start + config.world.study_duration);
+    plane_->set_faults(faults_.get());
+    dns_->set_health_monitor(faults_.get(), config.pool_monitor_delay);
+  }
 }
 
-void Study::collect() {
+void Study::collect(const hitlist::CheckpointSink& sink) {
   if (collected_) return;
   collected_ = true;
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       config_.collector);
   // Reserve roughly: polls produce ~0.5 unique addresses each.
   collector.run(results_.ntp, config_.world.study_start,
-                config_.world.study_start + config_.world.study_duration);
+                config_.world.study_start + config_.world.study_duration, {},
+                sink);
   results_.polls_attempted = collector.polls_attempted();
   results_.polls_answered = collector.polls_answered();
+  results_.vantage_health = collector.vantage_health();
+}
+
+void Study::resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
+                           const hitlist::CheckpointSink& sink) {
+  if (collected_) return;
+  collected_ = true;
+  results_.ntp = std::move(checkpoint.corpus);
+  hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
+                                      config_.collector);
+  collector.resume(results_.ntp, checkpoint.state, {}, sink);
+  results_.polls_attempted = collector.polls_attempted();
+  results_.polls_answered = collector.polls_answered();
+  results_.vantage_health = collector.vantage_health();
 }
 
 void Study::run_campaigns() {
@@ -74,8 +100,7 @@ void Study::run_backscan() {
   hitlist::Corpus scratch(1 << 10);
   collector.run(scratch, config_.backscan_start,
                 config_.backscan_start + config_.backscan_duration, hook);
-  results_.backscan =
-      backscanner.finish(config_.backscan_start + config_.backscan_duration);
+  results_.backscan = backscanner.finish();
 
   // §4.2 cross-checks against the Hitlist campaign's alias knowledge.
   // The Hitlist publishes aliased prefixes at /64, /48, and /36; a

@@ -16,9 +16,11 @@
 #include <vector>
 
 #include "hitlist/campaigns.h"
+#include "hitlist/checkpoint_io.h"
 #include "hitlist/corpus.h"
 #include "hitlist/passive_collector.h"
 #include "netsim/data_plane.h"
+#include "netsim/fault_schedule.h"
 #include "netsim/pool_dns.h"
 #include "scan/backscanner.h"
 #include "sim/world.h"
@@ -32,6 +34,15 @@ struct StudyConfig {
   // Share of pool queries that land on our 27 servers (the pool has
   // thousands; the study sees a sample of every client's polls).
   double pool_capture_share = 0.03;
+
+  // Vantage fault injection over the study window. Inactive by default;
+  // when active the same seeded plan drives the data plane (dropped
+  // datagrams), the pool's health monitoring (steering), and the
+  // per-vantage degradation stats in StudyResults.
+  netsim::FaultPlanConfig faults;
+  // How long the pool monitor takes to notice a crash (and, later, the
+  // recovery) before adjusting steering.
+  util::SimDuration pool_monitor_delay = 15 * util::kMinute;
 
   // Backscanning (§3): one week, from a handful of the vantage servers,
   // months after the main window (the paper ran it in January 2023).
@@ -66,6 +77,10 @@ struct StudyResults {
   AliasCrossCheck alias_check;
   std::uint64_t polls_attempted = 0;
   std::uint64_t polls_answered = 0;
+  // Per-vantage degradation under the fault plan (indexed by vantage id;
+  // empty until collect()). The study reports how much each vantage lost
+  // instead of aborting on churn.
+  std::vector<hitlist::VantageHealthStats> vantage_health;
 };
 
 class Study {
@@ -76,8 +91,22 @@ class Study {
   const StudyConfig& config() const noexcept { return config_; }
   netsim::DataPlane& plane() noexcept { return *plane_; }
 
-  // Stage 1: passive NTP collection over the study window.
-  void collect();
+  // The study's fault plan, or nullptr when fault injection is off.
+  const netsim::FaultSchedule* faults() const noexcept {
+    return faults_.get();
+  }
+
+  // Stage 1: passive NTP collection over the study window. `sink`,
+  // combined with collector.checkpoint_interval, receives periodic
+  // crash-recovery snapshots (see hitlist::CheckpointSink).
+  void collect(const hitlist::CheckpointSink& sink = {});
+
+  // Resumes stage 1 from a checkpoint written by a previous (crashed)
+  // study run with the same configuration. Replaces collect(); the
+  // resulting corpus and counters are bit-identical to an uninterrupted
+  // collect() with the same seeds.
+  void resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
+                      const hitlist::CheckpointSink& sink = {});
   // Stage 2: the two active comparison campaigns.
   void run_campaigns();
   // Stage 3: backscan week (collects clients in its own window, probes
@@ -99,6 +128,7 @@ class Study {
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<netsim::DataPlane> plane_;
   std::unique_ptr<netsim::PoolDns> dns_;
+  std::unique_ptr<netsim::FaultSchedule> faults_;
   StudyResults results_;
   bool collected_ = false;
   bool campaigned_ = false;

@@ -1,64 +1,31 @@
 #include "hitlist/corpus_io.h"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <vector>
 
 #include "proto/buffer.h"
+#include "proto/checksum.h"
 
 namespace v6::hitlist {
 
 namespace {
-constexpr char kMagic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
-}  // namespace
 
-std::size_t save_corpus(std::ostream& out, const Corpus& corpus) {
-  proto::BufferWriter writer;
-  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
-  writer.u64(corpus.size());
-  writer.u64(corpus.total_observations());
-  corpus.for_each([&writer](const AddressRecord& rec) {
-    writer.bytes(rec.address.bytes());
-    writer.u32(rec.first_seen);
-    writer.u32(rec.last_seen);
-    writer.u32(rec.count);
-    writer.u32(rec.vantage_mask);
-  });
-  out.write(reinterpret_cast<const char*>(writer.data().data()),
-            static_cast<std::streamsize>(writer.size()));
-  if (!out) throw std::runtime_error("corpus write failed");
-  return writer.size();
+constexpr char kMagicV1[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+constexpr char kMagicV2[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '2'};
+constexpr std::uint64_t kRecordBytes = 32;
+
+std::span<const std::uint8_t> magic_span(const char (&magic)[8]) {
+  return {reinterpret_cast<const std::uint8_t*>(magic), 8};
 }
 
-Corpus load_corpus(std::istream& in) {
-  std::vector<std::uint8_t> bytes(
-      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
-  proto::BufferReader reader(bytes);
-
-  std::uint8_t magic[8];
-  reader.bytes(magic);
-  if (reader.truncated() ||
-      !std::equal(std::begin(magic), std::end(magic), kMagic)) {
-    throw std::runtime_error("corpus snapshot: bad magic");
-  }
-  const std::uint64_t records = reader.u64();
-  const std::uint64_t observations = reader.u64();
-  if (reader.truncated()) {
-    throw std::runtime_error("corpus snapshot: truncated header");
-  }
-  // The record count is untrusted input and sizes the table allocation
-  // below: insist it agrees exactly with the payload that is actually
-  // present (32 bytes per record) before allocating anything. The
-  // division-form check also rejects counts whose byte size would
-  // overflow 64 bits.
-  constexpr std::uint64_t kRecordBytes = 32;
-  if (records > reader.remaining() / kRecordBytes ||
-      records * kRecordBytes != reader.remaining()) {
-    throw std::runtime_error(
-        "corpus snapshot: record count disagrees with payload size");
-  }
-
+// Shared record-section parser for both format versions. `reader` must be
+// positioned at the first record; exactly `records * 32` bytes are
+// consumed.
+Corpus read_records(proto::BufferReader& reader, std::uint64_t records,
+                    std::uint64_t observations) {
   Corpus corpus(records);
   std::uint64_t observations_seen = 0;
   for (std::uint64_t i = 0; i < records; ++i) {
@@ -79,13 +46,102 @@ Corpus load_corpus(std::istream& in) {
     corpus.add_record(rec);
     observations_seen += rec.count;
   }
-  if (reader.remaining() != 0) {
-    throw std::runtime_error("corpus snapshot: trailing bytes");
-  }
   if (observations_seen != observations) {
     throw std::runtime_error("corpus snapshot: observation count mismatch");
   }
   return corpus;
+}
+
+}  // namespace
+
+void save_corpus(proto::BufferWriter& out, const Corpus& corpus) {
+  out.bytes(magic_span(kMagicV2));
+  const std::size_t header_begin = out.size();
+  out.u64(corpus.size());
+  out.u64(corpus.total_observations());
+  out.u32(proto::crc32(std::span(out.data()).subspan(header_begin, 16)));
+  const std::size_t records_begin = out.size();
+  corpus.for_each([&out](const AddressRecord& rec) {
+    out.bytes(rec.address.bytes());
+    out.u32(rec.first_seen);
+    out.u32(rec.last_seen);
+    out.u32(rec.count);
+    out.u32(rec.vantage_mask);
+  });
+  out.u32(proto::crc32(std::span(out.data()).subspan(records_begin)));
+}
+
+std::size_t save_corpus(std::ostream& out, const Corpus& corpus) {
+  proto::BufferWriter writer;
+  save_corpus(writer, corpus);
+  out.write(reinterpret_cast<const char*>(writer.data().data()),
+            static_cast<std::streamsize>(writer.size()));
+  if (!out) throw std::runtime_error("corpus write failed");
+  return writer.size();
+}
+
+Corpus load_corpus(std::span<const std::uint8_t> bytes) {
+  proto::BufferReader reader(bytes);
+
+  std::uint8_t magic[8];
+  reader.bytes(magic);
+  const bool v2 = !reader.truncated() &&
+                  std::equal(std::begin(magic), std::end(magic), kMagicV2);
+  const bool v1 = !reader.truncated() && !v2 &&
+                  std::equal(std::begin(magic), std::end(magic), kMagicV1);
+  if (!v1 && !v2) {
+    throw std::runtime_error("corpus snapshot: bad magic");
+  }
+  const std::uint64_t records = reader.u64();
+  const std::uint64_t observations = reader.u64();
+  if (reader.truncated()) {
+    throw std::runtime_error("corpus snapshot: truncated header");
+  }
+  if (v2) {
+    const std::uint32_t header_crc = reader.u32();
+    if (reader.truncated()) {
+      throw std::runtime_error("corpus snapshot: truncated header");
+    }
+    if (header_crc != proto::crc32(bytes.subspan(8, 16))) {
+      throw std::runtime_error("corpus snapshot: header CRC mismatch");
+    }
+  }
+  // The record count is untrusted input and sizes the table allocation
+  // below: insist it agrees exactly with the payload that is actually
+  // present (32 bytes per record, plus the v2 trailer CRC) before
+  // allocating anything. The division-form check also rejects counts
+  // whose byte size would overflow 64 bits.
+  const std::uint64_t trailer = v2 ? 4 : 0;
+  if (reader.remaining() < trailer ||
+      records > (reader.remaining() - trailer) / kRecordBytes ||
+      records * kRecordBytes != reader.remaining() - trailer) {
+    throw std::runtime_error(
+        "corpus snapshot: record count disagrees with payload size");
+  }
+  if (v2) {
+    // Whole-section CRC before parsing: a flipped bit inside any record
+    // fails here rather than loading as a plausible-but-wrong corpus.
+    const std::size_t records_begin = bytes.size() - reader.remaining();
+    const auto section =
+        bytes.subspan(records_begin, records * kRecordBytes);
+    proto::BufferReader trailer_reader(bytes.subspan(bytes.size() - 4));
+    if (trailer_reader.u32() != proto::crc32(section)) {
+      throw std::runtime_error("corpus snapshot: records CRC mismatch");
+    }
+  }
+
+  Corpus corpus = read_records(reader, records, observations);
+  if (v2) reader.skip(4);  // the already-verified records CRC
+  if (reader.remaining() != 0) {
+    throw std::runtime_error("corpus snapshot: trailing bytes");
+  }
+  return corpus;
+}
+
+Corpus load_corpus(std::istream& in) {
+  const std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return load_corpus(std::span(bytes));
 }
 
 }  // namespace v6::hitlist

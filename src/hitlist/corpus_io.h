@@ -1,27 +1,47 @@
 // Corpus serialization: a compact, versioned binary snapshot so studies
 // can be collected once and analyzed many times (or shipped between
-// machines). Format:
+// machines). Format v2 (written by save_corpus):
 //
-//   magic "V6CORP01"            8 bytes
+//   magic "V6CORP02"            8 bytes
 //   record count                u64 LE-free (big-endian like the wire)
 //   total observations          u64
+//   header CRC32                u32 over the two u64 header fields
 //   records: address(16) first_seen(4) last_seen(4) count(4) vantages(4)
+//   records CRC32               u32 over the whole records section
+//
+// The per-section CRC32s (IEEE, see proto::crc32) catch bit rot in
+// long-lived checkpoint files, where a flipped count would otherwise load
+// as a silently wrong corpus. Format v1 ("V6CORP01", no CRCs) is still
+// readable.
 //
 // Everything goes through proto::BufferWriter/Reader, so byte order and
 // truncation handling match the rest of the codebase.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 
 #include "hitlist/corpus.h"
 
+namespace v6::proto {
+class BufferWriter;
+}  // namespace v6::proto
+
 namespace v6::hitlist {
 
-// Writes a snapshot; returns bytes written.
+// Writes a v2 snapshot; returns bytes written.
 std::size_t save_corpus(std::ostream& out, const Corpus& corpus);
 
-// Loads a snapshot. Throws std::runtime_error on bad magic, truncation,
-// or trailing garbage.
+// Appends a v2 snapshot to an existing writer (used to embed the corpus
+// inside a collection checkpoint).
+void save_corpus(proto::BufferWriter& out, const Corpus& corpus);
+
+// Loads a snapshot (v1 or v2). Throws std::runtime_error on bad magic,
+// truncation, CRC mismatch, or trailing garbage.
 Corpus load_corpus(std::istream& in);
+
+// Same, from an in-memory buffer that must contain exactly one snapshot.
+Corpus load_corpus(std::span<const std::uint8_t> bytes);
 
 }  // namespace v6::hitlist

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "ntp/client_schedule.h"
 #include "proto/ntp_packet.h"
 #include "proto/udp.h"
 #include "util/rng.h"
@@ -10,103 +9,146 @@
 
 namespace v6::hitlist {
 
+namespace {
+
+// Mirrors Rng::uniform()'s mapping of a raw draw to [0, 1): both collection
+// paths burn the same two raw draws per attempt, and the fast path turns
+// them into loss decisions with exactly the distribution chance() uses.
+double unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+// The i-th re-send goes out backoff * (2^i - 1) seconds after the original
+// packet (RFC 5905-flavoured exponential backoff).
+util::SimDuration backoff_offset(std::uint32_t attempt,
+                                 util::SimDuration backoff) noexcept {
+  if (attempt == 0) return 0;
+  return backoff * ((util::SimDuration{1} << attempt) - 1);
+}
+
+}  // namespace
+
 PassiveCollector::PassiveCollector(const sim::World& world,
                                    netsim::DataPlane& plane,
                                    const netsim::PoolDns& dns,
                                    const CollectorConfig& config)
     : world_(&world), plane_(&plane), dns_(&dns), config_(config) {}
 
-void PassiveCollector::collect_shard(Corpus& corpus, std::size_t first,
-                                     std::size_t last, util::SimTime start,
-                                     util::SimTime end,
-                                     const ObservationHook& hook,
-                                     std::mutex* hook_mu,
-                                     ShardTally& tally) const {
-  // One server object per vantage, all sinking into this shard's corpus.
-  std::vector<std::unique_ptr<ntp::NtpServer>> servers;
-  servers.reserve(world_->vantages().size());
-  for (const auto& vantage : world_->vantages()) {
-    auto sink = [&corpus, &hook, hook_mu, address = vantage.address](
-                    const ntp::Observation& obs) {
-      corpus.add(obs.client, obs.time, obs.vantage);
-      if (hook) {
-        if (hook_mu == nullptr) {
-          hook(obs, address);
-        } else {
-          std::lock_guard<std::mutex> lock(*hook_mu);
-          hook(obs, address);
-        }
-      }
-    };
-    servers.push_back(std::make_unique<ntp::NtpServer>(vantage, sink));
-    if (config_.wire_fidelity) servers.back()->bind(*plane_);
+void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
+                                     util::SimTime t,
+                                     util::SimTime window_end) const {
+  // An AS-wide outage silences every host in it (the intro's outage-
+  // detection use case: the corpus time series shows the hole).
+  if (world_->config().outage_count > 0 &&
+      world_->in_outage(world_->attachment(ds.id, t).as_index, t)) {
+    return;
   }
-
-  const bool outages_possible = world_->config().outage_count > 0;
-  const auto devices = world_->devices();
-  for (sim::DeviceId d = first; d < last; ++d) {
-    const sim::Device& dev = devices[d];
-    if (!dev.ntp.uses_pool) continue;
-    // Order-independent per-device stream: the collection result does not
-    // depend on enumeration order (the property that makes sharding
-    // devices across threads or machines bit-exact).
-    util::Rng dev_rng(
-        util::mix64(config_.seed ^ 0xc0111ec7 ^ util::mix64(dev.seed)));
-    ntp::ClientSchedule schedule(dev, start, end);
-    schedule.for_each([&](util::SimTime t) {
-      // An AS-wide outage silences every host in it (the intro's outage-
-      // detection use case: the corpus time series shows the hole).
-      if (outages_possible &&
-          world_->in_outage(world_->attachment(d, t).as_index, t)) {
-        return;
+  const sim::Device& dev = world_->devices()[ds.id];
+  const net::Ipv6Address client = world_->device_address(ds.id, t);
+  // One DNS resolution per sync event; every packet of an iburst (and
+  // every retry) rides it to the same server. Health-aware steering may
+  // redirect the pick away from a monitored-down vantage.
+  bool steered = false;
+  const sim::VantagePoint* vantage = dns_->resolve(client, ds.rng, t, &steered);
+  const netsim::FaultSchedule* faults = plane_->faults();
+  if (shard.recording && steered && vantage != nullptr) {
+    ++shard.vantage[vantage->id].steered_polls;
+  }
+  // A burst is one sync event: its packets go out ~2s apart.
+  const std::uint8_t burst =
+      config_.ignore_bursts ? 1 : std::max<std::uint8_t>(dev.ntp.burst, 1);
+  for (std::uint8_t k = 0; k < burst; ++k) {
+    const util::SimTime tk = t + 2 * k;
+    if (tk >= window_end) break;  // the collection window closes mid-burst
+    if (vantage == nullptr) {
+      // The poll went to one of the thousands of pool servers that are
+      // not ours — invisible to the study, and not retried here.
+      if (shard.recording) ++shard.tally.polls;
+      continue;
+    }
+    VantageHealthStats& vh = shard.vantage[vantage->id];
+    for (std::uint32_t attempt = 0; attempt <= config_.retry_limit;
+         ++attempt) {
+      const util::SimTime tj =
+          tk + backoff_offset(attempt, config_.retry_backoff);
+      if (tj >= window_end) break;
+      if (shard.recording) {
+        ++shard.tally.polls;
+        ++vh.polls;
+        if (attempt > 0) ++vh.retries;
       }
-      const net::Ipv6Address client = world_->device_address(d, t);
-      // One DNS resolution per sync event; every packet of an iburst
-      // rides it to the same server.
-      const sim::VantagePoint* vantage = dns_->resolve(client, dev_rng);
-      // A burst is one sync event: its packets go out ~2s apart.
-      const std::uint8_t burst =
-          config_.ignore_bursts ? 1 : std::max<std::uint8_t>(dev.ntp.burst, 1);
-      for (std::uint8_t k = 0; k < burst; ++k) {
-        const util::SimTime tk = t + 2 * k;
-        if (tk >= end) break;  // the collection window closes mid-burst
-        ++tally.polls;
-        if (vantage == nullptr) continue;
-        if (config_.wire_fidelity) {
-          const auto nonce = static_cast<std::uint32_t>(dev_rng.next());
-          const proto::NtpPacket request =
-              proto::make_client_request(tk, nonce);
-          const auto src_port =
-              static_cast<std::uint16_t>(49152 + dev_rng.bounded(16384));
-          const auto response_bytes =
-              plane_->send_udp(client, src_port, vantage->address,
-                               proto::kNtpPort, request.encode(), tk);
-          if (!response_bytes) continue;
+      // Exactly two draws per attempt on both paths keeps the device
+      // streams in lockstep (see the header comment).
+      const std::uint64_t r1 = ds.rng.next();
+      const std::uint64_t r2 = ds.rng.next();
+      // Pure-function fault verdict: both paths (and a resumed run)
+      // agree without consulting any RNG.
+      const bool faulted =
+          faults != nullptr && !faults->delivers(vantage->id, client, tj);
+      if (shard.recording && faulted) ++vh.lost_to_fault;
+      bool answered = false;
+      if (config_.wire_fidelity) {
+        const auto nonce = static_cast<std::uint32_t>(r1);
+        const proto::NtpPacket request = proto::make_client_request(tj, nonce);
+        // r2 >> 50 == Rng::bounded(16384) on the same draw (power-of-two
+        // Lemire reduction never rejects).
+        const auto src_port = static_cast<std::uint16_t>(49152 + (r2 >> 50));
+        const auto response_bytes =
+            plane_->send_udp(client, src_port, vantage->address,
+                             proto::kNtpPort, request.encode(), tj);
+        if (response_bytes) {
           // SNTP client-side validation: server mode, origin echoes our
           // transmit timestamp.
           const auto response = proto::NtpPacket::decode(*response_bytes);
-          if (!response || response->mode != proto::NtpMode::kServer ||
-              response->origin_time != request.transmit_time) {
-            continue;
-          }
-          ++tally.answered;
-        } else {
-          // Fast path: identical steering and loss model, no
-          // serialization. Request-direction loss suppresses the
-          // observation entirely...
-          if (dev_rng.chance(config_.loss_rate)) continue;
-          servers[vantage->id]->record(client, tk);
-          // ...response-direction loss costs only the client's answer.
-          if (!dev_rng.chance(config_.loss_rate)) ++tally.answered;
+          answered = response && response->mode == proto::NtpMode::kServer &&
+                     response->origin_time == request.transmit_time;
         }
+      } else {
+        // Fast path: identical steering, loss, and fault model, no
+        // serialization. Request-direction loss suppresses the
+        // observation entirely...
+        const bool request_lost = unit(r1) < config_.loss_rate;
+        bool served = false;
+        if (!request_lost && !faulted) {
+          shard.servers[vantage->id]->record(client, tj);
+          served = true;
+        }
+        // ...response-direction loss costs only the client's answer.
+        answered = served && !(unit(r2) < config_.loss_rate);
       }
-    });
+      if (answered) {
+        if (shard.recording) {
+          ++shard.tally.answered;
+          ++vh.answered;
+        }
+        break;  // the client heard back; no more re-sends of this packet
+      }
+    }
   }
 }
 
-void PassiveCollector::run(Corpus& corpus, util::SimTime start,
-                           util::SimTime end, const ObservationHook& hook) {
+void PassiveCollector::process_chunk(ShardState& shard,
+                                     util::SimTime window_end,
+                                     util::SimTime chunk_end) const {
+  for (DeviceState& ds : shard.devices) {
+    for (;;) {
+      if (!ds.pending) {
+        ds.pending = ds.schedule.next(ds.cursor);
+        if (!ds.pending) break;  // schedule exhausted
+      }
+      if (*ds.pending >= chunk_end) break;  // belongs to a later chunk
+      const util::SimTime t = *ds.pending;
+      ds.pending.reset();
+      process_event(shard, ds, t, window_end);
+    }
+  }
+}
+
+void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
+                               const ObservationHook& hook,
+                               const CheckpointSink& sink) {
   const auto devices = world_->devices();
+  const auto vantages = world_->vantages();
   unsigned shards = config_.threads != 0 ? config_.threads
                                          : util::ThreadPool::hardware_threads();
   // The wire path serializes every poll through the shared DataPlane
@@ -116,33 +158,162 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
   shards = static_cast<unsigned>(std::min<std::size_t>(
       shards, std::max<std::size_t>(devices.size(), 1)));
 
-  if (shards <= 1) {
-    ShardTally tally;
-    collect_shard(corpus, 0, devices.size(), start, end, hook, nullptr,
-                  tally);
-    polls_ += tally.polls;
-    answered_ += tally.answered;
-    return;
-  }
+  // Counters carried in from the checkpoint (all zero on a fresh run).
+  std::vector<VantageHealthStats> base_vh = from.vantage_health;
+  if (base_vh.size() < vantages.size()) base_vh.resize(vantages.size());
 
   std::mutex hook_mu;
-  std::vector<Corpus> parts;
-  parts.reserve(shards);
-  for (unsigned s = 0; s < shards; ++s) parts.emplace_back(1 << 12);
-  std::vector<ShardTally> tallies(shards);
-  util::run_sharded(
-      devices.size(), shards,
-      [&](unsigned s, std::size_t begin, std::size_t shard_end) {
-        collect_shard(parts[s], begin, shard_end, start, end, hook,
-                      hook ? &hook_mu : nullptr, tallies[s]);
-      });
-  // Deterministic reduce: Corpus aggregates are commutative (min/max/
-  // sum/or), so the merged corpus matches the serial run field-for-field.
+  std::mutex* mu = (hook && shards > 1) ? &hook_mu : nullptr;
+
+  std::vector<ShardState> states(shards);
   for (unsigned s = 0; s < shards; ++s) {
-    corpus.merge(parts[s]);
-    polls_ += tallies[s].polls;
-    answered_ += tallies[s].answered;
+    ShardState& shard = states[s];
+    shard.vantage.resize(vantages.size());
+    // One server object per vantage, all sinking into this shard's
+    // corpus. The sink consults the shard's recording flag so replayed
+    // (pre-checkpoint) traffic leaves no trace.
+    shard.servers.reserve(vantages.size());
+    for (const auto& vantage : vantages) {
+      auto observation_sink = [shardp = &shard, &hook, mu,
+                               address = vantage.address](
+                                  const ntp::Observation& obs) {
+        if (!shardp->recording) return;
+        shardp->corpus.add(obs.client, obs.time, obs.vantage);
+        if (hook) {
+          if (mu == nullptr) {
+            hook(obs, address);
+          } else {
+            std::lock_guard<std::mutex> lock(*mu);
+            hook(obs, address);
+          }
+        }
+      };
+      shard.servers.push_back(
+          std::make_unique<ntp::NtpServer>(vantage, observation_sink));
+      if (config_.wire_fidelity) shard.servers.back()->bind(*plane_);
+    }
+    // Contiguous device range (the same partition run_sharded uses), so
+    // the shard layout is a pure function of (device count, shard count).
+    const std::size_t range_begin = devices.size() * s / shards;
+    const std::size_t range_end = devices.size() * (s + 1) / shards;
+    for (std::size_t d = range_begin; d < range_end; ++d) {
+      const sim::Device& dev = devices[d];
+      if (!dev.ntp.uses_pool) continue;
+      // Order-independent per-device stream: the collection result does
+      // not depend on enumeration order (the property that makes sharding
+      // devices across threads or machines — and across checkpoint
+      // epochs — bit-exact).
+      shard.devices.push_back(DeviceState{
+          static_cast<sim::DeviceId>(d),
+          util::Rng(
+              util::mix64(config_.seed ^ 0xc0111ec7 ^ util::mix64(dev.seed))),
+          ntp::ClientSchedule(dev, from.window_start, from.window_end),
+          {},
+          std::nullopt});
+    }
   }
+
+  const auto run_chunk = [&](util::SimTime chunk_end) {
+    util::run_sharded(states.size(), shards,
+                      [&](unsigned, std::size_t b, std::size_t e) {
+                        for (std::size_t i = b; i < e; ++i) {
+                          process_chunk(states[i], from.window_end, chunk_end);
+                        }
+                      });
+  };
+
+  // Resume: silently replay the already-checkpointed prefix, consuming
+  // RNG / DNS / data-plane state exactly as the original run did.
+  if (from.resume_from > from.window_start) {
+    for (ShardState& shard : states) shard.recording = false;
+    run_chunk(from.resume_from);
+    for (ShardState& shard : states) shard.recording = true;
+  }
+
+  const bool checkpointing = sink && config_.checkpoint_interval > 0;
+  util::SimTime lo = std::max(from.window_start, from.resume_from);
+  while (lo < from.window_end) {
+    util::SimTime hi = from.window_end;
+    if (checkpointing) {
+      // Next boundary strictly after `lo` on the grid
+      // window_start + k * interval.
+      const std::int64_t k =
+          (lo - from.window_start) / config_.checkpoint_interval + 1;
+      hi = std::min<util::SimTime>(
+          from.window_end,
+          from.window_start + k * config_.checkpoint_interval);
+    }
+    run_chunk(hi);
+    if (checkpointing && hi < from.window_end) {
+      CheckpointState snap;
+      snap.window_start = from.window_start;
+      snap.window_end = from.window_end;
+      snap.resume_from = hi;
+      snap.polls_attempted = from.polls_attempted;
+      snap.polls_answered = from.polls_answered;
+      snap.vantage_health = base_vh;
+      std::size_t records = corpus.size();
+      for (const ShardState& shard : states) {
+        snap.polls_attempted += shard.tally.polls;
+        snap.polls_answered += shard.tally.answered;
+        for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
+          snap.vantage_health[v].polls += shard.vantage[v].polls;
+          snap.vantage_health[v].answered += shard.vantage[v].answered;
+          snap.vantage_health[v].lost_to_fault +=
+              shard.vantage[v].lost_to_fault;
+          snap.vantage_health[v].retries += shard.vantage[v].retries;
+          snap.vantage_health[v].steered_polls +=
+              shard.vantage[v].steered_polls;
+        }
+        records += shard.corpus.size();
+      }
+      // The snapshot is the corpus as of `hi`: whatever the caller's
+      // corpus already held (the resumed-from snapshot) plus every
+      // shard's recordings so far.
+      Corpus snapshot(std::max<std::size_t>(records, 1));
+      corpus.for_each(
+          [&snapshot](const AddressRecord& r) { snapshot.add_record(r); });
+      for (const ShardState& shard : states) snapshot.merge(shard.corpus);
+      sink(snap, snapshot);
+    }
+    lo = hi;
+  }
+
+  // Deterministic reduce: Corpus aggregates are commutative (min/max/
+  // sum/or), so the merged corpus matches the serial run field-for-field —
+  // and, for a resumed run, the union of the snapshot and the tail
+  // matches the uninterrupted run.
+  polls_ += from.polls_attempted;
+  answered_ += from.polls_answered;
+  vantage_health_ = std::move(base_vh);
+  for (ShardState& shard : states) {
+    corpus.merge(shard.corpus);
+    polls_ += shard.tally.polls;
+    answered_ += shard.tally.answered;
+    for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
+      vantage_health_[v].polls += shard.vantage[v].polls;
+      vantage_health_[v].answered += shard.vantage[v].answered;
+      vantage_health_[v].lost_to_fault += shard.vantage[v].lost_to_fault;
+      vantage_health_[v].retries += shard.vantage[v].retries;
+      vantage_health_[v].steered_polls += shard.vantage[v].steered_polls;
+    }
+  }
+}
+
+void PassiveCollector::run(Corpus& corpus, util::SimTime start,
+                           util::SimTime end, const ObservationHook& hook,
+                           const CheckpointSink& sink) {
+  CheckpointState fresh;
+  fresh.window_start = start;
+  fresh.window_end = end;
+  fresh.resume_from = start;
+  collect(corpus, fresh, hook, sink);
+}
+
+void PassiveCollector::resume(Corpus& corpus, const CheckpointState& from,
+                              const ObservationHook& hook,
+                              const CheckpointSink& sink) {
+  collect(corpus, from, hook, sink);
 }
 
 }  // namespace v6::hitlist

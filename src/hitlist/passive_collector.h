@@ -9,6 +9,15 @@
 //   * fast — skips serialization but keeps the identical control flow
 //     (same DNS steering, same loss decisions, same server-side record
 //     call), which makes the 10M+-poll benches tractable.
+// Both paths consume exactly two RNG draws per poll attempt from the
+// device's stream (the wire path spends them on nonce + source port, the
+// fast path on the two loss decisions), so the streams stay in lockstep
+// and — at zero loss — the corpora are bit-identical even under an
+// injected fault plan.
+//
+// Clients retry unanswered polls RFC 5905-style: up to `retry_limit`
+// re-sends with exponential backoff, which is what lets the corpus survive
+// vantage crash windows (see netsim::FaultSchedule) with bounded loss.
 //
 // Collection shards across threads: devices are partitioned into
 // contiguous ranges, each shard runs the per-device loop into its own
@@ -16,17 +25,30 @@
 // device's observation stream derives only from its own seeded RNG, the
 // merged corpus is bit-identical (size, total_observations, every record
 // field) to the threads=1 run — a property the tests assert.
+//
+// Checkpoint/resume: with `checkpoint_interval > 0` and a CheckpointSink,
+// collection pauses at every sim-time boundary window_start + k*interval,
+// snapshots the corpus-so-far plus a CheckpointState cursor, and hands
+// both to the sink. A crashed run restarts via resume(): the enumeration
+// [window_start, resume_from) is replayed with recording suppressed —
+// consuming RNG, DNS, and data-plane state exactly as the original run
+// did — then recording switches on at resume_from. The chunk boundaries
+// never alter any per-device stream, so an interrupted-and-resumed run is
+// bit-identical to an uninterrupted one (a test asserts this at every
+// checkpoint under an active fault schedule).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "hitlist/corpus.h"
 #include "netsim/data_plane.h"
 #include "netsim/pool_dns.h"
+#include "ntp/client_schedule.h"
 #include "ntp/server.h"
 #include "sim/world.h"
 
@@ -45,7 +67,46 @@ struct CollectorConfig {
   // single-threaded path. The wire_fidelity path always runs serially
   // regardless of this knob: every poll mutates the shared DataPlane.
   unsigned threads = 0;
+  // RFC 5905-style client persistence: an unanswered poll packet is
+  // re-sent up to `retry_limit` times, the i-th retry delayed by
+  // retry_backoff * (2^i - 1) seconds after the original send. 0 keeps
+  // the legacy fire-once client.
+  std::uint32_t retry_limit = 0;
+  util::SimDuration retry_backoff = 4;
+  // Sim-time spacing of checkpoint boundaries; 0 disables checkpointing.
+  // The interval never changes the collected corpus — it only decides
+  // where a crashed run can resume from.
+  util::SimDuration checkpoint_interval = 0;
 };
+
+// Per-vantage degradation accounting, reported instead of aborting when a
+// fault plan is active. All counters cover recorded (non-replayed) polls
+// addressed to that vantage.
+struct VantageHealthStats {
+  std::uint64_t polls = 0;          // packet attempts steered here
+  std::uint64_t answered = 0;       // attempts the client heard back from
+  std::uint64_t lost_to_fault = 0;  // attempts the fault plan swallowed
+  std::uint64_t retries = 0;        // re-sends triggered by silence
+  std::uint64_t steered_polls = 0;  // sync events won via health steering
+};
+
+// The resumable cursor written alongside every corpus snapshot: where the
+// window was, how far collection got (`resume_from` — every sync event
+// with base time < resume_from is in the snapshot), and the counters
+// accumulated so far.
+struct CheckpointState {
+  util::SimTime window_start = 0;
+  util::SimTime window_end = 0;
+  util::SimTime resume_from = 0;
+  std::uint64_t polls_attempted = 0;
+  std::uint64_t polls_answered = 0;
+  std::vector<VantageHealthStats> vantage_health;
+};
+
+// Receives each checkpoint: the cursor plus the full corpus as of
+// `state.resume_from`. The corpus reference is only valid for the call.
+using CheckpointSink =
+    std::function<void(const CheckpointState&, const Corpus&)>;
 
 // Called for every accepted observation, after it is added to the corpus.
 // `vantage_address` is the server the client spoke to (backscanning probes
@@ -66,12 +127,27 @@ class PassiveCollector {
   PassiveCollector(const sim::World& world, netsim::DataPlane& plane,
                    const netsim::PoolDns& dns, const CollectorConfig& config);
 
-  // Runs collection over [start, end); fills `corpus`.
+  // Runs collection over [start, end); fills `corpus`. `sink`, combined
+  // with CollectorConfig::checkpoint_interval, receives periodic
+  // snapshots.
   void run(Corpus& corpus, util::SimTime start, util::SimTime end,
-           const ObservationHook& hook = {});
+           const ObservationHook& hook = {}, const CheckpointSink& sink = {});
+
+  // Resumes a crashed run from a checkpoint. `corpus` must hold the
+  // snapshot that was written with `from` (e.g. via checkpoint_io);
+  // collection replays silently up to from.resume_from, then records the
+  // remainder of the window into `corpus`. Counters continue from the
+  // checkpointed values.
+  void resume(Corpus& corpus, const CheckpointState& from,
+              const ObservationHook& hook = {},
+              const CheckpointSink& sink = {});
 
   std::uint64_t polls_attempted() const noexcept { return polls_; }
   std::uint64_t polls_answered() const noexcept { return answered_; }
+  // Indexed by vantage id; empty before the first run()/resume().
+  const std::vector<VantageHealthStats>& vantage_health() const noexcept {
+    return vantage_health_;
+  }
 
  private:
   // Per-shard poll counters, kept thread-local during collection and
@@ -81,13 +157,39 @@ class PassiveCollector {
     std::uint64_t answered = 0;
   };
 
-  // The per-device collection loop over devices [first, last), sinking
-  // into `corpus`. `hook_mu`, when non-null, serializes hook delivery
-  // across shards.
-  void collect_shard(Corpus& corpus, std::size_t first, std::size_t last,
-                     util::SimTime start, util::SimTime end,
-                     const ObservationHook& hook, std::mutex* hook_mu,
-                     ShardTally& tally) const;
+  // A pool-using device mid-enumeration: its seeded RNG, its schedule,
+  // and the poll popped from the schedule but not yet processed (because
+  // it belongs to a later chunk).
+  struct DeviceState {
+    sim::DeviceId id;
+    util::Rng rng;
+    ntp::ClientSchedule schedule;
+    ntp::ClientSchedule::Cursor cursor;
+    std::optional<util::SimTime> pending;
+  };
+
+  // Everything one shard carries across chunk boundaries.
+  struct ShardState {
+    Corpus corpus{1 << 12};
+    std::vector<std::unique_ptr<ntp::NtpServer>> servers;
+    std::vector<DeviceState> devices;
+    ShardTally tally;
+    std::vector<VantageHealthStats> vantage;
+    // Consulted by the observation sink: false while replaying the
+    // already-checkpointed prefix of a resumed run.
+    bool recording = true;
+  };
+
+  void collect(Corpus& corpus, const CheckpointState& from,
+               const ObservationHook& hook, const CheckpointSink& sink);
+
+  // Processes every sync event of this shard with base time < chunk_end.
+  void process_chunk(ShardState& shard, util::SimTime window_end,
+                     util::SimTime chunk_end) const;
+
+  // One sync event (burst + per-packet retries) for one device.
+  void process_event(ShardState& shard, DeviceState& ds, util::SimTime t,
+                     util::SimTime window_end) const;
 
   const sim::World* world_;
   netsim::DataPlane* plane_;
@@ -95,6 +197,7 @@ class PassiveCollector {
   CollectorConfig config_;
   std::uint64_t polls_ = 0;
   std::uint64_t answered_ = 0;
+  std::vector<VantageHealthStats> vantage_health_;
 };
 
 }  // namespace v6::hitlist

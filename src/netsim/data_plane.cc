@@ -19,14 +19,29 @@ bool DataPlane::lost() {
   return false;
 }
 
+namespace {
+
+// How far back per-second ICMP budgets are retained. Probe schedules that
+// jump backwards (interleaved backscan intervals) still see exact budgets
+// within the horizon; only seconds more than an hour older than the newest
+// second ever observed are forgotten, keeping memory bounded.
+constexpr util::SimDuration kIcmpBudgetHorizon = util::kHour;
+
+}  // namespace
+
 bool DataPlane::icmp_error_allowed(const net::Ipv6Address& router,
                                    util::SimTime t) {
   if (config_.router_icmp_rate_limit == 0) return true;
-  if (t != budget_second_) {
-    budget_second_ = t;
-    icmp_budget_.clear();
+  if (t > budget_newest_) {
+    budget_newest_ = t;
+    // Prune only on forward progress: a backward-moving t must never wipe
+    // budgets it already charged (the old clear-on-change reset let a
+    // revisited second start from a fresh budget).
+    icmp_budget_.erase(icmp_budget_.begin(),
+                       icmp_budget_.lower_bound(t - kIcmpBudgetHorizon));
   }
-  auto& used = icmp_budget_[router.hi64() ^ util::mix64(router.lo64())];
+  auto& used =
+      icmp_budget_[t][router.hi64() ^ util::mix64(router.lo64())];
   if (used >= config_.router_icmp_rate_limit) {
     ++rate_limited_;
     return false;
@@ -158,6 +173,14 @@ std::optional<std::vector<std::uint8_t>> DataPlane::send_udp(
   if (lost()) return std::nullopt;
   const auto delivered = proto::decode_udp(wire, src, dst);
   if (!delivered) return std::nullopt;
+
+  // Injected vantage faults swallow the datagram before the service sees
+  // it. Checked after lost() so the loss RNG stream is untouched by the
+  // (pure-function) fault plan.
+  if (faults_ != nullptr && !faults_->delivers_to(dst, src, t)) {
+    ++fault_drops_;
+    return std::nullopt;
+  }
 
   const auto it = services_.find({dst, dst_port});
   if (it == services_.end()) return std::nullopt;

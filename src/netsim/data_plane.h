@@ -10,11 +10,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "net/ipv6.h"
+#include "netsim/fault_schedule.h"
 #include "netsim/topology.h"
 #include "proto/icmpv6.h"
 #include "sim/world.h"
@@ -95,10 +98,19 @@ class DataPlane {
 
   const Topology& topology() const noexcept { return topology_; }
 
+  // Attaches a vantage fault schedule: UDP datagrams to a vantage that is
+  // in outage (or unlucky during slow start) vanish before reaching the
+  // bound service. The schedule is consulted, never mutated, so one plan
+  // can be shared across planes and with PoolDns. Pass nullptr to detach.
+  void set_faults(const FaultSchedule* faults) noexcept { faults_ = faults; }
+  const FaultSchedule* faults() const noexcept { return faults_; }
+
   // Number of datagrams dropped so far (both directions).
   std::uint64_t drops() const noexcept { return drops_; }
   // Time Exceeded messages suppressed by router rate limiting.
   std::uint64_t rate_limited() const noexcept { return rate_limited_; }
+  // Datagrams swallowed by injected vantage faults.
+  std::uint64_t fault_drops() const noexcept { return fault_drops_; }
 
  private:
   bool lost();
@@ -109,12 +121,18 @@ class DataPlane {
   DataPlaneConfig config_;
   Topology topology_;
   util::Rng rng_;
+  const FaultSchedule* faults_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t rate_limited_ = 0;
-  // ICMP error budget for the current second only (probes arrive in
-  // near-chronological order; the map resets when the clock advances).
-  util::SimTime budget_second_ = -1;
-  std::unordered_map<std::uint64_t, std::uint32_t> icmp_budget_;
+  std::uint64_t fault_drops_ = 0;
+  // Per-second ICMP error budgets, keyed by second then router. Ordered so
+  // stale seconds can be pruned as the newest-seen second advances; probes
+  // may arrive out of chronological order (interleaved backscan intervals
+  // revisit earlier seconds), and any second within the retention horizon
+  // keeps an exact budget.
+  util::SimTime budget_newest_ = std::numeric_limits<util::SimTime>::min();
+  std::map<util::SimTime, std::unordered_map<std::uint64_t, std::uint32_t>>
+      icmp_budget_;
 
   struct Endpoint {
     net::Ipv6Address address;

@@ -1,0 +1,105 @@
+// Deterministic vantage-server fault injection.
+//
+// The paper's 27 stratum-2 vantage servers sat in the NTP Pool for seven
+// months — long enough for real machines to crash, flap, and get yanked
+// from rotation by the pool's health monitoring. FaultSchedule models that
+// churn the same way sim::World models eyeball-AS outages: a seeded,
+// precomputed plan that is a *pure function of time*, so the fast
+// collection path and the wire-fidelity path (and a crashed-and-resumed
+// run) all see the exact same failures.
+//
+// Per vantage the plan holds sorted, disjoint outage windows [start, end).
+// While inside a window the server is dark: packets to it vanish. After a
+// window ends the server restarts into a slow-start ramp of length
+// `slow_start`, during which it answers a linearly growing fraction of
+// requests — the decision for a given (vantage, client, second) is a pure
+// hash, not an Rng draw, so it never perturbs any caller's RNG stream.
+//
+// PoolDns consumes the same plan through marked_down(): the real pool's
+// monitoring takes a while to notice a dead server, so a vantage only
+// leaves steering `monitoring_delay` after the crash, and re-enters
+// steering `monitoring_delay` after recovery.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv6.h"
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::netsim {
+
+struct FaultPlanConfig {
+  std::uint64_t seed = 13;
+  // Expected number of crash windows per vantage over the plan window.
+  double outages_per_vantage = 0.0;
+  util::SimDuration mean_outage = 6 * util::kHour;
+  util::SimDuration min_outage = 10 * util::kMinute;
+  // Short blips (seconds-to-minutes), on top of the crash windows.
+  double flaps_per_vantage = 0.0;
+  util::SimDuration mean_flap = 90;
+  // Post-recovery ramp during which the server answers a linearly
+  // growing fraction of requests. 0 disables slow start.
+  util::SimDuration slow_start = 20 * util::kMinute;
+
+  bool active() const noexcept {
+    return outages_per_vantage > 0.0 || flaps_per_vantage > 0.0;
+  }
+};
+
+struct OutageWindow {
+  util::SimTime start = 0;
+  util::SimTime end = 0;  // exclusive
+};
+
+class FaultSchedule {
+ public:
+  // Empty plan (no faults); useful for tests that inject windows by hand.
+  explicit FaultSchedule(std::span<const sim::VantagePoint> vantages);
+
+  // Generates the seeded plan over [plan_start, plan_end).
+  FaultSchedule(std::span<const sim::VantagePoint> vantages,
+                const FaultPlanConfig& config, util::SimTime plan_start,
+                util::SimTime plan_end);
+
+  // True while the vantage is inside a crash window (completely dark).
+  bool in_outage(std::uint8_t vantage, util::SimTime t) const noexcept;
+
+  // Whether a request from `src` arriving at the vantage at time t gets
+  // served. False during outages; probabilistic (pure hash of
+  // vantage/src/t) during the slow-start ramp; true otherwise.
+  bool delivers(std::uint8_t vantage, const net::Ipv6Address& src,
+                util::SimTime t) const noexcept;
+
+  // Same, keyed by destination address. Addresses that are not vantage
+  // servers always deliver — the schedule only faults vantages.
+  bool delivers_to(const net::Ipv6Address& dst, const net::Ipv6Address& src,
+                   util::SimTime t) const noexcept;
+
+  // Pool-monitoring view: the vantage is out of steering once the monitor
+  // has had `monitoring_delay` to notice the crash, and returns to
+  // steering `monitoring_delay` after the crash window ends.
+  bool marked_down(std::uint8_t vantage, util::SimTime t,
+                   util::SimDuration monitoring_delay) const noexcept;
+
+  // Test/bench hook: append a window by hand. Windows must be added in
+  // chronological order per vantage and must not overlap.
+  void add_window(std::uint8_t vantage, util::SimTime start,
+                  util::SimTime end);
+
+  std::span<const OutageWindow> windows(std::uint8_t vantage) const noexcept;
+  std::size_t vantage_count() const noexcept { return windows_.size(); }
+  util::SimDuration slow_start() const noexcept { return slow_start_; }
+
+ private:
+  std::vector<std::vector<OutageWindow>> windows_;  // indexed by vantage id
+  std::unordered_map<net::Ipv6Address, std::uint8_t, net::Ipv6AddressHash>
+      by_address_;
+  util::SimDuration slow_start_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace v6::netsim

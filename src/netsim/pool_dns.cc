@@ -69,4 +69,58 @@ const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
   return list[rng.bounded(list.size())];
 }
 
+const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
+                                          util::Rng& rng, util::SimTime t,
+                                          bool* steered_away) const {
+  if (steered_away != nullptr) *steered_away = false;
+  if (all_.empty()) return nullptr;
+  if (vantage_share_ < 1.0 && !rng.chance(vantage_share_)) return nullptr;
+  if (global_fraction_ > 0.0 && rng.chance(global_fraction_)) {
+    return pick(all_, rng, t, steered_away);
+  }
+  const auto country = world_->geodb().lookup(client);
+  const auto& list = country ? candidates(*country) : all_;
+  if (list.empty()) return pick(all_, rng, t, steered_away);
+  return pick(list, rng, t, steered_away);
+}
+
+const sim::VantagePoint* PoolDns::pick(
+    const std::vector<const sim::VantagePoint*>& list, util::Rng& rng,
+    util::SimTime t, bool* steered_away) const {
+  if (health_ != nullptr) {
+    // Common case first: nothing in this list is down, so no filtering
+    // (and no allocation) — the pick is bit-identical to the health-free
+    // path, which keeps zero-fault plans indistinguishable from no plan.
+    bool any_down = false;
+    for (const auto* v : list) {
+      if (health_->marked_down(v->id, t, monitoring_delay_)) {
+        any_down = true;
+        break;
+      }
+    }
+    if (any_down) {
+      if (steered_away != nullptr) *steered_away = true;
+      std::vector<const sim::VantagePoint*> healthy;
+      healthy.reserve(list.size());
+      for (const auto* v : list) {
+        if (!health_->marked_down(v->id, t, monitoring_delay_)) {
+          healthy.push_back(v);
+        }
+      }
+      if (!healthy.empty()) return healthy[rng.bounded(healthy.size())];
+      // Whole candidate list is down: the pool widens the answer to any
+      // healthy server worldwide.
+      for (const auto* v : all_) {
+        if (!health_->marked_down(v->id, t, monitoring_delay_)) {
+          healthy.push_back(v);
+        }
+      }
+      if (!healthy.empty()) return healthy[rng.bounded(healthy.size())];
+      // Every vantage is marked down; answer from the unfiltered list
+      // rather than returning nothing.
+    }
+  }
+  return list[rng.bounded(list.size())];
+}
+
 }  // namespace v6::netsim

@@ -14,8 +14,10 @@
 
 #include "geo/country.h"
 #include "net/ipv6.h"
+#include "netsim/fault_schedule.h"
 #include "sim/world.h"
 #include "util/rng.h"
+#include "util/sim_time.h"
 
 namespace v6::netsim {
 
@@ -41,15 +43,45 @@ class PoolDns {
   const sim::VantagePoint* resolve(const net::Ipv6Address& client,
                                    util::Rng& rng) const;
 
+  // Health-aware resolution at time t. A vantage whose crash the pool
+  // monitor has had `monitoring_delay` to notice (see
+  // FaultSchedule::marked_down) is removed from steering, so its share of
+  // polls redistributes across the surviving candidates; it re-enters
+  // rotation `monitoring_delay` after recovery. When the candidate list is
+  // entirely down the pick falls back to any healthy vantage worldwide,
+  // and only if *every* vantage is marked down does it answer from the
+  // unfiltered list (the real pool never returns an empty answer while it
+  // has servers). `steered_away`, when non-null, is set to true iff health
+  // filtering removed at least one candidate from the consulted list.
+  // With no health monitor attached (or none of the candidates down) this
+  // behaves bit-identically to the time-free overload.
+  const sim::VantagePoint* resolve(const net::Ipv6Address& client,
+                                   util::Rng& rng, util::SimTime t,
+                                   bool* steered_away = nullptr) const;
+
+  // Attaches the pool-monitoring view of a fault schedule. The schedule is
+  // read-only and shared; pass nullptr to detach.
+  void set_health_monitor(const FaultSchedule* faults,
+                          util::SimDuration monitoring_delay) noexcept {
+    health_ = faults;
+    monitoring_delay_ = monitoring_delay;
+  }
+
   // The steering candidates for a country (exposed for tests): vantages in
   // the country itself if any, else those of the nearest vantage country.
   const std::vector<const sim::VantagePoint*>& candidates(
       geo::CountryCode country) const;
 
  private:
+  const sim::VantagePoint* pick(
+      const std::vector<const sim::VantagePoint*>& list, util::Rng& rng,
+      util::SimTime t, bool* steered_away) const;
+
   const sim::World* world_;
   double global_fraction_;
   double vantage_share_;
+  const FaultSchedule* health_ = nullptr;
+  util::SimDuration monitoring_delay_ = 0;
   std::unordered_map<geo::CountryCode, std::vector<const sim::VantagePoint*>>
       by_country_;
   // Country (any known to the registry) -> steering candidates. Filled

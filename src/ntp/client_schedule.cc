@@ -11,6 +11,36 @@ ClientSchedule::ClientSchedule(const sim::Device& device,
       start_(std::max(window_start, device.active_start)),
       end_(std::min(window_end, device.active_end)) {}
 
+std::optional<util::SimTime> ClientSchedule::next(
+    Cursor& cursor) const noexcept {
+  if (!device_->ntp.uses_pool || device_->ntp.poll_interval <= 0) {
+    return std::nullopt;
+  }
+  if (!cursor.initialized) {
+    // Phase-shift the first poll so fleets don't thunder in lockstep.
+    cursor.t =
+        start_ + static_cast<util::SimTime>(
+                     util::mix64(device_->seed ^ 0x9011) %
+                     static_cast<std::uint64_t>(device_->ntp.poll_interval));
+    cursor.k = 0;
+    cursor.initialized = true;
+  }
+  const double interval = static_cast<double>(device_->ntp.poll_interval);
+  while (cursor.t < end_) {
+    const util::SimTime t = cursor.t;
+    const std::uint64_t k = cursor.k;
+    const double online_roll =
+        unit(util::mix64(device_->seed ^ 0x0411e ^ util::mix64(k)));
+    // Next poll: 0.5x..1.5x the nominal interval.
+    const double jitter =
+        0.5 + unit(util::mix64(device_->seed ^ 0x171e4 ^ util::mix64(k)));
+    cursor.t += static_cast<util::SimDuration>(interval * jitter) + 1;
+    ++cursor.k;
+    if (online_roll < device_->ntp.online_fraction) return t;
+  }
+  return std::nullopt;
+}
+
 std::uint64_t ClientSchedule::count() const noexcept {
   std::uint64_t n = 0;
   for_each([&n](util::SimTime) { ++n; });

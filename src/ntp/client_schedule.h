@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "sim/device.h"
 #include "util/rng.h"
@@ -19,28 +20,28 @@ class ClientSchedule {
   ClientSchedule(const sim::Device& device, util::SimTime window_start,
                  util::SimTime window_end) noexcept;
 
+  // Resumable position inside the enumeration. A value-type cursor makes
+  // the schedule checkpointable: collection keeps one per device across
+  // checkpoint epochs, so chunked enumeration yields the exact same poll
+  // sequence as one uninterrupted sweep.
+  struct Cursor {
+    util::SimTime t = 0;
+    std::uint64_t k = 0;
+    bool initialized = false;
+  };
+
+  // Advances the cursor to the next poll that actually fires and returns
+  // its instant, or nullopt once the window is exhausted. Polls while the
+  // device is offline are skipped (the device simply doesn't ask for
+  // time).
+  std::optional<util::SimTime> next(Cursor& cursor) const noexcept;
+
   // Enumerates poll instants in [window_start, window_end); calls
-  // `fn(SimTime)` for each. Polls while the device is offline are skipped
-  // (the device simply doesn't ask for time).
+  // `fn(SimTime)` for each.
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    if (!device_->ntp.uses_pool || device_->ntp.poll_interval <= 0) return;
-    const double interval =
-        static_cast<double>(device_->ntp.poll_interval);
-    // Phase-shift the first poll so fleets don't thunder in lockstep.
-    util::SimTime t =
-        start_ + static_cast<util::SimTime>(
-                     util::mix64(device_->seed ^ 0x9011) %
-                     static_cast<std::uint64_t>(device_->ntp.poll_interval));
-    for (std::uint64_t k = 0; t < end_; ++k) {
-      const double online_roll =
-          unit(util::mix64(device_->seed ^ 0x0411e ^ util::mix64(k)));
-      if (online_roll < device_->ntp.online_fraction) fn(t);
-      // Next poll: 0.5x..1.5x the nominal interval.
-      const double jitter =
-          0.5 + unit(util::mix64(device_->seed ^ 0x171e4 ^ util::mix64(k)));
-      t += static_cast<util::SimDuration>(interval * jitter) + 1;
-    }
+    Cursor cursor;
+    while (const auto t = next(cursor)) fn(*t);
   }
 
   // Number of polls that will fire (same enumeration, counted).

@@ -24,12 +24,17 @@ void Backscanner::observe(const ntp::Observation& obs,
   // observation arrival order.
   util::Rng probe_rng(key);
 
-  Zmap6Scanner zmap(*plane_, {vantage_source, 100000, 0, probe_rng.next()});
+  // Loss-tolerant probing: scan() re-probes silent targets
+  // config_.retries extra times, exactly as the real ZMap6 invocation
+  // would.
+  Zmap6Scanner zmap(
+      *plane_, {vantage_source, 100000, config_.retries, probe_rng.next()});
 
   BackscanOutcome outcome;
   outcome.client = obs.client;
   outcome.vantage = obs.vantage;
-  outcome.client_responded = zmap.probe(obs.client, probe_time);
+  outcome.client_responded =
+      zmap.scan(std::span(&obs.client, 1), probe_time)[0].responded;
   ++report_.clients_probed;
   if (outcome.client_responded) ++report_.clients_responded;
 
@@ -37,7 +42,9 @@ void Backscanner::observe(const ntp::Observation& obs,
   std::uint64_t iid = probe_rng.next();
   if (iid == obs.client.lo64()) iid ^= 1;
   outcome.random_target = net::Ipv6Address::from_u64(obs.client.hi64(), iid);
-  outcome.random_responded = zmap.probe(outcome.random_target, probe_time);
+  outcome.random_responded =
+      zmap.scan(std::span(&outcome.random_target, 1), probe_time)[0]
+          .responded;
   ++report_.random_probed;
   if (outcome.random_responded) {
     responsive_random_.insert(outcome.random_target);
@@ -61,7 +68,7 @@ void Backscanner::observe(const ntp::Observation& obs,
   report_.outcomes.push_back(outcome);
 }
 
-BackscanReport Backscanner::finish(util::SimTime /*now*/) {
+BackscanReport Backscanner::finish() {
   report_.aliased_slash64s.assign(aliased_.begin(), aliased_.end());
   std::sort(report_.aliased_slash64s.begin(), report_.aliased_slash64s.end());
   report_.responsive_random_addresses = responsive_random_.size();

@@ -36,6 +36,10 @@ struct BackscanConfig {
   double trace_fraction = 0.05;
   std::uint8_t yarrp_max_hops = 12;
   std::uint64_t seed = 11;
+  // Re-probe unanswered targets this many extra times (fed straight into
+  // Zmap6Config::retries), so backscan results tolerate transit loss the
+  // way the real tooling does.
+  std::uint32_t retries = 2;
 };
 
 struct BackscanOutcome {
@@ -70,9 +74,8 @@ class Backscanner {
                const net::Ipv6Address& vantage_source);
 
   // Finalizes and returns the accumulated report; the scanner is reusable
-  // afterwards. `now` is unused (kept for interface stability with
-  // stream-driven callers).
-  BackscanReport finish(util::SimTime now);
+  // afterwards.
+  BackscanReport finish();
 
  private:
   netsim::DataPlane* plane_;

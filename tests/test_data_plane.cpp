@@ -220,6 +220,75 @@ TEST_F(DataPlaneTest, RateLimitDisabledByDefault) {
   EXPECT_EQ(plane.rate_limited(), 0u);
 }
 
+TEST_F(DataPlaneTest, IcmpBudgetSurvivesBackwardProbeTimes) {
+  // Interleaved backscan intervals revisit earlier seconds: a probe at
+  // t+1 followed by more probes at t must still honor the budget already
+  // charged at t. The old clear-on-any-time-change reset wiped it.
+  const util::SimTime t = 1000;
+  const auto d = find_reachable(*world_, t);
+  const auto src = world_->vantages().front().address;
+  const auto dst = world_->device_address(d, t);
+
+  netsim::DataPlaneConfig limited{0.0, 1, 5};  // 5 errors/router/second
+  DataPlane plane(*world_, limited);
+  // Exhaust second t...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(plane.hop_limited_echo(src, dst, 1, 1,
+                                     static_cast<std::uint16_t>(i), t)
+                  .kind,
+              ProbeResult::Kind::kTimeExceeded);
+  }
+  // ...advance the clock...
+  EXPECT_EQ(plane.hop_limited_echo(src, dst, 1, 1, 50, t + 1).kind,
+            ProbeResult::Kind::kTimeExceeded);
+  // ...then revisit second t: its budget is spent, every probe is policed.
+  const auto limited_before = plane.rate_limited();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(plane.hop_limited_echo(src, dst, 1, 1,
+                                     static_cast<std::uint16_t>(60 + i), t)
+                  .kind,
+              ProbeResult::Kind::kTimeout);
+  }
+  EXPECT_EQ(plane.rate_limited(), limited_before + 10);
+  // Second t+1 still has 4 of its 5 left.
+  int exceeded = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (plane.hop_limited_echo(src, dst, 1, 1,
+                               static_cast<std::uint16_t>(80 + i), t + 1)
+            .kind == ProbeResult::Kind::kTimeExceeded) {
+      ++exceeded;
+    }
+  }
+  EXPECT_EQ(exceeded, 4);
+}
+
+TEST_F(DataPlaneTest, FaultScheduleSwallowsUdpToCrashedVantage) {
+  auto plane = lossless();
+  const auto& vantage = world_->vantages().front();
+  plane.bind_udp(vantage.address, proto::kNtpPort,
+                 [](const net::Ipv6Address&, std::uint16_t,
+                    const std::vector<std::uint8_t>&, util::SimTime)
+                     -> std::optional<std::vector<std::uint8_t>> {
+                   return std::vector<std::uint8_t>{42};
+                 });
+  FaultSchedule faults(world_->vantages());
+  faults.add_window(vantage.id, 1000, 2000);
+  plane.set_faults(&faults);
+
+  const auto client = world_->device_address(0, 0);
+  EXPECT_TRUE(plane.send_udp(client, 40000, vantage.address, proto::kNtpPort,
+                             {1}, 500));
+  EXPECT_FALSE(plane.send_udp(client, 40000, vantage.address, proto::kNtpPort,
+                              {1}, 1500));
+  EXPECT_EQ(plane.fault_drops(), 1u);
+  EXPECT_TRUE(plane.send_udp(client, 40000, vantage.address, proto::kNtpPort,
+                             {1}, 3000));
+  // Other destinations are never faulted.
+  plane.set_faults(nullptr);
+  EXPECT_TRUE(plane.send_udp(client, 40000, vantage.address, proto::kNtpPort,
+                             {1}, 1500));
+}
+
 TEST_F(DataPlaneTest, AliasRegionsAnswerEcho) {
   auto plane = lossless();
   const auto prefixes = world_->aliased_datacenter_prefixes();

@@ -96,7 +96,8 @@ TEST(CorpusIo, SaveLoadRoundTrip) {
 
   std::stringstream stream;
   const auto bytes = hitlist::save_corpus(stream, corpus);
-  EXPECT_EQ(bytes, 8u + 16 + corpus.size() * 32);
+  // v2 layout: magic + header + header CRC + records + records CRC.
+  EXPECT_EQ(bytes, 8u + 16 + 4 + corpus.size() * 32 + 4);
 
   const auto loaded = hitlist::load_corpus(stream);
   EXPECT_EQ(loaded.size(), corpus.size());
@@ -142,6 +143,81 @@ TEST(CorpusIo, RejectsTrailingGarbage) {
   hitlist::save_corpus(stream, corpus);
   stream << "extra";
   EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsTruncationAtEveryByteOffset) {
+  // A crash mid-checkpoint can cut the snapshot anywhere: in the magic,
+  // the header, the header CRC, mid-record, or inside the trailer CRC.
+  // Every strict prefix must throw instead of loading a partial corpus.
+  hitlist::Corpus corpus;
+  corpus.add(addr(0xaaaa, 1), 5, 0);
+  corpus.add(addr(0xbbbb, 2), 9, 1);
+  corpus.add(addr(0xcccc, 3), 12, 2);
+  std::stringstream stream;
+  hitlist::save_corpus(stream, corpus);
+  const std::string full = stream.str();
+  ASSERT_EQ(full.size(), 8u + 16 + 4 + 3 * 32 + 4);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW(hitlist::load_corpus(truncated), std::runtime_error)
+        << "prefix of " << cut << " bytes loaded";
+  }
+  std::stringstream intact(full);
+  EXPECT_EQ(hitlist::load_corpus(intact).size(), 3u);
+}
+
+TEST(CorpusIo, DetectsSingleByteCorruptionViaCrc) {
+  hitlist::Corpus corpus;
+  corpus.add(addr(0x1234, 1), 5, 0);
+  corpus.add(addr(0x5678, 2), 9, 3);
+  std::stringstream stream;
+  hitlist::save_corpus(stream, corpus);
+  const std::string full = stream.str();
+
+  const auto corrupt_at = [&](std::size_t offset) {
+    std::string bad = full;
+    bad[offset] = static_cast<char>(bad[offset] ^ 0x40);
+    std::stringstream s(bad);
+    EXPECT_THROW(hitlist::load_corpus(s), std::runtime_error)
+        << "flip at byte " << offset << " loaded";
+  };
+  corrupt_at(9);                // record count (header CRC catches it)
+  corrupt_at(17);               // observation count
+  corrupt_at(25);               // the header CRC itself
+  // A flipped vantage_mask byte would parse as a plausible corpus without
+  // the records-section CRC; the trailer must catch it.
+  corrupt_at(full.size() - 5);  // last record byte
+  corrupt_at(full.size() - 1);  // the trailer CRC itself
+  corrupt_at(8 + 16 + 4 + 16);  // first record's first_seen field
+}
+
+TEST(CorpusIo, LoadsVersion1SnapshotsWithoutCrcSections) {
+  // Snapshots written before the CRC format bump: magic V6CORP01, header,
+  // raw records, no checksums. They must keep loading.
+  proto::BufferWriter writer;
+  const char magic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(magic), 8));
+  writer.u64(1);  // one record
+  writer.u64(4);  // four observations
+  const auto address = addr(0xdead, 0xbeef);
+  writer.bytes(address.bytes());
+  writer.u32(100);  // first_seen
+  writer.u32(900);  // last_seen
+  writer.u32(4);    // count
+  writer.u32(0b101);  // vantage_mask
+  std::stringstream stream;
+  stream.write(reinterpret_cast<const char*>(writer.data().data()),
+               static_cast<std::streamsize>(writer.size()));
+
+  const auto loaded = hitlist::load_corpus(stream);
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto* rec = loaded.find(address);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->first_seen, 100u);
+  EXPECT_EQ(rec->last_seen, 900u);
+  EXPECT_EQ(rec->count, 4u);
+  EXPECT_EQ(rec->vantage_mask, 0b101u);
+  EXPECT_EQ(loaded.total_observations(), 4u);
 }
 
 TEST(CorpusIo, RejectsOversizedRecordCountBeforeAllocating) {

@@ -1,0 +1,183 @@
+#include "netsim/fault_schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/world.h"
+#include "util/sim_time.h"
+
+namespace v6::netsim {
+namespace {
+
+class FaultScheduleTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sim::WorldConfig config;
+    config.seed = 33;
+    config.total_sites = 200;
+    world_ = new sim::World(sim::World::generate(config));
+  }
+  static void TearDownTestSuite() { delete world_; }
+
+  static sim::World* world_;
+};
+
+sim::World* FaultScheduleTest::world_ = nullptr;
+
+TEST_F(FaultScheduleTest, EmptyPlanNeverFaults) {
+  const FaultSchedule faults(world_->vantages());
+  for (const auto& v : world_->vantages()) {
+    EXPECT_FALSE(faults.in_outage(v.id, 0));
+    EXPECT_FALSE(faults.in_outage(v.id, 1'000'000));
+    EXPECT_TRUE(faults.delivers(v.id, v.address, 500));
+    EXPECT_FALSE(faults.marked_down(v.id, 500, 600));
+    EXPECT_TRUE(faults.windows(v.id).empty());
+  }
+}
+
+TEST_F(FaultScheduleTest, GeneratedPlanIsDeterministicAndWellFormed) {
+  FaultPlanConfig plan;
+  plan.seed = 99;
+  plan.outages_per_vantage = 2.5;
+  plan.flaps_per_vantage = 4.0;
+  const util::SimTime start = 0;
+  const util::SimTime end = 30 * util::kDay;
+
+  const FaultSchedule a(world_->vantages(), plan, start, end);
+  const FaultSchedule b(world_->vantages(), plan, start, end);
+
+  std::size_t total_windows = 0;
+  for (const auto& v : world_->vantages()) {
+    const auto wa = a.windows(v.id);
+    const auto wb = b.windows(v.id);
+    ASSERT_EQ(wa.size(), wb.size());
+    total_windows += wa.size();
+    util::SimTime prev_end = start;
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_EQ(wa[i].start, wb[i].start);
+      EXPECT_EQ(wa[i].end, wb[i].end);
+      // Sorted, disjoint, non-empty, inside the plan window.
+      EXPECT_LT(wa[i].start, wa[i].end);
+      EXPECT_GE(wa[i].start, prev_end);
+      EXPECT_LE(wa[i].end, end);
+      prev_end = wa[i].end;
+    }
+  }
+  // ~6.5 expected windows per vantage before merging; some must survive.
+  EXPECT_GT(total_windows, world_->vantages().size());
+
+  // A different seed reshuffles the plan.
+  plan.seed = 100;
+  const FaultSchedule c(world_->vantages(), plan, start, end);
+  bool any_difference = false;
+  for (const auto& v : world_->vantages()) {
+    const auto wa = a.windows(v.id);
+    const auto wc = c.windows(v.id);
+    if (wa.size() != wc.size()) {
+      any_difference = true;
+      break;
+    }
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      if (wa[i].start != wc[i].start || wa[i].end != wc[i].end) {
+        any_difference = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST_F(FaultScheduleTest, OutageWindowsAreDarkAndHalfOpen) {
+  FaultSchedule faults(world_->vantages());
+  const auto& v = world_->vantages().front();
+  faults.add_window(v.id, 1000, 2000);
+  faults.add_window(v.id, 5000, 5001);
+
+  EXPECT_FALSE(faults.in_outage(v.id, 999));
+  EXPECT_TRUE(faults.in_outage(v.id, 1000));
+  EXPECT_TRUE(faults.in_outage(v.id, 1999));
+  EXPECT_FALSE(faults.in_outage(v.id, 2000));  // end is exclusive
+  EXPECT_TRUE(faults.in_outage(v.id, 5000));
+  EXPECT_FALSE(faults.in_outage(v.id, 5001));
+
+  const auto client = world_->device_address(0, 0);
+  EXPECT_TRUE(faults.delivers(v.id, client, 999));
+  EXPECT_FALSE(faults.delivers(v.id, client, 1500));
+  // No slow start on hand-built plans: recovery is instant.
+  EXPECT_TRUE(faults.delivers(v.id, client, 2000));
+
+  // Other vantages are untouched.
+  const auto& other = world_->vantages().back();
+  ASSERT_NE(other.id, v.id);
+  EXPECT_FALSE(faults.in_outage(other.id, 1500));
+  EXPECT_TRUE(faults.delivers(other.id, client, 1500));
+}
+
+TEST_F(FaultScheduleTest, SlowStartRampsDeliveryLinearly) {
+  FaultPlanConfig plan;
+  plan.seed = 7;
+  plan.outages_per_vantage = 0.0;  // inject the window by hand
+  plan.slow_start = 1000;
+  FaultSchedule faults(world_->vantages(), plan, 0, 10 * util::kDay);
+  const auto& v = world_->vantages().front();
+  faults.add_window(v.id, 10'000, 20'000);
+
+  // Sample many clients at three points on the ramp; delivery fractions
+  // must grow roughly linearly and reach 100% after the ramp.
+  const auto fraction_at = [&](util::SimTime t) {
+    int delivered = 0;
+    const int n = 400;
+    for (int i = 0; i < n; ++i) {
+      const auto src = net::Ipv6Address::from_u64(
+          0x2001'0db8'0000'0000ull + static_cast<std::uint64_t>(i), i * 7 + 1);
+      if (faults.delivers(v.id, src, t)) ++delivered;
+    }
+    return static_cast<double>(delivered) / n;
+  };
+
+  EXPECT_EQ(fraction_at(19'999), 0.0);  // still dark
+  const double early = fraction_at(20'100);   // 10% into the ramp
+  const double mid = fraction_at(20'500);     // 50%
+  const double late = fraction_at(20'900);    // 90%
+  EXPECT_NEAR(early, 0.10, 0.06);
+  EXPECT_NEAR(mid, 0.50, 0.08);
+  EXPECT_NEAR(late, 0.90, 0.06);
+  EXPECT_EQ(fraction_at(21'000), 1.0);  // ramp over
+
+  // The ramp decision is a pure function: repeated queries agree.
+  const auto src = world_->device_address(3, 0);
+  const bool first = faults.delivers(v.id, src, 20'500);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(faults.delivers(v.id, src, 20'500), first);
+  }
+}
+
+TEST_F(FaultScheduleTest, DeliversToOnlyFaultsVantageAddresses) {
+  FaultSchedule faults(world_->vantages());
+  const auto& v = world_->vantages().front();
+  faults.add_window(v.id, 0, 1'000'000);
+
+  const auto client = world_->device_address(0, 0);
+  EXPECT_FALSE(faults.delivers_to(v.address, client, 500));
+  // A device address (not a vantage) always delivers, even mid-window.
+  EXPECT_TRUE(faults.delivers_to(client, v.address, 500));
+}
+
+TEST_F(FaultScheduleTest, MarkedDownLagsCrashAndRecovery) {
+  FaultSchedule faults(world_->vantages());
+  const auto& v = world_->vantages().front();
+  faults.add_window(v.id, 1000, 5000);
+  const util::SimDuration delay = 600;
+
+  // The monitor hasn't noticed yet right after the crash...
+  EXPECT_FALSE(faults.marked_down(v.id, 1000, delay));
+  EXPECT_FALSE(faults.marked_down(v.id, 1599, delay));
+  // ...notices after the detection delay...
+  EXPECT_TRUE(faults.marked_down(v.id, 1600, delay));
+  EXPECT_TRUE(faults.marked_down(v.id, 4999, delay));
+  // ...and keeps the server out of steering until `delay` past recovery.
+  EXPECT_TRUE(faults.marked_down(v.id, 5000, delay));
+  EXPECT_TRUE(faults.marked_down(v.id, 5599, delay));
+  EXPECT_FALSE(faults.marked_down(v.id, 5600, delay));
+}
+
+}  // namespace
+}  // namespace v6::netsim

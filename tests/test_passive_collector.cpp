@@ -33,6 +33,19 @@ Corpus collect(const sim::World& world, const CollectorConfig& config,
   return corpus;
 }
 
+void expect_identical_corpora(const Corpus& a, const Corpus& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.total_observations(), b.total_observations());
+  a.for_each([&](const AddressRecord& rec) {
+    const auto* other = b.find(rec.address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->first_seen, rec.first_seen);
+    EXPECT_EQ(other->last_seen, rec.last_seen);
+    EXPECT_EQ(other->count, rec.count);
+    EXPECT_EQ(other->vantage_mask, rec.vantage_mask);
+  });
+}
+
 TEST_F(PassiveCollectorTest, CollectsObservations) {
   const auto corpus =
       collect(*world_, {false, 0.0, 3}, 0, 7 * util::kDay);
@@ -40,20 +53,47 @@ TEST_F(PassiveCollectorTest, CollectsObservations) {
   EXPECT_GE(corpus.total_observations(), corpus.size());
 }
 
-TEST_F(PassiveCollectorTest, FastAndWirePathsSeeTheSameAddresses) {
-  // With loss disabled the two execution paths must collect the identical
-  // address set (vantage steering RNG diverges, addresses cannot).
+TEST_F(PassiveCollectorTest, FastAndWirePathsAreBitIdenticalAtZeroLoss) {
+  // With loss disabled the two execution paths consume identical RNG
+  // streams (two draws per poll attempt), so not just the address set but
+  // every record field must agree.
   const auto fast =
       collect(*world_, {false, 0.0, 3}, 0, 3 * util::kDay);
   const auto wire =
       collect(*world_, {true, 0.0, 3}, 0, 3 * util::kDay);
-  EXPECT_EQ(fast.size(), wire.size());
-  EXPECT_EQ(fast.total_observations(), wire.total_observations());
-  std::size_t missing = 0;
-  fast.for_each([&](const AddressRecord& rec) {
-    if (wire.find(rec.address) == nullptr) ++missing;
-  });
-  EXPECT_EQ(missing, 0u);
+  expect_identical_corpora(fast, wire);
+}
+
+TEST_F(PassiveCollectorTest, RetriesRecoverPollsLostToTransit) {
+  // RFC 5905-style persistence: at heavy loss a client that re-sends
+  // unanswered polls hears back strictly more often than a fire-once one,
+  // and at zero loss retries change nothing.
+  CollectorConfig fire_once{false, 0.4, 3};
+  CollectorConfig persistent = fire_once;
+  persistent.retry_limit = 3;
+
+  netsim::DataPlane plane(*world_, {0.4, 1});
+  netsim::PoolDns dns(*world_);
+  PassiveCollector once(*world_, plane, dns, fire_once);
+  Corpus once_corpus(1 << 12);
+  once.run(once_corpus, 0, 2 * util::kDay);
+  PassiveCollector retrying(*world_, plane, dns, persistent);
+  Corpus retry_corpus(1 << 12);
+  retrying.run(retry_corpus, 0, 2 * util::kDay);
+
+  ASSERT_GT(once.polls_attempted(), 0u);
+  // Fire-once at 40% loss answers ~36% of polls; 3 retries lift the
+  // per-poll answer odds to ~84%.
+  EXPECT_GT(static_cast<double>(retrying.polls_answered()),
+            1.5 * static_cast<double>(once.polls_answered()));
+  EXPECT_GT(retry_corpus.total_observations(),
+            once_corpus.total_observations());
+
+  CollectorConfig lossless_retry{false, 0.0, 3};
+  lossless_retry.retry_limit = 3;
+  const auto with = collect(*world_, lossless_retry, 0, util::kDay);
+  const auto without = collect(*world_, {false, 0.0, 3}, 0, util::kDay);
+  expect_identical_corpora(with, without);
 }
 
 TEST_F(PassiveCollectorTest, WirePathValidatesServerResponses) {
@@ -127,19 +167,6 @@ TEST_F(PassiveCollectorTest, PollCountsCountBurstPackets) {
   // Bursting devices send several packets per sync, so attempted polls
   // exceed unique sync events but equal total observations (no loss).
   EXPECT_EQ(collector.polls_attempted(), corpus.total_observations());
-}
-
-void expect_identical_corpora(const Corpus& a, const Corpus& b) {
-  ASSERT_EQ(a.size(), b.size());
-  ASSERT_EQ(a.total_observations(), b.total_observations());
-  a.for_each([&](const AddressRecord& rec) {
-    const auto* other = b.find(rec.address);
-    ASSERT_NE(other, nullptr);
-    EXPECT_EQ(other->first_seen, rec.first_seen);
-    EXPECT_EQ(other->last_seen, rec.last_seen);
-    EXPECT_EQ(other->count, rec.count);
-    EXPECT_EQ(other->vantage_mask, rec.vantage_mask);
-  });
 }
 
 TEST_F(PassiveCollectorTest, ShardedCollectionIsBitIdenticalToSerial) {

@@ -111,5 +111,112 @@ TEST_F(PoolDnsTest, UnroutedClientStillGetsAServer) {
   EXPECT_NE(vantage, nullptr);
 }
 
+TEST_F(PoolDnsTest, HealthMonitorSteersAroundDownedVantage) {
+  PoolDns dns(*world_, 0.0);
+  FaultSchedule faults(world_->vantages());
+  const auto client = address_in_country(*world_, "US");
+  ASSERT_TRUE(client);
+  const auto& us = dns.candidates(*geo::CountryCode::parse("US"));
+  ASSERT_EQ(us.size(), 6u);
+  const std::uint8_t downed = us.front()->id;
+  faults.add_window(downed, 1000, 5000);
+  const util::SimDuration delay = 600;
+  dns.set_health_monitor(&faults, delay);
+
+  util::Rng rng(9);
+  const auto ids_at = [&](util::SimTime t, int* steered_count) {
+    std::unordered_set<std::uint8_t> seen;
+    for (int i = 0; i < 300; ++i) {
+      bool steered = false;
+      const auto* v = dns.resolve(*client, rng, t, &steered);
+      EXPECT_NE(v, nullptr) << "t=" << t;
+      if (v == nullptr) continue;
+      seen.insert(v->id);
+      if (steered_count && steered) ++*steered_count;
+    }
+    return seen;
+  };
+
+  // Before the monitor notices the crash, the downed vantage still
+  // receives its share and no poll is marked as steered away.
+  int steered = 0;
+  auto seen = ids_at(1200, &steered);
+  EXPECT_TRUE(seen.contains(downed));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(steered, 0);
+
+  // Once the detection delay elapses the downed vantage leaves rotation:
+  // its polls redistribute across the surviving five candidates, and every
+  // answer is flagged as steered.
+  steered = 0;
+  seen = ids_at(2000, &steered);
+  EXPECT_FALSE(seen.contains(downed));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(steered, 300);
+
+  // The monitor lags recovery by the same delay...
+  seen = ids_at(5000 + delay - 1, nullptr);
+  EXPECT_FALSE(seen.contains(downed));
+
+  // ...then the server rejoins rotation.
+  steered = 0;
+  seen = ids_at(5000 + delay, &steered);
+  EXPECT_TRUE(seen.contains(downed));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(steered, 0);
+}
+
+TEST_F(PoolDnsTest, AllCandidatesDownFallsBackToHealthyWorldwide) {
+  PoolDns dns(*world_, 0.0);
+  FaultSchedule faults(world_->vantages());
+  const auto& us = dns.candidates(*geo::CountryCode::parse("US"));
+  std::unordered_set<std::uint8_t> us_ids;
+  for (const auto* v : us) {
+    us_ids.insert(v->id);
+    faults.add_window(v->id, 0, 100'000);
+  }
+  dns.set_health_monitor(&faults, 0);
+
+  const auto client = address_in_country(*world_, "US");
+  util::Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    bool steered = false;
+    const auto* v = dns.resolve(*client, rng, 50'000, &steered);
+    ASSERT_NE(v, nullptr);
+    EXPECT_FALSE(us_ids.contains(v->id));
+    EXPECT_TRUE(steered);
+  }
+
+  // With *every* vantage down the pool still answers (unfiltered list):
+  // the real pool never returns an empty response while it has servers.
+  for (const auto& v : world_->vantages()) {
+    if (!us_ids.contains(v.id)) faults.add_window(v.id, 0, 100'000);
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_NE(dns.resolve(*client, rng, 50'000, nullptr), nullptr);
+  }
+}
+
+TEST_F(PoolDnsTest, HealthFreePlanMatchesLegacyResolveBitForBit) {
+  PoolDns dns(*world_, 0.25, 0.8);
+  FaultSchedule faults(world_->vantages());  // zero faults
+  dns.set_health_monitor(&faults, 600);
+  const PoolDns legacy(*world_, 0.25, 0.8);
+
+  const auto client = address_in_country(*world_, "DE");
+  ASSERT_TRUE(client);
+  util::Rng a(12);
+  util::Rng b(12);
+  for (int i = 0; i < 500; ++i) {
+    bool steered = false;
+    const auto* with_health =
+        dns.resolve(*client, a, static_cast<util::SimTime>(i * 64), &steered);
+    const auto* without = legacy.resolve(*client, b);
+    EXPECT_EQ(with_health, without);
+    EXPECT_FALSE(steered);
+  }
+  EXPECT_EQ(a.next(), b.next());  // identical draw counts
+}
+
 }  // namespace
 }  // namespace v6::netsim

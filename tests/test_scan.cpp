@@ -169,7 +169,7 @@ TEST_F(ScanTest, BackscannerDedupsWithinInterval) {
   scanner.observe(obs, source());  // same interval: ignored
   obs.time = 1000 + 11 * util::kMinute;  // next interval: probed again
   scanner.observe(obs, source());
-  const auto report = scanner.finish(2000);
+  const auto report = scanner.finish();
   EXPECT_EQ(report.clients_probed, 2u);
   EXPECT_EQ(report.outcomes.size(), 2u);
   EXPECT_TRUE(report.outcomes[0].client_responded);
@@ -183,7 +183,7 @@ TEST_F(ScanTest, BackscannerFindsAliasedSlash64s) {
   const auto client =
       net::Ipv6Address::from_u64(prefixes[0].address().hi64() | 1, 0xabcdef);
   scanner.observe({client, 5000, 1}, source());
-  const auto report = scanner.finish(6000);
+  const auto report = scanner.finish();
   ASSERT_EQ(report.outcomes.size(), 1u);
   EXPECT_TRUE(report.outcomes[0].random_responded);
   ASSERT_EQ(report.aliased_slash64s.size(), 1u);
@@ -195,7 +195,7 @@ TEST_F(ScanTest, BackscannerRandomProbeMissesOrdinaryNetworks) {
   Backscanner scanner(*plane_, {10 * util::kMinute, 0.0, 12, 3});
   const auto d = reachable_cpe(*world_, 1000);
   scanner.observe({world_->device_address(d, 1000), 1000, 0}, source());
-  const auto report = scanner.finish(2000);
+  const auto report = scanner.finish();
   EXPECT_FALSE(report.outcomes[0].random_responded);
   EXPECT_TRUE(report.aliased_slash64s.empty());
 }
@@ -210,12 +210,12 @@ TEST_F(ScanTest, BackscannerOrderIndependent) {
   Backscanner fwd(*plane_, {10 * util::kMinute, 0.0, 12, 4});
   fwd.observe({c1, 1000, 0}, source());
   fwd.observe({c2, 90000, 1}, source());
-  const auto a = fwd.finish(100000);
+  const auto a = fwd.finish();
 
   Backscanner rev(*plane_, {10 * util::kMinute, 0.0, 12, 4});
   rev.observe({c2, 90000, 1}, source());
   rev.observe({c1, 1000, 0}, source());
-  const auto b = rev.finish(100000);
+  const auto b = rev.finish();
 
   EXPECT_EQ(a.clients_probed, b.clients_probed);
   EXPECT_EQ(a.clients_responded, b.clients_responded);
