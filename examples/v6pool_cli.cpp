@@ -3,9 +3,12 @@
 //
 //   v6pool_cli world  [--sites N] [--seed S]
 //       generate a world and print its inventory
-//   v6pool_cli study  [--sites N] [--days D] [--seed S] [--release FILE]
-//       run every stage and print the headline numbers; optionally write
-//       the /48-aggregated release (k-anonymity floor 3) to FILE
+//   v6pool_cli study  [--sites N] [--days D] [--seed S] [--threads T]
+//                     [--release FILE]
+//       run every stage and print the headline numbers; --threads T runs
+//       the analysis scans on T threads (0 = all cores, results are
+//       bit-identical at any count); optionally write the /48-aggregated
+//       release (k-anonymity floor 3) to FILE
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -80,6 +83,8 @@ int cmd_study(int argc, char** argv) {
   config.caida_campaign.duration =
       std::min<util::SimDuration>(62 * util::kDay,
                                   config.world.study_duration);
+  config.analysis.threads =
+      static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
 
   std::printf("running study: %u sites, %lld days, seed %llu\n",
               config.world.total_sites,
@@ -88,8 +93,7 @@ int cmd_study(int argc, char** argv) {
   core::Study study = core::Study::run(config);
   const auto& r = study.results();
 
-  const auto ntp =
-      analysis::summarize_dataset("NTP", r.ntp, study.world());
+  const auto& ntp = r.analysis.table1.front();
   std::printf("\nNTP corpus    : %s addresses in %s ASNs, %s /48s\n",
               util::with_commas(ntp.addresses).c_str(),
               util::with_commas(ntp.asns).c_str(),
@@ -102,6 +106,22 @@ int cmd_study(int argc, char** argv) {
   std::printf("backscan      : %s clients probed, %s responded\n",
               util::with_commas(r.backscan.clients_probed).c_str(),
               util::with_commas(r.backscan.clients_responded).c_str());
+
+  std::printf("lifetimes     : %.1f%% of addresses seen once, %.2f%% live "
+              "a month or more\n",
+              100.0 * r.analysis.address_lifetimes.fraction_once,
+              100.0 * r.analysis.address_lifetimes.fraction_month);
+  // Stages sharing one corpus pass report that pass's wall time each, so
+  // records are summed per stage (= kernel steps) but time is not.
+  std::uint64_t analysis_steps = 0;
+  for (const auto& stage : r.analysis.stage_stats) {
+    analysis_steps += stage.records_scanned;
+  }
+  std::printf("analysis      : %zu stages, %s kernel steps on %u thread%s\n",
+              r.analysis.stage_stats.size(),
+              util::with_commas(analysis_steps).c_str(),
+              config.analysis.resolved_threads(),
+              config.analysis.resolved_threads() == 1 ? "" : "s");
 
   analysis::Eui64Tracker tracker(r.ntp, study.world());
   std::printf("privacy       : %s EUI-64 addresses, %s embedded MACs, %s "

@@ -19,62 +19,86 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
                                     const sim::World& world,
                                     util::SimTime window_start,
                                     util::SimTime window_end,
-                                    const CategoryConfig& config) {
-  // Pass 1: per-AS totals and same-AS IPv4-embedding candidates.
+                                    const CategoryConfig& config,
+                                    const AnalysisConfig& analysis,
+                                    std::vector<AnalysisStageStats>* stats) {
+  // Pass 1: per-AS totals and same-AS IPv4-embedding candidates. The map
+  // merges by summing per-AS counters — commutative, shard-independent.
   struct AsStats {
     std::uint64_t addresses = 0;
     std::uint64_t ipv4_candidates = 0;
   };
-  std::unordered_map<std::uint32_t, AsStats> per_as;
-  corpus.for_each([&](const hitlist::AddressRecord& rec) {
-    if (!in_window(rec, window_start, window_end)) return;
-    const auto as_index = world.as_index_of(rec.address);
-    if (!as_index) return;
-    AsStats& stats = per_as[*as_index];
-    ++stats.addresses;
-    for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
-      const auto v4_as = world.as_index_of_ipv4(cand.address);
-      if (v4_as && *v4_as == *as_index) {
-        ++stats.ipv4_candidates;
-        break;  // one acceptance per address
-      }
-    }
-  });
+  using PerAs = std::unordered_map<std::uint32_t, AsStats>;
+  const PerAs per_as = scan_corpus<PerAs>(
+      corpus, analysis, "categorize_corpus/per_as", [] { return PerAs(); },
+      [&](PerAs& m, const hitlist::AddressRecord& rec) {
+        if (!in_window(rec, window_start, window_end)) return;
+        const auto as_index = world.as_index_of(rec.address);
+        if (!as_index) return;
+        AsStats& as_stats = m[*as_index];
+        ++as_stats.addresses;
+        for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
+          const auto v4_as = world.as_index_of_ipv4(cand.address);
+          if (v4_as && *v4_as == *as_index) {
+            ++as_stats.ipv4_candidates;
+            break;  // one acceptance per address
+          }
+        }
+      },
+      [](PerAs& into, PerAs&& from) {
+        for (const auto& [as_index, as_stats] : from) {
+          AsStats& dst = into[as_index];
+          dst.addresses += as_stats.addresses;
+          dst.ipv4_candidates += as_stats.ipv4_candidates;
+        }
+      },
+      stats);
 
-  // Which ASes pass the acceptance gates.
+  // Which ASes pass the acceptance gates (per-key decision; the map's
+  // iteration order is irrelevant).
   std::unordered_map<std::uint32_t, bool> as_accepts;
-  for (const auto& [as_index, stats] : per_as) {
+  as_accepts.reserve(per_as.size());
+  for (const auto& [as_index, as_stats] : per_as) {
     as_accepts[as_index] =
-        stats.ipv4_candidates >= config.min_instances_per_as &&
-        static_cast<double>(stats.ipv4_candidates) >
-            config.min_fraction_of_as * static_cast<double>(stats.addresses);
+        as_stats.ipv4_candidates >= config.min_instances_per_as &&
+        static_cast<double>(as_stats.ipv4_candidates) >
+            config.min_fraction_of_as *
+                static_cast<double>(as_stats.addresses);
   }
 
-  // Pass 2: final classification. Addresses outside the (simulated) BGP
-  // table are skipped, as in pass 1 — AS attribution is part of the
-  // methodology.
-  CategoryBreakdown breakdown;
-  corpus.for_each([&](const hitlist::AddressRecord& rec) {
-    if (!in_window(rec, window_start, window_end)) return;
-    const auto as_index = world.as_index_of(rec.address);
-    if (!as_index) return;
-    bool ipv4_accepted = false;
-    if (const auto it = as_accepts.find(*as_index);
-        it != as_accepts.end() && it->second) {
-      for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
-        const auto v4_as = world.as_index_of_ipv4(cand.address);
-        if (v4_as && *v4_as == *as_index) {
-          ipv4_accepted = true;
-          break;
+  // Pass 2: final classification (reads as_accepts concurrently, but
+  // read-only). Addresses outside the (simulated) BGP table are skipped,
+  // as in pass 1 — AS attribution is part of the methodology.
+  return scan_corpus<CategoryBreakdown>(
+      corpus, analysis, "categorize_corpus/classify",
+      [] { return CategoryBreakdown(); },
+      [&](CategoryBreakdown& b, const hitlist::AddressRecord& rec) {
+        if (!in_window(rec, window_start, window_end)) return;
+        const auto as_index = world.as_index_of(rec.address);
+        if (!as_index) return;
+        bool ipv4_accepted = false;
+        if (const auto it = as_accepts.find(*as_index);
+            it != as_accepts.end() && it->second) {
+          for (const auto& cand : net::ipv4_candidates(rec.address.iid())) {
+            const auto v4_as = world.as_index_of_ipv4(cand.address);
+            if (v4_as && *v4_as == *as_index) {
+              ipv4_accepted = true;
+              break;
+            }
+          }
         }
-      }
-    }
-    const net::AddressCategory category =
-        net::classify_address(rec.address, ipv4_accepted);
-    ++breakdown.counts[static_cast<std::size_t>(category)];
-    ++breakdown.total;
-  });
-  return breakdown;
+        const net::AddressCategory category =
+            net::classify_address(rec.address, ipv4_accepted);
+        ++b.counts[static_cast<std::size_t>(category)];
+        ++b.total;
+      },
+      [](CategoryBreakdown& into, CategoryBreakdown&& from) {
+        for (std::size_t i = 0; i < into.counts.size(); ++i) {
+          into.counts[i] += from.counts[i];
+        }
+        into.total += from.total;
+      },
+      stats);
 }
 
 }  // namespace v6::analysis

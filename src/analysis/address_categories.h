@@ -9,7 +9,9 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
+#include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
 #include "net/classify.h"
 #include "sim/world.h"
@@ -45,6 +47,9 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
                                     const sim::World& world,
                                     util::SimTime window_start,
                                     util::SimTime window_end,
-                                    const CategoryConfig& config = {});
+                                    const CategoryConfig& config = {},
+                                    const AnalysisConfig& analysis = {},
+                                    std::vector<AnalysisStageStats>* stats =
+                                        nullptr);
 
 }  // namespace v6::analysis

@@ -9,17 +9,31 @@ namespace v6::analysis {
 
 std::vector<AsEntropyProfile> top_as_entropy_profiles(
     const hitlist::Corpus& corpus, const sim::World& world, std::size_t n,
-    util::SimTime window_start, util::SimTime window_end) {
-  std::unordered_map<std::uint32_t, std::vector<double>> samples;
-  corpus.for_each([&](const hitlist::AddressRecord& rec) {
-    if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
-        static_cast<util::SimTime>(rec.last_seen) < window_start) {
-      return;
-    }
-    const auto as_index = world.as_index_of(rec.address);
-    if (!as_index) return;
-    samples[*as_index].push_back(net::iid_entropy(rec.address));
-  });
+    util::SimTime window_start, util::SimTime window_end,
+    const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
+  using PerAsSamples = std::unordered_map<std::uint32_t, std::vector<double>>;
+  // Appending shard vectors in ascending shard order keeps each AS's
+  // sample sequence equal to the serial visit order, so the resulting
+  // distributions are bit-identical at any thread count.
+  auto samples = scan_corpus<PerAsSamples>(
+      corpus, config, "top_as_entropy_profiles",
+      [] { return PerAsSamples(); },
+      [&](PerAsSamples& m, const hitlist::AddressRecord& rec) {
+        if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
+            static_cast<util::SimTime>(rec.last_seen) < window_start) {
+          return;
+        }
+        const auto as_index = world.as_index_of(rec.address);
+        if (!as_index) return;
+        m[*as_index].push_back(net::iid_entropy(rec.address));
+      },
+      [](PerAsSamples& into, PerAsSamples&& from) {
+        for (auto& [as_index, entropies] : from) {
+          auto& dst = into[as_index];
+          dst.insert(dst.end(), entropies.begin(), entropies.end());
+        }
+      },
+      stats);
 
   std::vector<AsEntropyProfile> profiles;
   profiles.reserve(samples.size());
@@ -32,9 +46,15 @@ std::vector<AsEntropyProfile> top_as_entropy_profiles(
     p.entropy = util::EmpiricalDistribution(std::move(entropies));
     profiles.push_back(std::move(p));
   }
+  // Descending by address count, ties broken by ascending ASN (and
+  // as_index as a final guard): sorting by count alone left equal-sized
+  // ASes in unordered_map iteration order — nondeterministic across
+  // runs/platforms, which made Fig 4 output unstable.
   std::sort(profiles.begin(), profiles.end(),
             [](const AsEntropyProfile& a, const AsEntropyProfile& b) {
-              return a.addresses > b.addresses;
+              if (a.addresses != b.addresses) return a.addresses > b.addresses;
+              if (a.asn != b.asn) return a.asn < b.asn;
+              return a.as_index < b.as_index;
             });
   if (profiles.size() > n) profiles.resize(n);
   return profiles;

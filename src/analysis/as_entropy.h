@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
 #include "sim/world.h"
 #include "util/sim_time.h"
@@ -23,8 +24,12 @@ struct AsEntropyProfile {
 };
 
 // Top `n` ASes by address count within [window_start, window_end).
+// Ordered by descending address count, ties broken by ascending ASN, so
+// the ranking (Fig 4's legend order) is stable across runs and platforms.
 std::vector<AsEntropyProfile> top_as_entropy_profiles(
     const hitlist::Corpus& corpus, const sim::World& world, std::size_t n,
-    util::SimTime window_start, util::SimTime window_end);
+    util::SimTime window_start, util::SimTime window_end,
+    const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
 
 }  // namespace v6::analysis

@@ -5,48 +5,90 @@
 
 namespace v6::analysis {
 
+namespace {
+
+// Per-shard coverage state for summarize_dataset's main scan. Sets merge
+// by union and counters by sum — commutative aggregates, so the summary
+// is independent of sharding.
+struct CoverageState {
+  std::unordered_set<std::uint32_t> asns;
+  std::unordered_set<std::uint64_t> s48s;
+  std::unordered_set<std::uint32_t> common_asns;
+  std::unordered_set<std::uint64_t> common_s48s;
+  std::uint64_t common_addresses = 0;
+};
+
+struct BaseState {
+  std::unordered_set<std::uint32_t> asns;
+  std::unordered_set<std::uint64_t> s48s;
+};
+
+template <typename T>
+void union_into(std::unordered_set<T>& into, std::unordered_set<T>&& from) {
+  into.insert(from.begin(), from.end());
+}
+
+}  // namespace
+
 DatasetSummary summarize_dataset(const std::string& name,
                                  const hitlist::Corpus& corpus,
                                  const sim::World& world,
-                                 const hitlist::Corpus* base) {
+                                 const hitlist::Corpus* base,
+                                 const AnalysisConfig& config,
+                                 std::vector<AnalysisStageStats>* stats) {
   DatasetSummary summary;
   summary.name = name;
   summary.addresses = corpus.size();
 
-  std::unordered_set<std::uint32_t> asns, common_asns;
-  std::unordered_set<std::uint64_t> s48s, common_s48s;
-
-  // Base-dataset coverage for the "common" columns.
-  std::unordered_set<std::uint32_t> base_asns;
-  std::unordered_set<std::uint64_t> base_s48s;
+  // Base-dataset coverage for the "common" columns (its own scan; the
+  // main scan below reads the result concurrently, but read-only).
+  BaseState base_cov;
   if (base != nullptr) {
-    base->for_each([&](const hitlist::AddressRecord& rec) {
-      if (const auto as_index = world.as_index_of(rec.address)) {
-        base_asns.insert(*as_index);
-      }
-      base_s48s.insert(rec.address.hi64() >> 16);
-    });
+    base_cov = scan_corpus<BaseState>(
+        *base, config, "summarize_dataset/base", [] { return BaseState(); },
+        [&world](BaseState& s, const hitlist::AddressRecord& rec) {
+          if (const auto as_index = world.as_index_of(rec.address)) {
+            s.asns.insert(*as_index);
+          }
+          s.s48s.insert(rec.address.hi64() >> 16);
+        },
+        [](BaseState& into, BaseState&& from) {
+          union_into(into.asns, std::move(from.asns));
+          union_into(into.s48s, std::move(from.s48s));
+        },
+        stats);
   }
 
-  corpus.for_each([&](const hitlist::AddressRecord& rec) {
-    const std::uint64_t s48 = rec.address.hi64() >> 16;
-    s48s.insert(s48);
-    if (const auto as_index = world.as_index_of(rec.address)) {
-      asns.insert(*as_index);
-      if (base != nullptr && base_asns.contains(*as_index)) {
-        common_asns.insert(*as_index);
-      }
-    }
-    if (base != nullptr) {
-      if (base->find(rec.address) != nullptr) ++summary.common_addresses;
-      if (base_s48s.contains(s48)) common_s48s.insert(s48);
-    }
-  });
+  const auto cov = scan_corpus<CoverageState>(
+      corpus, config, "summarize_dataset", [] { return CoverageState(); },
+      [&](CoverageState& s, const hitlist::AddressRecord& rec) {
+        const std::uint64_t s48 = rec.address.hi64() >> 16;
+        s.s48s.insert(s48);
+        if (const auto as_index = world.as_index_of(rec.address)) {
+          s.asns.insert(*as_index);
+          if (base != nullptr && base_cov.asns.contains(*as_index)) {
+            s.common_asns.insert(*as_index);
+          }
+        }
+        if (base != nullptr) {
+          if (base->find(rec.address) != nullptr) ++s.common_addresses;
+          if (base_cov.s48s.contains(s48)) s.common_s48s.insert(s48);
+        }
+      },
+      [](CoverageState& into, CoverageState&& from) {
+        union_into(into.asns, std::move(from.asns));
+        union_into(into.s48s, std::move(from.s48s));
+        union_into(into.common_asns, std::move(from.common_asns));
+        union_into(into.common_s48s, std::move(from.common_s48s));
+        into.common_addresses += from.common_addresses;
+      },
+      stats);
 
-  summary.asns = asns.size();
-  summary.slash48s = s48s.size();
-  summary.common_asns = common_asns.size();
-  summary.common_slash48s = common_s48s.size();
+  summary.asns = cov.asns.size();
+  summary.slash48s = cov.s48s.size();
+  summary.common_addresses = cov.common_addresses;
+  summary.common_asns = cov.common_asns.size();
+  summary.common_slash48s = cov.common_s48s.size();
   summary.addrs_per_slash48 =
       summary.slash48s == 0
           ? 0.0
@@ -56,21 +98,33 @@ DatasetSummary summarize_dataset(const std::string& name,
 }
 
 std::vector<std::pair<sim::AsType, double>> as_type_fractions(
-    const hitlist::Corpus& corpus, const sim::World& world) {
-  std::array<std::uint64_t, 5> counts{};
-  std::uint64_t total = 0;
-  corpus.for_each([&](const hitlist::AddressRecord& rec) {
-    const auto as_index = world.as_index_of(rec.address);
-    if (!as_index) return;
-    ++counts[static_cast<std::size_t>(world.ases()[*as_index].type)];
-    ++total;
-  });
+    const hitlist::Corpus& corpus, const sim::World& world,
+    const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
+  struct TypeCounts {
+    std::array<std::uint64_t, 5> counts{};
+    std::uint64_t total = 0;
+  };
+  const auto tc = scan_corpus<TypeCounts>(
+      corpus, config, "as_type_fractions", [] { return TypeCounts(); },
+      [&world](TypeCounts& s, const hitlist::AddressRecord& rec) {
+        const auto as_index = world.as_index_of(rec.address);
+        if (!as_index) return;
+        ++s.counts[static_cast<std::size_t>(world.ases()[*as_index].type)];
+        ++s.total;
+      },
+      [](TypeCounts& into, TypeCounts&& from) {
+        for (std::size_t i = 0; i < into.counts.size(); ++i) {
+          into.counts[i] += from.counts[i];
+        }
+        into.total += from.total;
+      },
+      stats);
   std::vector<std::pair<sim::AsType, double>> out;
-  for (std::size_t i = 0; i < counts.size(); ++i) {
+  for (std::size_t i = 0; i < tc.counts.size(); ++i) {
     out.emplace_back(static_cast<sim::AsType>(i),
-                     total == 0 ? 0.0
-                                : static_cast<double>(counts[i]) /
-                                      static_cast<double>(total));
+                     tc.total == 0 ? 0.0
+                                   : static_cast<double>(tc.counts[i]) /
+                                         static_cast<double>(tc.total));
   }
   return out;
 }

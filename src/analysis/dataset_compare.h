@@ -1,12 +1,16 @@
 // Dataset comparison (Table 1): size, overlap, AS and /48 coverage, and
 // address density of a corpus, plus the AS-type mix (§4.1's "Phone
 // Provider" observation).
+//
+// Both entry points scan on analysis::ParallelScan; every aggregate is a
+// set size or integer count, so results are identical at any thread count.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
 #include "sim/world.h"
 
@@ -29,11 +33,16 @@ struct DatasetSummary {
 DatasetSummary summarize_dataset(const std::string& name,
                                  const hitlist::Corpus& corpus,
                                  const sim::World& world,
-                                 const hitlist::Corpus* base = nullptr);
+                                 const hitlist::Corpus* base = nullptr,
+                                 const AnalysisConfig& config = {},
+                                 std::vector<AnalysisStageStats>* stats =
+                                     nullptr);
 
 // Fraction of corpus addresses originating in ASes of each type (the ASdb
 // classification proxy). Indexed by sim::AsType.
 std::vector<std::pair<sim::AsType, double>> as_type_fractions(
-    const hitlist::Corpus& corpus, const sim::World& world);
+    const hitlist::Corpus& corpus, const sim::World& world,
+    const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
 
 }  // namespace v6::analysis

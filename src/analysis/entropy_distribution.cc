@@ -4,12 +4,28 @@
 
 namespace v6::analysis {
 
-util::EmpiricalDistribution entropy_distribution(const hitlist::Corpus& c) {
-  std::vector<double> samples;
-  samples.reserve(c.size());
-  c.for_each([&samples](const hitlist::AddressRecord& rec) {
-    samples.push_back(net::iid_entropy(rec.address));
-  });
+namespace {
+
+using Samples = std::vector<double>;
+
+// Shard concatenation in ascending shard order reproduces the serial
+// visit sequence, so the sample vector — and the distribution built from
+// it — is bit-identical at any thread count.
+void append_samples(Samples& into, Samples&& from) {
+  into.insert(into.end(), from.begin(), from.end());
+}
+
+}  // namespace
+
+util::EmpiricalDistribution entropy_distribution(
+    const hitlist::Corpus& c, const AnalysisConfig& config,
+    std::vector<AnalysisStageStats>* stats) {
+  auto samples = scan_corpus<Samples>(
+      c, config, "entropy_distribution", [] { return Samples(); },
+      [](Samples& s, const hitlist::AddressRecord& rec) {
+        s.push_back(net::iid_entropy(rec.address));
+      },
+      append_samples, stats);
   return util::EmpiricalDistribution(std::move(samples));
 }
 
@@ -22,27 +38,34 @@ util::EmpiricalDistribution entropy_distribution(
 }
 
 util::EmpiricalDistribution intersection_entropy_distribution(
-    const hitlist::Corpus& a, const hitlist::Corpus& b) {
+    const hitlist::Corpus& a, const hitlist::Corpus& b,
+    const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
   const hitlist::Corpus& small = a.size() <= b.size() ? a : b;
   const hitlist::Corpus& large = a.size() <= b.size() ? b : a;
-  std::vector<double> samples;
-  small.for_each([&](const hitlist::AddressRecord& rec) {
-    if (large.find(rec.address) != nullptr) {
-      samples.push_back(net::iid_entropy(rec.address));
-    }
-  });
+  auto samples = scan_corpus<Samples>(
+      small, config, "intersection_entropy_distribution",
+      [] { return Samples(); },
+      [&large](Samples& s, const hitlist::AddressRecord& rec) {
+        if (large.find(rec.address) != nullptr) {
+          s.push_back(net::iid_entropy(rec.address));
+        }
+      },
+      append_samples, stats);
   return util::EmpiricalDistribution(std::move(samples));
 }
 
 std::uint64_t intersection_size(const hitlist::Corpus& a,
-                                const hitlist::Corpus& b) {
+                                const hitlist::Corpus& b,
+                                const AnalysisConfig& config,
+                                std::vector<AnalysisStageStats>* stats) {
   const hitlist::Corpus& small = a.size() <= b.size() ? a : b;
   const hitlist::Corpus& large = a.size() <= b.size() ? b : a;
-  std::uint64_t n = 0;
-  small.for_each([&](const hitlist::AddressRecord& rec) {
-    if (large.find(rec.address) != nullptr) ++n;
-  });
-  return n;
+  return scan_corpus<std::uint64_t>(
+      small, config, "intersection_size", [] { return std::uint64_t{0}; },
+      [&large](std::uint64_t& n, const hitlist::AddressRecord& rec) {
+        if (large.find(rec.address) != nullptr) ++n;
+      },
+      [](std::uint64_t& into, std::uint64_t&& from) { into += from; }, stats);
 }
 
 }  // namespace v6::analysis

@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
 #include "net/entropy.h"
 #include "util/sim_time.h"
@@ -30,7 +31,9 @@ struct AddressLifetimeReport {
 
 AddressLifetimeReport address_lifetimes(
     const hitlist::Corpus& corpus,
-    std::span<const util::SimDuration> ccdf_points);
+    std::span<const util::SimDuration> ccdf_points,
+    const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
 
 // IID lifetimes bucketed by entropy band (Fig 2b): an IID's lifetime spans
 // every address it appeared in.
@@ -47,6 +50,9 @@ struct IidLifetimeReport {
 };
 
 IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
-                                std::span<const util::SimDuration> cdf_points);
+                                std::span<const util::SimDuration> cdf_points,
+                                const AnalysisConfig& config = {},
+                                std::vector<AnalysisStageStats>* stats =
+                                    nullptr);
 
 }  // namespace v6::analysis

@@ -1,0 +1,151 @@
+// ParallelScan: the sharded one-pass analysis engine.
+//
+// Every figure/table analysis is an embarrassingly parallel fold over the
+// corpus: a pure per-record kernel feeding an aggregate (Gasser et al.'s
+// entropy-style kernels scale linearly with sharding). This engine runs
+// any number of registered kernels in ONE pass over a Corpus:
+//
+//   * the corpus's slot array is partitioned into `threads` contiguous
+//     ranges (threads == 1 is the exact serial path: no pool, no merge);
+//   * each shard runs every kernel's step() against a shard-local state,
+//     visiting records in slot order;
+//   * shard states are folded into shard 0's state strictly in ascending
+//     shard-index order — NEVER completion order — so floating-point
+//     accumulation sees one fixed association for a given thread count,
+//     and concatenation-style states (sample vectors) reproduce the
+//     serial for_each() sequence exactly.
+//
+// Determinism contract: a kernel whose merge() makes shard-order
+// concatenation equal to the serial visit sequence (or whose aggregates
+// are commutative integers/sets) produces BIT-IDENTICAL results at any
+// thread count. All ported analyses (entropy distribution, Table 1,
+// lifetimes, AS profiles, categories) satisfy this and tests assert it.
+//
+// Per-stage instrumentation (records scanned, wall µs, merge µs) is
+// recorded in AnalysisStageStats so throughput regressions are visible in
+// Study results and benches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "hitlist/corpus.h"
+
+namespace v6::analysis {
+
+struct AnalysisConfig {
+  // Scan shards. 1 (default) preserves today's exact serial behavior;
+  // 0 sizes to the hardware concurrency.
+  unsigned threads = 1;
+
+  // The effective shard count (resolves the 0 = hardware default).
+  unsigned resolved_threads() const noexcept;
+};
+
+// Per-stage scan instrumentation. merge_us is included in wall_us.
+struct AnalysisStageStats {
+  std::string stage;
+  unsigned threads = 1;
+  std::uint64_t records_scanned = 0;
+  std::uint64_t wall_us = 0;   // whole stage: scan + deterministic merge
+  std::uint64_t merge_us = 0;  // shard-index-order fold only
+
+  double records_per_second() const noexcept {
+    return wall_us == 0 ? 0.0
+                        : static_cast<double>(records_scanned) * 1e6 /
+                              static_cast<double>(wall_us);
+  }
+};
+
+// Monotonic microseconds (steady_clock) for stage timing.
+std::uint64_t monotonic_micros() noexcept;
+
+class ParallelScan {
+ public:
+  explicit ParallelScan(const AnalysisConfig& config = {});
+  ~ParallelScan();
+
+  ParallelScan(const ParallelScan&) = delete;
+  ParallelScan& operator=(const ParallelScan&) = delete;
+
+  // Registers one kernel:
+  //   make()                -> State, one per shard, before the scan;
+  //   step(state, record)   per record, shard-local (no locking needed);
+  //   merge(into, from)     folds shard s into the running aggregate, in
+  //                         ascending shard order (from is expiring);
+  //   finish(state)         consumes the fully merged State.
+  // Kernels must not throw (they run on ThreadPool workers).
+  template <typename State, typename MakeFn, typename StepFn,
+            typename MergeFn, typename FinishFn>
+  void add_kernel(std::string stage, MakeFn make, StepFn step, MergeFn merge,
+                  FinishFn finish) {
+    Kernel k;
+    k.stage = std::move(stage);
+    k.make = [make = std::move(make)]() -> void* {
+      return new State(make());
+    };
+    k.step = [step = std::move(step)](void* s,
+                                      const hitlist::AddressRecord& rec) {
+      step(*static_cast<State*>(s), rec);
+    };
+    k.merge = [merge = std::move(merge)](void* into, void* from) {
+      merge(*static_cast<State*>(into),
+            std::move(*static_cast<State*>(from)));
+    };
+    k.finish = [finish = std::move(finish)](void* s) {
+      finish(std::move(*static_cast<State*>(s)));
+    };
+    k.destroy = [](void* s) { delete static_cast<State*>(s); };
+    kernels_.push_back(std::move(k));
+  }
+
+  // One pass over `corpus`: every registered kernel sees every record.
+  // Appends one AnalysisStageStats per kernel to stats(). Reusable — a
+  // second run() re-runs the same kernels (with fresh make() states) and
+  // appends more stats.
+  void run(const hitlist::Corpus& corpus);
+
+  const std::vector<AnalysisStageStats>& stats() const noexcept {
+    return stats_;
+  }
+
+ private:
+  struct Kernel {
+    std::string stage;
+    std::function<void*()> make;
+    std::function<void(void*, const hitlist::AddressRecord&)> step;
+    std::function<void(void*, void*)> merge;
+    std::function<void(void*)> finish;
+    void (*destroy)(void*) = nullptr;
+  };
+
+  AnalysisConfig config_;
+  std::vector<Kernel> kernels_;
+  std::vector<AnalysisStageStats> stats_;
+};
+
+// Single-kernel convenience: scans `corpus` and returns the merged State.
+// When `stats` is non-null the stage's AnalysisStageStats is appended.
+template <typename State, typename MakeFn, typename StepFn, typename MergeFn>
+State scan_corpus(const hitlist::Corpus& corpus, const AnalysisConfig& config,
+                  std::string_view stage, MakeFn make, StepFn step,
+                  MergeFn merge,
+                  std::vector<AnalysisStageStats>* stats = nullptr) {
+  ParallelScan scan(config);
+  std::optional<State> out;
+  scan.add_kernel<State>(
+      std::string(stage), std::move(make), std::move(step), std::move(merge),
+      [&out](State&& merged) { out.emplace(std::move(merged)); });
+  scan.run(corpus);
+  if (stats != nullptr) {
+    stats->insert(stats->end(), scan.stats().begin(), scan.stats().end());
+  }
+  return std::move(*out);
+}
+
+}  // namespace v6::analysis

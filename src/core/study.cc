@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "analysis/entropy_distribution.h"
+
 namespace v6::core {
 
 Study::Study(const StudyConfig& config) : config_(config) {
@@ -137,6 +139,60 @@ void Study::run_backscan() {
   results_.alias_check = check;
 }
 
+void Study::run_analysis() {
+  if (analyzed_) return;
+  analyzed_ = true;
+  const auto& cfg = config_.analysis;
+  AnalysisReport& report = results_.analysis;
+  auto* stats = &report.stage_stats;
+
+  // Fig 1: IID entropy over the NTP corpus.
+  report.entropy = analysis::entropy_distribution(results_.ntp, cfg, stats);
+
+  // Table 1: the NTP corpus is the base; campaign datasets (if collected)
+  // get intersection columns against it.
+  report.table1.clear();
+  report.table1.push_back(analysis::summarize_dataset(
+      "NTP corpus", results_.ntp, *world_, nullptr, cfg, stats));
+  if (campaigned_) {
+    report.table1.push_back(analysis::summarize_dataset(
+        "IPv6 Hitlist", results_.hitlist.corpus, *world_, &results_.ntp, cfg,
+        stats));
+    report.table1.push_back(analysis::summarize_dataset(
+        "CAIDA", results_.caida.corpus, *world_, &results_.ntp, cfg, stats));
+  }
+
+  // Fig 2: address/IID lifetime curves over the standard point grid.
+  const std::vector<util::SimDuration> points = {
+      0,
+      util::kMinute,
+      util::kHour,
+      util::kDay,
+      3 * util::kDay,
+      util::kWeek,
+      2 * util::kWeek,
+      util::kMonth,
+      2 * util::kMonth,
+      6 * util::kMonth,
+  };
+  report.address_lifetimes =
+      analysis::address_lifetimes(results_.ntp, points, cfg, stats);
+  report.iid_lifetimes =
+      analysis::iid_lifetimes(results_.ntp, points, cfg, stats);
+
+  // Fig 4: top-N AS entropy profiles over the full study window.
+  const util::SimTime start = config_.world.study_start;
+  const util::SimTime end = start + config_.world.study_duration;
+  report.top_ases = analysis::top_as_entropy_profiles(
+      results_.ntp, *world_, config_.analysis_top_ases, start, end, cfg,
+      stats);
+
+  // Fig 5: the seven-way category breakdown.
+  report.categories =
+      analysis::categorize_corpus(results_.ntp, *world_, start, end, {}, cfg,
+                                  stats);
+}
+
 std::vector<std::pair<geo::CountryCode, std::uint64_t>> Study::country_mix()
     const {
   std::unordered_map<geo::CountryCode, std::uint64_t> counts;
@@ -157,6 +213,7 @@ Study Study::run(const StudyConfig& config) {
   study.collect();
   study.run_campaigns();
   study.run_backscan();
+  study.run_analysis();
   return study;
 }
 

@@ -15,6 +15,11 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/address_categories.h"
+#include "analysis/as_entropy.h"
+#include "analysis/dataset_compare.h"
+#include "analysis/lifetimes.h"
+#include "analysis/parallel_scan.h"
 #include "hitlist/campaigns.h"
 #include "hitlist/checkpoint_io.h"
 #include "hitlist/corpus.h"
@@ -53,6 +58,13 @@ struct StudyConfig {
 
   hitlist::HitlistCampaignConfig hitlist_campaign;
   hitlist::CaidaCampaignConfig caida_campaign;
+
+  // Analysis parallelism (stage 4): every run_analysis() scan shards
+  // across this many threads (1 = serial, 0 = hardware concurrency).
+  // Results are bit-identical at any thread count; only wall time moves.
+  analysis::AnalysisConfig analysis;
+  // Top-N cutoff for the Fig 4 AS entropy profiles.
+  std::size_t analysis_top_ases = 10;
 };
 
 // §4.2's alias cross-checks between backscanning and the Hitlist.
@@ -65,6 +77,20 @@ struct AliasCrossCheck {
   std::uint64_t ntp_clients_in_aliased = 0;
   // ...versus Hitlist addresses inside those same /64s (the "only 23").
   std::uint64_t hitlist_addresses_in_aliased = 0;
+};
+
+// Stage 4 output: the paper's core corpus analyses (Figs 1, 2, 4, 5 and
+// Table 1) plus per-stage scan instrumentation.
+struct AnalysisReport {
+  util::EmpiricalDistribution entropy;                // Fig 1 (NTP corpus)
+  std::vector<analysis::DatasetSummary> table1;       // NTP, Hitlist, CAIDA
+  analysis::AddressLifetimeReport address_lifetimes;  // Fig 2a
+  analysis::IidLifetimeReport iid_lifetimes;          // Fig 2b
+  std::vector<analysis::AsEntropyProfile> top_ases;   // Fig 4
+  analysis::CategoryBreakdown categories;             // Fig 5
+  // One entry per scan stage: records scanned, wall µs, merge µs —
+  // the observability hook for analysis throughput regressions.
+  std::vector<analysis::AnalysisStageStats> stage_stats;
 };
 
 struct StudyResults {
@@ -81,6 +107,8 @@ struct StudyResults {
   // empty until collect()). The study reports how much each vantage lost
   // instead of aborting on churn.
   std::vector<hitlist::VantageHealthStats> vantage_health;
+  // Stage 4 (empty until run_analysis()).
+  AnalysisReport analysis;
 };
 
 class Study {
@@ -112,6 +140,11 @@ class Study {
   // Stage 3: backscan week (collects clients in its own window, probes
   // them back, cross-checks aliases against the Hitlist campaign).
   void run_backscan();
+  // Stage 4: the corpus analyses behind Table 1 and Figs 1, 2, 4, 5,
+  // sharded per config.analysis.threads and instrumented with per-stage
+  // scan counters. Requires collect(); the Table 1 campaign columns are
+  // filled only if run_campaigns() ran first.
+  void run_analysis();
 
   const StudyResults& results() const noexcept { return results_; }
   StudyResults& mutable_results() noexcept { return results_; }
@@ -133,6 +166,7 @@ class Study {
   bool collected_ = false;
   bool campaigned_ = false;
   bool backscanned_ = false;
+  bool analyzed_ = false;
 };
 
 }  // namespace v6::core

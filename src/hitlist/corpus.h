@@ -9,6 +9,7 @@
 // so collection is O(1) memory per *unique address*, not per observation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -69,6 +70,24 @@ class Corpus {
   void for_each(Fn&& fn) const {
     for (const auto& slot : slots_) {
       if (slot.count != 0) fn(slot);
+    }
+  }
+
+  // Sharded iteration domain for analysis::ParallelScan: the number of
+  // backing slots. Partitioning [0, slot_span()) into contiguous ranges
+  // and concatenating for_each_in_slot_range() over them in ascending
+  // order visits records in exactly for_each() order — the invariant the
+  // parallel analyses' determinism rests on.
+  std::size_t slot_span() const noexcept { return slots_.size(); }
+
+  // Iterates the records stored in slots [begin, end), in slot order.
+  // `end` is clamped to slot_span().
+  template <typename Fn>
+  void for_each_in_slot_range(std::size_t begin, std::size_t end,
+                              Fn&& fn) const {
+    end = std::min(end, slots_.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      if (slots_[i].count != 0) fn(slots_[i]);
     }
   }
 

@@ -27,22 +27,66 @@ double RunningStats::variance() const noexcept {
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 EmpiricalDistribution::EmpiricalDistribution(std::vector<double> samples)
-    : samples_(std::move(samples)) {}
+    : samples_(std::move(samples)), sorted_(samples_.size() <= 1) {}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    const EmpiricalDistribution& other)
+    // Sorting the source first makes copying safe even while other
+    // threads are concurrently querying `other` (after ensure_sorted()
+    // returns, const queries never touch samples_ again).
+    : samples_(other.sorted_samples()), sorted_(true) {}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    const EmpiricalDistribution& other) {
+  if (this != &other) {
+    samples_ = other.sorted_samples();
+    sorted_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+EmpiricalDistribution::EmpiricalDistribution(
+    EmpiricalDistribution&& other) noexcept
+    : samples_(std::move(other.samples_)),
+      sorted_(other.sorted_.load(std::memory_order_relaxed)) {
+  other.samples_.clear();
+  other.sorted_.store(true, std::memory_order_relaxed);
+}
+
+EmpiricalDistribution& EmpiricalDistribution::operator=(
+    EmpiricalDistribution&& other) noexcept {
+  if (this != &other) {
+    samples_ = std::move(other.samples_);
+    sorted_.store(other.sorted_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    other.samples_.clear();
+    other.sorted_.store(true, std::memory_order_relaxed);
+  }
+  return *this;
+}
 
 void EmpiricalDistribution::add(double x) {
   samples_.push_back(x);
-  sorted_ = false;
+  sorted_.store(samples_.size() <= 1, std::memory_order_relaxed);
 }
 
 void EmpiricalDistribution::add_n(double x, std::size_t n) {
+  if (n == 0) return;
   samples_.insert(samples_.end(), n, x);
-  sorted_ = false;
+  sorted_.store(samples_.size() <= n, std::memory_order_relaxed);
 }
 
 void EmpiricalDistribution::ensure_sorted() const {
-  if (!sorted_) {
+  // Double-checked locking: the common case (already sorted) is one
+  // acquire load; the first reader after a mutation takes the mutex and
+  // sorts while latecomers block, so concurrent cdf()/quantile() calls on
+  // a shared distribution are race-free (the old unguarded lazy sort was
+  // a data race under `const`).
+  if (sorted_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(sort_mu_);
+  if (!sorted_.load(std::memory_order_relaxed)) {
     std::sort(samples_.begin(), samples_.end());
-    sorted_ = true;
+    sorted_.store(true, std::memory_order_release);
   }
 }
 
@@ -111,10 +155,23 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x, std::uint64_t weight) noexcept {
-  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
-  idx = std::clamp<std::int64_t>(idx, 0,
-                                 static_cast<std::int64_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
+  // Reject non-finite samples before any bucket math: casting NaN (or a
+  // value outside int64's range, e.g. inf scaled by 1/width_) to an
+  // integer is undefined behaviour. Dropped weight is tallied so callers
+  // can see data quality instead of silently losing mass.
+  if (!std::isfinite(x)) {
+    dropped_ += weight;
+    return;
+  }
+  // Clamp in double space; only an in-range position is ever cast.
+  const double pos = (x - lo_) / width_;
+  std::size_t idx = 0;
+  if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+  } else if (pos > 0.0) {
+    idx = static_cast<std::size_t>(pos);
+  }
+  counts_[idx] += weight;
   total_ += weight;
 }
 

@@ -5,8 +5,10 @@
 // here build those curves once and let benches print them as (x, F(x)) rows.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,10 +37,23 @@ class RunningStats {
 
 // Empirical distribution over a sample set. Samples are accumulated with
 // add() and the curve is finalized on first query (lazily sorts).
+//
+// Thread safety: concurrent const queries (cdf/quantile/min/max/
+// sorted_samples/...) on a shared distribution are safe — the lazy sort
+// is guarded by an internal mutex with double-checked locking, so exactly
+// one reader performs it. Mutations (add/add_n, assignment, moves) still
+// require external synchronization, like any standard container.
 class EmpiricalDistribution {
  public:
   EmpiricalDistribution() = default;
   explicit EmpiricalDistribution(std::vector<double> samples);
+
+  // The guard members (atomic flag + mutex) are not copyable/movable, so
+  // the value semantics every analysis relies on are spelled out here.
+  EmpiricalDistribution(const EmpiricalDistribution& other);
+  EmpiricalDistribution& operator=(const EmpiricalDistribution& other);
+  EmpiricalDistribution(EmpiricalDistribution&& other) noexcept;
+  EmpiricalDistribution& operator=(EmpiricalDistribution&& other) noexcept;
 
   void add(double x);
   void add_n(double x, std::size_t n);
@@ -67,11 +82,16 @@ class EmpiricalDistribution {
   void ensure_sorted() const;
 
   mutable std::vector<double> samples_;
-  mutable bool sorted_ = false;
+  // sorted_ is the double-checked fast path; sort_mu_ serializes the one
+  // sort so concurrent const readers never race on samples_.
+  mutable std::atomic<bool> sorted_{true};
+  mutable std::mutex sort_mu_;
 };
 
-// Fixed-width histogram over [lo, hi); out-of-range samples clamp into the
-// first/last bucket.
+// Fixed-width histogram over [lo, hi); finite out-of-range samples clamp
+// into the first/last bucket. Non-finite samples (NaN, ±inf) are dropped
+// and tallied in dropped() — casting them to an integer bucket index is
+// undefined behaviour, so they never reach the bucket math.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -81,6 +101,8 @@ class Histogram {
   std::size_t buckets() const noexcept { return counts_.size(); }
   std::uint64_t bucket_count(std::size_t i) const { return counts_.at(i); }
   std::uint64_t total() const noexcept { return total_; }
+  // Weight of non-finite samples rejected by add(); not part of total().
+  std::uint64_t dropped() const noexcept { return dropped_; }
   double bucket_lo(std::size_t i) const noexcept;
   double bucket_hi(std::size_t i) const noexcept;
   // Fraction of all weight at or below the upper edge of bucket i.
@@ -91,6 +113,7 @@ class Histogram {
   double width_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 // Returns evenly spaced values [lo..hi] inclusive (n >= 2).

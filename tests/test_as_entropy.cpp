@@ -69,6 +69,38 @@ TEST_F(AsEntropyTest, UnroutedAddressesIgnored) {
   EXPECT_TRUE(top_as_entropy_profiles(corpus, *world_, 5, 0, 100).empty());
 }
 
+// Regression: equal-sized ASes used to come out in unordered_map
+// iteration order (nondeterministic across runs/platforms, so Fig 4's
+// legend order was unstable). Ties now break by ascending ASN.
+TEST_F(AsEntropyTest, EqualAddressCountsTieBreakByAsn) {
+  hitlist::Corpus corpus;
+  // Five ASes with deliberately identical address counts.
+  const std::vector<std::uint32_t> as_indices = {4, 1, 3, 0, 2};
+  for (std::uint32_t as_index : as_indices) {
+    for (std::uint64_t i = 0; i < 7; ++i) {
+      corpus.add(in_as(as_index, i, 0x5000 + 64 * as_index + i), 5);
+    }
+  }
+
+  const auto top = top_as_entropy_profiles(corpus, *world_, 5, 0, 100);
+  ASSERT_EQ(top.size(), 5u);
+  for (const auto& profile : top) EXPECT_EQ(profile.addresses, 7u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LT(top[i - 1].asn, top[i].asn)
+        << "tied ASes must be ordered by ascending ASN";
+  }
+  // The ordering is a pure function of the corpus — identical on every
+  // run and at any analysis thread count.
+  AnalysisConfig threaded;
+  threaded.threads = 4;
+  const auto again =
+      top_as_entropy_profiles(corpus, *world_, 5, 0, 100, threaded);
+  ASSERT_EQ(again.size(), top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    EXPECT_EQ(again[i].as_index, top[i].as_index);
+  }
+}
+
 TEST_F(AsEntropyTest, FewerAsesThanRequested) {
   hitlist::Corpus corpus;
   corpus.add(in_as(3, 1, 0x9), 5);

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <limits>
+#include <thread>
+#include <utility>
+#include <vector>
+
 #include "util/rng.h"
 
 namespace v6::util {
@@ -93,6 +99,49 @@ TEST(EmpiricalDistribution, CdfCurveIsMonotone) {
   EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
 }
 
+// Regression: the old lazy ensure_sorted() mutated `mutable` members
+// unguarded under const — a data race when two threads query one shared
+// distribution. The full-suite TSan build (-DV6_SANITIZER=thread) and the
+// always-on tsan_concurrency job exercise this with the race detector;
+// here we at least hammer the same pattern and assert consistent answers.
+TEST(EmpiricalDistribution, ConcurrentConstReadersAreSafe) {
+  EmpiricalDistribution d;
+  for (int i = 2000; i > 0; --i) d.add(static_cast<double>(i));
+
+  constexpr int kReaders = 8;
+  std::vector<std::thread> readers;
+  std::array<double, kReaders> medians{};
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&d, &medians, r] { medians[static_cast<std::size_t>(
+        r)] = d.median(); });
+  }
+  for (auto& t : readers) t.join();
+  for (double m : medians) EXPECT_DOUBLE_EQ(m, 1000.0);
+}
+
+TEST(EmpiricalDistribution, CopyAndMovePreserveSamples) {
+  EmpiricalDistribution d;
+  d.add(3.0);
+  d.add(1.0);
+  d.add(2.0);
+
+  const EmpiricalDistribution copy(d);
+  EXPECT_EQ(copy.count(), 3u);
+  EXPECT_DOUBLE_EQ(copy.median(), 2.0);
+
+  EmpiricalDistribution assigned;
+  assigned = d;
+  EXPECT_DOUBLE_EQ(assigned.median(), 2.0);
+
+  EmpiricalDistribution moved(std::move(d));
+  EXPECT_DOUBLE_EQ(moved.median(), 2.0);
+  EXPECT_EQ(d.count(), 0u);  // NOLINT(bugprone-use-after-move): reusable
+
+  d.add(7.0);
+  EXPECT_DOUBLE_EQ(d.median(), 7.0);
+}
+
 TEST(Histogram, BucketsAndClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(0.5);
@@ -112,6 +161,39 @@ TEST(Histogram, CumulativeFraction) {
   h.add(1.5, 3);
   EXPECT_DOUBLE_EQ(h.cumulative_fraction(0), 0.25);
   EXPECT_DOUBLE_EQ(h.cumulative_fraction(1), 1.0);
+}
+
+// Regression: add() used to cast (x - lo) / width straight to int64 — UB
+// for NaN (and for huge finite values overflowing the cast). Non-finite
+// samples are now dropped and tallied; UBSan builds
+// (-DV6_SANITIZER=undefined) verify no invalid cast fires.
+TEST(Histogram, NonFiniteSamplesAreDroppedAndCounted) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(std::numeric_limits<double>::signaling_NaN(), 2);
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity(), 3);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped(), 7u);
+  for (std::size_t i = 0; i < h.buckets(); ++i) {
+    EXPECT_EQ(h.bucket_count(i), 0u);
+  }
+
+  h.add(5.0);  // finite samples still land normally alongside drops
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.bucket_count(5), 1u);
+  EXPECT_DOUBLE_EQ(h.cumulative_fraction(9), 1.0);
+}
+
+TEST(Histogram, HugeFiniteValuesClampWithoutOverflow) {
+  Histogram h(0.0, 1e-3, 4);  // tiny width: pos = x / 2.5e-4 overflows i64
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(std::numeric_limits<double>::max());
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(3), 2u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.dropped(), 0u);
 }
 
 TEST(Histogram, InvalidConstructionThrows) {

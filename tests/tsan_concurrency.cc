@@ -1,9 +1,11 @@
 // ThreadSanitizer job for the concurrency primitives behind sharded
-// collection. Built with -fsanitize=thread regardless of the main build's
-// flags (see tests/CMakeLists.txt) and registered as an ordinary CTest
-// test, so every `ctest` run races-checks the ThreadPool and the
-// collector's shard/merge/serialized-hook pattern. Any data race makes
-// TSan abort the process with a non-zero exit.
+// collection and parallel analysis. Built with -fsanitize=thread
+// regardless of the main build's flags (see tests/CMakeLists.txt) and
+// registered as an ordinary CTest test, so every `ctest` run races-checks
+// the ThreadPool, the collector's shard/merge/serialized-hook pattern,
+// EmpiricalDistribution's guarded lazy sort under concurrent const
+// readers, and the ParallelScan shard/deterministic-merge engine. Any
+// data race makes TSan abort the process with a non-zero exit.
 //
 // The full library suite can additionally be built instrumented with
 // `cmake -DV6_SANITIZER=thread` (see the top-level CMakeLists.txt); this
@@ -13,8 +15,12 @@
 #include <cstdlib>
 #include <mutex>
 #include <numeric>
+#include <thread>
 #include <vector>
 
+#include "analysis/parallel_scan.h"
+#include "hitlist/corpus.h"
+#include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -73,11 +79,81 @@ void sharded_collect_pattern() {
   check(hooked == (kItems + 1023) / 1024, "hook deliveries");
 }
 
+// Regression for the EmpiricalDistribution lazy-sort data race: the old
+// ensure_sorted() mutated `mutable` members unguarded under const, so two
+// threads calling cdf() on one shared distribution raced on samples_.
+// The guarded sort must let concurrent const readers run clean.
+void concurrent_distribution_readers() {
+  v6::util::EmpiricalDistribution dist;
+  for (int i = 5000; i > 0; --i) dist.add(static_cast<double>(i));
+
+  constexpr unsigned kReaders = 8;
+  std::vector<std::thread> readers;
+  std::vector<double> medians(kReaders, 0.0);
+  std::vector<double> cdfs(kReaders, 0.0);
+  readers.reserve(kReaders);
+  for (unsigned r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&dist, &medians, &cdfs, r] {
+      cdfs[r] = dist.cdf(2500.0);     // both paths trigger the lazy sort
+      medians[r] = dist.median();
+    });
+  }
+  for (auto& t : readers) t.join();
+  for (unsigned r = 0; r < kReaders; ++r) {
+    check(cdfs[r] == 0.5, "concurrent cdf value");
+    check(medians[r] == 2500.0, "concurrent median value");
+  }
+}
+
+// The parallel analysis engine's shard/merge shape: shard-local kernel
+// states over corpus slot ranges, folded in shard-index order, with a
+// shared read-only distribution queried from every shard (the pattern
+// intersection scans and category pass 2 use).
+void parallel_scan_analysis() {
+  v6::hitlist::Corpus corpus(1 << 12);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    corpus.add(v6::net::Ipv6Address::from_u64(0x2001'0db8'0000'0000ULL | i,
+                                              i * 0x9e3779b97f4a7c15ULL),
+               static_cast<v6::util::SimTime>(i % 1000));
+  }
+  v6::util::EmpiricalDistribution shared;
+  for (int i = 0; i < 1000; ++i) shared.add(static_cast<double>(999 - i));
+
+  v6::analysis::AnalysisConfig config;
+  config.threads = 8;
+  v6::analysis::ParallelScan scan(config);
+  std::uint64_t counted = 0;
+  std::uint64_t above_median = 0;
+  scan.add_kernel<std::uint64_t>(
+      "count", [] { return std::uint64_t{0}; },
+      [](std::uint64_t& n, const v6::hitlist::AddressRecord&) { ++n; },
+      [](std::uint64_t& into, std::uint64_t&& from) { into += from; },
+      [&counted](std::uint64_t&& n) { counted = n; });
+  scan.add_kernel<std::uint64_t>(
+      "shared-reader", [] { return std::uint64_t{0}; },
+      [&shared](std::uint64_t& n, const v6::hitlist::AddressRecord& rec) {
+        // Concurrent const queries against one shared distribution.
+        if (shared.cdf(static_cast<double>(rec.last_seen)) > 0.5) ++n;
+      },
+      [](std::uint64_t& into, std::uint64_t&& from) { into += from; },
+      [&above_median](std::uint64_t&& n) { above_median = n; });
+  scan.run(corpus);
+
+  check(counted == corpus.size(), "parallel scan record count");
+  check(above_median > 0 && above_median < corpus.size(),
+        "parallel scan shared-reader tally");
+  check(scan.stats().size() == 2, "parallel scan stats entries");
+  check(scan.stats()[0].records_scanned == corpus.size(),
+        "parallel scan stats records");
+}
+
 }  // namespace
 
 int main() {
   pool_stress();
   sharded_collect_pattern();
+  concurrent_distribution_readers();
+  parallel_scan_analysis();
   std::printf("tsan concurrency checks passed\n");
   return 0;
 }
