@@ -6,6 +6,7 @@
 // hits expose aliased /64s — including client networks active measurement
 // could never tell apart from aliases.
 #include <cstdio>
+#include <utility>
 
 #include "core/study.h"
 #include "net/entropy.h"
@@ -24,10 +25,9 @@ int main() {
   config.caida_campaign.duration = 20 * util::kDay;
 
   core::Study study(config);
-  study.collect();
-  study.run_campaigns();
-  study.run_backscan();
-  const auto& r = study.results();
+  core::RunOptions options;
+  options.analysis = false;  // this demo needs stages 1-3 only
+  const auto& r = study.run(std::move(options));
   const auto& scan = r.backscan;
 
   std::printf("== backscan week ==\n");

@@ -6,6 +6,7 @@
 // device's movement history, prints an exemplar tracking timeline, and
 // geolocates devices by linking their wired MACs to wardriven WiFi BSSIDs.
 #include <cstdio>
+#include <utility>
 
 #include "analysis/bad_apple.h"
 #include "analysis/eui64_tracking.h"
@@ -23,8 +24,9 @@ int main() {
   config.world.study_duration = 120 * util::kDay;
 
   core::Study study(config);
-  study.collect();
-  const auto& corpus = study.results().ntp;
+  core::RunOptions options;
+  options.campaigns = options.backscan = options.analysis = false;
+  const auto& corpus = study.run(std::move(options)).ntp;
   std::printf("corpus: %s unique addresses\n\n",
               util::with_commas(corpus.size()).c_str());
 

@@ -4,14 +4,19 @@
 //   v6pool_cli world  [--sites N] [--seed S]
 //       generate a world and print its inventory
 //   v6pool_cli study  [--sites N] [--days D] [--seed S] [--threads T]
-//                     [--release FILE]
+//                     [--release FILE] [--metrics-out FILE]
+//                     [--metrics-format prom|json]
 //       run every stage and print the headline numbers; --threads T runs
 //       the analysis scans on T threads (0 = all cores, results are
 //       bit-identical at any count); optionally write the /48-aggregated
-//       release (k-anonymity floor 3) to FILE
+//       release (k-anonymity floor 3) to FILE, and/or the study's metrics
+//       snapshot (Prometheus text by default) to --metrics-out
+//   v6pool_cli lint-metrics FILE
+//       validate a Prometheus text exposition file (exit 0 iff clean)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "analysis/dataset_compare.h"
@@ -19,6 +24,7 @@
 #include "core/study.h"
 #include "hitlist/corpus_io.h"
 #include "hitlist/release.h"
+#include "obs/exposition.h"
 #include "util/strings.h"
 
 namespace {
@@ -90,8 +96,8 @@ int cmd_study(int argc, char** argv) {
               config.world.total_sites,
               static_cast<long long>(config.world.study_duration / util::kDay),
               static_cast<unsigned long long>(config.world.seed));
-  core::Study study = core::Study::run(config);
-  const auto& r = study.results();
+  core::Study study(config);
+  const auto& r = study.run();
 
   const auto& ntp = r.analysis.table1.front();
   std::printf("\nNTP corpus    : %s addresses in %s ASNs, %s /48s\n",
@@ -115,7 +121,7 @@ int cmd_study(int argc, char** argv) {
   // records are summed per stage (= kernel steps) but time is not.
   std::uint64_t analysis_steps = 0;
   for (const auto& stage : r.analysis.stage_stats) {
-    analysis_steps += stage.records_scanned;
+    analysis_steps += stage.records;
   }
   std::printf("analysis      : %zu stages, %s kernel steps on %u thread%s\n",
               r.analysis.stage_stats.size(),
@@ -151,6 +157,45 @@ int cmd_study(int argc, char** argv) {
     std::printf("release       : %zu /48 rows -> %s (k-anonymity floor 3)\n",
                 rows.size(), path);
   }
+  if (const char* path = flag_str(argc, argv, "--metrics-out")) {
+    const char* fmt_name = flag_str(argc, argv, "--metrics-format");
+    const auto format = obs::parse_format(fmt_name ? fmt_name : "prom");
+    if (!format) {
+      std::fprintf(stderr, "unknown metrics format '%s' (prom|json)\n",
+                   fmt_name);
+      return 1;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << obs::render(r.metrics, *format);
+    std::printf("metrics       : %zu samples, %zu spans -> %s (%.*s)\n",
+                r.metrics.samples.size(), r.metrics.spans.size(), path,
+                static_cast<int>(obs::format_suffix(*format).size()),
+                obs::format_suffix(*format).data());
+  }
+  return 0;
+}
+
+int cmd_lint_metrics(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: v6pool_cli lint-metrics FILE\n");
+    return 1;
+  }
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (const auto problem = obs::lint_prometheus(buffer.str())) {
+    std::fprintf(stderr, "%s: %s\n", argv[2], problem->c_str());
+    return 1;
+  }
+  std::printf("%s: OK\n", argv[2]);
   return 0;
 }
 
@@ -163,10 +208,15 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "study") == 0) {
     return cmd_study(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "lint-metrics") == 0) {
+    return cmd_lint_metrics(argc, argv);
+  }
   std::printf(
       "usage:\n"
       "  v6pool_cli world [--sites N] [--seed S]\n"
       "  v6pool_cli study [--sites N] [--days D] [--seed S] "
-      "[--release FILE] [--save-corpus FILE]\n");
+      "[--release FILE] [--save-corpus FILE] [--metrics-out FILE "
+      "[--metrics-format prom|json]]\n"
+      "  v6pool_cli lint-metrics FILE\n");
   return argc >= 2 ? 1 : 0;
 }

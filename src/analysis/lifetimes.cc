@@ -187,14 +187,33 @@ IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
                              total);
     }
   }
+  const std::uint64_t wall_us = monotonic_micros() - t_bands;
   if (stats != nullptr) {
     AnalysisStageStats stat;
     stat.stage = "iid_lifetimes/bands";
     stat.threads = shards;
-    stat.records_scanned = report.unique_iids;
+    stat.records = report.unique_iids;
     stat.merge_us = merge_us;
-    stat.wall_us = monotonic_micros() - t_bands;
+    stat.wall_us = wall_us;
     stats->push_back(std::move(stat));
+  }
+  // This pass shards by hand (run_sharded over the span map, not a corpus
+  // scan), so it reports into the registry itself — same families as the
+  // ParallelScan engine, keeping v6_analysis_records_total exhaustive.
+  if (config.metrics != nullptr) {
+    config.metrics
+        ->counter("v6_analysis_records_total",
+                  "Records scanned, per analysis kernel",
+                  {{"stage", "iid_lifetimes/bands"}})
+        .inc(report.unique_iids);
+    config.metrics
+        ->histogram("v6_analysis_wall_us",
+                    "Whole-stage scan wall time (microseconds)")
+        .observe(static_cast<double>(wall_us));
+    config.metrics
+        ->histogram("v6_analysis_merge_us",
+                    "Shard-index-order merge time (microseconds)")
+        .observe(static_cast<double>(merge_us));
   }
   return report;
 }

@@ -7,10 +7,6 @@
 
 namespace v6::analysis {
 
-unsigned AnalysisConfig::resolved_threads() const noexcept {
-  return threads == 0 ? util::ThreadPool::hardware_threads() : threads;
-}
-
 std::uint64_t monotonic_micros() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(
@@ -78,7 +74,7 @@ void ParallelScan::run(const hitlist::Corpus& corpus) {
     AnalysisStageStats stat;
     stat.stage = kernels_[k].stage;
     stat.threads = shards;
-    stat.records_scanned = scanned;
+    stat.records = scanned;
     stat.merge_us = merge_us;
     stats_.push_back(std::move(stat));
   }
@@ -87,6 +83,24 @@ void ParallelScan::run(const hitlist::Corpus& corpus) {
   const std::uint64_t wall = monotonic_micros() - t_start;
   for (std::size_t k = stats_.size() - n_kernels; k < stats_.size(); ++k) {
     stats_[k].wall_us = wall;
+  }
+  // Metrics ride the already-computed stage stats — nothing touches the
+  // registry inside the sharded scan itself.
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    obs::Histogram wall_hist = reg.histogram(
+        "v6_analysis_wall_us", "Whole-stage scan wall time (microseconds)");
+    obs::Histogram merge_hist = reg.histogram(
+        "v6_analysis_merge_us",
+        "Shard-index-order merge time (microseconds)");
+    for (std::size_t k = stats_.size() - n_kernels; k < stats_.size(); ++k) {
+      reg.counter("v6_analysis_records_total",
+                  "Records scanned, per analysis kernel",
+                  {{"stage", stats_[k].stage}})
+          .inc(stats_[k].records);
+      wall_hist.observe(static_cast<double>(stats_[k].wall_us));
+      merge_hist.observe(static_cast<double>(stats_[k].merge_us));
+    }
   }
 }
 

@@ -35,29 +35,37 @@
 #include <vector>
 
 #include "hitlist/corpus.h"
+#include "obs/metrics.h"
+#include "util/parallelism.h"
 
 namespace v6::analysis {
 
 struct AnalysisConfig {
-  // Scan shards. 1 (default) preserves today's exact serial behavior;
-  // 0 sizes to the hardware concurrency.
-  unsigned threads = 1;
+  // Scan shards (see util::Parallelism for the 0/1/N contract). Serial by
+  // default: 1 preserves the exact legacy single-threaded behavior.
+  util::Parallelism threads = util::Parallelism::serial();
 
-  // The effective shard count (resolves the 0 = hardware default).
-  unsigned resolved_threads() const noexcept;
+  // Optional metrics sink (not owned; must outlive the scan).
+  obs::Registry* metrics = nullptr;
+
+  // The effective shard count. Kept as a shim for existing callers; new
+  // code should use threads.resolved().
+  unsigned resolved_threads() const noexcept { return threads.resolved(); }
 };
 
-// Per-stage scan instrumentation. merge_us is included in wall_us.
+// Per-stage scan instrumentation. Naming convention (repo-wide for stats
+// structs): counts are plain nouns, durations carry a `_us` suffix.
+// merge_us is included in wall_us.
 struct AnalysisStageStats {
   std::string stage;
   unsigned threads = 1;
-  std::uint64_t records_scanned = 0;
+  std::uint64_t records = 0;   // records scanned by this stage's pass
   std::uint64_t wall_us = 0;   // whole stage: scan + deterministic merge
   std::uint64_t merge_us = 0;  // shard-index-order fold only
 
   double records_per_second() const noexcept {
     return wall_us == 0 ? 0.0
-                        : static_cast<double>(records_scanned) * 1e6 /
+                        : static_cast<double>(records) * 1e6 /
                               static_cast<double>(wall_us);
   }
 };

@@ -9,13 +9,17 @@
 namespace v6::core {
 
 Study::Study(const StudyConfig& config) : config_(config) {
+  metrics_ = std::make_unique<obs::Registry>();
   world_ = std::make_unique<sim::World>(sim::World::generate(config.world));
-  plane_ = std::make_unique<netsim::DataPlane>(*world_, config.plane);
+  netsim::DataPlaneConfig plane_config = config.plane;
+  if (config.metrics) plane_config.metrics = metrics_.get();
+  plane_ = std::make_unique<netsim::DataPlane>(*world_, plane_config);
   // A quarter of pool answers come from the global zone: under-served
   // regions routinely get far-away servers, which is also what lets five
   // backscan vantages observe clients worldwide.
   dns_ = std::make_unique<netsim::PoolDns>(*world_, 0.25,
                                            config.pool_capture_share);
+  if (config.metrics) dns_->set_metrics(metrics_.get());
   if (config.faults.active()) {
     // One seeded plan shared by the data plane (drops datagrams to
     // crashed vantages) and the pool DNS (health-aware steering). Being a
@@ -29,11 +33,43 @@ Study::Study(const StudyConfig& config) : config_(config) {
   }
 }
 
-void Study::collect(const hitlist::CheckpointSink& sink) {
+hitlist::CollectorConfig Study::collector_config() const {
+  hitlist::CollectorConfig cfg = config_.collector;
+  if (config_.metrics) cfg.metrics = metrics_.get();
+  return cfg;
+}
+
+namespace {
+
+// Per-vantage health gauges, set from the collection stats once the stage
+// finishes (gauges describe the latest state, unlike the monotonic
+// counters the collector bulk-increments).
+void set_vantage_gauges(obs::Registry& registry,
+                        const std::vector<hitlist::VantageHealthStats>& vh) {
+  for (std::size_t v = 0; v < vh.size(); ++v) {
+    const obs::Labels labels = {{"vantage", std::to_string(v)}};
+    registry
+        .gauge("v6_vantage_answer_ratio",
+               "Answered / attempted polls for this vantage", labels)
+        .set(vh[v].polls == 0 ? 0.0
+                              : static_cast<double>(vh[v].answered) /
+                                    static_cast<double>(vh[v].polls));
+    registry
+        .gauge("v6_vantage_fault_loss_ratio",
+               "Fault-swallowed / attempted polls for this vantage", labels)
+        .set(vh[v].polls == 0 ? 0.0
+                              : static_cast<double>(vh[v].lost_to_fault) /
+                                    static_cast<double>(vh[v].polls));
+  }
+}
+
+}  // namespace
+
+void Study::do_collect(const hitlist::CheckpointSink& sink) {
   if (collected_) return;
   collected_ = true;
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
-                                      config_.collector);
+                                      collector_config());
   // Reserve roughly: polls produce ~0.5 unique addresses each.
   collector.run(results_.ntp, config_.world.study_start,
                 config_.world.study_start + config_.world.study_duration, {},
@@ -41,22 +77,24 @@ void Study::collect(const hitlist::CheckpointSink& sink) {
   results_.polls_attempted = collector.polls_attempted();
   results_.polls_answered = collector.polls_answered();
   results_.vantage_health = collector.vantage_health();
+  if (config_.metrics) set_vantage_gauges(*metrics_, results_.vantage_health);
 }
 
-void Study::resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
-                           const hitlist::CheckpointSink& sink) {
+void Study::do_resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
+                              const hitlist::CheckpointSink& sink) {
   if (collected_) return;
   collected_ = true;
   results_.ntp = std::move(checkpoint.corpus);
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
-                                      config_.collector);
+                                      collector_config());
   collector.resume(results_.ntp, checkpoint.state, {}, sink);
   results_.polls_attempted = collector.polls_attempted();
   results_.polls_answered = collector.polls_answered();
   results_.vantage_health = collector.vantage_health();
+  if (config_.metrics) set_vantage_gauges(*metrics_, results_.vantage_health);
 }
 
-void Study::run_campaigns() {
+void Study::do_campaigns() {
   if (campaigned_) return;
   campaigned_ = true;
   results_.hitlist =
@@ -65,11 +103,13 @@ void Study::run_campaigns() {
       hitlist::run_caida_campaign(*world_, *plane_, config_.caida_campaign);
 }
 
-void Study::run_backscan() {
+void Study::do_backscan() {
   if (backscanned_) return;
   backscanned_ = true;
 
-  scan::Backscanner backscanner(*plane_, config_.backscan);
+  scan::BackscanConfig backscan_config = config_.backscan;
+  if (config_.metrics) backscan_config.metrics = metrics_.get();
+  scan::Backscanner backscanner(*plane_, backscan_config);
   // Spread the participating servers across countries (probing from five
   // co-located servers would only ever see one region's clients).
   std::unordered_set<std::uint8_t> participating;
@@ -88,8 +128,8 @@ void Study::run_backscan() {
   // single-threaded per the hook concurrency contract (see
   // hitlist::ObservationHook). The main collect() pass has no hook and
   // shards freely.
-  auto serial_config = config_.collector;
-  serial_config.threads = 1;
+  auto serial_config = collector_config();
+  serial_config.threads = util::Parallelism::serial();
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       serial_config);
   const auto hook = [&](const ntp::Observation& obs,
@@ -139,10 +179,11 @@ void Study::run_backscan() {
   results_.alias_check = check;
 }
 
-void Study::run_analysis() {
+void Study::do_analysis() {
   if (analyzed_) return;
   analyzed_ = true;
-  const auto& cfg = config_.analysis;
+  analysis::AnalysisConfig cfg = config_.analysis;
+  if (config_.metrics) cfg.metrics = metrics_.get();
   AnalysisReport& report = results_.analysis;
   auto* stats = &report.stage_stats;
 
@@ -208,12 +249,66 @@ std::vector<std::pair<geo::CountryCode, std::uint64_t>> Study::country_mix()
   return out;
 }
 
+const StudyResults& Study::run(RunOptions options) {
+  obs::Tracer& tracer = metrics_->tracer();
+  const util::SimTime study_start = config_.world.study_start;
+  const util::SimTime study_end = study_start + config_.world.study_duration;
+  const util::SimTime backscan_end =
+      config_.backscan_start + config_.backscan_duration;
+  const util::SimTime pipeline_end = std::max(study_end, backscan_end);
+
+  // Spans are stamped with the *simulated* window each stage covers (the
+  // study runs on a virtual clock); skipped/already-done stages record no
+  // span.
+  const auto root = tracer.begin_span("study.run", study_start);
+  if (options.collect && !collected_) {
+    const auto span = tracer.begin_span("study.collect", study_start);
+    if (options.resume_from) {
+      do_resume_collect(std::move(*options.resume_from),
+                        options.checkpoint_sink);
+    } else {
+      do_collect(options.checkpoint_sink);
+    }
+    tracer.end_span(span, study_end);
+  }
+  if (options.campaigns && !campaigned_) {
+    const auto span = tracer.begin_span("study.campaigns", study_end);
+    do_campaigns();
+    tracer.end_span(span, study_end);
+  }
+  if (options.backscan && !backscanned_) {
+    const auto span =
+        tracer.begin_span("study.backscan", config_.backscan_start);
+    do_backscan();
+    tracer.end_span(span, backscan_end);
+  }
+  if (options.analysis && !analyzed_) {
+    const auto span = tracer.begin_span("study.analysis", pipeline_end);
+    do_analysis();
+    tracer.end_span(span, pipeline_end);
+  }
+  tracer.end_span(root, pipeline_end);
+
+  results_.metrics = metrics_->snapshot();
+  return results_;
+}
+
+void Study::collect(const hitlist::CheckpointSink& sink) { do_collect(sink); }
+
+void Study::resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
+                           const hitlist::CheckpointSink& sink) {
+  do_resume_collect(std::move(checkpoint), sink);
+}
+
+void Study::run_campaigns() { do_campaigns(); }
+
+void Study::run_backscan() { do_backscan(); }
+
+void Study::run_analysis() { do_analysis(); }
+
 Study Study::run(const StudyConfig& config) {
   Study study(config);
-  study.collect();
-  study.run_campaigns();
-  study.run_backscan();
-  study.run_analysis();
+  study.run(RunOptions{});
   return study;
 }
 

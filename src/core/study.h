@@ -2,17 +2,24 @@
 //
 //   StudyConfig cfg;                 // scale knobs, seeds, stage toggles
 //   Study study(cfg);
-//   study.collect();                 // 27 NTP servers, 7 months, passive
-//   study.run_campaigns();           // IPv6-Hitlist + CAIDA comparisons
-//   study.run_backscan();            // probe clients back, find aliases
-//   const StudyResults& r = study.results();
+//   const StudyResults& r = study.run();   // all four stages
 //
-// Each stage is optional and idempotent; `Study::run(cfg)` performs all of
-// them. Every bench and example builds on this type.
+// run() takes a RunOptions to toggle stages, resume stage 1 from a
+// checkpoint, or receive checkpoint snapshots — one entry point, one
+// result. Stages are idempotent: a second run() re-runs nothing. The
+// legacy per-stage methods (collect / resume_collect / run_campaigns /
+// run_backscan / run_analysis) survive as thin shims.
+//
+// Observability: every Study owns an obs::Registry. All layers (data
+// plane, pool DNS, collector, scanners, analysis engine) report into it,
+// and run() closes by snapshotting the registry into
+// StudyResults::metrics — sim-time-stamped stage spans included. Metrics
+// never perturb results: the bit-identity tests pass with metrics on.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "analysis/address_categories.h"
@@ -27,6 +34,8 @@
 #include "netsim/data_plane.h"
 #include "netsim/fault_schedule.h"
 #include "netsim/pool_dns.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
 #include "scan/backscanner.h"
 #include "sim/world.h"
 
@@ -59,12 +68,18 @@ struct StudyConfig {
   hitlist::HitlistCampaignConfig hitlist_campaign;
   hitlist::CaidaCampaignConfig caida_campaign;
 
-  // Analysis parallelism (stage 4): every run_analysis() scan shards
-  // across this many threads (1 = serial, 0 = hardware concurrency).
-  // Results are bit-identical at any thread count; only wall time moves.
+  // Analysis parallelism (stage 4): every analysis scan shards across
+  // config.analysis.threads (see util::Parallelism). Results are
+  // bit-identical at any thread count; only wall time moves.
   analysis::AnalysisConfig analysis;
   // Top-N cutoff for the Fig 4 AS entropy profiles.
   std::size_t analysis_top_ases = 10;
+
+  // Wire every layer into the study's metrics registry. Increments are
+  // relaxed atomics on thread-local stripes (obs/metrics.h) or bulk adds
+  // at merge points, so leaving this on costs nothing measurable and
+  // changes no result bit — it exists for A/B regression tests.
+  bool metrics = true;
 };
 
 // §4.2's alias cross-checks between backscanning and the Hitlist.
@@ -109,6 +124,25 @@ struct StudyResults {
   std::vector<hitlist::VantageHealthStats> vantage_health;
   // Stage 4 (empty until run_analysis()).
   AnalysisReport analysis;
+  // Folded view of the study's metrics registry plus its trace spans,
+  // captured when run() finishes (empty when driven via the legacy
+  // per-stage shims without a final run()).
+  obs::Snapshot metrics;
+};
+
+// Stage selection and stage-1 plumbing for Study::run(). The defaults run
+// the whole pipeline.
+struct RunOptions {
+  bool collect = true;
+  bool campaigns = true;
+  bool backscan = true;
+  bool analysis = true;
+  // Stage-1 checkpointing: combined with collector.checkpoint_interval,
+  // receives periodic crash-recovery snapshots.
+  hitlist::CheckpointSink checkpoint_sink;
+  // Resume stage 1 from a checkpoint written by a previous (crashed) run
+  // with the same configuration; bit-identical to an uninterrupted run.
+  std::optional<hitlist::CollectionCheckpoint> resume_from;
 };
 
 class Study {
@@ -124,15 +158,24 @@ class Study {
     return faults_.get();
   }
 
-  // Stage 1: passive NTP collection over the study window. `sink`,
-  // combined with collector.checkpoint_interval, receives periodic
-  // crash-recovery snapshots (see hitlist::CheckpointSink).
-  void collect(const hitlist::CheckpointSink& sink = {});
+  // Runs the selected stages in pipeline order (collect -> campaigns ->
+  // backscan -> analysis), wraps each in a sim-time trace span, and
+  // snapshots the metrics registry into the returned results. Stages
+  // already run (by a previous run() or a legacy shim) are skipped, so
+  // repeated calls are cheap and safe.
+  const StudyResults& run(RunOptions options = {});
 
-  // Resumes stage 1 from a checkpoint written by a previous (crashed)
-  // study run with the same configuration. Replaces collect(); the
-  // resulting corpus and counters are bit-identical to an uninterrupted
-  // collect() with the same seeds.
+  // The study's metrics registry. Always present; layers report into it
+  // only while config().metrics is true.
+  obs::Registry& metrics_registry() noexcept { return *metrics_; }
+  const obs::Registry& metrics_registry() const noexcept { return *metrics_; }
+
+  // --- Legacy per-stage API (thin shims over run()) ---------------------
+  // Deprecated: prefer run(RunOptions). Kept so existing callers compile.
+
+  // Stage 1: passive NTP collection over the study window.
+  void collect(const hitlist::CheckpointSink& sink = {});
+  // Stage 1, resumed from a checkpoint of a previous (crashed) run.
   void resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
                       const hitlist::CheckpointSink& sink = {});
   // Stage 2: the two active comparison campaigns.
@@ -141,9 +184,8 @@ class Study {
   // them back, cross-checks aliases against the Hitlist campaign).
   void run_backscan();
   // Stage 4: the corpus analyses behind Table 1 and Figs 1, 2, 4, 5,
-  // sharded per config.analysis.threads and instrumented with per-stage
-  // scan counters. Requires collect(); the Table 1 campaign columns are
-  // filled only if run_campaigns() ran first.
+  // sharded per config.analysis.threads. Requires collect(); the Table 1
+  // campaign columns are filled only if run_campaigns() ran first.
   void run_analysis();
 
   const StudyResults& results() const noexcept { return results_; }
@@ -153,15 +195,28 @@ class Study {
   // (§3's country mix).
   std::vector<std::pair<geo::CountryCode, std::uint64_t>> country_mix() const;
 
-  // Convenience: run all stages.
+  // Convenience: construct and run all stages.
   static Study run(const StudyConfig& config);
 
  private:
+  void do_collect(const hitlist::CheckpointSink& sink);
+  void do_resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
+                         const hitlist::CheckpointSink& sink);
+  void do_campaigns();
+  void do_backscan();
+  void do_analysis();
+  // Effective per-stage configs: copies of the user's with the metrics
+  // registry wired in (when config_.metrics is on).
+  hitlist::CollectorConfig collector_config() const;
+
   StudyConfig config_;
   std::unique_ptr<sim::World> world_;
   std::unique_ptr<netsim::DataPlane> plane_;
   std::unique_ptr<netsim::PoolDns> dns_;
   std::unique_ptr<netsim::FaultSchedule> faults_;
+  // unique_ptr: the registry is pinned (handles and components point at
+  // it) while Study itself stays movable.
+  std::unique_ptr<obs::Registry> metrics_;
   StudyResults results_;
   bool collected_ = false;
   bool campaigned_ = false;

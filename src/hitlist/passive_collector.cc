@@ -32,7 +32,32 @@ PassiveCollector::PassiveCollector(const sim::World& world,
                                    netsim::DataPlane& plane,
                                    const netsim::PoolDns& dns,
                                    const CollectorConfig& config)
-    : world_(&world), plane_(&plane), dns_(&dns), config_(config) {}
+    : world_(&world), plane_(&plane), dns_(&dns), config_(config) {
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    metric_polls_ = reg.counter("v6_collector_polls_total",
+                                "NTP poll packets attempted by pool clients");
+    metric_answered_ = reg.counter(
+        "v6_collector_answered_total",
+        "Poll attempts whose response passed client-side validation");
+    metric_records_ = reg.counter(
+        "v6_collector_records_total",
+        "Unique client addresses admitted to the corpus");
+    metric_dedup_hits_ = reg.counter(
+        "v6_collector_dedup_hits_total",
+        "Observations folded into an existing corpus record");
+    metric_checkpoints_ = reg.counter(
+        "v6_collector_checkpoints_total",
+        "Checkpoint snapshots handed to the sink");
+    metric_vantage_polls_.reserve(world.vantages().size());
+    for (std::size_t v = 0; v < world.vantages().size(); ++v) {
+      metric_vantage_polls_.push_back(
+          reg.counter("v6_collector_vantage_polls_total",
+                      "Recorded poll packets steered to this vantage",
+                      {{"vantage", std::to_string(v)}}));
+    }
+  }
+}
 
 void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
                                      util::SimTime t,
@@ -149,8 +174,7 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
                                const CheckpointSink& sink) {
   const auto devices = world_->devices();
   const auto vantages = world_->vantages();
-  unsigned shards = config_.threads != 0 ? config_.threads
-                                         : util::ThreadPool::hardware_threads();
+  unsigned shards = config_.threads.resolved();
   // The wire path serializes every poll through the shared DataPlane
   // (UDP delivery mutates its loss RNG and routing state), so it stays
   // single-threaded; the fast path is the one built for scale.
@@ -274,6 +298,7 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
       corpus.for_each(
           [&snapshot](const AddressRecord& r) { snapshot.add_record(r); });
       for (const ShardState& shard : states) snapshot.merge(shard.corpus);
+      metric_checkpoints_.inc();
       sink(snap, snapshot);
     }
     lo = hi;
@@ -286,18 +311,31 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   polls_ += from.polls_attempted;
   answered_ += from.polls_answered;
   vantage_health_ = std::move(base_vh);
+  // Metrics cover what this run itself recorded (the checkpointed `from`
+  // baseline was already counted when the original run emitted it).
+  const std::size_t records_before = corpus.size();
+  std::uint64_t observations = 0;
   for (ShardState& shard : states) {
+    observations += shard.corpus.total_observations();
     corpus.merge(shard.corpus);
     polls_ += shard.tally.polls;
     answered_ += shard.tally.answered;
+    metric_polls_.inc(shard.tally.polls);
+    metric_answered_.inc(shard.tally.answered);
     for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
       vantage_health_[v].polls += shard.vantage[v].polls;
       vantage_health_[v].answered += shard.vantage[v].answered;
       vantage_health_[v].lost_to_fault += shard.vantage[v].lost_to_fault;
       vantage_health_[v].retries += shard.vantage[v].retries;
       vantage_health_[v].steered_polls += shard.vantage[v].steered_polls;
+      if (v < metric_vantage_polls_.size()) {
+        metric_vantage_polls_[v].inc(shard.vantage[v].polls);
+      }
     }
   }
+  const std::uint64_t admitted = corpus.size() - records_before;
+  metric_records_.inc(admitted);
+  metric_dedup_hits_.inc(observations - std::min(observations, admitted));
 }
 
 void PassiveCollector::run(Corpus& corpus, util::SimTime start,

@@ -50,7 +50,9 @@
 #include "netsim/pool_dns.h"
 #include "ntp/client_schedule.h"
 #include "ntp/server.h"
+#include "obs/metrics.h"
 #include "sim/world.h"
+#include "util/parallelism.h"
 
 namespace v6::hitlist {
 
@@ -63,10 +65,10 @@ struct CollectorConfig {
   // Ablation switch: treat every client as a single-packet (non-iburst)
   // poller.
   bool ignore_bursts = false;
-  // Collection shards. 0 = one per hardware thread; 1 = the exact legacy
-  // single-threaded path. The wire_fidelity path always runs serially
-  // regardless of this knob: every poll mutates the shared DataPlane.
-  unsigned threads = 0;
+  // Collection shards (see util::Parallelism for the 0/1/N contract). The
+  // wire_fidelity path always runs serially regardless of this knob:
+  // every poll mutates the shared DataPlane.
+  util::Parallelism threads = util::Parallelism::hardware();
   // RFC 5905-style client persistence: an unanswered poll packet is
   // re-sent up to `retry_limit` times, the i-th retry delayed by
   // retry_backoff * (2^i - 1) seconds after the original send. 0 keeps
@@ -77,11 +79,18 @@ struct CollectorConfig {
   // The interval never changes the collected corpus — it only decides
   // where a crashed run can resume from.
   util::SimDuration checkpoint_interval = 0;
+  // Optional metrics sink (not owned; must outlive the collector). All
+  // collector counters are bulk-incremented from the per-shard tallies at
+  // merge time — the per-poll hot loop never touches the registry — so
+  // wiring metrics cannot perturb throughput or determinism.
+  obs::Registry* metrics = nullptr;
 };
 
 // Per-vantage degradation accounting, reported instead of aborting when a
 // fault plan is active. All counters cover recorded (non-replayed) polls
-// addressed to that vantage.
+// addressed to that vantage. Naming follows the repo-wide stats
+// convention (see AnalysisStageStats): counts are plain nouns, durations
+// would carry a `_us` suffix.
 struct VantageHealthStats {
   std::uint64_t polls = 0;          // packet attempts steered here
   std::uint64_t answered = 0;       // attempts the client heard back from
@@ -198,6 +207,13 @@ class PassiveCollector {
   std::uint64_t polls_ = 0;
   std::uint64_t answered_ = 0;
   std::vector<VantageHealthStats> vantage_health_;
+  // No-op handles unless CollectorConfig::metrics was wired.
+  obs::Counter metric_polls_;
+  obs::Counter metric_answered_;
+  obs::Counter metric_records_;
+  obs::Counter metric_dedup_hits_;
+  obs::Counter metric_checkpoints_;
+  std::vector<obs::Counter> metric_vantage_polls_;  // labeled per vantage
 };
 
 }  // namespace v6::hitlist

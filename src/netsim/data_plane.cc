@@ -9,11 +9,23 @@ DataPlane::DataPlane(const sim::World& world, const DataPlaneConfig& config)
     : world_(&world),
       config_(config),
       topology_(world),
-      rng_(util::mix64(config.seed ^ 0xda7a)) {}
+      rng_(util::mix64(config.seed ^ 0xda7a)) {
+  if (config_.metrics != nullptr) {
+    metric_drops_ = config_.metrics->counter(
+        "v6_plane_drops_total", "Datagrams lost in transit (both directions)");
+    metric_rate_limited_ = config_.metrics->counter(
+        "v6_plane_rate_limited_total",
+        "Time Exceeded messages suppressed by router ICMP budgets");
+    metric_fault_drops_ = config_.metrics->counter(
+        "v6_plane_fault_drops_total",
+        "Datagrams swallowed by injected vantage faults");
+  }
+}
 
 bool DataPlane::lost() {
   if (config_.loss_rate > 0.0 && rng_.chance(config_.loss_rate)) {
     ++drops_;
+    metric_drops_.inc();
     return true;
   }
   return false;
@@ -44,6 +56,7 @@ bool DataPlane::icmp_error_allowed(const net::Ipv6Address& router,
       icmp_budget_[t][router.hi64() ^ util::mix64(router.lo64())];
   if (used >= config_.router_icmp_rate_limit) {
     ++rate_limited_;
+    metric_rate_limited_.inc();
     return false;
   }
   ++used;
@@ -179,6 +192,7 @@ std::optional<std::vector<std::uint8_t>> DataPlane::send_udp(
   // (pure-function) fault plan.
   if (faults_ != nullptr && !faults_->delivers_to(dst, src, t)) {
     ++fault_drops_;
+    metric_fault_drops_.inc();
     return std::nullopt;
   }
 

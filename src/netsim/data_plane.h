@@ -19,6 +19,7 @@
 #include "net/ipv6.h"
 #include "netsim/fault_schedule.h"
 #include "netsim/topology.h"
+#include "obs/metrics.h"
 #include "proto/icmpv6.h"
 #include "sim/world.h"
 #include "util/rng.h"
@@ -35,6 +36,9 @@ struct DataPlaneConfig {
   // silently dropped. 0 disables the limit. Yarrp's randomized probe
   // order exists precisely to spread load under such budgets.
   std::uint32_t router_icmp_rate_limit = 0;
+  // Optional metrics sink (not owned; must outlive the plane). Appended
+  // last so existing positional initializers stay valid.
+  obs::Registry* metrics = nullptr;
 };
 
 // Outcome of an ICMPv6 probe.
@@ -125,6 +129,9 @@ class DataPlane {
   std::uint64_t drops_ = 0;
   std::uint64_t rate_limited_ = 0;
   std::uint64_t fault_drops_ = 0;
+  obs::Counter metric_drops_;
+  obs::Counter metric_rate_limited_;
+  obs::Counter metric_fault_drops_;
   // Per-second ICMP error budgets, keyed by second then router. Ordered so
   // stale seconds can be pruned as the newest-seen second advances; probes
   // may arrive out of chronological order (interleaved backscan intervals

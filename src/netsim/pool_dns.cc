@@ -45,6 +45,20 @@ PoolDns::PoolDns(const sim::World& world, double global_fraction,
   }
 }
 
+void PoolDns::set_metrics(obs::Registry* registry) {
+  if (registry == nullptr) {
+    metric_resolutions_ = obs::Counter();
+    metric_steer_flips_ = obs::Counter();
+    return;
+  }
+  metric_resolutions_ = registry->counter(
+      "v6_pool_resolutions_total",
+      "Pool DNS queries answered with one of the study's vantages");
+  metric_steer_flips_ = registry->counter(
+      "v6_pool_steer_flips_total",
+      "Resolutions where health monitoring removed a steering candidate");
+}
+
 const std::vector<const sim::VantagePoint*>& PoolDns::candidates(
     geo::CountryCode country) const {
   if (const auto it = steer_cache_.find(country); it != steer_cache_.end()) {
@@ -87,6 +101,7 @@ const sim::VantagePoint* PoolDns::resolve(const net::Ipv6Address& client,
 const sim::VantagePoint* PoolDns::pick(
     const std::vector<const sim::VantagePoint*>& list, util::Rng& rng,
     util::SimTime t, bool* steered_away) const {
+  metric_resolutions_.inc();
   if (health_ != nullptr) {
     // Common case first: nothing in this list is down, so no filtering
     // (and no allocation) — the pick is bit-identical to the health-free
@@ -100,6 +115,7 @@ const sim::VantagePoint* PoolDns::pick(
     }
     if (any_down) {
       if (steered_away != nullptr) *steered_away = true;
+      metric_steer_flips_.inc();
       std::vector<const sim::VantagePoint*> healthy;
       healthy.reserve(list.size());
       for (const auto* v : list) {

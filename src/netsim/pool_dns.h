@@ -15,6 +15,7 @@
 #include "geo/country.h"
 #include "net/ipv6.h"
 #include "netsim/fault_schedule.h"
+#include "obs/metrics.h"
 #include "sim/world.h"
 #include "util/rng.h"
 #include "util/sim_time.h"
@@ -67,6 +68,11 @@ class PoolDns {
     monitoring_delay_ = monitoring_delay;
   }
 
+  // Wires steering counters into `registry` (nullptr detaches). Counter
+  // increments are relaxed atomics, so concurrent const resolve() calls
+  // stay race-free; the counters never feed back into steering decisions.
+  void set_metrics(obs::Registry* registry);
+
   // The steering candidates for a country (exposed for tests): vantages in
   // the country itself if any, else those of the nearest vantage country.
   const std::vector<const sim::VantagePoint*>& candidates(
@@ -91,6 +97,8 @@ class PoolDns {
                      std::vector<const sim::VantagePoint*>>
       steer_cache_;
   std::vector<const sim::VantagePoint*> all_;
+  obs::Counter metric_resolutions_;
+  obs::Counter metric_steer_flips_;
 };
 
 }  // namespace v6::netsim

@@ -1,0 +1,475 @@
+#include "obs/exposition.h"
+
+#include <cctype>
+#include <charconv>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace v6::obs {
+
+namespace {
+
+// Deterministic number text: integral doubles print as integers (the
+// overwhelmingly common case for counts), everything else as shortest-ish
+// %.10g. Both are locale-independent.
+std::string format_double(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+// `{a="x",b="y"}` (empty string when no labels). `extra` appends one more
+// pair (the histogram `le` label) without copying the label set.
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += k;
+    out += "=\"";
+    append_escaped_label_value(out, v);
+    out.push_back('"');
+  }
+  if (!extra_key.empty()) {
+    if (!first) out.push_back(',');
+    out += extra_key;
+    out += "=\"";
+    append_escaped_label_value(out, extra_value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string_view type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string render_prometheus(const Snapshot& snapshot) {
+  std::string out;
+  out.reserve(snapshot.samples.size() * 64);
+  std::string_view current_family;
+  for (const auto& sample : snapshot.samples) {
+    // Samples are sorted by name, so each family's header is emitted
+    // exactly once, before its first sample.
+    if (sample.name != current_family) {
+      current_family = sample.name;
+      if (!sample.help.empty()) {
+        out += "# HELP ";
+        out += sample.name;
+        out.push_back(' ');
+        for (const char c : sample.help) {
+          if (c == '\\') out += "\\\\";
+          else if (c == '\n') out += "\\n";
+          else out.push_back(c);
+        }
+        out.push_back('\n');
+      }
+      out += "# TYPE ";
+      out += sample.name;
+      out.push_back(' ');
+      out += type_name(sample.type);
+      out.push_back('\n');
+    }
+    switch (sample.type) {
+      case MetricType::kCounter:
+        out += sample.name;
+        out += label_block(sample.labels);
+        out.push_back(' ');
+        out += format_double(static_cast<double>(sample.counter_value));
+        out.push_back('\n');
+        break;
+      case MetricType::kGauge:
+        out += sample.name;
+        out += label_block(sample.labels);
+        out.push_back(' ');
+        out += format_double(sample.gauge_value);
+        out.push_back('\n');
+        break;
+      case MetricType::kHistogram: {
+        const auto& h = sample.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          const std::string le = i < h.bounds.size()
+                                     ? format_double(h.bounds[i])
+                                     : std::string("+Inf");
+          out += sample.name;
+          out += "_bucket";
+          out += label_block(sample.labels, "le", le);
+          out.push_back(' ');
+          out += format_double(static_cast<double>(cumulative));
+          out.push_back('\n');
+        }
+        out += sample.name;
+        out += "_sum";
+        out += label_block(sample.labels);
+        out.push_back(' ');
+        out += format_double(h.sum);
+        out.push_back('\n');
+        out += sample.name;
+        out += "_count";
+        out += label_block(sample.labels);
+        out.push_back(' ');
+        out += format_double(static_cast<double>(h.count));
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+// JSON has no Inf/NaN literals; non-finite values become null.
+void append_json_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "null";
+    return;
+  }
+  out += format_double(v);
+}
+
+void append_json_labels(std::string& out, const Labels& labels) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, k);
+    out.push_back(':');
+    append_json_string(out, v);
+  }
+  out.push_back('}');
+}
+
+std::string render_json(const Snapshot& snapshot) {
+  std::string out = "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& sample : snapshot.samples) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, sample.name);
+    out += ", \"type\": ";
+    append_json_string(out, type_name(sample.type));
+    out += ", \"labels\": ";
+    append_json_labels(out, sample.labels);
+    switch (sample.type) {
+      case MetricType::kCounter: {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, sample.counter_value);
+        out += ", \"value\": ";
+        out += buf;
+        break;
+      }
+      case MetricType::kGauge:
+        out += ", \"value\": ";
+        append_json_number(out, sample.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const auto& h = sample.histogram;
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%" PRIu64, h.count);
+        out += ", \"count\": ";
+        out += buf;
+        out += ", \"sum\": ";
+        append_json_number(out, h.sum);
+        out += ", \"buckets\": [";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          if (i != 0) out += ", ";
+          out += "{\"le\": ";
+          if (i < h.bounds.size()) {
+            append_json_number(out, h.bounds[i]);
+          } else {
+            append_json_string(out, "+Inf");
+          }
+          std::snprintf(buf, sizeof buf, "%" PRIu64, cumulative);
+          out += ", \"count\": ";
+          out += buf;
+          out += "}";
+        }
+        out += "]";
+        break;
+      }
+    }
+    out.push_back('}');
+  }
+  out += "\n  ],\n  \"spans\": [";
+  first = true;
+  for (const auto& span : snapshot.spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"name\": ";
+    append_json_string(out, span.name);
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  ", \"begin\": %lld, \"end\": %lld, \"parent\": %d, "
+                  "\"depth\": %u, \"closed\": %s}",
+                  static_cast<long long>(span.begin),
+                  static_cast<long long>(span.end), span.parent, span.depth,
+                  span.closed ? "true" : "false");
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+// --- Prometheus lint -------------------------------------------------------
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  const auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!tail(c)) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (const char c : name.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool valid_value(std::string_view text) {
+  if (text == "+Inf" || text == "-Inf" || text == "Inf" || text == "NaN") {
+    return true;
+  }
+  if (text.empty()) return false;
+  double parsed = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), parsed);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+// Parses `{k="v",...}`; advances `pos` past the closing brace.
+std::optional<std::string> lint_labels(std::string_view line,
+                                       std::size_t& pos) {
+  ++pos;  // consume '{'
+  bool first = true;
+  while (pos < line.size() && line[pos] != '}') {
+    if (!first) {
+      if (line[pos] != ',') return "expected ',' between labels";
+      ++pos;
+    }
+    first = false;
+    const std::size_t name_start = pos;
+    while (pos < line.size() && line[pos] != '=') ++pos;
+    if (pos >= line.size()) return "label missing '='";
+    if (!valid_label_name(line.substr(name_start, pos - name_start))) {
+      return "invalid label name";
+    }
+    ++pos;  // '='
+    if (pos >= line.size() || line[pos] != '"') {
+      return "label value must be quoted";
+    }
+    ++pos;  // opening quote
+    while (pos < line.size() && line[pos] != '"') {
+      if (line[pos] == '\\') ++pos;  // escaped char
+      ++pos;
+    }
+    if (pos >= line.size()) return "unterminated label value";
+    ++pos;  // closing quote
+  }
+  if (pos >= line.size()) return "unterminated label block";
+  ++pos;  // '}'
+  return std::nullopt;
+}
+
+// The family a sample name belongs to: histogram/summary series drop
+// their _bucket/_sum/_count suffix.
+std::string family_of(std::string_view name) {
+  for (const std::string_view suffix :
+       {"_bucket", "_sum", "_count"}) {
+    if (name.size() > suffix.size() && name.ends_with(suffix)) {
+      return std::string(name.substr(0, name.size() - suffix.size()));
+    }
+  }
+  return std::string(name);
+}
+
+}  // namespace
+
+std::optional<ExpositionFormat> parse_format(std::string_view name) {
+  if (name == "prom" || name == "prometheus" || name == "text") {
+    return ExpositionFormat::kPrometheus;
+  }
+  if (name == "json") return ExpositionFormat::kJson;
+  return std::nullopt;
+}
+
+std::string_view format_suffix(ExpositionFormat format) {
+  return format == ExpositionFormat::kJson ? "json" : "prom";
+}
+
+std::string render(const Snapshot& snapshot, ExpositionFormat format) {
+  return format == ExpositionFormat::kJson ? render_json(snapshot)
+                                           : render_prometheus(snapshot);
+}
+
+std::optional<std::string> lint_prometheus(std::string_view text) {
+  std::unordered_map<std::string, std::string> declared_type;
+  std::unordered_set<std::string> family_sampled;
+  std::unordered_set<std::string> helped;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  const auto fail = [&](std::string_view what) {
+    return "line " + std::to_string(line_no) + ": " + std::string(what);
+  };
+
+  while (start <= text.size()) {
+    if (start == text.size()) break;
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    if (line[0] == '#') {
+      // `# HELP name text` or `# TYPE name kind`; any other comment is
+      // legal and ignored.
+      if (line.starts_with("# HELP ") || line.starts_with("# TYPE ")) {
+        const bool is_type = line[2] == 'T';
+        std::string_view rest = line.substr(7);
+        const std::size_t space = rest.find(' ');
+        const std::string_view name =
+            space == std::string_view::npos ? rest : rest.substr(0, space);
+        if (!valid_metric_name(name)) {
+          return fail("invalid metric name in comment");
+        }
+        if (is_type) {
+          if (space == std::string_view::npos) {
+            return fail("TYPE missing kind");
+          }
+          const std::string_view kind = rest.substr(space + 1);
+          if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+              kind != "summary" && kind != "untyped") {
+            return fail("unknown TYPE kind");
+          }
+          if (!declared_type.emplace(std::string(name), std::string(kind))
+                   .second) {
+            return fail("duplicate TYPE for family");
+          }
+          if (family_sampled.contains(std::string(name))) {
+            return fail("TYPE after samples of its family");
+          }
+        } else {
+          if (!helped.insert(std::string(name)).second) {
+            return fail("duplicate HELP for family");
+          }
+        }
+      }
+      continue;
+    }
+
+    // Sample line: name[{labels}] value [timestamp]
+    std::size_t pos = 0;
+    while (pos < line.size() && line[pos] != '{' && line[pos] != ' ') {
+      ++pos;
+    }
+    const std::string_view name = line.substr(0, pos);
+    if (!valid_metric_name(name)) return fail("invalid metric name");
+    if (pos < line.size() && line[pos] == '{') {
+      if (auto err = lint_labels(line, pos)) return fail(*err);
+    }
+    if (pos >= line.size() || line[pos] != ' ') {
+      return fail("missing value");
+    }
+    ++pos;
+    std::string_view value = line.substr(pos);
+    // Optional timestamp after the value.
+    if (const std::size_t space = value.find(' ');
+        space != std::string_view::npos) {
+      const std::string_view ts = value.substr(space + 1);
+      value = value.substr(0, space);
+      std::int64_t parsed = 0;
+      const auto [ptr, ec] =
+          std::from_chars(ts.data(), ts.data() + ts.size(), parsed);
+      if (ec != std::errc{} || ptr != ts.data() + ts.size()) {
+        return fail("invalid timestamp");
+      }
+    }
+    if (!valid_value(value)) return fail("invalid sample value");
+    const std::string family = family_of(name);
+    family_sampled.insert(family);
+    family_sampled.insert(std::string(name));
+    // A histogram family's _bucket series must carry an `le` label.
+    if (declared_type.contains(family) &&
+        declared_type[family] == "histogram" && name.ends_with("_bucket") &&
+        line.find("le=\"") == std::string_view::npos) {
+      return fail("histogram _bucket sample without le label");
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace v6::obs

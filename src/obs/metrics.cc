@@ -1,0 +1,221 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace v6::obs {
+
+namespace detail {
+
+unsigned thread_stripe() noexcept {
+  static std::atomic<unsigned> next{0};
+  // One round-robin id per thread, assigned on first touch and masked to
+  // the stripe count. Threads beyond kStripes share stripes — still
+  // correct (the cells are atomic), just occasionally contended.
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed) & (kStripes - 1);
+  return id;
+}
+
+}  // namespace detail
+
+void Gauge::set(double v) const noexcept {
+  if (cell_ != nullptr) {
+    cell_->bits.store(std::bit_cast<std::uint64_t>(v),
+                      std::memory_order_relaxed);
+  }
+}
+
+void Gauge::add(double delta) const noexcept {
+  if (cell_ == nullptr) return;
+  std::uint64_t observed = cell_->bits.load(std::memory_order_relaxed);
+  while (!cell_->bits.compare_exchange_weak(
+      observed, std::bit_cast<std::uint64_t>(
+                    std::bit_cast<double>(observed) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::observe(double v) const noexcept {
+  if (cells_ == nullptr) return;
+  // First bucket whose upper edge admits v; past every edge = +Inf bucket.
+  const auto it = std::lower_bound(cells_->bounds.begin(),
+                                   cells_->bounds.end(), v);
+  const auto bucket = static_cast<std::size_t>(it - cells_->bounds.begin());
+  cells_->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  cells_->count.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t observed = cells_->sum_bits.load(std::memory_order_relaxed);
+  while (!cells_->sum_bits.compare_exchange_weak(
+      observed,
+      std::bit_cast<std::uint64_t>(std::bit_cast<double>(observed) + v),
+      std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<double> default_duration_buckets_us() {
+  return {100.0,     250.0,     500.0,      1'000.0,    2'500.0,
+          5'000.0,   10'000.0,  25'000.0,   50'000.0,   100'000.0,
+          250'000.0, 500'000.0, 1'000'000.0, 2'500'000.0, 10'000'000.0};
+}
+
+namespace {
+
+// The index key: name plus labels in registration order. '\x1f' cannot
+// appear in metric or label names, so the key is injective.
+std::string identity_key(std::string_view name, const Labels& labels) {
+  std::string key(name);
+  for (const auto& [k, v] : labels) {
+    key.push_back('\x1f');
+    key.append(k);
+    key.push_back('\x1f');
+    key.append(v);
+  }
+  return key;
+}
+
+}  // namespace
+
+Registry::Entry* Registry::find_or_create(MetricType type,
+                                          std::string_view name,
+                                          std::string_view help,
+                                          Labels&& labels,
+                                          std::vector<double>&& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = identity_key(name, labels);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    // Existing identity: hand back its cells only when the type agrees;
+    // a type clash yields a null entry (the caller returns a no-op
+    // handle) rather than corrupting the existing instrument.
+    return it->second->type == type ? it->second : nullptr;
+  }
+  Entry& entry = entries_.emplace_back();
+  entry.type = type;
+  entry.name = std::string(name);
+  entry.help = std::string(help);
+  entry.labels = std::move(labels);
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter = &counter_cells_.emplace_back();
+      break;
+    case MetricType::kGauge:
+      entry.gauge = &gauge_cells_.emplace_back();
+      break;
+    case MetricType::kHistogram: {
+      auto& cells = histogram_cells_.emplace_back();
+      cells.bounds = std::move(bounds);
+      std::sort(cells.bounds.begin(), cells.bounds.end());
+      cells.bounds.erase(
+          std::unique(cells.bounds.begin(), cells.bounds.end()),
+          cells.bounds.end());
+      // buckets = finite edges + the +Inf overflow.
+      for (std::size_t i = 0; i <= cells.bounds.size(); ++i) {
+        cells.buckets.emplace_back(0);
+      }
+      entry.histogram = &cells;
+      break;
+    }
+  }
+  index_.emplace(key, &entry);
+  return &entry;
+}
+
+Counter Registry::counter(std::string_view name, std::string_view help,
+                          Labels labels) {
+  Entry* entry = find_or_create(MetricType::kCounter, name, help,
+                                std::move(labels), {});
+  return entry != nullptr ? Counter(entry->counter) : Counter();
+}
+
+Gauge Registry::gauge(std::string_view name, std::string_view help,
+                      Labels labels) {
+  Entry* entry =
+      find_or_create(MetricType::kGauge, name, help, std::move(labels), {});
+  return entry != nullptr ? Gauge(entry->gauge) : Gauge();
+}
+
+Histogram Registry::histogram(std::string_view name, std::string_view help,
+                              std::vector<double> bounds, Labels labels) {
+  if (bounds.empty()) bounds = default_duration_buckets_us();
+  Entry* entry = find_or_create(MetricType::kHistogram, name, help,
+                                std::move(labels), std::move(bounds));
+  return entry != nullptr ? Histogram(entry->histogram) : Histogram();
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.samples.reserve(entries_.size());
+    for (const Entry& entry : entries_) {
+      MetricSample sample;
+      sample.name = entry.name;
+      sample.help = entry.help;
+      sample.type = entry.type;
+      sample.labels = entry.labels;
+      switch (entry.type) {
+        case MetricType::kCounter: {
+          // Fold stripes in ascending index order. Integer addition is
+          // commutative, so the fold order is cosmetic — spelled out so
+          // the determinism argument has one canonical form.
+          std::uint64_t total = 0;
+          for (unsigned s = 0; s < detail::kStripes; ++s) {
+            total += entry.counter->stripes[s].value.load(
+                std::memory_order_relaxed);
+          }
+          sample.counter_value = total;
+          break;
+        }
+        case MetricType::kGauge:
+          sample.gauge_value = std::bit_cast<double>(
+              entry.gauge->bits.load(std::memory_order_relaxed));
+          break;
+        case MetricType::kHistogram: {
+          const auto& cells = *entry.histogram;
+          sample.histogram.bounds = cells.bounds;
+          sample.histogram.counts.reserve(cells.buckets.size());
+          for (const auto& bucket : cells.buckets) {
+            sample.histogram.counts.push_back(
+                bucket.load(std::memory_order_relaxed));
+          }
+          sample.histogram.count =
+              cells.count.load(std::memory_order_relaxed);
+          sample.histogram.sum = std::bit_cast<double>(
+              cells.sum_bits.load(std::memory_order_relaxed));
+          break;
+        }
+      }
+      snap.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  snap.spans = tracer_.spans();
+  return snap;
+}
+
+std::uint64_t Snapshot::counter_sum(std::string_view name) const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.type == MetricType::kCounter) {
+      total += sample.counter_value;
+    }
+  }
+  return total;
+}
+
+const MetricSample* Snapshot::find(std::string_view name) const noexcept {
+  for (const auto& sample : samples) {
+    if (sample.name == name && sample.labels.empty()) return &sample;
+  }
+  return nullptr;
+}
+
+}  // namespace v6::obs

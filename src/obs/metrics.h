@@ -1,0 +1,187 @@
+// The metrics registry: monotonic counters, gauges, and fixed-bucket
+// histograms, safe to hammer from every collection/analysis thread with no
+// locks on the increment path.
+//
+// Design: every counter owns a small array of cache-line-padded atomic
+// cells ("stripes"). A thread picks its stripe once (a thread-local id
+// assigned on first touch) and increments it with one relaxed fetch_add —
+// no mutex, no CAS loop, no false sharing between concurrently
+// incrementing threads. snapshot() folds the stripes in ascending stripe
+// order; because the folds are integer sums the result is independent of
+// fold order and of which thread wrote which stripe, so a snapshot taken
+// after writers quiesce is a pure function of the increments issued —
+// the determinism guarantee the bit-identity tests lean on. A snapshot
+// taken *while* writers race is torn-free (all loads are atomic) but may
+// observe any prefix of in-flight increments.
+//
+// Handles (Counter/Gauge/Histogram) are trivially copyable POD-sized
+// values. A default-constructed handle is a no-op sink: components hold
+// handles unconditionally and skip the null-registry dance — unwired
+// instruments cost one predictable branch.
+//
+// Registration is keyed by (name, labels): registering the same instrument
+// twice returns a handle onto the same cells, so independent components
+// can share one family (e.g. every Zmap6Scanner instance increments the
+// same v6_scan_probes_total). Registration takes a mutex; do it at
+// construction/wiring time, not per event.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/snapshot.h"
+#include "obs/trace.h"
+
+namespace v6::obs {
+
+namespace detail {
+
+// Stripe count: enough that the handful of worker threads a study runs
+// land on distinct cache lines with high probability. Must be a power of
+// two (the thread id is masked, never divided).
+inline constexpr unsigned kStripes = 16;
+
+struct alignas(64) PaddedCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterCells {
+  PaddedCell stripes[kStripes];
+};
+
+struct GaugeCell {
+  // Double bits; updated with store (set) or CAS (add).
+  std::atomic<std::uint64_t> bits{0};
+};
+
+struct HistogramCells {
+  std::vector<double> bounds;  // ascending finite upper edges
+  // bounds.size() + 1 buckets (last = +Inf), plus striped observation
+  // tallies would be overkill: observations are per-stage, not per-packet,
+  // so plain relaxed atomics suffice.
+  std::deque<std::atomic<std::uint64_t>> buckets;
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum_bits{0};  // double bits, CAS-added
+};
+
+// This thread's stripe index (assigned round-robin on first use).
+unsigned thread_stripe() noexcept;
+
+}  // namespace detail
+
+class Registry;
+
+// Monotonic counter handle. inc() is wait-free: one relaxed fetch_add on
+// this thread's stripe.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) const noexcept {
+    if (cells_ != nullptr) {
+      cells_->stripes[detail::thread_stripe()].value.fetch_add(
+          delta, std::memory_order_relaxed);
+    }
+  }
+  bool wired() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCells* cells) : cells_(cells) {}
+  detail::CounterCells* cells_ = nullptr;
+};
+
+// Gauge handle: a settable double. set() is a relaxed store; add() a CAS
+// loop (rare path — gauges record stage-granularity facts, not packets).
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const noexcept;
+  void add(double delta) const noexcept;
+  bool wired() const noexcept { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* cell) : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+// Fixed-bucket histogram handle. observe() is lock-free: one relaxed
+// fetch_add on the bucket, one on the count, one CAS-add on the sum.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const noexcept;
+  bool wired() const noexcept { return cells_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCells* cells) : cells_(cells) {}
+  detail::HistogramCells* cells_ = nullptr;
+};
+
+// Exponential-ish microsecond buckets for stage timings: 100µs .. 10s.
+std::vector<double> default_duration_buckets_us();
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Registers (or re-opens) an instrument. The (name, labels) pair is the
+  // identity; help text is taken from the first registration. Registering
+  // an existing identity with a different type returns the existing
+  // instrument's handle type only if it matches — a mismatch returns a
+  // no-op handle (never crashes a run over a metrics name collision).
+  Counter counter(std::string_view name, std::string_view help = "",
+                  Labels labels = {});
+  Gauge gauge(std::string_view name, std::string_view help = "",
+              Labels labels = {});
+  Histogram histogram(std::string_view name, std::string_view help = "",
+                      std::vector<double> bounds = {}, Labels labels = {});
+
+  // The registry's span tracer (sim-time-stamped pipeline stages).
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+  // Folds every stripe into plain values, sorted by (name, labels), plus a
+  // copy of the tracer's spans. Safe concurrently with writers (see the
+  // header comment for the consistency model).
+  Snapshot snapshot() const;
+
+  // Number of registered instruments (identities, not handles).
+  std::size_t instrument_count() const;
+
+ private:
+  struct Entry {
+    MetricType type;
+    std::string name;
+    std::string help;
+    Labels labels;
+    detail::CounterCells* counter = nullptr;
+    detail::GaugeCell* gauge = nullptr;
+    detail::HistogramCells* histogram = nullptr;
+  };
+
+  Entry* find_or_create(MetricType type, std::string_view name,
+                        std::string_view help, Labels&& labels,
+                        std::vector<double>&& bounds);
+
+  mutable std::mutex mu_;
+  // deques: registration never moves existing cells, so handles stay
+  // valid for the registry's lifetime.
+  std::deque<detail::CounterCells> counter_cells_;
+  std::deque<detail::GaugeCell> gauge_cells_;
+  std::deque<detail::HistogramCells> histogram_cells_;
+  std::deque<Entry> entries_;
+  std::map<std::string, Entry*> index_;  // keyed by name + serialized labels
+  Tracer tracer_;
+};
+
+}  // namespace v6::obs

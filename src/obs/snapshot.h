@@ -1,0 +1,73 @@
+// Point-in-time view of an obs::Registry: every metric's folded value plus
+// the tracer's recorded spans. A Snapshot is plain data — no atomics, no
+// registry pointers — so it can be stored in StudyResults, serialized by
+// exposition.h, and compared in tests.
+//
+// Ordering contract: Registry::snapshot() sorts samples by (name, labels),
+// so two snapshots of registries holding the same values render to
+// byte-identical exposition text regardless of registration order — the
+// property the golden-file tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/sim_time.h"
+
+namespace v6::obs {
+
+enum class MetricType : std::uint8_t { kCounter, kGauge, kHistogram };
+
+// Label pairs attached to one metric instance, e.g. {{"vantage", "3"}}.
+// Order is part of the metric identity; keep it consistent per family.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// Folded histogram state. `bounds` holds the finite upper bucket edges in
+// ascending order; `counts` has bounds.size() + 1 entries, the last being
+// the implicit +Inf bucket. Counts are per-bucket (not cumulative); the
+// Prometheus renderer accumulates them into `le` form.
+struct HistogramData {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+struct MetricSample {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  Labels labels;
+  std::uint64_t counter_value = 0;  // kCounter
+  double gauge_value = 0.0;         // kGauge
+  HistogramData histogram;          // kHistogram
+};
+
+// One trace span, stamped with *simulated* time (the study's virtual
+// clock), never the wall clock. `parent` is an index into the snapshot's
+// span vector, -1 for roots; `depth` is the nesting level.
+struct SpanRecord {
+  std::string name;
+  util::SimTime begin = 0;
+  util::SimTime end = 0;
+  std::int32_t parent = -1;
+  std::uint32_t depth = 0;
+  bool closed = false;
+};
+
+struct Snapshot {
+  std::vector<MetricSample> samples;
+  std::vector<SpanRecord> spans;
+
+  // Sums counter_value over every sample named `name`, across all label
+  // sets (e.g. the per-vantage poll counters fold into one study total).
+  // Returns 0 when the family is absent.
+  std::uint64_t counter_sum(std::string_view name) const noexcept;
+  // First sample with this exact name and empty labels, or nullptr.
+  const MetricSample* find(std::string_view name) const noexcept;
+};
+
+}  // namespace v6::obs

@@ -1,0 +1,46 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace v6::obs {
+
+Tracer::SpanId Tracer::begin_span(std::string name, util::SimTime at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord span;
+  span.name = std::move(name);
+  span.begin = at;
+  span.end = at;
+  span.parent =
+      open_.empty() ? -1 : static_cast<std::int32_t>(open_.back());
+  span.depth = static_cast<std::uint32_t>(open_.size());
+  spans_.push_back(std::move(span));
+  const SpanId id = spans_.size() - 1;
+  open_.push_back(id);
+  return id;
+}
+
+void Tracer::end_span(SpanId id, util::SimTime at) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find(open_.begin(), open_.end(), id);
+  if (it == open_.end()) return;
+  // Close the target and everything nested inside it that was left open.
+  for (auto open = it; open != open_.end(); ++open) {
+    SpanRecord& span = spans_[*open];
+    span.end = at;
+    span.closed = true;
+  }
+  open_.erase(it, open_.end());
+}
+
+std::vector<SpanRecord> Tracer::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  open_.clear();
+}
+
+}  // namespace v6::obs

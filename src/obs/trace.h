@@ -1,0 +1,52 @@
+// Sim-time-stamped trace spans for the coarse pipeline stages.
+//
+// The study runs on a virtual clock, so spans are stamped with SimTime —
+// a span is "collect covered [day 0, day 219]", not a wall-clock latency.
+// Nesting is explicit: begin_span() parents the new span under the
+// innermost still-open one, which is how `study.run` encloses the four
+// stage spans in the snapshot.
+//
+// Thread safety: a mutex per operation. Spans mark stage boundaries
+// (dozens per study), never per-packet events, so contention is nil.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.h"
+#include "util/sim_time.h"
+
+namespace v6::obs {
+
+class Tracer {
+ public:
+  using SpanId = std::size_t;
+
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Opens a span starting at sim time `at`, nested under the innermost
+  // open span (if any). Returns its id.
+  SpanId begin_span(std::string name, util::SimTime at);
+
+  // Closes `id` at sim time `at`. Also closes (at the same stamp) any
+  // still-open spans nested more deeply, so a missed end_span() cannot
+  // corrupt the nesting of later spans. Unknown/already-closed ids are
+  // ignored.
+  void end_span(SpanId id, util::SimTime at);
+
+  // Copy of every recorded span, in begin order.
+  std::vector<SpanRecord> spans() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::vector<SpanId> open_;  // stack of open span ids
+};
+
+}  // namespace v6::obs

@@ -6,7 +6,25 @@ namespace v6::scan {
 
 Backscanner::Backscanner(netsim::DataPlane& plane,
                          const BackscanConfig& config)
-    : plane_(&plane), config_(config), rng_(util::mix64(config.seed ^ 0xbac)) {}
+    : plane_(&plane), config_(config), rng_(util::mix64(config.seed ^ 0xbac)) {
+  if (config_.metrics != nullptr) {
+    obs::Registry& reg = *config_.metrics;
+    metric_clients_probed_ = reg.counter(
+        "v6_backscan_clients_probed_total",
+        "Observed clients probed at their interval boundary");
+    metric_clients_responded_ = reg.counter(
+        "v6_backscan_clients_responded_total",
+        "Probed clients that answered (echo or trace)");
+    metric_random_probed_ = reg.counter(
+        "v6_backscan_random_probed_total",
+        "Random same-/64 addresses probed for alias discovery");
+    metric_alias_verdicts_ = reg.counter(
+        "v6_backscan_alias_verdicts_total",
+        "Random-IID probes that answered, marking the /64 aliased");
+    metric_traces_ = reg.counter("v6_backscan_traces_total",
+                                 "Sampled Yarrp traces back to clients");
+  }
+}
 
 void Backscanner::observe(const ntp::Observation& obs,
                           const net::Ipv6Address& vantage_source) {
@@ -27,8 +45,13 @@ void Backscanner::observe(const ntp::Observation& obs,
   // Loss-tolerant probing: scan() re-probes silent targets
   // config_.retries extra times, exactly as the real ZMap6 invocation
   // would.
-  Zmap6Scanner zmap(
-      *plane_, {vantage_source, 100000, config_.retries, probe_rng.next()});
+  Zmap6Config zmap_config;
+  zmap_config.source = vantage_source;
+  zmap_config.probe_rate = 100000;
+  zmap_config.retries = config_.retries;
+  zmap_config.seed = probe_rng.next();
+  zmap_config.metrics = config_.metrics;
+  Zmap6Scanner zmap(*plane_, zmap_config);
 
   BackscanOutcome outcome;
   outcome.client = obs.client;
@@ -36,6 +59,7 @@ void Backscanner::observe(const ntp::Observation& obs,
   outcome.client_responded =
       zmap.scan(std::span(&obs.client, 1), probe_time)[0].responded;
   ++report_.clients_probed;
+  metric_clients_probed_.inc();
   if (outcome.client_responded) ++report_.clients_responded;
 
   // One random address in the client's /64.
@@ -46,15 +70,23 @@ void Backscanner::observe(const ntp::Observation& obs,
       zmap.scan(std::span(&outcome.random_target, 1), probe_time)[0]
           .responded;
   ++report_.random_probed;
+  metric_random_probed_.inc();
   if (outcome.random_responded) {
     responsive_random_.insert(outcome.random_target);
     aliased_.insert(net::slash64_of(outcome.random_target));
+    metric_alias_verdicts_.inc();
   }
 
   // A sampled Yarrp trace back to the client.
   if (probe_rng.chance(config_.trace_fraction)) {
-    YarrpTracer yarrp(*plane_, {vantage_source, config_.yarrp_max_hops, 50000,
-                                probe_rng.next()});
+    YarrpConfig yarrp_config;
+    yarrp_config.source = vantage_source;
+    yarrp_config.max_hops = config_.yarrp_max_hops;
+    yarrp_config.probe_rate = 50000;
+    yarrp_config.seed = probe_rng.next();
+    yarrp_config.metrics = config_.metrics;
+    YarrpTracer yarrp(*plane_, yarrp_config);
+    metric_traces_.inc();
     const net::Ipv6Address targets[] = {obs.client};
     const auto traces = yarrp.trace(targets, probe_time);
     for (const auto& addr : YarrpTracer::discovered(traces)) {
@@ -65,6 +97,7 @@ void Backscanner::observe(const ntp::Observation& obs,
       ++report_.clients_responded;
     }
   }
+  if (outcome.client_responded) metric_clients_responded_.inc();
   report_.outcomes.push_back(outcome);
 }
 

@@ -40,6 +40,10 @@ struct BackscanConfig {
   // Zmap6Config::retries), so backscan results tolerate transit loss the
   // way the real tooling does.
   std::uint32_t retries = 2;
+  // Optional metrics sink (not owned). Propagated into the per-interval
+  // Zmap6/Yarrp scanners, so their probe counters aggregate across the
+  // whole backscan. Appended last so positional initializers stay valid.
+  obs::Registry* metrics = nullptr;
 };
 
 struct BackscanOutcome {
@@ -90,6 +94,11 @@ class Backscanner {
   std::unordered_set<net::Ipv6Prefix> aliased_;
   std::unordered_set<net::Ipv6Address> responsive_random_;
   std::unordered_set<net::Ipv6Address> trace_found_;
+  obs::Counter metric_clients_probed_;
+  obs::Counter metric_clients_responded_;
+  obs::Counter metric_random_probed_;
+  obs::Counter metric_alias_verdicts_;
+  obs::Counter metric_traces_;
 };
 
 }  // namespace v6::scan

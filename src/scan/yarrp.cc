@@ -9,7 +9,16 @@
 namespace v6::scan {
 
 YarrpTracer::YarrpTracer(netsim::DataPlane& plane, const YarrpConfig& config)
-    : plane_(&plane), config_(config) {}
+    : plane_(&plane), config_(config) {
+  if (config_.metrics != nullptr) {
+    metric_probes_ =
+        config_.metrics->counter("v6_scan_probes_total", "Probes emitted",
+                                 {{"scanner", "yarrp"}});
+    metric_responses_ = config_.metrics->counter(
+        "v6_scan_responsive_total", "Probes a live target answered",
+        {{"scanner", "yarrp"}});
+  }
+}
 
 std::vector<TraceResult> YarrpTracer::trace(
     std::span<const net::Ipv6Address> targets, util::SimTime t0) {
@@ -37,15 +46,18 @@ std::vector<TraceResult> YarrpTracer::trace(
     const auto ident = static_cast<std::uint16_t>(
         util::mix64(targets[ti].lo64() ^ config_.seed));
     ++sent_;
+    metric_probes_.inc();
     const auto result = plane_->hop_limited_echo(
         config_.source, targets[ti], ttl, ident, ttl, t);
     switch (result.kind) {
       case netsim::ProbeResult::Kind::kTimeExceeded:
         results[ti].hops[ttl - 1] = result.responder;
         results[ti].hop_responded[ttl - 1] = true;
+        metric_responses_.inc();
         break;
       case netsim::ProbeResult::Kind::kEchoReply:
         results[ti].destination_reached = true;
+        metric_responses_.inc();
         break;
       case netsim::ProbeResult::Kind::kTimeout:
         break;

@@ -14,6 +14,7 @@
 
 #include "net/ipv6.h"
 #include "netsim/data_plane.h"
+#include "obs/metrics.h"
 #include "util/sim_time.h"
 
 namespace v6::scan {
@@ -23,6 +24,9 @@ struct YarrpConfig {
   std::uint8_t max_hops = 16;
   std::uint64_t probe_rate = 50000;  // probes per simulated second
   std::uint64_t seed = 0;
+  // Optional metrics sink (not owned). Appended last so existing
+  // positional initializers stay valid.
+  obs::Registry* metrics = nullptr;
 };
 
 struct TraceResult {
@@ -54,6 +58,8 @@ class YarrpTracer {
   netsim::DataPlane* plane_;
   YarrpConfig config_;
   std::uint64_t sent_ = 0;
+  obs::Counter metric_probes_;
+  obs::Counter metric_responses_;
 };
 
 }  // namespace v6::scan

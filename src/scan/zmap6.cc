@@ -6,7 +6,19 @@ namespace v6::scan {
 
 Zmap6Scanner::Zmap6Scanner(netsim::DataPlane& plane,
                            const Zmap6Config& config)
-    : plane_(&plane), config_(config) {}
+    : plane_(&plane), config_(config) {
+  if (config_.metrics != nullptr) {
+    metric_probes_ =
+        config_.metrics->counter("v6_scan_probes_total", "Probes emitted",
+                                 {{"scanner", "zmap6"}});
+    metric_hits_ = config_.metrics->counter(
+        "v6_scan_responsive_total", "Probes a live target answered",
+        {{"scanner", "zmap6"}});
+    metric_retries_ = config_.metrics->counter(
+        "v6_scan_retries_total", "Re-probes of initially silent targets",
+        {{"scanner", "zmap6"}});
+  }
+}
 
 std::uint32_t Zmap6Scanner::validator(
     const net::Ipv6Address& target) const noexcept {
@@ -17,6 +29,7 @@ std::uint32_t Zmap6Scanner::validator(
 bool Zmap6Scanner::probe(const net::Ipv6Address& target, util::SimTime t) {
   const std::uint32_t v = validator(target);
   ++sent_;
+  metric_probes_.inc();
   switch (config_.protocol) {
     case ProbeProtocol::kIcmpv6Echo: {
       const auto ident = static_cast<std::uint16_t>(v >> 16);
@@ -50,13 +63,16 @@ std::vector<EchoRecord> Zmap6Scanner::scan(
     const util::SimTime t =
         t0 + static_cast<util::SimTime>(i++ / rate);
     records.push_back({target, probe(target, t)});
+    if (records.back().responded) metric_hits_.inc();
   }
   for (std::uint32_t r = 0; r < config_.retries; ++r) {
     for (auto& rec : records) {
       if (rec.responded) continue;
       const util::SimTime t =
           t0 + static_cast<util::SimTime>(i++ / rate);
+      metric_retries_.inc();
       rec.responded = probe(rec.target, t);
+      if (rec.responded) metric_hits_.inc();
     }
   }
   return records;

@@ -13,6 +13,7 @@
 
 #include "net/ipv6.h"
 #include "netsim/data_plane.h"
+#include "obs/metrics.h"
 #include "util/sim_time.h"
 
 namespace v6::scan {
@@ -32,6 +33,9 @@ struct Zmap6Config {
   std::uint32_t retries = 0;
   std::uint64_t seed = 0;
   ProbeProtocol protocol = ProbeProtocol::kIcmpv6Echo;
+  // Optional metrics sink (not owned). Appended last so existing
+  // positional initializers stay valid.
+  obs::Registry* metrics = nullptr;
 };
 
 struct EchoRecord {
@@ -60,6 +64,9 @@ class Zmap6Scanner {
   netsim::DataPlane* plane_;
   Zmap6Config config_;
   std::uint64_t sent_ = 0;
+  obs::Counter metric_probes_;
+  obs::Counter metric_hits_;
+  obs::Counter metric_retries_;
 };
 
 }  // namespace v6::scan

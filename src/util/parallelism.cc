@@ -1,0 +1,11 @@
+#include "util/parallelism.h"
+
+#include "util/thread_pool.h"
+
+namespace v6::util {
+
+unsigned Parallelism::resolved() const noexcept {
+  return threads == 0 ? ThreadPool::hardware_threads() : threads;
+}
+
+}  // namespace v6::util

@@ -1,0 +1,38 @@
+// The one home for "how many threads?" semantics.
+//
+// Every parallel subsystem (passive collection, analysis kernels, backscan
+// observation) takes a Parallelism knob with the same contract:
+//
+//   * 0  — size to the hardware: resolved() == ThreadPool::hardware_threads()
+//   * 1  — strictly serial: the work runs on the calling thread, taking the
+//          exact same code path a single-shard run would (this is the pin
+//          used where hook/callback ordering must be reproducible)
+//   * N  — exactly N worker shards
+//
+// Regardless of the value, results are bit-identical: shards are merged in
+// shard-index order, so Parallelism only trades wall-clock time.
+//
+// Parallelism converts implicitly to and from unsigned so existing code
+// (`config.threads = 4`, `if (config.threads != 1)`) keeps compiling; new
+// code should prefer the named helpers.
+#pragma once
+
+namespace v6::util {
+
+struct Parallelism {
+  unsigned threads = 0;  // 0 = hardware, 1 = serial, N = exactly N
+
+  constexpr Parallelism() = default;
+  constexpr Parallelism(unsigned t) : threads(t) {}  // NOLINT(runtime/explicit)
+  constexpr operator unsigned() const { return threads; }
+
+  // The concrete shard count this knob resolves to on this machine.
+  unsigned resolved() const noexcept;
+
+  constexpr bool is_serial() const noexcept { return threads == 1; }
+
+  static constexpr Parallelism serial() { return Parallelism(1); }
+  static constexpr Parallelism hardware() { return Parallelism(0); }
+};
+
+}  // namespace v6::util

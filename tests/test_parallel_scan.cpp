@@ -88,7 +88,7 @@ TEST(ParallelScanEngine, OnePassServesMultipleKernels) {
   EXPECT_EQ(observations, corpus.total_observations());
   ASSERT_EQ(scan.stats().size(), 2u);
   for (const auto& stat : scan.stats()) {
-    EXPECT_EQ(stat.records_scanned, corpus.size());
+    EXPECT_EQ(stat.records, corpus.size());
     EXPECT_EQ(stat.threads, 4u);
     EXPECT_LE(stat.merge_us, stat.wall_us);
   }
@@ -297,7 +297,7 @@ TEST_F(ParallelIdentityTest, StageStatsAreRecorded) {
   ASSERT_EQ(stats.size(), 1u);
   EXPECT_EQ(stats[0].stage, "entropy_distribution");
   EXPECT_EQ(stats[0].threads, 4u);
-  EXPECT_EQ(stats[0].records_scanned, ntp().size());
+  EXPECT_EQ(stats[0].records, ntp().size());
   EXPECT_LE(stats[0].merge_us, stats[0].wall_us);
 
   stats.clear();

@@ -4,7 +4,8 @@
 // registered as an ordinary CTest test, so every `ctest` run races-checks
 // the ThreadPool, the collector's shard/merge/serialized-hook pattern,
 // EmpiricalDistribution's guarded lazy sort under concurrent const
-// readers, and the ParallelScan shard/deterministic-merge engine. Any
+// readers, the ParallelScan shard/deterministic-merge engine, and the
+// striped obs::Registry under racing writers and live snapshots. Any
 // data race makes TSan abort the process with a non-zero exit.
 //
 // The full library suite can additionally be built instrumented with
@@ -18,8 +19,11 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+
 #include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
+#include "obs/metrics.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -143,8 +147,60 @@ void parallel_scan_analysis() {
   check(above_median > 0 && above_median < corpus.size(),
         "parallel scan shared-reader tally");
   check(scan.stats().size() == 2, "parallel scan stats entries");
-  check(scan.stats()[0].records_scanned == corpus.size(),
+  check(scan.stats()[0].records == corpus.size(),
         "parallel scan stats records");
+}
+
+// The metrics registry's claim (obs/metrics.h): striped relaxed increments
+// from every worker, racing registrations of the same identity, and
+// snapshot() folding the stripes while writers are still running must all
+// be clean under TSan — and the post-join fold must be exact.
+void metrics_registry_race() {
+  v6::obs::Registry registry;
+  constexpr unsigned kWriters = 8;
+  constexpr std::uint64_t kIters = 30000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    std::uint64_t folds = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto snap = registry.snapshot();
+      check(snap.counter_sum("race_total") <= kWriters * kIters,
+            "live snapshot overshoot");
+      ++folds;
+    }
+    check(folds > 0, "reader folded at least once");
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (unsigned w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry] {
+      // Registration under race: every writer opens the same instruments.
+      auto counter = registry.counter("race_total");
+      auto gauge = registry.gauge("race_gauge");
+      auto histogram = registry.histogram("race_us", "", {10.0, 1000.0});
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        counter.inc();
+        if ((i & 255u) == 0) {
+          gauge.set(static_cast<double>(i));
+          histogram.observe(static_cast<double>(i & 2047u));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto snap = registry.snapshot();
+  check(snap.counter_sum("race_total") == kWriters * kIters,
+        "registry post-join fold");
+  const auto* histogram = snap.find("race_us");
+  check(histogram != nullptr &&
+            histogram->histogram.count ==
+                kWriters * ((kIters + 255) / 256),
+        "registry histogram count");
 }
 
 }  // namespace
@@ -154,6 +210,7 @@ int main() {
   sharded_collect_pattern();
   concurrent_distribution_readers();
   parallel_scan_analysis();
+  metrics_registry_race();
   std::printf("tsan concurrency checks passed\n");
   return 0;
 }
