@@ -6,18 +6,31 @@
 //   v6pool_cli study  [--sites N] [--days D] [--seed S] [--threads T]
 //                     [--release FILE] [--metrics-out FILE]
 //                     [--metrics-format prom|json]
+//                     [--sample-days D] [--timeline-out FILE]
+//                     [--timeline-format jsonl|csv] [--trace-out FILE]
 //       run every stage and print the headline numbers; --threads T runs
 //       the analysis scans on T threads (0 = all cores, results are
 //       bit-identical at any count); optionally write the /48-aggregated
 //       release (k-anonymity floor 3) to FILE, and/or the study's metrics
-//       snapshot (Prometheus text by default) to --metrics-out
+//       snapshot (Prometheus text by default) to --metrics-out.
+//       --sample-days D turns on sim-time timeline sampling every D days;
+//       --timeline-out writes the sampled WindowRecords (JSONL default),
+//       --trace-out writes a Chrome trace-event file (chrome://tracing /
+//       Perfetto) of the study's stage spans plus sampling windows
 //   v6pool_cli lint-metrics FILE
 //       validate a Prometheus text exposition file (exit 0 iff clean)
+//   v6pool_cli lint-timeline FILE
+//       validate a JSONL timeline file (exit 0 iff clean)
+//   v6pool_cli lint-trace FILE
+//       validate a Chrome trace-event JSON file (exit 0 iff clean)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 
 #include "analysis/dataset_compare.h"
 #include "analysis/eui64_tracking.h"
@@ -25,6 +38,8 @@
 #include "hitlist/corpus_io.h"
 #include "hitlist/release.h"
 #include "obs/exposition.h"
+#include "obs/timeline.h"
+#include "obs/trace_export.h"
 #include "util/strings.h"
 
 namespace {
@@ -92,12 +107,17 @@ int cmd_study(int argc, char** argv) {
   config.analysis.threads =
       static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
 
+  core::RunOptions options;
+  options.sample_interval =
+      static_cast<util::SimDuration>(flag_u64(argc, argv, "--sample-days", 0)) *
+      util::kDay;
+
   std::printf("running study: %u sites, %lld days, seed %llu\n",
               config.world.total_sites,
               static_cast<long long>(config.world.study_duration / util::kDay),
               static_cast<unsigned long long>(config.world.seed));
   core::Study study(config);
-  const auto& r = study.run();
+  const auto& r = study.run(std::move(options));
 
   const auto& ntp = r.analysis.table1.front();
   std::printf("\nNTP corpus    : %s addresses in %s ASNs, %s /48s\n",
@@ -176,12 +196,52 @@ int cmd_study(int argc, char** argv) {
                 static_cast<int>(obs::format_suffix(*format).size()),
                 obs::format_suffix(*format).data());
   }
+  if (const char* path = flag_str(argc, argv, "--timeline-out")) {
+    if (r.timeline.empty()) {
+      std::fprintf(stderr,
+                   "--timeline-out needs --sample-days D (D > 0) to "
+                   "produce any windows\n");
+      return 1;
+    }
+    const char* fmt_name = flag_str(argc, argv, "--timeline-format");
+    const auto format =
+        obs::parse_timeline_format(fmt_name ? fmt_name : "jsonl");
+    if (!format) {
+      std::fprintf(stderr, "unknown timeline format '%s' (jsonl|csv)\n",
+                   fmt_name);
+      return 1;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << obs::render_timeline(r.timeline, *format);
+    std::printf("timeline      : %zu windows -> %s (%.*s)\n",
+                r.timeline.size(), path,
+                static_cast<int>(obs::timeline_format_suffix(*format).size()),
+                obs::timeline_format_suffix(*format).data());
+  }
+  if (const char* path = flag_str(argc, argv, "--trace-out")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << obs::render_trace_events(r.metrics, r.timeline);
+    std::printf("trace         : %zu spans, %zu windows -> %s "
+                "(chrome://tracing)\n",
+                r.metrics.spans.size(), r.timeline.size(), path);
+  }
   return 0;
 }
 
-int cmd_lint_metrics(int argc, char** argv) {
+// Shared shape of the three lint subcommands: slurp FILE, run `lint`,
+// exit 0 iff it reports no problem.
+int lint_file(int argc, char** argv, const char* subcommand,
+              std::optional<std::string> (*lint)(std::string_view)) {
   if (argc < 3) {
-    std::fprintf(stderr, "usage: v6pool_cli lint-metrics FILE\n");
+    std::fprintf(stderr, "usage: v6pool_cli %s FILE\n", subcommand);
     return 1;
   }
   std::ifstream in(argv[2]);
@@ -191,7 +251,7 @@ int cmd_lint_metrics(int argc, char** argv) {
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  if (const auto problem = obs::lint_prometheus(buffer.str())) {
+  if (const auto problem = lint(buffer.str())) {
     std::fprintf(stderr, "%s: %s\n", argv[2], problem->c_str());
     return 1;
   }
@@ -209,14 +269,24 @@ int main(int argc, char** argv) {
     return cmd_study(argc, argv);
   }
   if (argc >= 2 && std::strcmp(argv[1], "lint-metrics") == 0) {
-    return cmd_lint_metrics(argc, argv);
+    return lint_file(argc, argv, "lint-metrics", obs::lint_prometheus);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "lint-timeline") == 0) {
+    return lint_file(argc, argv, "lint-timeline", obs::lint_timeline_jsonl);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "lint-trace") == 0) {
+    return lint_file(argc, argv, "lint-trace", obs::lint_trace_events);
   }
   std::printf(
       "usage:\n"
       "  v6pool_cli world [--sites N] [--seed S]\n"
       "  v6pool_cli study [--sites N] [--days D] [--seed S] "
       "[--release FILE] [--save-corpus FILE] [--metrics-out FILE "
-      "[--metrics-format prom|json]]\n"
-      "  v6pool_cli lint-metrics FILE\n");
+      "[--metrics-format prom|json]] [--sample-days D] "
+      "[--timeline-out FILE [--timeline-format jsonl|csv]] "
+      "[--trace-out FILE]\n"
+      "  v6pool_cli lint-metrics FILE\n"
+      "  v6pool_cli lint-timeline FILE\n"
+      "  v6pool_cli lint-trace FILE\n");
   return argc >= 2 ? 1 : 0;
 }

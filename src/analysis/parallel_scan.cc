@@ -102,6 +102,11 @@ void ParallelScan::run(const hitlist::Corpus& corpus) {
       merge_hist.observe(static_cast<double>(stats_[k].merge_us));
     }
   }
+  // Past the merge barrier every counter is exact; the sampler turns this
+  // pass's per-stage record counts into one timeline window.
+  if (config_.sampler != nullptr) {
+    config_.sampler->sample(config_.sample_time, "analysis");
+  }
 }
 
 }  // namespace v6::analysis

@@ -36,7 +36,9 @@
 
 #include "hitlist/corpus.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "util/parallelism.h"
+#include "util/sim_time.h"
 
 namespace v6::analysis {
 
@@ -47,6 +49,15 @@ struct AnalysisConfig {
 
   // Optional metrics sink (not owned; must outlive the scan).
   obs::Registry* metrics = nullptr;
+
+  // Optional timeline sampler (not owned): each run() closes one window
+  // stamped `sample_time` after its deterministic merge — a barrier, so
+  // the per-stage record counters in the window are exact at any thread
+  // count. (Wall-clock stage histograms never enter WindowRecords; see
+  // obs/timeline.h.) The analysis runs after the sim clock stopped, so
+  // windows are zero-width at the pipeline's end.
+  obs::TimelineSampler* sampler = nullptr;
+  util::SimTime sample_time = 0;
 
   // The effective shard count. Kept as a shim for existing callers; new
   // code should use threads.resolved().

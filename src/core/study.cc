@@ -35,7 +35,10 @@ Study::Study(const StudyConfig& config) : config_(config) {
 
 hitlist::CollectorConfig Study::collector_config() const {
   hitlist::CollectorConfig cfg = config_.collector;
-  if (config_.metrics) cfg.metrics = metrics_.get();
+  if (config_.metrics) {
+    cfg.metrics = metrics_.get();
+    cfg.sampler = sampler_;
+  }
   return cfg;
 }
 
@@ -97,10 +100,16 @@ void Study::do_resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
 void Study::do_campaigns() {
   if (campaigned_) return;
   campaigned_ = true;
+  hitlist::HitlistCampaignConfig hitlist_config = config_.hitlist_campaign;
+  hitlist::CaidaCampaignConfig caida_config = config_.caida_campaign;
+  if (config_.metrics) {
+    hitlist_config.metrics = metrics_.get();
+    hitlist_config.sampler = sampler_;
+    caida_config.metrics = metrics_.get();
+  }
   results_.hitlist =
-      hitlist::run_hitlist_campaign(*world_, *plane_, config_.hitlist_campaign);
-  results_.caida =
-      hitlist::run_caida_campaign(*world_, *plane_, config_.caida_campaign);
+      hitlist::run_hitlist_campaign(*world_, *plane_, hitlist_config);
+  results_.caida = hitlist::run_caida_campaign(*world_, *plane_, caida_config);
 }
 
 void Study::do_backscan() {
@@ -130,6 +139,7 @@ void Study::do_backscan() {
   // shards freely.
   auto serial_config = collector_config();
   serial_config.threads = util::Parallelism::serial();
+  serial_config.sampler_stage = "backscan";
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       serial_config);
   const auto hook = [&](const ntp::Observation& obs,
@@ -183,7 +193,15 @@ void Study::do_analysis() {
   if (analyzed_) return;
   analyzed_ = true;
   analysis::AnalysisConfig cfg = config_.analysis;
-  if (config_.metrics) cfg.metrics = metrics_.get();
+  if (config_.metrics) {
+    cfg.metrics = metrics_.get();
+    cfg.sampler = sampler_;
+    // Analysis runs after the sim clock stopped: every pass closes a
+    // zero-width window at the pipeline's end.
+    cfg.sample_time = std::max(
+        config_.world.study_start + config_.world.study_duration,
+        config_.backscan_start + config_.backscan_duration);
+  }
   AnalysisReport& report = results_.analysis;
   auto* stats = &report.stage_stats;
 
@@ -257,6 +275,17 @@ const StudyResults& Study::run(RunOptions options) {
       config_.backscan_start + config_.backscan_duration;
   const util::SimTime pipeline_end = std::max(study_end, backscan_end);
 
+  // Timeline sampling: the sampler lives on this frame; sampler_ hands it
+  // to per-stage configs (collector grid boundaries, campaign snapshots,
+  // analysis merges). Each stage transition below closes one extra window
+  // so deltas accrued between in-stage boundaries are never lost.
+  std::unique_ptr<obs::TimelineSampler> sampler;
+  if (options.sample_interval > 0 && config_.metrics) {
+    sampler = std::make_unique<obs::TimelineSampler>(
+        *metrics_, options.sample_interval, study_start);
+    sampler_ = sampler.get();
+  }
+
   // Spans are stamped with the *simulated* window each stage covers (the
   // study runs on a virtual clock); skipped/already-done stages record no
   // span.
@@ -270,25 +299,33 @@ const StudyResults& Study::run(RunOptions options) {
       do_collect(options.checkpoint_sink);
     }
     tracer.end_span(span, study_end);
+    if (sampler_ != nullptr) sampler_->sample(study_end, "collect");
   }
   if (options.campaigns && !campaigned_) {
     const auto span = tracer.begin_span("study.campaigns", study_end);
     do_campaigns();
     tracer.end_span(span, study_end);
+    if (sampler_ != nullptr) sampler_->sample(study_end, "campaigns");
   }
   if (options.backscan && !backscanned_) {
     const auto span =
         tracer.begin_span("study.backscan", config_.backscan_start);
     do_backscan();
     tracer.end_span(span, backscan_end);
+    if (sampler_ != nullptr) sampler_->sample(backscan_end, "backscan");
   }
   if (options.analysis && !analyzed_) {
     const auto span = tracer.begin_span("study.analysis", pipeline_end);
     do_analysis();
     tracer.end_span(span, pipeline_end);
+    if (sampler_ != nullptr) sampler_->sample(pipeline_end, "analysis");
   }
   tracer.end_span(root, pipeline_end);
 
+  if (sampler) {
+    results_.timeline = sampler->take();
+    sampler_ = nullptr;
+  }
   results_.metrics = metrics_->snapshot();
   return results_;
 }

@@ -36,6 +36,7 @@
 #include "netsim/pool_dns.h"
 #include "obs/metrics.h"
 #include "obs/snapshot.h"
+#include "obs/timeline.h"
 #include "scan/backscanner.h"
 #include "sim/world.h"
 
@@ -128,6 +129,12 @@ struct StudyResults {
   // captured when run() finishes (empty when driven via the legacy
   // per-stage shims without a final run()).
   obs::Snapshot metrics;
+  // Sim-time series of WindowRecords (empty unless RunOptions::
+  // sample_interval > 0): one window per sampling boundary inside the
+  // collection window plus one per stage transition / campaign snapshot /
+  // analysis pass. Bit-identical at any thread count; per-window counter
+  // deltas telescope to the end-of-run totals in `metrics`.
+  obs::Timeline timeline;
 };
 
 // Stage selection and stage-1 plumbing for Study::run(). The defaults run
@@ -143,6 +150,12 @@ struct RunOptions {
   // Resume stage 1 from a checkpoint written by a previous (crashed) run
   // with the same configuration; bit-identical to an uninterrupted run.
   std::optional<hitlist::CollectionCheckpoint> resume_from;
+  // Sim-time spacing of timeline sampling windows; 0 disables sampling.
+  // Samples are taken only at deterministic merge barriers (collector
+  // grid boundaries, stage transitions, campaign snapshots, analysis
+  // passes) — never wall-clock timers — so StudyResults::timeline is
+  // bit-identical at any thread count and sampling changes no result.
+  util::SimDuration sample_interval = 0;
 };
 
 class Study {
@@ -206,7 +219,8 @@ class Study {
   void do_backscan();
   void do_analysis();
   // Effective per-stage configs: copies of the user's with the metrics
-  // registry wired in (when config_.metrics is on).
+  // registry (and, during a sampled run(), the timeline sampler) wired in
+  // (when config_.metrics is on).
   hitlist::CollectorConfig collector_config() const;
 
   StudyConfig config_;
@@ -217,6 +231,9 @@ class Study {
   // unique_ptr: the registry is pinned (handles and components point at
   // it) while Study itself stays movable.
   std::unique_ptr<obs::Registry> metrics_;
+  // Non-null only while a run() with sample_interval > 0 is in flight
+  // (the sampler itself lives on that run()'s stack).
+  obs::TimelineSampler* sampler_ = nullptr;
   StudyResults results_;
   bool collected_ = false;
   bool campaigned_ = false;

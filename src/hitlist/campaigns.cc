@@ -139,9 +139,12 @@ HitlistResult run_hitlist_campaign(const sim::World& world,
   for (util::SimTime snap = config.start; snap < end;
        snap += config.snapshot_interval) {
     ++result.snapshots;
-    scan::Zmap6Scanner zmap(plane, {source, 100000, 0, rng.next()});
+    scan::Zmap6Scanner zmap(plane,
+                            {source, 100000, 0, rng.next(),
+                             scan::ProbeProtocol::kIcmpv6Echo, config.metrics});
     scan::YarrpTracer yarrp(
-        plane, {source, config.yarrp_max_hops, 50000, rng.next()});
+        plane,
+        {source, config.yarrp_max_hops, 50000, rng.next(), config.metrics});
 
     // Re-verify previously published addresses: each weekly release
     // contains what is *still* responsive, so records keep fresh
@@ -192,7 +195,7 @@ HitlistResult run_hitlist_campaign(const sim::World& world,
            {scan::ProbeProtocol::kTcpSyn443, scan::ProbeProtocol::kTcpSyn80}) {
         if (silent.empty()) break;
         scan::Zmap6Scanner tcp_zmap(
-            plane, {source, 100000, 0, rng.next(), protocol});
+            plane, {source, 100000, 0, rng.next(), protocol, config.metrics});
         std::vector<net::Ipv6Address> still_silent;
         for (const auto& rec : tcp_zmap.scan(silent, snap)) {
           (rec.responded ? found : still_silent).push_back(rec.target);
@@ -252,6 +255,11 @@ HitlistResult run_hitlist_campaign(const sim::World& world,
       }
     }
     result.probes_sent += zmap.probes_sent() + yarrp.probes_sent();
+    if (config.sampler != nullptr) {
+      config.sampler->sample(
+          std::min<util::SimTime>(snap + config.snapshot_interval, end),
+          "campaigns");
+    }
   }
 
   std::sort(aliased_list.begin(), aliased_list.end());
@@ -293,7 +301,9 @@ CaidaResult run_caida_campaign(const sim::World& world,
     const std::size_t n = std::min(per_day, targets.size() - offset);
     scan::YarrpTracer yarrp(
         plane,
-        {source, config.max_hops, 50000, config.seed ^ (0x471ULL + static_cast<std::uint64_t>(day))});
+        {source, config.max_hops, 50000,
+         config.seed ^ (0x471ULL + static_cast<std::uint64_t>(day)),
+         config.metrics});
     const std::span<const net::Ipv6Address> chunk(targets.data() + offset, n);
     const util::SimTime t0 = config.start + day * util::kDay;
     const auto traces = yarrp.trace(chunk, t0);

@@ -21,6 +21,8 @@
 #include "hitlist/corpus.h"
 #include "net/prefix.h"
 #include "netsim/data_plane.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/world.h"
 #include "util/sim_time.h"
 
@@ -48,6 +50,17 @@ struct HitlistCampaignConfig {
   // first snapshot's frontier (the real Hitlist also consumes BGP data).
   double routed_seed_fraction = 0.001;
   std::uint64_t seed = 17;
+  // Optional metrics sink (not owned), forwarded to every scanner the
+  // campaign constructs. Appended last so positional initializers stay
+  // valid.
+  obs::Registry* metrics = nullptr;
+  // Optional timeline sampler (not owned): closes one window per weekly
+  // snapshot, at the snapshot's end. The campaign is single-threaded, so
+  // every instant is a merge barrier; snapshot ends are the natural grid.
+  // (The campaign's sim window re-covers the collection window the
+  // pipeline already passed, so these windows clamp to zero width — the
+  // per-snapshot deltas are the payload.)
+  obs::TimelineSampler* sampler = nullptr;
 };
 
 struct HitlistResult {
@@ -69,6 +82,8 @@ struct CaidaCampaignConfig {
   double slash48_fraction = 0.02;
   std::uint8_t max_hops = 12;
   std::uint64_t seed = 19;
+  // Optional metrics sink (not owned), forwarded to the per-day tracers.
+  obs::Registry* metrics = nullptr;
 };
 
 struct CaidaResult {

@@ -127,6 +127,22 @@ const AddressRecord* Corpus::find(
   }
 }
 
+void Corpus::canonicalize() {
+  if (size_ == 0) return;
+  std::vector<AddressRecord> records;
+  records.reserve(size_);
+  for (const auto& slot : slots_) {
+    if (slot.count != 0) records.push_back(slot);
+  }
+  std::sort(records.begin(), records.end(),
+            [](const AddressRecord& a, const AddressRecord& b) {
+              return a.address < b.address;
+            });
+  Corpus rebuilt(size_);
+  for (const AddressRecord& rec : records) rebuilt.add_record(rec);
+  *this = std::move(rebuilt);
+}
+
 void Corpus::grow() {
   std::vector<AddressRecord> old = std::move(slots_);
   slots_.assign(old.size() * 2, AddressRecord{});

@@ -62,6 +62,15 @@ class Corpus {
 
   const AddressRecord* find(const net::Ipv6Address& address) const noexcept;
 
+  // Rebuilds the table with records inserted in ascending address order.
+  // Linear probing places colliding keys by insertion order, so the raw
+  // slot layout — and with it for_each() order and save_corpus() bytes —
+  // depends on the order sightings arrived. Canonicalizing makes the
+  // layout a pure function of the stored content; collection calls this
+  // at its final merge barrier so chunk grids (checkpoints, timeline
+  // sampling) and shard counts change no output byte.
+  void canonicalize();
+
   std::size_t size() const noexcept { return size_; }
   std::uint64_t total_observations() const noexcept { return observations_; }
 

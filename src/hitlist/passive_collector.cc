@@ -49,12 +49,27 @@ PassiveCollector::PassiveCollector(const sim::World& world,
     metric_checkpoints_ = reg.counter(
         "v6_collector_checkpoints_total",
         "Checkpoint snapshots handed to the sink");
-    metric_vantage_polls_.reserve(world.vantages().size());
-    for (std::size_t v = 0; v < world.vantages().size(); ++v) {
+    const std::size_t vantage_count = world.vantages().size();
+    metric_vantage_polls_.reserve(vantage_count);
+    metric_vantage_answered_.reserve(vantage_count);
+    metric_vantage_fault_lost_.reserve(vantage_count);
+    metric_vantage_records_.reserve(vantage_count);
+    for (std::size_t v = 0; v < vantage_count; ++v) {
+      const obs::Labels labels{{"vantage", std::to_string(v)}};
       metric_vantage_polls_.push_back(
-          reg.counter("v6_collector_vantage_polls_total",
+          reg.counter(obs::kVantagePollsFamily,
                       "Recorded poll packets steered to this vantage",
-                      {{"vantage", std::to_string(v)}}));
+                      labels));
+      metric_vantage_answered_.push_back(reg.counter(
+          obs::kVantageAnsweredFamily,
+          "Poll attempts this vantage answered past client validation",
+          labels));
+      metric_vantage_fault_lost_.push_back(reg.counter(
+          obs::kVantageFaultLostFamily,
+          "Poll attempts the fault plan swallowed at this vantage", labels));
+      metric_vantage_records_.push_back(reg.counter(
+          obs::kVantageRecordsFamily,
+          "Observations recorded into the corpus via this vantage", labels));
     }
   }
 }
@@ -193,6 +208,7 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   for (unsigned s = 0; s < shards; ++s) {
     ShardState& shard = states[s];
     shard.vantage.resize(vantages.size());
+    shard.vantage_obs.resize(vantages.size());
     // One server object per vantage, all sinking into this shard's
     // corpus. The sink consults the shard's recording flag so replayed
     // (pre-checkpoint) traffic leaves no trace.
@@ -203,6 +219,9 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
                                   const ntp::Observation& obs) {
         if (!shardp->recording) return;
         shardp->corpus.add(obs.client, obs.time, obs.vantage);
+        if (obs.vantage < shardp->vantage_obs.size()) {
+          ++shardp->vantage_obs[obs.vantage];
+        }
         if (hook) {
           if (mu == nullptr) {
             hook(obs, address);
@@ -254,7 +273,83 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     for (ShardState& shard : states) shard.recording = true;
   }
 
+  // Incremental metric flushing: with a sampler attached, the cumulative
+  // shard tallies are folded into the registry at every sample boundary
+  // (so each WindowRecord's deltas are exact); the `flushed_*` baselines
+  // make each flush increment-only. Without a sampler there is exactly
+  // one flush, after the final merge — byte-identical to the pre-sampler
+  // behavior.
+  const std::size_t records_before = corpus.size();
+  std::uint64_t flushed_polls = 0;
+  std::uint64_t flushed_answered = 0;
+  std::uint64_t flushed_records = 0;
+  std::uint64_t flushed_dedup = 0;
+  std::vector<std::uint64_t> flushed_v_polls(vantages.size(), 0);
+  std::vector<std::uint64_t> flushed_v_answered(vantages.size(), 0);
+  std::vector<std::uint64_t> flushed_v_fault(vantages.size(), 0);
+  std::vector<std::uint64_t> flushed_v_obs(vantages.size(), 0);
+  const auto bump = [](obs::Counter& counter, std::uint64_t cumulative,
+                       std::uint64_t& flushed) {
+    counter.inc(cumulative - flushed);
+    flushed = cumulative;
+  };
+  // `admitted` is the dedup-aware record count recorded so far (union
+  // size minus the caller's baseline), exact at any merge barrier.
+  const auto flush_metrics = [&](std::uint64_t admitted) {
+    std::uint64_t polls = 0;
+    std::uint64_t answered = 0;
+    std::uint64_t observations = 0;
+    std::vector<std::uint64_t> v_polls(vantages.size(), 0);
+    std::vector<std::uint64_t> v_answered(vantages.size(), 0);
+    std::vector<std::uint64_t> v_fault(vantages.size(), 0);
+    std::vector<std::uint64_t> v_obs(vantages.size(), 0);
+    for (const ShardState& shard : states) {
+      polls += shard.tally.polls;
+      answered += shard.tally.answered;
+      observations += shard.corpus.total_observations();
+      for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
+        v_polls[v] += shard.vantage[v].polls;
+        v_answered[v] += shard.vantage[v].answered;
+        v_fault[v] += shard.vantage[v].lost_to_fault;
+        v_obs[v] += shard.vantage_obs[v];
+      }
+    }
+    bump(metric_polls_, polls, flushed_polls);
+    bump(metric_answered_, answered, flushed_answered);
+    bump(metric_records_, admitted, flushed_records);
+    // Every observation either admits a record or folds into one, so the
+    // cumulative dedup count is monotone too.
+    bump(metric_dedup_hits_, observations - std::min(observations, admitted),
+         flushed_dedup);
+    for (std::size_t v = 0;
+         v < std::min(vantages.size(), metric_vantage_polls_.size()); ++v) {
+      bump(metric_vantage_polls_[v], v_polls[v], flushed_v_polls[v]);
+      bump(metric_vantage_answered_[v], v_answered[v], flushed_v_answered[v]);
+      bump(metric_vantage_fault_lost_[v], v_fault[v], flushed_v_fault[v]);
+      bump(metric_vantage_records_[v], v_obs[v], flushed_v_obs[v]);
+    }
+  };
+  // The union of the caller's corpus and every shard corpus — the same
+  // construction the checkpoint path snapshots — sized mid-run so the
+  // records counter stays exact (insertion counting would double-count
+  // addresses seen by two shards).
+  const auto union_size = [&]() -> std::size_t {
+    std::size_t upper = corpus.size();
+    for (const ShardState& shard : states) upper += shard.corpus.size();
+    Corpus scratch(std::max<std::size_t>(upper, 1));
+    corpus.for_each(
+        [&scratch](const AddressRecord& r) { scratch.add_record(r); });
+    for (const ShardState& shard : states) scratch.merge(shard.corpus);
+    return scratch.size();
+  };
+
   const bool checkpointing = sink && config_.checkpoint_interval > 0;
+  // A hook observes sightings in chunk-iteration order (and may feed
+  // order-sensitive consumers like the backscanner's shared RNG), so the
+  // sampler's grid must not reshape the chunking there: a hooked pass
+  // runs whole-window and leaves sampling to the caller's stage sample.
+  const bool sampling =
+      config_.sampler != nullptr && config_.metrics != nullptr && !hook;
   util::SimTime lo = std::max(from.window_start, from.resume_from);
   while (lo < from.window_end) {
     util::SimTime hi = from.window_end;
@@ -267,8 +362,14 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
           from.window_end,
           from.window_start + k * config_.checkpoint_interval);
     }
+    if (sampling) {
+      hi = std::min(hi, config_.sampler->next_boundary(lo));
+    }
     run_chunk(hi);
-    if (checkpointing && hi < from.window_end) {
+    // With both grids active `hi` may be a sample-only boundary, so gate
+    // checkpoint emission on actually being on the checkpoint grid.
+    if (checkpointing && hi < from.window_end &&
+        (hi - from.window_start) % config_.checkpoint_interval == 0) {
       CheckpointState snap;
       snap.window_start = from.window_start;
       snap.window_end = from.window_end;
@@ -301,6 +402,13 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
       metric_checkpoints_.inc();
       sink(snap, snapshot);
     }
+    // All shards joined at `hi` — a merge barrier, so the flushed counter
+    // state is exact and thread-count-independent when the sampler reads
+    // it. The window-end boundary is left to the caller's stage sample.
+    if (sampling && hi < from.window_end && config_.sampler->on_boundary(hi)) {
+      flush_metrics(union_size() - records_before);
+      config_.sampler->sample(hi, config_.sampler_stage);
+    }
     lo = hi;
   }
 
@@ -311,31 +419,29 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   polls_ += from.polls_attempted;
   answered_ += from.polls_answered;
   vantage_health_ = std::move(base_vh);
-  // Metrics cover what this run itself recorded (the checkpointed `from`
-  // baseline was already counted when the original run emitted it).
-  const std::size_t records_before = corpus.size();
-  std::uint64_t observations = 0;
   for (ShardState& shard : states) {
-    observations += shard.corpus.total_observations();
     corpus.merge(shard.corpus);
     polls_ += shard.tally.polls;
     answered_ += shard.tally.answered;
-    metric_polls_.inc(shard.tally.polls);
-    metric_answered_.inc(shard.tally.answered);
     for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
       vantage_health_[v].polls += shard.vantage[v].polls;
       vantage_health_[v].answered += shard.vantage[v].answered;
       vantage_health_[v].lost_to_fault += shard.vantage[v].lost_to_fault;
       vantage_health_[v].retries += shard.vantage[v].retries;
       vantage_health_[v].steered_polls += shard.vantage[v].steered_polls;
-      if (v < metric_vantage_polls_.size()) {
-        metric_vantage_polls_[v].inc(shard.vantage[v].polls);
-      }
     }
   }
-  const std::uint64_t admitted = corpus.size() - records_before;
-  metric_records_.inc(admitted);
-  metric_dedup_hits_.inc(observations - std::min(observations, admitted));
+  // Metrics cover what this run itself recorded (the checkpointed `from`
+  // baseline was already counted when the original run emitted it). With
+  // a sampler this flush covers only the tail since the last boundary —
+  // the shard corpora are all merged now, so the union is `corpus`.
+  flush_metrics(corpus.size() - records_before);
+  // Chunk grids (checkpoints, sampling boundaries) change the order merged
+  // sightings reach the corpus, which would leak into save_corpus() bytes
+  // through linear-probe slot placement. Canonicalize so the layout is a
+  // pure function of the content: outputs stay byte-identical across
+  // shard counts and with sampling on or off.
+  corpus.canonicalize();
 }
 
 void PassiveCollector::run(Corpus& corpus, util::SimTime start,

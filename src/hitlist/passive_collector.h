@@ -43,6 +43,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "hitlist/corpus.h"
@@ -51,6 +52,7 @@
 #include "ntp/client_schedule.h"
 #include "ntp/server.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "sim/world.h"
 #include "util/parallelism.h"
 
@@ -84,6 +86,18 @@ struct CollectorConfig {
   // merge time — the per-poll hot loop never touches the registry — so
   // wiring metrics cannot perturb throughput or determinism.
   obs::Registry* metrics = nullptr;
+  // Optional timeline sampler (not owned), invoked at interior sim-time
+  // grid boundaries (sampler->next_boundary) inside the collection
+  // window. Each boundary is a merge barrier: the chunk loop joins all
+  // shards there, flushes the cumulative tallies into the registry, and
+  // only then samples — so every WindowRecord is exact and independent of
+  // the shard count. The window-end sample is the *caller's* job (Study
+  // samples at each stage transition), keeping stage windows out of the
+  // collector. Requires `metrics` to point at the sampler's registry.
+  obs::TimelineSampler* sampler = nullptr;
+  // Stage tag the sampler stamps on windows closed inside this collector
+  // (the backscan pass runs a second collector with its own tag).
+  std::string sampler_stage = "collect";
 };
 
 // Per-vantage degradation accounting, reported instead of aborting when a
@@ -184,6 +198,10 @@ class PassiveCollector {
     std::vector<DeviceState> devices;
     ShardTally tally;
     std::vector<VantageHealthStats> vantage;
+    // Observations recorded into this shard's corpus per vantage id
+    // (pre-dedup). Lives outside VantageHealthStats because that struct
+    // is serialized in the V6CKPT01 checkpoint format.
+    std::vector<std::uint64_t> vantage_obs;
     // Consulted by the observation sink: false while replaying the
     // already-checkpointed prefix of a resumed run.
     bool recording = true;
@@ -213,7 +231,12 @@ class PassiveCollector {
   obs::Counter metric_records_;
   obs::Counter metric_dedup_hits_;
   obs::Counter metric_checkpoints_;
-  std::vector<obs::Counter> metric_vantage_polls_;  // labeled per vantage
+  // Labeled per vantage; the four families the TimelineSampler folds into
+  // per-vantage series (see obs/timeline.h).
+  std::vector<obs::Counter> metric_vantage_polls_;
+  std::vector<obs::Counter> metric_vantage_answered_;
+  std::vector<obs::Counter> metric_vantage_fault_lost_;
+  std::vector<obs::Counter> metric_vantage_records_;
 };
 
 }  // namespace v6::hitlist

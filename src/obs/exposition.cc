@@ -1,5 +1,6 @@
 #include "obs/exposition.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cinttypes>
@@ -7,10 +8,12 @@
 #include <cstdio>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace v6::obs {
 
-namespace {
+namespace detail {
 
 // Deterministic number text: integral doubles print as integers (the
 // overwhelmingly common case for counts), everything else as shortest-ish
@@ -41,8 +44,8 @@ void append_escaped_label_value(std::string& out, std::string_view v) {
 
 // `{a="x",b="y"}` (empty string when no labels). `extra` appends one more
 // pair (the histogram `le` label) without copying the label set.
-std::string label_block(const Labels& labels, std::string_view extra_key = {},
-                        std::string_view extra_value = {}) {
+std::string label_block(const Labels& labels, std::string_view extra_key,
+                        std::string_view extra_value) {
   if (labels.empty() && extra_key.empty()) return {};
   std::string out = "{";
   bool first = true;
@@ -64,6 +67,37 @@ std::string label_block(const Labels& labels, std::string_view extra_key = {},
   out.push_back('}');
   return out;
 }
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::append_escaped_label_value;
+using detail::append_json_string;
+using detail::format_double;
+using detail::label_block;
 
 std::string_view type_name(MetricType type) {
   switch (type) {
@@ -147,28 +181,6 @@ std::string render_prometheus(const Snapshot& snapshot) {
     }
   }
   return out;
-}
-
-void append_json_string(std::string& out, std::string_view s) {
-  out.push_back('"');
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
 }
 
 // JSON has no Inf/NaN literals; non-finite values become null.
@@ -310,9 +322,15 @@ bool valid_value(std::string_view text) {
   return ec == std::errc{} && ptr == text.data() + text.size();
 }
 
-// Parses `{k="v",...}`; advances `pos` past the closing brace.
-std::optional<std::string> lint_labels(std::string_view line,
-                                       std::size_t& pos) {
+// Parses `{k="v",...}`; advances `pos` past the closing brace and appends
+// the parsed (name, raw value) pairs to `pairs` for series-identity checks.
+// Label values must use the exposition escapes exactly: `\\`, `\"`, `\n` —
+// a bare backslash before anything else, an unescaped quote mid-value
+// (which ends the value early and is caught as a syntax error downstream),
+// or a raw newline can't occur in a well-formed line.
+std::optional<std::string> lint_labels(
+    std::string_view line, std::size_t& pos,
+    std::vector<std::pair<std::string, std::string>>& pairs) {
   ++pos;  // consume '{'
   bool first = true;
   while (pos < line.size() && line[pos] != '}') {
@@ -324,7 +342,9 @@ std::optional<std::string> lint_labels(std::string_view line,
     const std::size_t name_start = pos;
     while (pos < line.size() && line[pos] != '=') ++pos;
     if (pos >= line.size()) return "label missing '='";
-    if (!valid_label_name(line.substr(name_start, pos - name_start))) {
+    const std::string_view label_name =
+        line.substr(name_start, pos - name_start);
+    if (!valid_label_name(label_name)) {
       return "invalid label name";
     }
     ++pos;  // '='
@@ -332,11 +352,22 @@ std::optional<std::string> lint_labels(std::string_view line,
       return "label value must be quoted";
     }
     ++pos;  // opening quote
+    const std::size_t value_start = pos;
     while (pos < line.size() && line[pos] != '"') {
-      if (line[pos] == '\\') ++pos;  // escaped char
+      if (line[pos] == '\\') {
+        if (pos + 1 >= line.size()) return "dangling escape in label value";
+        const char escaped = line[pos + 1];
+        if (escaped != '\\' && escaped != '"' && escaped != 'n') {
+          return "invalid escape in label value";
+        }
+        ++pos;  // escaped char
+      }
       ++pos;
     }
     if (pos >= line.size()) return "unterminated label value";
+    pairs.emplace_back(std::string(label_name),
+                       std::string(line.substr(value_start,
+                                               pos - value_start)));
     ++pos;  // closing quote
   }
   if (pos >= line.size()) return "unterminated label block";
@@ -379,6 +410,7 @@ std::optional<std::string> lint_prometheus(std::string_view text) {
   std::unordered_map<std::string, std::string> declared_type;
   std::unordered_set<std::string> family_sampled;
   std::unordered_set<std::string> helped;
+  std::unordered_set<std::string> series_seen;
   std::size_t line_no = 0;
   std::size_t start = 0;
   const auto fail = [&](std::string_view what) {
@@ -438,8 +470,23 @@ std::optional<std::string> lint_prometheus(std::string_view text) {
     }
     const std::string_view name = line.substr(0, pos);
     if (!valid_metric_name(name)) return fail("invalid metric name");
+    std::vector<std::pair<std::string, std::string>> label_pairs;
     if (pos < line.size() && line[pos] == '{') {
-      if (auto err = lint_labels(line, pos)) return fail(*err);
+      if (auto err = lint_labels(line, pos, label_pairs)) return fail(*err);
+    }
+    // Two samples of the same (name, label set) are a scrape-breaking
+    // duplicate. Labels are a set, so sort before keying — `{a="x",b="y"}`
+    // and `{b="y",a="x"}` are the same series.
+    std::sort(label_pairs.begin(), label_pairs.end());
+    std::string series_key(name);
+    for (const auto& [k, v] : label_pairs) {
+      series_key.push_back('\x1f');
+      series_key += k;
+      series_key.push_back('\x1f');
+      series_key += v;
+    }
+    if (!series_seen.insert(std::move(series_key)).second) {
+      return fail("duplicate series (same name and labels)");
     }
     if (pos >= line.size() || line[pos] != ' ') {
       return fail("missing value");

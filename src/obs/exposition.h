@@ -22,6 +22,29 @@
 
 namespace v6::obs {
 
+namespace detail {
+
+// Shared rendering primitives, also used by the timeline/trace exporters
+// so every exposition path escapes and formats identically.
+
+// Deterministic number text: integral doubles print as integers,
+// everything else as %.10g. Locale-independent.
+std::string format_double(double v);
+
+// Prometheus label-value escaping: `\` → `\\`, `"` → `\"`, newline → `\n`.
+void append_escaped_label_value(std::string& out, std::string_view v);
+
+// `{a="x",b="y"}` (empty string when no labels). `extra` appends one more
+// pair (the histogram `le` label) without copying the label set.
+std::string label_block(const Labels& labels, std::string_view extra_key = {},
+                        std::string_view extra_value = {});
+
+// JSON string literal including the surrounding quotes, control chars as
+// \uXXXX.
+void append_json_string(std::string& out, std::string_view s);
+
+}  // namespace detail
+
 enum class ExpositionFormat : std::uint8_t { kPrometheus, kJson };
 
 // "prom"/"prometheus"/"text" or "json" (case-sensitive); nullopt otherwise.
@@ -41,8 +64,11 @@ using SnapshotSink =
 // comment (# HELP name text / # TYPE name {counter,gauge,histogram,
 // summary,untyped}), a sample (name[{labels}] value [timestamp]) with a
 // legal metric name, label syntax, and numeric value, and TYPE lines must
-// precede their family's samples and appear at most once. Returns nullopt
-// on success, else "line N: <problem>".
+// precede their family's samples and appear at most once. Label values
+// must use the exposition escapes exactly (`\\`, `\"`, `\n` — anything
+// else after a backslash is rejected), and two samples with the same
+// (name, label set) — labels compared as a set — are a duplicate series.
+// Returns nullopt on success, else "line N: <problem>".
 std::optional<std::string> lint_prometheus(std::string_view text);
 
 }  // namespace v6::obs

@@ -81,12 +81,27 @@ Registry::Entry* Registry::find_or_create(MetricType type,
                                           Labels&& labels,
                                           std::vector<double>&& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (type == MetricType::kHistogram) {
+    // Normalize up front so `{1, 2, 2, 1}` and `{1, 2}` are the same
+    // bucket layout for both creation and the mismatch check below.
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+  }
   const std::string key = identity_key(name, labels);
   if (const auto it = index_.find(key); it != index_.end()) {
     // Existing identity: hand back its cells only when the type agrees;
     // a type clash yields a null entry (the caller returns a no-op
-    // handle) rather than corrupting the existing instrument.
-    return it->second->type == type ? it->second : nullptr;
+    // handle) rather than corrupting the existing instrument. Same
+    // contract for a histogram re-registered with different bucket
+    // bounds: silently binding to the first registration's buckets would
+    // misfile every observation the second caller makes, so it gets a
+    // no-op handle instead.
+    if (it->second->type != type) return nullptr;
+    if (type == MetricType::kHistogram &&
+        it->second->histogram->bounds != bounds) {
+      return nullptr;
+    }
+    return it->second;
   }
   Entry& entry = entries_.emplace_back();
   entry.type = type;
@@ -102,11 +117,7 @@ Registry::Entry* Registry::find_or_create(MetricType type,
       break;
     case MetricType::kHistogram: {
       auto& cells = histogram_cells_.emplace_back();
-      cells.bounds = std::move(bounds);
-      std::sort(cells.bounds.begin(), cells.bounds.end());
-      cells.bounds.erase(
-          std::unique(cells.bounds.begin(), cells.bounds.end()),
-          cells.bounds.end());
+      cells.bounds = std::move(bounds);  // already sorted + deduped above
       // buckets = finite edges + the +Inf overflow.
       for (std::size_t i = 0; i <= cells.bounds.size(); ++i) {
         cells.buckets.emplace_back(0);

@@ -139,6 +139,10 @@ class Registry {
   // an existing identity with a different type returns the existing
   // instrument's handle type only if it matches — a mismatch returns a
   // no-op handle (never crashes a run over a metrics name collision).
+  // Re-registering a histogram with different bucket bounds (compared
+  // after sort + dedup) is the same kind of clash and also yields a no-op
+  // handle: silently binding to the first registration's buckets would
+  // misfile the second caller's observations.
   Counter counter(std::string_view name, std::string_view help = "",
                   Labels labels = {});
   Gauge gauge(std::string_view name, std::string_view help = "",

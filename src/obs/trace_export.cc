@@ -1,0 +1,166 @@
+#include "obs/trace_export.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "obs/exposition.h"
+
+namespace v6::obs {
+
+namespace {
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// One trace event line: {"name":...,"ph":"B","ts":N,"pid":1,"tid":T[,args]}
+void append_event(std::string& out, std::string_view name, char ph,
+                  std::int64_t ts, int tid, std::string_view extra = {}) {
+  out += "{\"name\":";
+  detail::append_json_string(out, name);
+  out += ",\"ph\":\"";
+  out.push_back(ph);
+  out += "\",\"ts\":";
+  append_i64(out, ts);
+  out += ",\"pid\":1,\"tid\":";
+  append_i64(out, tid);
+  out += extra;
+  out += "}";
+}
+
+}  // namespace
+
+std::string render_trace_events(const Snapshot& snapshot,
+                                const Timeline& timeline) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](auto&&... event_args) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event(out, event_args...);
+  };
+
+  // Spans → B/E pairs on tid 1. Walk the spans in recorded order keeping a
+  // stack of open span indices; before opening span i, close everything on
+  // the stack that is not i's ancestor (innermost first — exactly the
+  // nesting the tracer recorded). `cursor` clamps ts monotone: a span
+  // recorded as ending after its successor began (sim windows can touch or
+  // overlap across stages) still closes at the successor's begin.
+  std::vector<std::size_t> open;
+  std::int64_t cursor = 0;
+  bool cursor_set = false;
+  const auto clamp = [&cursor, &cursor_set](std::int64_t ts) {
+    if (!cursor_set || ts > cursor) cursor = ts;
+    cursor_set = true;
+    return cursor;
+  };
+  const auto close_top = [&](const std::vector<SpanRecord>& spans) {
+    const SpanRecord& span = spans[open.back()];
+    emit(span.name, 'E', clamp(std::max(span.begin, span.end)), 1);
+    open.pop_back();
+  };
+  for (std::size_t i = 0; i < snapshot.spans.size(); ++i) {
+    const SpanRecord& span = snapshot.spans[i];
+    while (!open.empty() &&
+           static_cast<std::int32_t>(open.back()) != span.parent) {
+      close_top(snapshot.spans);
+    }
+    emit(span.name, 'B', clamp(span.begin), 1);
+    open.push_back(i);
+  }
+  while (!open.empty()) close_top(snapshot.spans);
+
+  // Windows → X complete events + C throughput counters on tid 2.
+  for (const WindowRecord& rec : timeline) {
+    std::string extra = ",\"dur\":";
+    append_i64(extra, rec.end - rec.begin);
+    emit(rec.stage, 'X', rec.begin, 2, extra);
+    std::uint64_t records = 0;
+    std::uint64_t answered = 0;
+    std::uint64_t fault_lost = 0;
+    for (const VantageWindow& vw : rec.vantages) {
+      records += vw.records;
+      answered += vw.answered;
+      fault_lost += vw.fault_lost;
+    }
+    std::string args = ",\"args\":{\"records\":";
+    append_i64(args, static_cast<std::int64_t>(records));
+    args += ",\"answered\":";
+    append_i64(args, static_cast<std::int64_t>(answered));
+    args += ",\"fault_lost\":";
+    append_i64(args, static_cast<std::int64_t>(fault_lost));
+    args += "}";
+    emit("window_throughput", 'C', rec.end, 2, args);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::optional<std::string> lint_trace_events(std::string_view text) {
+  if (const auto err = lint_json(text)) return err;
+
+  // Events are one per line by construction; scan each line carrying a
+  // "ph" field, tracking per-tid ts monotonicity and B/E balance.
+  std::map<std::int64_t, std::int64_t> last_ts;
+  std::map<std::int64_t, std::int64_t> open_depth;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  const auto fail = [&](std::string_view what) {
+    return "line " + std::to_string(line_no) + ": " + std::string(what);
+  };
+  const auto field_int = [](std::string_view line, std::string_view key)
+      -> std::optional<std::int64_t> {
+    std::string pattern = "\"";
+    pattern += key;
+    pattern += "\":";
+    const std::size_t at = line.find(pattern);
+    if (at == std::string_view::npos) return std::nullopt;
+    std::int64_t parsed = 0;
+    const char* begin = line.data() + at + pattern.size();
+    const auto [ptr, ec] =
+        std::from_chars(begin, line.data() + line.size(), parsed);
+    if (ec != std::errc{} || ptr == begin) return std::nullopt;
+    return parsed;
+  };
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    const std::string_view line = text.substr(start, nl - start);
+    start = nl + 1;
+    ++line_no;
+    const std::size_t ph_at = line.find("\"ph\":\"");
+    if (ph_at == std::string_view::npos) continue;
+    if (ph_at + 6 >= line.size()) return fail("truncated ph");
+    const char ph = line[ph_at + 6];
+    const auto ts = field_int(line, "ts");
+    const auto tid = field_int(line, "tid");
+    if (!ts) return fail("event missing ts");
+    if (!tid) return fail("event missing tid");
+    if (const auto it = last_ts.find(*tid);
+        it != last_ts.end() && *ts < it->second) {
+      return fail("ts not monotone within tid");
+    }
+    last_ts[*tid] = *ts;
+    if (ph == 'B') {
+      ++open_depth[*tid];
+    } else if (ph == 'E') {
+      if (open_depth[*tid] == 0) return fail("E without matching B");
+      --open_depth[*tid];
+    }
+  }
+  for (const auto& [tid, depth] : open_depth) {
+    if (depth != 0) {
+      return "tid " + std::to_string(tid) + ": " + std::to_string(depth) +
+             " unclosed B event(s)";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace v6::obs

@@ -1,0 +1,42 @@
+// Chrome trace-event export: Tracer spans + timeline windows rendered in
+// the Trace Event Format that chrome://tracing and Perfetto load.
+//
+// Mapping:
+//   * every SpanRecord becomes a B/E duration pair on tid 1, emitted via a
+//     parent-stack walk over the spans in recorded order so the pairs nest
+//     exactly as the tracer recorded them;
+//   * every timeline WindowRecord becomes an X complete event on tid 2
+//     (name = stage, dur = window length) plus one C counter event at the
+//     window's close carrying the window's record/answer/fault-loss
+//     throughput (summed over vantages);
+//   * ts carries *simulated seconds* in the format's microsecond field —
+//     the study clock is virtual, so the displayed unit is cosmetic and
+//     small integers beat 10^6 scaling.
+//
+// Within each tid the emitted ts sequence is monotone non-decreasing
+// (clamped where sim windows touch), which is what the format requires
+// and what lint_trace_events() re-checks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/snapshot.h"
+#include "obs/timeline.h"
+
+namespace v6::obs {
+
+// Byte-deterministic render of `snapshot.spans` + `timeline` as a JSON
+// object {"displayTimeUnit", "traceEvents": [...]}. Either input may be
+// empty. One event per line, so linters and diffs stay line-oriented.
+std::string render_trace_events(const Snapshot& snapshot,
+                                const Timeline& timeline);
+
+// Validates a trace-event export: the whole text is valid JSON
+// (lint_json), every event's ph/ts/tid parse, ts is monotone
+// non-decreasing per tid, and B/E events pair up (never unbalanced, all
+// closed at the end). Returns nullopt on success, else a description.
+std::optional<std::string> lint_trace_events(std::string_view text);
+
+}  // namespace v6::obs

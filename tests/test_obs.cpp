@@ -111,6 +111,32 @@ TEST(MetricsRegistry, HistogramBucketsAreInclusiveUpperEdges) {
   EXPECT_DOUBLE_EQ(h.sum, 5650.0);
 }
 
+TEST(MetricsRegistry, HistogramBoundsMismatchYieldsNoOpHandle) {
+  Registry registry;
+  auto original = registry.histogram("latency_us", "", {100.0, 1000.0});
+  original.observe(50.0);
+
+  // Same identity, different bucket layout: the second registration gets
+  // a no-op handle (same contract as a type clash) instead of silently
+  // folding observations into the wrong buckets.
+  auto clash = registry.histogram("latency_us", "", {5.0, 10.0});
+  EXPECT_FALSE(clash.wired());
+  clash.observe(7.0);  // swallowed
+
+  // Bounds are compared after normalization: order and duplicates do not
+  // constitute a mismatch.
+  auto same = registry.histogram("latency_us", "", {1000.0, 100.0, 100.0});
+  EXPECT_TRUE(same.wired());
+  same.observe(500.0);
+
+  const auto snap = registry.snapshot();
+  const auto* sample = snap.find("latency_us");
+  ASSERT_NE(sample, nullptr);
+  ASSERT_EQ(sample->histogram.bounds, (std::vector<double>{100.0, 1000.0}));
+  EXPECT_EQ(sample->histogram.count, 2u);
+  EXPECT_DOUBLE_EQ(sample->histogram.sum, 550.0);
+}
+
 TEST(MetricsRegistry, SnapshotIsSortedByNameThenLabels) {
   Registry registry;
   // Register in anti-sorted order; the snapshot must not care.
@@ -205,6 +231,59 @@ TEST(TraceSpans, EndingAnOuterSpanClosesDeeperOpenSpans) {
   // The stack unwound: the next span is a fresh root.
   const auto next = tracer.begin_span("root2", 200);
   EXPECT_EQ(tracer.spans()[next].parent, -1);
+}
+
+TEST(TraceSpans, DeepNestingAutoClosesInOneSweep) {
+  Tracer tracer;
+  constexpr int kDepth = 200;
+  std::vector<Tracer::SpanId> ids;
+  for (int i = 0; i < kDepth; ++i) {
+    ids.push_back(tracer.begin_span("level", i));
+  }
+  tracer.end_span(ids.front(), 1000);  // closes all 200 at once
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kDepth));
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_TRUE(spans[i].closed);
+    EXPECT_EQ(spans[i].end, 1000);
+    EXPECT_EQ(spans[i].depth, static_cast<std::size_t>(i));
+    EXPECT_EQ(spans[i].parent, i - 1);
+  }
+  const auto fresh = tracer.begin_span("fresh", 2000);
+  EXPECT_EQ(tracer.spans()[fresh].parent, -1);
+}
+
+TEST(TraceSpans, ConcurrentBeginEndKeepsEverySpanWellFormed) {
+  // Spans mark stage boundaries, but nothing stops two stages ending on
+  // different threads; the Tracer's mutex must keep the records
+  // structurally sound (no lost spans, every one closed, parents valid).
+  // The TSan tier re-runs this shape under -fsanitize=thread.
+  Tracer tracer;
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const auto id =
+            tracer.begin_span("worker", t * kSpansPerThread + i);
+        tracer.end_span(id, t * kSpansPerThread + i + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads * kSpansPerThread));
+  for (const auto& span : spans) {
+    EXPECT_TRUE(span.closed);
+    // (begin <= end is NOT asserted: a cross-thread auto-close can stamp
+    // an earlier sim time; the trace exporter clamps for that reason.)
+    EXPECT_GE(span.parent, -1);
+    EXPECT_LT(span.parent, static_cast<std::int32_t>(spans.size()));
+  }
 }
 
 // --- Exposition ------------------------------------------------------------
@@ -327,6 +406,46 @@ TEST(ExpositionLint, RejectsMalformedLinesWithLineNumbers) {
                 "line 2: histogram _bucket sample without le label"));
   EXPECT_EQ(lint_prometheus("# TYPE a flavor\n"),
             std::optional<std::string>("line 1: unknown TYPE kind"));
+}
+
+TEST(ExpositionLint, LabelValueEscapesAreValidated) {
+  // The three legal escapes pass...
+  EXPECT_EQ(lint_prometheus("a{x=\"q\\\\b\\\"c\\nd\"} 1\n"), std::nullopt);
+  // ...anything else after a backslash is rejected...
+  EXPECT_EQ(lint_prometheus("a{x=\"bad\\tescape\"} 1\n"),
+            std::optional<std::string>(
+                "line 1: invalid escape in label value"));
+  // ...as is a backslash with nothing after it...
+  EXPECT_EQ(lint_prometheus("a{x=\"dangling\\\n"),
+            std::optional<std::string>(
+                "line 1: dangling escape in label value"));
+  // ...and a backslash that swallows the closing quote reads as an
+  // escaped quote, leaving the value unterminated.
+  EXPECT_EQ(lint_prometheus("a{x=\"dangling\\\"} 1\n"),
+            std::optional<std::string>(
+                "line 1: unterminated label value"));
+}
+
+TEST(ExpositionLint, DuplicateSeriesAreRejected) {
+  EXPECT_EQ(lint_prometheus("a{x=\"1\"} 1\na{x=\"1\"} 2\n"),
+            std::optional<std::string>(
+                "line 2: duplicate series (same name and labels)"));
+  // Label order does not disguise a duplicate.
+  EXPECT_EQ(lint_prometheus("a{x=\"1\",y=\"2\"} 1\na{y=\"2\",x=\"1\"} 2\n"),
+            std::optional<std::string>(
+                "line 2: duplicate series (same name and labels)"));
+  // Different label values are distinct series.
+  EXPECT_EQ(lint_prometheus("a{x=\"1\"} 1\na{x=\"2\"} 2\n"), std::nullopt);
+}
+
+TEST(Exposition, LabelValuesAreEscapedAndRoundTripTheLinter) {
+  Registry registry;
+  registry.counter("esc_total", "", {{"path", "a\\b\"c\nd"}}).inc(1);
+  const std::string text =
+      render(registry.snapshot(), ExpositionFormat::kPrometheus);
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(lint_prometheus(text), std::nullopt);
 }
 
 // --- Study integration -----------------------------------------------------

@@ -24,6 +24,7 @@
 #include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
@@ -203,6 +204,51 @@ void metrics_registry_race() {
         "registry histogram count");
 }
 
+// The tracer's claim (obs/trace.h): begin/end from racing threads — with
+// spans() snapshots taken while writers are live — must be clean under
+// TSan, and the auto-close sweep has to leave every span closed with a
+// parent that points at an earlier begin.
+void tracer_race() {
+  v6::obs::Tracer tracer;
+  constexpr unsigned kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&tracer, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.spans();  // live snapshot racing begin/end
+    }
+  });
+
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (unsigned w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&tracer, w] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        const auto t = static_cast<v6::util::SimTime>(w * kSpansPerThread + i);
+        const auto id = tracer.begin_span("race", t);
+        if ((i & 7) != 0) tracer.end_span(id, t + 1);
+        // Every 8th span is left open: a racing end_span() on an outer
+        // span auto-closes it, exercising the sweep under contention.
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  // Close everything still open via the earliest recorded span.
+  tracer.end_span(0, kThreads * kSpansPerThread + 1);
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  const auto spans = tracer.spans();
+  check(spans.size() == std::size_t{kThreads} * kSpansPerThread,
+        "tracer span count");
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    check(spans[i].closed, "tracer span closed");
+    check(spans[i].parent < static_cast<std::int32_t>(i),
+          "tracer parent precedes child");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -211,6 +257,7 @@ int main() {
   concurrent_distribution_readers();
   parallel_scan_analysis();
   metrics_registry_race();
+  tracer_race();
   std::printf("tsan concurrency checks passed\n");
   return 0;
 }
