@@ -9,9 +9,12 @@
 //   V6_BENCH_SEED   — world seed                    (default 2022)
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/study.h"
 #include "util/stats.h"
@@ -40,6 +43,27 @@ class Comparison {
 
  private:
   util::TablePrinter table_;
+};
+
+// Machine-readable bench output. Accumulates flat key/value metrics and
+// writes them as one JSON object (a `BENCH_*.json` file in the working
+// directory) so CI can archive the perf trajectory run over run instead
+// of scraping stdout tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name);
+
+  void number(const std::string& key, double value);
+  void integer(const std::string& key, std::uint64_t value);
+  void boolean(const std::string& key, bool value);
+  void text(const std::string& key, const std::string& value);
+
+  // Writes the object to `path` and prints the path; returns false (and
+  // reports on stderr) if the file cannot be written.
+  bool write(const std::string& path) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 // Runs fn() and prints its wall-clock seconds.

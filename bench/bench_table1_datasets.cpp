@@ -14,6 +14,9 @@ int main() {
   bench::print_banner("Table 1: dataset comparison", config);
 
   core::Study study(config);
+  double serial_s = 0.0;
+  double sharded_s = 0.0;
+  std::uint64_t ablation_addresses = 0;
 
   // Sharded-collection ablation: the same world and window, fast path,
   // serial vs four shards. On a multicore host the sharded pass should
@@ -26,7 +29,7 @@ int main() {
     hitlist::PassiveCollector serial(study.world(), study.plane(), dns,
                                      serial_config);
     hitlist::Corpus serial_corpus(1 << 16);
-    const double serial_s =
+    serial_s =
         bench::timed_seconds("passive collection, threads=1", [&] {
           serial.run(serial_corpus, config.world.study_start,
                      config.world.study_start +
@@ -35,7 +38,7 @@ int main() {
     hitlist::PassiveCollector sharded(study.world(), study.plane(), dns,
                                       config.collector);
     hitlist::Corpus sharded_corpus(1 << 16);
-    const double sharded_s =
+    sharded_s =
         bench::timed_seconds("passive collection, threads=4", [&] {
           sharded.run(sharded_corpus, config.world.study_start,
                       config.world.study_start +
@@ -50,10 +53,14 @@ int main() {
                             serial_corpus.total_observations()
                     ? "yes"
                     : "NO — DETERMINISM BUG");
+    ablation_addresses = sharded_corpus.size();
   }
 
-  bench::timed("passive NTP collection", [&] { study.collect(); });
-  bench::timed("active campaigns", [&] { study.run_campaigns(); });
+  const double collect_s =
+      bench::timed_seconds("passive NTP collection",
+                           [&] { study.collect(); });
+  const double campaigns_s = bench::timed_seconds(
+      "active campaigns", [&] { study.run_campaigns(); });
   const auto& r = study.results();
 
   const auto ntp =
@@ -155,5 +162,27 @@ int main() {
                             static_cast<double>(std::max<std::uint64_t>(
                                 1, total)))
                   .c_str());
+
+  bench::BenchJson json("bench_table1_datasets");
+  json.number("collect_seconds", collect_s);
+  json.number("campaigns_seconds", campaigns_s);
+  json.number("collection_speedup_4_threads",
+              sharded_s > 0 ? serial_s / sharded_s : 0.0);
+  json.integer("ablation_addresses", ablation_addresses);
+  json.integer("ntp_addresses", ntp.addresses);
+  json.integer("hitlist_addresses", hitlist.addresses);
+  json.integer("caida_addresses", caida.addresses);
+  json.number("ntp_over_hitlist", ntp_over_hitlist);
+  json.number("ntp_over_caida", ntp_over_caida);
+  json.number("hitlist_found_by_ntp",
+              static_cast<double>(hitlist.common_addresses) /
+                  static_cast<double>(
+                      std::max<std::uint64_t>(1, hitlist.addresses)));
+  json.integer("ntp_asns", ntp.asns);
+  json.number("ntp_addrs_per_slash48", ntp.addrs_per_slash48);
+  json.number("top5_country_share",
+              static_cast<double>(top5) /
+                  static_cast<double>(std::max<std::uint64_t>(1, total)));
+  json.write("BENCH_table1.json");
   return 0;
 }

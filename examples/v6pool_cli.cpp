@@ -4,15 +4,20 @@
 //   v6pool_cli world  [--sites N] [--seed S]
 //       generate a world and print its inventory
 //   v6pool_cli study  [--sites N] [--days D] [--seed S] [--threads T]
+//                     [--memory-budget-mb M] [--spill-dir DIR]
 //                     [--release FILE] [--metrics-out FILE]
 //                     [--metrics-format prom|json]
 //                     [--sample-days D] [--timeline-out FILE]
 //                     [--timeline-format jsonl|csv] [--trace-out FILE]
 //       run every stage and print the headline numbers; --threads T runs
 //       the analysis scans on T threads (0 = all cores, results are
-//       bit-identical at any count); optionally write the /48-aggregated
-//       release (k-anonymity floor 3) to FILE, and/or the study's metrics
-//       snapshot (Prometheus text by default) to --metrics-out.
+//       bit-identical at any count); --memory-budget-mb M runs the
+//       collection out-of-core, spilling shard tables to sorted run files
+//       (in --spill-dir, or a temp directory) whenever they cross M MiB —
+//       every number printed is bit-identical to the in-memory run;
+//       optionally write the /48-aggregated release (k-anonymity floor 3)
+//       to FILE, and/or the study's metrics snapshot (Prometheus text by
+//       default) to --metrics-out.
 //       --sample-days D turns on sim-time timeline sampling every D days;
 //       --timeline-out writes the sampled WindowRecords (JSONL default),
 //       --trace-out writes a Chrome trace-event file (chrome://tracing /
@@ -106,6 +111,15 @@ int cmd_study(int argc, char** argv) {
                                   config.world.study_duration);
   config.analysis.threads =
       static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
+  if (const std::uint64_t budget_mb =
+          flag_u64(argc, argv, "--memory-budget-mb", 0);
+      budget_mb > 0) {
+    config.spill.memory_budget_bytes =
+        static_cast<std::size_t>(budget_mb) << 20;
+    if (const char* dir = flag_str(argc, argv, "--spill-dir")) {
+      config.spill.directory = dir;
+    }
+  }
 
   core::RunOptions options;
   options.sample_interval =
@@ -149,7 +163,24 @@ int cmd_study(int argc, char** argv) {
               config.analysis.resolved_threads(),
               config.analysis.resolved_threads() == 1 ? "" : "s");
 
-  analysis::Eui64Tracker tracker(r.ntp, study.world());
+  // Out-of-core runs leave r.ntp empty. The analyses above streamed the
+  // merged runs; the extras below (EUI-64 tracking, the /48 release)
+  // still want an in-memory view, so collapse the runs once here.
+  hitlist::Corpus collapsed(1);
+  const hitlist::Corpus* ntp_corpus = &r.ntp;
+  if (r.ntp_runs != nullptr) {
+    const auto& stats = r.ntp_runs->stats();
+    std::printf("out-of-core   : %s spills, %zu run file%s, %s bytes on "
+                "disk\n",
+                util::with_commas(stats.spills).c_str(),
+                r.ntp_runs->run_count(),
+                r.ntp_runs->run_count() == 1 ? "" : "s",
+                util::with_commas(stats.disk_bytes).c_str());
+    collapsed = r.ntp_runs->collapse();
+    ntp_corpus = &collapsed;
+  }
+
+  analysis::Eui64Tracker tracker(*ntp_corpus, study.world());
   std::printf("privacy       : %s EUI-64 addresses, %s embedded MACs, %s "
               "trackable\n",
               util::with_commas(tracker.eui64_addresses()).c_str(),
@@ -162,7 +193,7 @@ int cmd_study(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", path);
       return 1;
     }
-    const auto bytes = hitlist::save_corpus(out, r.ntp);
+    const auto bytes = study.save_ntp(out);
     std::printf("corpus        : %s bytes -> %s (binary snapshot)\n",
                 util::with_commas(bytes).c_str(), path);
   }
@@ -172,7 +203,7 @@ int cmd_study(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", path);
       return 1;
     }
-    const auto rows = hitlist::aggregate_to_slash48(r.ntp);
+    const auto rows = hitlist::aggregate_to_slash48(*ntp_corpus);
     hitlist::write_release(out, rows, /*min_count=*/3);
     std::printf("release       : %zu /48 rows -> %s (k-anonymity floor 3)\n",
                 rows.size(), path);
@@ -281,6 +312,7 @@ int main(int argc, char** argv) {
       "usage:\n"
       "  v6pool_cli world [--sites N] [--seed S]\n"
       "  v6pool_cli study [--sites N] [--days D] [--seed S] "
+      "[--memory-budget-mb M] [--spill-dir DIR] "
       "[--release FILE] [--save-corpus FILE] [--metrics-out FILE "
       "[--metrics-format prom|json]] [--sample-days D] "
       "[--timeline-out FILE [--timeline-format jsonl|csv]] "

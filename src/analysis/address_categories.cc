@@ -15,7 +15,7 @@ bool in_window(const hitlist::AddressRecord& rec, util::SimTime start,
 
 }  // namespace
 
-CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
+CategoryBreakdown categorize_corpus(const ScanSource& source,
                                     const sim::World& world,
                                     util::SimTime window_start,
                                     util::SimTime window_end,
@@ -30,7 +30,7 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
   };
   using PerAs = std::unordered_map<std::uint32_t, AsStats>;
   const PerAs per_as = scan_corpus<PerAs>(
-      corpus, analysis, "categorize_corpus/per_as", [] { return PerAs(); },
+      source, analysis, "categorize_corpus/per_as", [] { return PerAs(); },
       [&](PerAs& m, const hitlist::AddressRecord& rec) {
         if (!in_window(rec, window_start, window_end)) return;
         const auto as_index = world.as_index_of(rec.address);
@@ -70,7 +70,7 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
   // read-only). Addresses outside the (simulated) BGP table are skipped,
   // as in pass 1 — AS attribution is part of the methodology.
   return scan_corpus<CategoryBreakdown>(
-      corpus, analysis, "categorize_corpus/classify",
+      source, analysis, "categorize_corpus/classify",
       [] { return CategoryBreakdown(); },
       [&](CategoryBreakdown& b, const hitlist::AddressRecord& rec) {
         if (!in_window(rec, window_start, window_end)) return;
@@ -99,6 +99,17 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
         into.total += from.total;
       },
       stats);
+}
+
+CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
+                                    const sim::World& world,
+                                    util::SimTime window_start,
+                                    util::SimTime window_end,
+                                    const CategoryConfig& config,
+                                    const AnalysisConfig& analysis,
+                                    std::vector<AnalysisStageStats>* stats) {
+  return categorize_corpus(make_source(corpus), world, window_start,
+                           window_end, config, analysis, stats);
 }
 
 }  // namespace v6::analysis

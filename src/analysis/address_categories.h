@@ -52,4 +52,13 @@ CategoryBreakdown categorize_corpus(const hitlist::Corpus& corpus,
                                     std::vector<AnalysisStageStats>* stats =
                                         nullptr);
 
+CategoryBreakdown categorize_corpus(const ScanSource& source,
+                                    const sim::World& world,
+                                    util::SimTime window_start,
+                                    util::SimTime window_end,
+                                    const CategoryConfig& config = {},
+                                    const AnalysisConfig& analysis = {},
+                                    std::vector<AnalysisStageStats>* stats =
+                                        nullptr);
+
 }  // namespace v6::analysis

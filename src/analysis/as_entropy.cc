@@ -8,7 +8,7 @@
 namespace v6::analysis {
 
 std::vector<AsEntropyProfile> top_as_entropy_profiles(
-    const hitlist::Corpus& corpus, const sim::World& world, std::size_t n,
+    const ScanSource& source, const sim::World& world, std::size_t n,
     util::SimTime window_start, util::SimTime window_end,
     const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
   using PerAsSamples = std::unordered_map<std::uint32_t, std::vector<double>>;
@@ -16,7 +16,7 @@ std::vector<AsEntropyProfile> top_as_entropy_profiles(
   // sample sequence equal to the serial visit order, so the resulting
   // distributions are bit-identical at any thread count.
   auto samples = scan_corpus<PerAsSamples>(
-      corpus, config, "top_as_entropy_profiles",
+      source, config, "top_as_entropy_profiles",
       [] { return PerAsSamples(); },
       [&](PerAsSamples& m, const hitlist::AddressRecord& rec) {
         if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
@@ -58,6 +58,14 @@ std::vector<AsEntropyProfile> top_as_entropy_profiles(
             });
   if (profiles.size() > n) profiles.resize(n);
   return profiles;
+}
+
+std::vector<AsEntropyProfile> top_as_entropy_profiles(
+    const hitlist::Corpus& corpus, const sim::World& world, std::size_t n,
+    util::SimTime window_start, util::SimTime window_end,
+    const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
+  return top_as_entropy_profiles(make_source(corpus), world, n, window_start,
+                                 window_end, config, stats);
 }
 
 }  // namespace v6::analysis

@@ -32,4 +32,10 @@ std::vector<AsEntropyProfile> top_as_entropy_profiles(
     const AnalysisConfig& config = {},
     std::vector<AnalysisStageStats>* stats = nullptr);
 
+std::vector<AsEntropyProfile> top_as_entropy_profiles(
+    const ScanSource& source, const sim::World& world, std::size_t n,
+    util::SimTime window_start, util::SimTime window_end,
+    const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
+
 }  // namespace v6::analysis

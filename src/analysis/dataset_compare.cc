@@ -1,6 +1,8 @@
 #include "analysis/dataset_compare.h"
 
 #include <array>
+#include <optional>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace v6::analysis {
@@ -31,14 +33,25 @@ void union_into(std::unordered_set<T>& into, std::unordered_set<T>&& from) {
 }  // namespace
 
 DatasetSummary summarize_dataset(const std::string& name,
-                                 const hitlist::Corpus& corpus,
+                                 const ScanSource& corpus,
                                  const sim::World& world,
-                                 const hitlist::Corpus* base,
+                                 const ScanSource* base,
                                  const AnalysisConfig& config,
                                  std::vector<AnalysisStageStats>* stats) {
   DatasetSummary summary;
   summary.name = name;
-  summary.addresses = corpus.size();
+  summary.addresses = corpus.records;
+
+  // common_addresses needs point membership across the two datasets:
+  // probe the base from the main scan when the base supports it (the
+  // in-memory path), otherwise invert — scan the base once and probe the
+  // summarized corpus. Both count the same intersection.
+  const bool base_has_contains = base != nullptr && base->contains != nullptr;
+  const bool invert_membership = base != nullptr && !base_has_contains;
+  if (invert_membership && corpus.contains == nullptr) {
+    throw std::invalid_argument(
+        "summarize_dataset: neither dataset supports membership probes");
+  }
 
   // Base-dataset coverage for the "common" columns (its own scan; the
   // main scan below reads the result concurrently, but read-only).
@@ -71,7 +84,9 @@ DatasetSummary summarize_dataset(const std::string& name,
           }
         }
         if (base != nullptr) {
-          if (base->find(rec.address) != nullptr) ++s.common_addresses;
+          if (base_has_contains && base->contains(rec.address)) {
+            ++s.common_addresses;
+          }
           if (base_cov.s48s.contains(s48)) s.common_s48s.insert(s48);
         }
       },
@@ -84,9 +99,26 @@ DatasetSummary summarize_dataset(const std::string& name,
       },
       stats);
 
+  // Inverted membership: one extra pass over the base, counting its
+  // records present in the summarized corpus. O(|base|) probes against
+  // the in-memory side instead of per-record stream lookups against the
+  // tiered side.
+  std::uint64_t inverted_common = 0;
+  if (invert_membership) {
+    inverted_common = scan_corpus<std::uint64_t>(
+        *base, config, "summarize_dataset/common",
+        [] { return std::uint64_t{0}; },
+        [&corpus](std::uint64_t& n, const hitlist::AddressRecord& rec) {
+          if (corpus.contains(rec.address)) ++n;
+        },
+        [](std::uint64_t& into, std::uint64_t&& from) { into += from; },
+        stats);
+  }
+
   summary.asns = cov.asns.size();
   summary.slash48s = cov.s48s.size();
-  summary.common_addresses = cov.common_addresses;
+  summary.common_addresses =
+      invert_membership ? inverted_common : cov.common_addresses;
   summary.common_asns = cov.common_asns.size();
   summary.common_slash48s = cov.common_s48s.size();
   summary.addrs_per_slash48 =
@@ -95,6 +127,19 @@ DatasetSummary summarize_dataset(const std::string& name,
           : static_cast<double>(summary.addresses) /
                 static_cast<double>(summary.slash48s);
   return summary;
+}
+
+DatasetSummary summarize_dataset(const std::string& name,
+                                 const hitlist::Corpus& corpus,
+                                 const sim::World& world,
+                                 const hitlist::Corpus* base,
+                                 const AnalysisConfig& config,
+                                 std::vector<AnalysisStageStats>* stats) {
+  std::optional<ScanSource> base_source;
+  if (base != nullptr) base_source.emplace(make_source(*base));
+  return summarize_dataset(name, make_source(corpus), world,
+                           base_source ? &*base_source : nullptr, config,
+                           stats);
 }
 
 std::vector<std::pair<sim::AsType, double>> as_type_fractions(

@@ -38,6 +38,20 @@ DatasetSummary summarize_dataset(const std::string& name,
                                  std::vector<AnalysisStageStats>* stats =
                                      nullptr);
 
+// Source-based variant, the one the out-of-core pipeline uses. The
+// common_addresses column needs a membership test between the two
+// datasets; when `base` has no contains() (a tiered base) but `corpus`
+// does, the test is inverted — one extra scan over the base counts its
+// records present in `corpus`, which is the same intersection size. If
+// neither side supports contains(), throws std::invalid_argument.
+DatasetSummary summarize_dataset(const std::string& name,
+                                 const ScanSource& corpus,
+                                 const sim::World& world,
+                                 const ScanSource* base = nullptr,
+                                 const AnalysisConfig& config = {},
+                                 std::vector<AnalysisStageStats>* stats =
+                                     nullptr);
+
 // Fraction of corpus addresses originating in ASes of each type (the ASdb
 // classification proxy). Indexed by sim::AsType.
 std::vector<std::pair<sim::AsType, double>> as_type_fractions(

@@ -18,15 +18,21 @@ void append_samples(Samples& into, Samples&& from) {
 }  // namespace
 
 util::EmpiricalDistribution entropy_distribution(
-    const hitlist::Corpus& c, const AnalysisConfig& config,
+    const ScanSource& source, const AnalysisConfig& config,
     std::vector<AnalysisStageStats>* stats) {
   auto samples = scan_corpus<Samples>(
-      c, config, "entropy_distribution", [] { return Samples(); },
+      source, config, "entropy_distribution", [] { return Samples(); },
       [](Samples& s, const hitlist::AddressRecord& rec) {
         s.push_back(net::iid_entropy(rec.address));
       },
       append_samples, stats);
   return util::EmpiricalDistribution(std::move(samples));
+}
+
+util::EmpiricalDistribution entropy_distribution(
+    const hitlist::Corpus& c, const AnalysisConfig& config,
+    std::vector<AnalysisStageStats>* stats) {
+  return entropy_distribution(make_source(c), config, stats);
 }
 
 util::EmpiricalDistribution entropy_distribution(

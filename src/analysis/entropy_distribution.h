@@ -20,6 +20,12 @@ util::EmpiricalDistribution entropy_distribution(
     const hitlist::Corpus& c, const AnalysisConfig& config = {},
     std::vector<AnalysisStageStats>* stats = nullptr);
 
+// Same, over any record source (in-memory or out-of-core); results are
+// bit-identical across backends for the same record set.
+util::EmpiricalDistribution entropy_distribution(
+    const ScanSource& source, const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
+
 // Same, over an explicit address set.
 util::EmpiricalDistribution entropy_distribution(
     std::span<const net::Ipv6Address> addresses);

@@ -39,12 +39,11 @@ struct BandTallies {
 }  // namespace
 
 AddressLifetimeReport address_lifetimes(
-    const hitlist::Corpus& corpus,
-    std::span<const util::SimDuration> ccdf_points,
+    const ScanSource& source, std::span<const util::SimDuration> ccdf_points,
     const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
   const std::size_t n_points = ccdf_points.size();
   const auto tallies = scan_corpus<AddressTallies>(
-      corpus, config, "address_lifetimes",
+      source, config, "address_lifetimes",
       [n_points] {
         AddressTallies t;
         t.at_least.assign(n_points, 0);
@@ -89,17 +88,26 @@ AddressLifetimeReport address_lifetimes(
   return report;
 }
 
-IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
+AddressLifetimeReport address_lifetimes(
+    const hitlist::Corpus& corpus,
+    std::span<const util::SimDuration> ccdf_points,
+    const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
+  return address_lifetimes(make_source(corpus), ccdf_points, config, stats);
+}
+
+IidLifetimeReport iid_lifetimes(const ScanSource& source,
                                 std::span<const util::SimDuration> cdf_points,
                                 const AnalysisConfig& config,
                                 std::vector<AnalysisStageStats>* stats) {
   // Phase 1: collapse addresses to IID spans (lifetime spans all
   // sightings of the IID across every prefix it appeared under).
   IidSpans iids = scan_corpus<IidSpans>(
-      corpus, config, "iid_lifetimes/spans",
-      [&corpus, &config] {
+      source, config, "iid_lifetimes/spans",
+      [&source, &config] {
         IidSpans m;
-        m.reserve(corpus.size() / config.resolved_threads() + 1);
+        m.reserve(static_cast<std::size_t>(source.records) /
+                      config.resolved_threads() +
+                  1);
         return m;
       },
       [](IidSpans& m, const hitlist::AddressRecord& rec) {
@@ -216,6 +224,13 @@ IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
         .observe(static_cast<double>(merge_us));
   }
   return report;
+}
+
+IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
+                                std::span<const util::SimDuration> cdf_points,
+                                const AnalysisConfig& config,
+                                std::vector<AnalysisStageStats>* stats) {
+  return iid_lifetimes(make_source(corpus), cdf_points, config, stats);
 }
 
 }  // namespace v6::analysis

@@ -35,6 +35,11 @@ AddressLifetimeReport address_lifetimes(
     const AnalysisConfig& config = {},
     std::vector<AnalysisStageStats>* stats = nullptr);
 
+AddressLifetimeReport address_lifetimes(
+    const ScanSource& source, std::span<const util::SimDuration> ccdf_points,
+    const AnalysisConfig& config = {},
+    std::vector<AnalysisStageStats>* stats = nullptr);
+
 // IID lifetimes bucketed by entropy band (Fig 2b): an IID's lifetime spans
 // every address it appeared in.
 struct IidLifetimeReport {
@@ -50,6 +55,12 @@ struct IidLifetimeReport {
 };
 
 IidLifetimeReport iid_lifetimes(const hitlist::Corpus& corpus,
+                                std::span<const util::SimDuration> cdf_points,
+                                const AnalysisConfig& config = {},
+                                std::vector<AnalysisStageStats>* stats =
+                                    nullptr);
+
+IidLifetimeReport iid_lifetimes(const ScanSource& source,
                                 std::span<const util::SimDuration> cdf_points,
                                 const AnalysisConfig& config = {},
                                 std::vector<AnalysisStageStats>* stats =

@@ -18,11 +18,11 @@ ParallelScan::ParallelScan(const AnalysisConfig& config) : config_(config) {}
 
 ParallelScan::~ParallelScan() = default;
 
-void ParallelScan::run(const hitlist::Corpus& corpus) {
+void ParallelScan::run(const ScanSource& source) {
   if (kernels_.empty()) return;
   const std::uint64_t t_start = monotonic_micros();
   const unsigned shards = config_.resolved_threads();
-  const std::size_t span = corpus.slot_span();
+  const std::size_t span = source.span;
   const std::size_t n_kernels = kernels_.size();
 
   // Per-shard state matrix. States are created INSIDE each worker so the
@@ -43,7 +43,7 @@ void ParallelScan::run(const hitlist::Corpus& corpus) {
                       row.reserve(n_kernels);
                       for (const auto& k : kernels_) row.push_back(k.make());
                       std::uint64_t n = 0;
-                      corpus.for_each_in_slot_range(
+                      source.visit(
                           begin, end, [&](const hitlist::AddressRecord& rec) {
                             for (std::size_t k = 0; k < n_kernels; ++k) {
                               kernels_[k].step(row[k], rec);

@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/scan_source.h"
 #include "hitlist/corpus.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -123,11 +124,14 @@ class ParallelScan {
     kernels_.push_back(std::move(k));
   }
 
-  // One pass over `corpus`: every registered kernel sees every record.
+  // One pass over `source`: every registered kernel sees every record.
   // Appends one AnalysisStageStats per kernel to stats(). Reusable — a
   // second run() re-runs the same kernels (with fresh make() states) and
   // appends more stats.
-  void run(const hitlist::Corpus& corpus);
+  void run(const ScanSource& source);
+
+  // Convenience over the in-memory backend.
+  void run(const hitlist::Corpus& corpus) { run(make_source(corpus)); }
 
   const std::vector<AnalysisStageStats>& stats() const noexcept {
     return stats_;
@@ -148,10 +152,10 @@ class ParallelScan {
   std::vector<AnalysisStageStats> stats_;
 };
 
-// Single-kernel convenience: scans `corpus` and returns the merged State.
+// Single-kernel convenience: scans `source` and returns the merged State.
 // When `stats` is non-null the stage's AnalysisStageStats is appended.
 template <typename State, typename MakeFn, typename StepFn, typename MergeFn>
-State scan_corpus(const hitlist::Corpus& corpus, const AnalysisConfig& config,
+State scan_corpus(const ScanSource& source, const AnalysisConfig& config,
                   std::string_view stage, MakeFn make, StepFn step,
                   MergeFn merge,
                   std::vector<AnalysisStageStats>* stats = nullptr) {
@@ -160,11 +164,21 @@ State scan_corpus(const hitlist::Corpus& corpus, const AnalysisConfig& config,
   scan.add_kernel<State>(
       std::string(stage), std::move(make), std::move(step), std::move(merge),
       [&out](State&& merged) { out.emplace(std::move(merged)); });
-  scan.run(corpus);
+  scan.run(source);
   if (stats != nullptr) {
     stats->insert(stats->end(), scan.stats().begin(), scan.stats().end());
   }
   return std::move(*out);
+}
+
+template <typename State, typename MakeFn, typename StepFn, typename MergeFn>
+State scan_corpus(const hitlist::Corpus& corpus, const AnalysisConfig& config,
+                  std::string_view stage, MakeFn make, StepFn step,
+                  MergeFn merge,
+                  std::vector<AnalysisStageStats>* stats = nullptr) {
+  return scan_corpus<State>(make_source(corpus), config, stage,
+                            std::move(make), std::move(step),
+                            std::move(merge), stats);
 }
 
 }  // namespace v6::analysis

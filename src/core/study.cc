@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "analysis/entropy_distribution.h"
+#include "analysis/scan_source.h"
+#include "hitlist/corpus_io.h"
 
 namespace v6::core {
 
@@ -73,10 +75,17 @@ void Study::do_collect(const hitlist::CheckpointSink& sink) {
   collected_ = true;
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       collector_config());
-  // Reserve roughly: polls produce ~0.5 unique addresses each.
-  collector.run(results_.ntp, config_.world.study_start,
-                config_.world.study_start + config_.world.study_duration, {},
-                sink);
+  const util::SimTime start = config_.world.study_start;
+  const util::SimTime end = start + config_.world.study_duration;
+  if (config_.spill.active()) {
+    // Out-of-core: shard tables flush to sorted runs at merge barriers;
+    // the merged stream is what every later stage reads.
+    results_.ntp_runs = std::make_unique<hitlist::TieredCorpus>(
+        config_.spill, config_.metrics ? metrics_.get() : nullptr);
+    collector.run(*results_.ntp_runs, start, end, {}, sink);
+  } else {
+    collector.run(results_.ntp, start, end, {}, sink);
+  }
   results_.polls_attempted = collector.polls_attempted();
   results_.polls_answered = collector.polls_answered();
   results_.vantage_health = collector.vantage_health();
@@ -205,20 +214,28 @@ void Study::do_analysis() {
   AnalysisReport& report = results_.analysis;
   auto* stats = &report.stage_stats;
 
+  // All five analyses run over a ScanSource, so the same kernels stream
+  // the merged on-disk runs when the study collected out-of-core.
+  const analysis::ScanSource ntp_src =
+      results_.ntp_runs != nullptr ? analysis::make_source(*results_.ntp_runs)
+                                   : analysis::make_source(results_.ntp);
+
   // Fig 1: IID entropy over the NTP corpus.
-  report.entropy = analysis::entropy_distribution(results_.ntp, cfg, stats);
+  report.entropy = analysis::entropy_distribution(ntp_src, cfg, stats);
 
   // Table 1: the NTP corpus is the base; campaign datasets (if collected)
-  // get intersection columns against it.
+  // get intersection columns against it. A tiered base has no membership
+  // probe — summarize_dataset inverts the intersection scan instead.
   report.table1.clear();
   report.table1.push_back(analysis::summarize_dataset(
-      "NTP corpus", results_.ntp, *world_, nullptr, cfg, stats));
+      "NTP corpus", ntp_src, *world_, nullptr, cfg, stats));
   if (campaigned_) {
     report.table1.push_back(analysis::summarize_dataset(
-        "IPv6 Hitlist", results_.hitlist.corpus, *world_, &results_.ntp, cfg,
-        stats));
+        "IPv6 Hitlist", analysis::make_source(results_.hitlist.corpus),
+        *world_, &ntp_src, cfg, stats));
     report.table1.push_back(analysis::summarize_dataset(
-        "CAIDA", results_.caida.corpus, *world_, &results_.ntp, cfg, stats));
+        "CAIDA", analysis::make_source(results_.caida.corpus), *world_,
+        &ntp_src, cfg, stats));
   }
 
   // Fig 2: address/IID lifetime curves over the standard point grid.
@@ -235,36 +252,43 @@ void Study::do_analysis() {
       6 * util::kMonth,
   };
   report.address_lifetimes =
-      analysis::address_lifetimes(results_.ntp, points, cfg, stats);
-  report.iid_lifetimes =
-      analysis::iid_lifetimes(results_.ntp, points, cfg, stats);
+      analysis::address_lifetimes(ntp_src, points, cfg, stats);
+  report.iid_lifetimes = analysis::iid_lifetimes(ntp_src, points, cfg, stats);
 
   // Fig 4: top-N AS entropy profiles over the full study window.
   const util::SimTime start = config_.world.study_start;
   const util::SimTime end = start + config_.world.study_duration;
   report.top_ases = analysis::top_as_entropy_profiles(
-      results_.ntp, *world_, config_.analysis_top_ases, start, end, cfg,
-      stats);
+      ntp_src, *world_, config_.analysis_top_ases, start, end, cfg, stats);
 
   // Fig 5: the seven-way category breakdown.
-  report.categories =
-      analysis::categorize_corpus(results_.ntp, *world_, start, end, {}, cfg,
-                                  stats);
+  report.categories = analysis::categorize_corpus(ntp_src, *world_, start,
+                                                  end, {}, cfg, stats);
 }
 
 std::vector<std::pair<geo::CountryCode, std::uint64_t>> Study::country_mix()
     const {
   std::unordered_map<geo::CountryCode, std::uint64_t> counts;
-  results_.ntp.for_each([&](const hitlist::AddressRecord& rec) {
+  const auto tally = [&](const hitlist::AddressRecord& rec) {
     if (const auto as_index = world_->as_index_of(rec.address)) {
       ++counts[world_->country_of_as(*as_index)];
     }
-  });
+  };
+  if (results_.ntp_runs != nullptr) {
+    results_.ntp_runs->for_each_merged(tally);
+  } else {
+    results_.ntp.for_each(tally);
+  }
   std::vector<std::pair<geo::CountryCode, std::uint64_t>> out(counts.begin(),
                                                               counts.end());
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   return out;
+}
+
+std::size_t Study::save_ntp(std::ostream& out) const {
+  if (results_.ntp_runs != nullptr) return results_.ntp_runs->save(out);
+  return hitlist::save_corpus(out, results_.ntp);
 }
 
 const StudyResults& Study::run(RunOptions options) {

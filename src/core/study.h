@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "hitlist/checkpoint_io.h"
 #include "hitlist/corpus.h"
 #include "hitlist/passive_collector.h"
+#include "hitlist/tiered_corpus.h"
 #include "netsim/data_plane.h"
 #include "netsim/fault_schedule.h"
 #include "netsim/pool_dns.h"
@@ -68,6 +70,17 @@ struct StudyConfig {
 
   hitlist::HitlistCampaignConfig hitlist_campaign;
   hitlist::CaidaCampaignConfig caida_campaign;
+
+  // Out-of-core collection (stage 1): when spill.memory_budget_bytes > 0
+  // the NTP corpus is kept in a TieredCorpus — collector shards flush to
+  // sorted on-disk runs at deterministic merge barriers whenever their
+  // combined heap crosses the budget, and every analysis streams the
+  // k-way-merged runs instead of an in-memory table. Saved corpus bytes
+  // and analysis floats are bit-identical to the in-memory path at any
+  // thread count and any budget. Resuming from a checkpoint
+  // (RunOptions::resume_from) always uses the in-memory path; spill
+  // applies to fresh collections only.
+  hitlist::SpillConfig spill;
 
   // Analysis parallelism (stage 4): every analysis scan shards across
   // config.analysis.threads (see util::Parallelism). Results are
@@ -111,6 +124,11 @@ struct AnalysisReport {
 
 struct StudyResults {
   hitlist::Corpus ntp{1 << 16};
+  // Out-of-core NTP corpus, set instead of `ntp` when
+  // StudyConfig::spill is active (then `ntp` stays empty). Analyses,
+  // country_mix(), and Study::save_ntp() all consult it transparently;
+  // iterate it directly with for_each_merged() when needed.
+  std::unique_ptr<hitlist::TieredCorpus> ntp_runs;
   // Clients observed during the backscan week (a separate, later window).
   hitlist::Corpus backscan_week{1 << 12};
   hitlist::HitlistResult hitlist;
@@ -207,6 +225,18 @@ class Study {
   // Unique-address count per (true) country of the NTP corpus, descending
   // (§3's country mix).
   std::vector<std::pair<geo::CountryCode, std::uint64_t>> country_mix() const;
+
+  // Writes the NTP corpus as a V6CORP snapshot (hitlist/corpus_io.h) and
+  // returns the bytes written. Streams the merged runs when the study ran
+  // out-of-core — the bytes are identical to saving the equivalent
+  // in-memory corpus.
+  std::size_t save_ntp(std::ostream& out) const;
+
+  // Unique NTP addresses collected, whichever backend holds them.
+  std::uint64_t ntp_size() const noexcept {
+    return results_.ntp_runs != nullptr ? results_.ntp_runs->merged_size()
+                                        : results_.ntp.size();
+  }
 
   // Convenience: construct and run all stages.
   static Study run(const StudyConfig& config);

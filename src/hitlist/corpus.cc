@@ -1,114 +1,145 @@
 #include "hitlist/corpus.h"
 
 #include <algorithm>
+#include <limits>
+#include <stdexcept>
 
 namespace v6::hitlist {
 
 namespace {
 
-std::size_t capacity_for(std::size_t expected) {
-  std::size_t cap = 64;
-  // Keep the load factor at or below ~0.66.
-  while (cap * 2 < expected * 3) cap <<= 1;
-  return cap;
-}
+// Hostile or merely optimistic `expected_addresses` values must not let a
+// constructor allocate unbounded memory up front; growth is amortized
+// doubling past this point anyway.
+constexpr std::size_t kMaxEagerReserve = std::size_t{1} << 20;
 
 }  // namespace
 
+std::size_t Corpus::index_capacity_for(std::size_t expected) noexcept {
+  std::size_t cap = 64;
+  // Keep the load factor at or below ~0.66: grow while 3 * expected >
+  // 2 * cap, phrased without multiplication so paper-scale `expected`
+  // (> SIZE_MAX / 3) cannot wrap. cap - cap / 3 == floor(2 * cap / 3) + 1
+  // for the power-of-two capacities this loop visits (never divisible by
+  // 3), so the comparison is exact.
+  while (expected >= cap - cap / 3) {
+    if (cap > (std::numeric_limits<std::size_t>::max() >> 1)) break;
+    cap <<= 1;
+  }
+  return cap;
+}
+
 Corpus::Corpus(std::size_t expected_addresses) {
-  const std::size_t cap = capacity_for(expected_addresses);
-  slots_.assign(cap, AddressRecord{});
-  mask_ = cap - 1;
+  const std::size_t eager = std::min(expected_addresses, kMaxEagerReserve);
+  records_.reserve(eager);
+  const std::size_t cap = index_capacity_for(eager);
+  index_.assign(cap, kEmptySlot);
+  index_mask_ = cap - 1;
 }
 
 Corpus::Corpus(Corpus&& other) noexcept
-    : slots_(std::move(other.slots_)),
-      size_(other.size_),
-      mask_(other.mask_),
+    : records_(std::move(other.records_)),
+      index_(std::move(other.index_)),
+      index_mask_(other.index_mask_),
       observations_(other.observations_) {
-  other.slots_.clear();
-  other.size_ = 0;
-  other.mask_ = 0;
+  other.records_.clear();
+  other.index_.clear();
+  other.index_mask_ = 0;
   other.observations_ = 0;
 }
 
 Corpus& Corpus::operator=(Corpus&& other) noexcept {
   if (this != &other) {
-    slots_ = std::move(other.slots_);
-    size_ = other.size_;
-    mask_ = other.mask_;
+    records_ = std::move(other.records_);
+    index_ = std::move(other.index_);
+    index_mask_ = other.index_mask_;
     observations_ = other.observations_;
-    other.slots_.clear();
-    other.size_ = 0;
-    other.mask_ = 0;
+    other.records_.clear();
+    other.index_.clear();
+    other.index_mask_ = 0;
     other.observations_ = 0;
   }
   return *this;
 }
 
-AddressRecord* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
-  std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
+std::uint32_t* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
+  std::size_t i = net::Ipv6AddressHash{}(address) & index_mask_;
   while (true) {
-    AddressRecord& slot = slots_[i];
-    // count == 0 marks an empty slot (every stored record has count >= 1).
-    if (slot.count == 0 || slot.address == address) return &slot;
-    i = (i + 1) & mask_;
+    std::uint32_t& slot = index_[i];
+    if (slot == kEmptySlot || records_[slot].address == address) return &slot;
+    i = (i + 1) & index_mask_;
   }
 }
 
 void Corpus::revive_if_moved_from() {
-  if (slots_.empty()) {
-    slots_.assign(64, AddressRecord{});
-    mask_ = 63;
+  if (index_.empty()) {
+    index_.assign(64, kEmptySlot);
+    index_mask_ = 63;
   }
 }
 
 void Corpus::add(const net::Ipv6Address& address, util::SimTime t,
                  std::uint8_t vantage) {
-  const auto ts = static_cast<std::uint32_t>(std::max<util::SimTime>(t, 0));
+  // Clamp into u32 seconds, saturating at both ends: truncation would
+  // wrap times >= 2^32 and corrupt first_seen/last_seen ordering.
+  const auto ts = static_cast<std::uint32_t>(std::clamp<util::SimTime>(
+      t, 0, std::numeric_limits<std::uint32_t>::max()));
   // Clamp into the mask: vantages past the width share bit 31 (see the
   // vantage_mask contract in the header).
   const std::uint32_t vantage_bit =
       1u << std::min<std::uint8_t>(vantage, 31);
   revive_if_moved_from();
   ++observations_;
-  AddressRecord* slot = lookup_slot(address);
-  if (slot->count == 0) {
-    if ((size_ + 1) * 3 > slots_.size() * 2) {
-      grow();
+  std::uint32_t* slot = lookup_slot(address);
+  if (*slot == kEmptySlot) {
+    // Division form of `(size + 1) * 3 > capacity * 2`, which wraps for
+    // tables within a factor of 3 of SIZE_MAX (cap - cap / 3 ==
+    // floor(2 * cap / 3) + 1 for power-of-two capacities).
+    if (records_.size() + 1 >= index_.size() - index_.size() / 3) {
+      grow_index();
       slot = lookup_slot(address);
     }
-    slot->address = address;
-    slot->first_seen = ts;
-    slot->last_seen = ts;
-    slot->count = 1;
-    slot->vantage_mask = vantage_bit;
-    ++size_;
+    if (records_.size() >= kEmptySlot) {
+      throw std::length_error("corpus: record id space exhausted");
+    }
+    *slot = static_cast<std::uint32_t>(records_.size());
+    AddressRecord rec;
+    rec.address = address;
+    rec.first_seen = ts;
+    rec.last_seen = ts;
+    rec.count = 1;
+    rec.vantage_mask = vantage_bit;
+    records_.push_back(rec);
     return;
   }
-  slot->first_seen = std::min(slot->first_seen, ts);
-  slot->last_seen = std::max(slot->last_seen, ts);
-  ++slot->count;
-  slot->vantage_mask |= vantage_bit;
+  AddressRecord& rec = records_[*slot];
+  rec.first_seen = std::min(rec.first_seen, ts);
+  rec.last_seen = std::max(rec.last_seen, ts);
+  ++rec.count;
+  rec.vantage_mask |= vantage_bit;
 }
 
-void Corpus::add_record(const AddressRecord& rec) {
+void Corpus::add_record(const AddressRecord& incoming) {
   revive_if_moved_from();
-  AddressRecord* slot = lookup_slot(rec.address);
-  if (slot->count == 0) {
-    if ((size_ + 1) * 3 > slots_.size() * 2) {
-      grow();
-      slot = lookup_slot(rec.address);
+  std::uint32_t* slot = lookup_slot(incoming.address);
+  if (*slot == kEmptySlot) {
+    if (records_.size() + 1 >= index_.size() - index_.size() / 3) {
+      grow_index();
+      slot = lookup_slot(incoming.address);
     }
-    *slot = rec;
-    ++size_;
+    if (records_.size() >= kEmptySlot) {
+      throw std::length_error("corpus: record id space exhausted");
+    }
+    *slot = static_cast<std::uint32_t>(records_.size());
+    records_.push_back(incoming);
   } else {
-    slot->first_seen = std::min(slot->first_seen, rec.first_seen);
-    slot->last_seen = std::max(slot->last_seen, rec.last_seen);
-    slot->count += rec.count;
-    slot->vantage_mask |= rec.vantage_mask;
+    AddressRecord& rec = records_[*slot];
+    rec.first_seen = std::min(rec.first_seen, incoming.first_seen);
+    rec.last_seen = std::max(rec.last_seen, incoming.last_seen);
+    rec.count += incoming.count;
+    rec.vantage_mask |= incoming.vantage_mask;
   }
-  observations_ += rec.count;
+  observations_ += incoming.count;
 }
 
 void Corpus::merge(const Corpus& other) {
@@ -117,42 +148,35 @@ void Corpus::merge(const Corpus& other) {
 
 const AddressRecord* Corpus::find(
     const net::Ipv6Address& address) const noexcept {
-  if (slots_.empty()) return nullptr;  // moved-from
-  std::size_t i = net::Ipv6AddressHash{}(address) & mask_;
+  if (index_.empty()) return nullptr;  // moved-from
+  std::size_t i = net::Ipv6AddressHash{}(address) & index_mask_;
   while (true) {
-    const AddressRecord& slot = slots_[i];
-    if (slot.count == 0) return nullptr;
-    if (slot.address == address) return &slot;
-    i = (i + 1) & mask_;
+    const std::uint32_t slot = index_[i];
+    if (slot == kEmptySlot) return nullptr;
+    if (records_[slot].address == address) return &records_[slot];
+    i = (i + 1) & index_mask_;
   }
 }
 
 void Corpus::canonicalize() {
-  if (size_ == 0) return;
-  std::vector<AddressRecord> records;
-  records.reserve(size_);
-  for (const auto& slot : slots_) {
-    if (slot.count != 0) records.push_back(slot);
-  }
-  std::sort(records.begin(), records.end(),
+  if (records_.empty()) return;
+  std::sort(records_.begin(), records_.end(),
             [](const AddressRecord& a, const AddressRecord& b) {
               return a.address < b.address;
             });
-  Corpus rebuilt(size_);
-  for (const AddressRecord& rec : records) rebuilt.add_record(rec);
-  *this = std::move(rebuilt);
+  rebuild_index(index_.size());
 }
 
-void Corpus::grow() {
-  std::vector<AddressRecord> old = std::move(slots_);
-  slots_.assign(old.size() * 2, AddressRecord{});
-  mask_ = slots_.size() - 1;
-  for (const auto& rec : old) {
-    if (rec.count == 0) continue;
-    std::size_t i = net::Ipv6AddressHash{}(rec.address) & mask_;
-    while (slots_[i].count != 0) i = (i + 1) & mask_;
-    slots_[i] = rec;
+void Corpus::rebuild_index(std::size_t capacity) {
+  index_.assign(capacity, kEmptySlot);
+  index_mask_ = capacity - 1;
+  for (std::size_t r = 0; r < records_.size(); ++r) {
+    std::size_t i = net::Ipv6AddressHash{}(records_[r].address) & index_mask_;
+    while (index_[i] != kEmptySlot) i = (i + 1) & index_mask_;
+    index_[i] = static_cast<std::uint32_t>(r);
   }
 }
+
+void Corpus::grow_index() { rebuild_index(index_.size() * 2); }
 
 }  // namespace v6::hitlist

@@ -2,15 +2,22 @@
 // study (the NTP corpus, the simulated IPv6 Hitlist, the CAIDA campaign).
 //
 // Billions-of-addresses scale (paper) maps to millions here, so the store
-// is a cache-friendly open-addressing hash table rather than node-based
-// std::unordered_map: 16-byte key + 16-byte aggregate per slot, linear
-// probing, power-of-two capacity. Per address it keeps exactly what the
-// analyses need — first/last sighting, observation count, vantage bitmask —
-// so collection is O(1) memory per *unique address*, not per observation.
+// is a cache-friendly dense table: records live contiguously in insertion
+// order in `records_`, and an open-addressing index of u32 record ids
+// (linear probing, power-of-two capacity, load factor <= ~0.66) maps
+// addresses to them. Per address it keeps exactly what the analyses need —
+// first/last sighting, observation count, vantage bitmask — so collection
+// is O(1) memory per *unique address*, not per observation.
+//
+// The dense layout is what the out-of-core engine (tiered_corpus.h) builds
+// on: after canonicalize() the record array IS the ascending-address
+// stream, so an in-memory scan and a k-way merge over spilled runs visit
+// records in the identical order — the bit-identity contract.
 #pragma once
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/ipv6.h"
@@ -40,17 +47,19 @@ class Corpus {
 
   // A moved-from Corpus is empty but fully usable: find() answers
   // nullptr and the next add() lazily re-creates a minimal table (the
-  // default-move alternative left an empty slot vector that find()/add()
+  // default-move alternative left an empty index vector that find()/add()
   // would index into — UB).
   Corpus(Corpus&& other) noexcept;
   Corpus& operator=(Corpus&& other) noexcept;
   Corpus(const Corpus&) = delete;
   Corpus& operator=(const Corpus&) = delete;
 
-  // Records one sighting. `t` must be >= 0 (clamped into u32 seconds).
-  // `vantage` sets bit min(vantage, 31) of the record's vantage_mask —
-  // out-of-range vantages land in the bit-31 overflow bucket rather than
-  // being dropped.
+  // Records one sighting. `t` is clamped into u32 seconds: negative times
+  // clamp to 0 and times past 2^32-1 saturate at UINT32_MAX (truncating
+  // instead would wrap first_seen/last_seen and manufacture negative
+  // lifetimes). `vantage` sets bit min(vantage, 31) of the record's
+  // vantage_mask — out-of-range vantages land in the bit-31 overflow
+  // bucket rather than being dropped.
   void add(const net::Ipv6Address& address, util::SimTime t,
            std::uint8_t vantage = 0);
 
@@ -62,53 +71,76 @@ class Corpus {
 
   const AddressRecord* find(const net::Ipv6Address& address) const noexcept;
 
-  // Rebuilds the table with records inserted in ascending address order.
-  // Linear probing places colliding keys by insertion order, so the raw
-  // slot layout — and with it for_each() order and save_corpus() bytes —
-  // depends on the order sightings arrived. Canonicalizing makes the
-  // layout a pure function of the stored content; collection calls this
-  // at its final merge barrier so chunk grids (checkpoints, timeline
-  // sampling) and shard counts change no output byte.
+  // Re-sorts the record array into ascending address order (and rebuilds
+  // the index). Records land in records() in first-insertion order, so
+  // the raw layout — and with it for_each() order and save_corpus()
+  // bytes — depends on the order sightings arrived. Canonicalizing makes
+  // the layout a pure function of the stored content; collection calls
+  // this at its final merge barrier so chunk grids (checkpoints, timeline
+  // sampling) and shard counts change no output byte. It also aligns the
+  // in-memory visit order with the ascending-address stream a k-way merge
+  // over spilled runs produces.
   void canonicalize();
 
-  std::size_t size() const noexcept { return size_; }
+  std::size_t size() const noexcept { return records_.size(); }
   std::uint64_t total_observations() const noexcept { return observations_; }
 
-  // Iterates all records (unspecified order).
+  // The dense record array, in insertion order (ascending address order
+  // after canonicalize()). Pointers/spans are invalidated by any mutation.
+  std::span<const AddressRecord> records() const noexcept {
+    return records_;
+  }
+
+  // Heap footprint of the table (records + index), the quantity the
+  // collector's spill budget meters.
+  std::size_t memory_bytes() const noexcept {
+    return records_.capacity() * sizeof(AddressRecord) +
+           index_.capacity() * sizeof(std::uint32_t);
+  }
+
+  // Iterates all records in insertion order (ascending address order
+  // after canonicalize()).
   template <typename Fn>
   void for_each(Fn&& fn) const {
-    for (const auto& slot : slots_) {
-      if (slot.count != 0) fn(slot);
-    }
+    for (const auto& rec : records_) fn(rec);
   }
 
   // Sharded iteration domain for analysis::ParallelScan: the number of
-  // backing slots. Partitioning [0, slot_span()) into contiguous ranges
+  // stored records. Partitioning [0, slot_span()) into contiguous ranges
   // and concatenating for_each_in_slot_range() over them in ascending
   // order visits records in exactly for_each() order — the invariant the
   // parallel analyses' determinism rests on.
-  std::size_t slot_span() const noexcept { return slots_.size(); }
+  std::size_t slot_span() const noexcept { return records_.size(); }
 
-  // Iterates the records stored in slots [begin, end), in slot order.
+  // Iterates the records stored at positions [begin, end), in order.
   // `end` is clamped to slot_span().
   template <typename Fn>
   void for_each_in_slot_range(std::size_t begin, std::size_t end,
                               Fn&& fn) const {
-    end = std::min(end, slots_.size());
-    for (std::size_t i = begin; i < end; ++i) {
-      if (slots_[i].count != 0) fn(slots_[i]);
-    }
+    end = std::min(end, records_.size());
+    for (std::size_t i = begin; i < end; ++i) fn(records_[i]);
   }
 
+  // Smallest power-of-two index capacity keeping `expected` records at or
+  // below ~0.66 load. Public because the overflow regression test drives
+  // it with paper-scale (near SIZE_MAX) inputs: the naive
+  // `cap * 2 < expected * 3` form wrapped and looped forever.
+  static std::size_t index_capacity_for(std::size_t expected) noexcept;
+
  private:
-  AddressRecord* lookup_slot(const net::Ipv6Address& address) noexcept;
-  void grow();
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  // Index slot holding `address`'s record id, or the empty slot where it
+  // would go.
+  std::uint32_t* lookup_slot(const net::Ipv6Address& address) noexcept;
+  void grow_index();
+  void rebuild_index(std::size_t capacity);
   // Re-creates a minimal table after a move emptied this corpus.
   void revive_if_moved_from();
 
-  std::vector<AddressRecord> slots_;
-  std::size_t size_ = 0;
-  std::size_t mask_ = 0;
+  std::vector<AddressRecord> records_;
+  std::vector<std::uint32_t> index_;
+  std::size_t index_mask_ = 0;
   std::uint64_t observations_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "hitlist/tiered_corpus.h"
 #include "proto/ntp_packet.h"
 #include "proto/udp.h"
 #include "util/rng.h"
@@ -279,7 +280,11 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   // make each flush increment-only. Without a sampler there is exactly
   // one flush, after the final merge — byte-identical to the pre-sampler
   // behavior.
-  const std::size_t records_before = corpus.size();
+  const std::size_t records_before =
+      tiered_ != nullptr ? static_cast<std::size_t>(tiered_->merged_size())
+                         : corpus.size();
+  const std::uint64_t observations_before =
+      tiered_ != nullptr ? tiered_->total_observations() : 0;
   std::uint64_t flushed_polls = 0;
   std::uint64_t flushed_answered = 0;
   std::uint64_t flushed_records = 0;
@@ -298,7 +303,11 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   const auto flush_metrics = [&](std::uint64_t admitted) {
     std::uint64_t polls = 0;
     std::uint64_t answered = 0;
-    std::uint64_t observations = 0;
+    // Spilled observations live in the run headers, not the shard tables.
+    std::uint64_t observations =
+        tiered_ != nullptr
+            ? tiered_->total_observations() - observations_before
+            : 0;
     std::vector<std::uint64_t> v_polls(vantages.size(), 0);
     std::vector<std::uint64_t> v_answered(vantages.size(), 0);
     std::vector<std::uint64_t> v_fault(vantages.size(), 0);
@@ -340,7 +349,29 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     corpus.for_each(
         [&scratch](const AddressRecord& r) { scratch.add_record(r); });
     for (const ShardState& shard : states) scratch.merge(shard.corpus);
+    if (tiered_ != nullptr) {
+      // Already-spilled records count too; merged_size_with needs the
+      // not-yet-spilled union in ascending order.
+      scratch.canonicalize();
+      return static_cast<std::size_t>(tiered_->merged_size_with(scratch));
+    }
     return scratch.size();
+  };
+
+  // Merges every shard table into one union corpus and flushes it to disk
+  // as a single run. Spilling the union of ALL shards (not one run per
+  // shard) is what makes each run's content — and with it the merged
+  // stream — independent of the shard count.
+  const auto spill_shards = [&] {
+    std::size_t upper = 0;
+    for (const ShardState& shard : states) upper += shard.corpus.size();
+    if (upper == 0) return;
+    Corpus combined(upper);
+    for (ShardState& shard : states) {
+      combined.merge(shard.corpus);
+      shard.corpus = Corpus(1 << 12);
+    }
+    tiered_->spill(std::move(combined));
   };
 
   const bool checkpointing = sink && config_.checkpoint_interval > 0;
@@ -365,7 +396,28 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     if (sampling) {
       hi = std::min(hi, config_.sampler->next_boundary(lo));
     }
+    if (tiered_ != nullptr && tiered_->config().barrier_interval > 0) {
+      // The spill grid guarantees interior merge barriers even when
+      // neither checkpointing nor sampling provides them.
+      const util::SimDuration interval = tiered_->config().barrier_interval;
+      const std::int64_t k = (lo - from.window_start) / interval + 1;
+      hi = std::min<util::SimTime>(hi, from.window_start + k * interval);
+    }
     run_chunk(hi);
+    if (tiered_ != nullptr) {
+      // Spill before checkpoint emission and sampling so the checkpoint
+      // snapshot can be rebuilt from the runs and the spill counters fold
+      // into this boundary's timeline window. The window-end tail always
+      // spills: after the loop the shard tables must be empty.
+      std::size_t heap = 0;
+      for (const ShardState& shard : states) {
+        heap += shard.corpus.memory_bytes();
+      }
+      if (hi >= from.window_end ||
+          heap > tiered_->config().memory_budget_bytes) {
+        spill_shards();
+      }
+    }
     // With both grids active `hi` may be a sample-only boundary, so gate
     // checkpoint emission on actually being on the checkpoint grid.
     if (checkpointing && hi < from.window_end &&
@@ -394,8 +446,11 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
       }
       // The snapshot is the corpus as of `hi`: whatever the caller's
       // corpus already held (the resumed-from snapshot) plus every
-      // shard's recordings so far.
-      Corpus snapshot(std::max<std::size_t>(records, 1));
+      // shard's recordings so far — in tiered mode, the spilled runs
+      // collapsed back into memory plus whatever the shards still hold.
+      Corpus snapshot = tiered_ != nullptr
+                            ? tiered_->collapse()
+                            : Corpus(std::max<std::size_t>(records, 1));
       corpus.for_each(
           [&snapshot](const AddressRecord& r) { snapshot.add_record(r); });
       for (const ShardState& shard : states) snapshot.merge(shard.corpus);
@@ -420,7 +475,8 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   answered_ += from.polls_answered;
   vantage_health_ = std::move(base_vh);
   for (ShardState& shard : states) {
-    corpus.merge(shard.corpus);
+    // Tiered mode flushed every shard at the final barrier already.
+    if (tiered_ == nullptr) corpus.merge(shard.corpus);
     polls_ += shard.tally.polls;
     answered_ += shard.tally.answered;
     for (std::size_t v = 0; v < shard.vantage.size(); ++v) {
@@ -435,13 +491,18 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   // baseline was already counted when the original run emitted it). With
   // a sampler this flush covers only the tail since the last boundary —
   // the shard corpora are all merged now, so the union is `corpus`.
-  flush_metrics(corpus.size() - records_before);
+  flush_metrics(
+      (tiered_ != nullptr ? static_cast<std::size_t>(tiered_->merged_size())
+                          : corpus.size()) -
+      records_before);
   // Chunk grids (checkpoints, sampling boundaries) change the order merged
   // sightings reach the corpus, which would leak into save_corpus() bytes
   // through linear-probe slot placement. Canonicalize so the layout is a
   // pure function of the content: outputs stay byte-identical across
-  // shard counts and with sampling on or off.
-  corpus.canonicalize();
+  // shard counts and with sampling on or off. (Tiered mode needs no
+  // equivalent: run files are written canonicalized and the k-way merge
+  // emits ascending order by construction.)
+  if (tiered_ == nullptr) corpus.canonicalize();
 }
 
 void PassiveCollector::run(Corpus& corpus, util::SimTime start,
@@ -452,6 +513,26 @@ void PassiveCollector::run(Corpus& corpus, util::SimTime start,
   fresh.window_end = end;
   fresh.resume_from = start;
   collect(corpus, fresh, hook, sink);
+}
+
+void PassiveCollector::run(TieredCorpus& runs, util::SimTime start,
+                           util::SimTime end, const ObservationHook& hook,
+                           const CheckpointSink& sink) {
+  tiered_ = &runs;
+  // Scratch stand-in for the caller corpus: collect() keeps it empty in
+  // tiered mode (shards spill instead of merging into it).
+  Corpus scratch(1);
+  CheckpointState fresh;
+  fresh.window_start = start;
+  fresh.window_end = end;
+  fresh.resume_from = start;
+  try {
+    collect(scratch, fresh, hook, sink);
+  } catch (...) {
+    tiered_ = nullptr;
+    throw;
+  }
+  tiered_ = nullptr;
 }
 
 void PassiveCollector::resume(Corpus& corpus, const CheckpointState& from,

@@ -58,6 +58,8 @@
 
 namespace v6::hitlist {
 
+class TieredCorpus;
+
 struct CollectorConfig {
   bool wire_fidelity = false;
   // Loss applied on the fast path (the wire path inherits the data
@@ -156,6 +158,23 @@ class PassiveCollector {
   void run(Corpus& corpus, util::SimTime start, util::SimTime end,
            const ObservationHook& hook = {}, const CheckpointSink& sink = {});
 
+  // Out-of-core collection: identical window semantics and observation
+  // streams, but whenever the shard tables' combined heap footprint
+  // crosses runs.config().memory_budget_bytes at a merge barrier, their
+  // union is flushed into `runs` as one on-disk run and the tables reset
+  // (the tail is flushed at window end regardless). Barriers come from
+  // the checkpoint/sampling grids plus runs.config().barrier_interval,
+  // so a run without either still spills on a sim-time grid. The spilled
+  // union always covers ALL shards, which keeps each run's *content* a
+  // pure function of the boundary time — the merged stream (and thus
+  // every analysis and save() byte) is identical to the in-memory run at
+  // any thread count and any budget; a test asserts exactly that.
+  // Checkpoint sinks see the same corpus-so-far snapshots as the
+  // in-memory path (reconstructed from the runs); resume() is in-memory
+  // only.
+  void run(TieredCorpus& runs, util::SimTime start, util::SimTime end,
+           const ObservationHook& hook = {}, const CheckpointSink& sink = {});
+
   // Resumes a crashed run from a checkpoint. `corpus` must hold the
   // snapshot that was written with `from` (e.g. via checkpoint_io);
   // collection replays silently up to from.resume_from, then records the
@@ -222,6 +241,9 @@ class PassiveCollector {
   netsim::DataPlane* plane_;
   const netsim::PoolDns* dns_;
   CollectorConfig config_;
+  // Non-null only inside the TieredCorpus run() overload: collect()
+  // spills into it instead of merging into the caller's corpus.
+  TieredCorpus* tiered_ = nullptr;
   std::uint64_t polls_ = 0;
   std::uint64_t answered_ = 0;
   std::vector<VantageHealthStats> vantage_health_;

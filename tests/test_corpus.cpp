@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <unordered_map>
 
 #include "util/rng.h"
@@ -71,6 +72,62 @@ TEST(Corpus, OutOfRangeVantageLandsInOverflowBucket) {
   EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, 1u << 31);
   c.add(addr(1, 2), 3, 0);
   EXPECT_EQ(c.find(addr(1, 2))->vantage_mask, (1u << 31) | 1u);
+}
+
+TEST(Corpus, IndexCapacityForHugeExpectedDoesNotWrap) {
+  // Regression: the load-factor check was `cap * 2 < expected * 3`, which
+  // wraps for paper-scale expected (> SIZE_MAX / 3) and looped forever.
+  // The division form must terminate and cap at the largest power of two.
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t expected :
+       {kMax, kMax - 1, kMax / 3 * 2, kMax / 3 + 1, std::size_t{1} << 62}) {
+    const std::size_t cap = Corpus::index_capacity_for(expected);
+    EXPECT_NE(cap, 0u) << expected;
+    EXPECT_EQ(cap & (cap - 1), 0u) << expected;  // power of two
+    EXPECT_GT(cap, kMax >> 1) << expected;       // topmost power of two
+  }
+  // Ordinary sizes keep the ~0.66 load contract exactly: 64 holds 42
+  // records (42/64 = 0.656), the 43rd forces 128.
+  EXPECT_EQ(Corpus::index_capacity_for(0), 64u);
+  EXPECT_EQ(Corpus::index_capacity_for(42), 64u);
+  EXPECT_EQ(Corpus::index_capacity_for(43), 128u);
+}
+
+TEST(Corpus, HostileExpectedAddressesDoesNotEagerAllocate) {
+  // A hostile snapshot header can claim SIZE_MAX records; the constructor
+  // caps its eager reserve instead of allocating by the claim.
+  Corpus c(std::numeric_limits<std::size_t>::max());
+  EXPECT_LT(c.memory_bytes(), std::size_t{1} << 27);
+  c.add(addr(1, 2), 5, 0);
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_NE(c.find(addr(1, 2)), nullptr);
+}
+
+TEST(Corpus, AddTimestampSaturatesAtU32Max) {
+  // Regression: add() used to truncate SimTime into u32, so a sighting at
+  // 2^32 seconds wrapped to 0 and manufactured negative lifetimes. The
+  // contract is saturation at both ends.
+  constexpr util::SimTime kU32Max =
+      static_cast<util::SimTime>(std::numeric_limits<std::uint32_t>::max());
+  Corpus c;
+  c.add(addr(1, 2), kU32Max, 0);  // the boundary itself is representable
+  EXPECT_EQ(c.find(addr(1, 2))->last_seen,
+            std::numeric_limits<std::uint32_t>::max());
+  c.add(addr(1, 2), kU32Max + 1, 0);  // would wrap to 0 under truncation
+  c.add(addr(1, 2), kU32Max + 100000, 0);
+  const auto* rec = c.find(addr(1, 2));
+  EXPECT_EQ(rec->first_seen, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(rec->last_seen, std::numeric_limits<std::uint32_t>::max());
+  EXPECT_EQ(rec->lifetime(), 0);
+
+  // Mixed with an early sighting: the lifetime stays sane instead of the
+  // wrapped first_seen == 0 a truncating add produced.
+  c.add(addr(1, 2), 10, 0);
+  EXPECT_EQ(c.find(addr(1, 2))->first_seen, 10u);
+  EXPECT_EQ(c.find(addr(1, 2))->lifetime(),
+            static_cast<util::SimDuration>(
+                std::numeric_limits<std::uint32_t>::max()) -
+                10);
 }
 
 TEST(Corpus, GrowsPastInitialCapacity) {

@@ -244,5 +244,123 @@ TEST(CorpusIo, RejectsOversizedRecordCountBeforeAllocating) {
   }
 }
 
+TEST(CorpusIo, RejectsZeroCountRecord) {
+  // count == 0 is unrepresentable by any add() sequence; a snapshot
+  // carrying one is forged or corrupt.
+  proto::BufferWriter writer;
+  const char magic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(magic), 8));
+  writer.u64(1);  // one record
+  writer.u64(0);  // zero observations (consistent with the forged count)
+  writer.bytes(addr(1, 2).bytes());
+  writer.u32(5);  // first_seen
+  writer.u32(5);  // last_seen
+  writer.u32(0);  // count: impossible
+  writer.u32(1);  // vantage_mask
+  std::stringstream stream;
+  stream.write(reinterpret_cast<const char*>(writer.data().data()),
+               static_cast<std::streamsize>(writer.size()));
+  EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+TEST(CorpusIo, RejectsObservationTotalMismatch) {
+  // The header's observation total must equal the sum of record counts —
+  // the check a wrapping u64 accumulator used to make forgeable. (The sum
+  // itself cannot overflow with any snapshot small enough to store, but
+  // the guard plus this equality keeps the invariant airtight.)
+  proto::BufferWriter writer;
+  const char magic[8] = {'V', '6', 'C', 'O', 'R', 'P', '0', '1'};
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(magic), 8));
+  writer.u64(1);   // one record
+  writer.u64(99);  // header claims 99 observations
+  writer.bytes(addr(1, 2).bytes());
+  writer.u32(5);
+  writer.u32(9);
+  writer.u32(3);  // record carries 3
+  writer.u32(1);
+  std::stringstream stream;
+  stream.write(reinterpret_cast<const char*>(writer.data().data()),
+               static_cast<std::streamsize>(writer.size()));
+  EXPECT_THROW(hitlist::load_corpus(stream), std::runtime_error);
+}
+
+TEST(CorpusIo, StreamLoaderAgreesWithSpanLoader) {
+  // The chunked istream loader and the one-shot span loader are two
+  // implementations of the same format: equal corpora from intact bytes,
+  // and a throw from every truncation for both.
+  hitlist::Corpus corpus;
+  util::Rng rng(21);
+  for (int i = 0; i < 300; ++i) {
+    corpus.add(addr(rng.next(), rng.next()),
+               static_cast<util::SimTime>(rng.bounded(1 << 20)),
+               static_cast<std::uint8_t>(rng.bounded(27)));
+  }
+  proto::BufferWriter writer;
+  hitlist::save_corpus(writer, corpus);
+  const std::string bytes(reinterpret_cast<const char*>(
+                              writer.data().data()),
+                          writer.size());
+
+  std::stringstream stream(bytes, std::ios::in | std::ios::binary);
+  const auto from_stream = hitlist::load_corpus(stream);
+  const auto from_span = hitlist::load_corpus(writer.data());
+  ASSERT_EQ(from_stream.size(), from_span.size());
+  EXPECT_EQ(from_stream.total_observations(),
+            from_span.total_observations());
+  from_span.for_each([&](const hitlist::AddressRecord& rec) {
+    const auto* other = from_stream.find(rec.address);
+    ASSERT_NE(other, nullptr);
+    EXPECT_EQ(other->count, rec.count);
+    EXPECT_EQ(other->first_seen, rec.first_seen);
+  });
+
+  for (const std::size_t len : {std::size_t{0}, std::size_t{5},
+                                std::size_t{8}, std::size_t{27},
+                                bytes.size() / 2, bytes.size() - 1}) {
+    std::stringstream cut(bytes.substr(0, len),
+                          std::ios::in | std::ios::binary);
+    EXPECT_THROW(hitlist::load_corpus(cut), std::runtime_error)
+        << "stream length " << len;
+    const auto span = std::span<const std::uint8_t>(writer.data()).subspan(0, len);
+    EXPECT_THROW(hitlist::load_corpus(span), std::runtime_error)
+        << "span length " << len;
+  }
+}
+
+TEST(CorpusIo, StreamLoaderHandlesMultiChunkSnapshots) {
+  // Past the 8192-record chunk boundary the loader reads several chunks
+  // and chains the CRC across them.
+  hitlist::Corpus corpus;
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    corpus.add(addr(i / 7, i * 0x9e3779b97f4a7c15ull), 5, 0);
+  }
+  std::stringstream stream(std::ios::in | std::ios::out | std::ios::binary);
+  hitlist::save_corpus(stream, corpus);
+  const auto loaded = hitlist::load_corpus(stream);
+  EXPECT_EQ(loaded.size(), corpus.size());
+  EXPECT_EQ(loaded.total_observations(), corpus.total_observations());
+}
+
+TEST(CorpusIo, SnapshotWriterEnforcesDeclaredRecordCount) {
+  hitlist::AddressRecord rec;
+  rec.address = addr(1, 1);
+  rec.first_seen = rec.last_seen = 1;
+  rec.count = 1;
+  {
+    std::stringstream out(std::ios::out | std::ios::binary);
+    hitlist::CorpusSnapshotWriter writer(out, /*records=*/2,
+                                         /*observations=*/2);
+    writer.append(rec);
+    EXPECT_THROW(writer.finish(), std::logic_error);  // one short
+  }
+  {
+    std::stringstream out(std::ios::out | std::ios::binary);
+    hitlist::CorpusSnapshotWriter writer(out, 1, 1);
+    writer.append(rec);
+    writer.finish();
+    EXPECT_THROW(writer.finish(), std::logic_error);  // double finish
+  }
+}
+
 }  // namespace
 }  // namespace v6

@@ -1,0 +1,317 @@
+#include "hitlist/run_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "hitlist/corpus.h"
+#include "util/rng.h"
+
+namespace v6::hitlist {
+namespace {
+
+net::Ipv6Address addr(std::uint64_t hi, std::uint64_t lo) {
+  return net::Ipv6Address::from_u64(hi, lo);
+}
+
+AddressRecord rec(std::uint64_t hi, std::uint64_t lo, std::uint32_t first,
+                  std::uint32_t last, std::uint32_t count,
+                  std::uint32_t mask) {
+  AddressRecord r;
+  r.address = addr(hi, lo);
+  r.first_seen = first;
+  r.last_seen = last;
+  r.count = count;
+  r.vantage_mask = mask;
+  return r;
+}
+
+// Ascending random records with the IID structure mix collection actually
+// produces: dense same-prefix groups, sparse prefixes, repeat-heavy
+// aggregates, and full-entropy IIDs.
+std::vector<AddressRecord> random_records(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Corpus corpus(n);
+  while (corpus.size() < n) {
+    const std::uint64_t prefix = rng.bounded(n / 4 + 1);
+    const std::uint64_t iid =
+        rng.bounded(2) == 0 ? rng.bounded(512) : rng.next();
+    corpus.add(addr(prefix, iid),
+               static_cast<util::SimTime>(rng.bounded(1 << 24)),
+               static_cast<std::uint8_t>(rng.bounded(34)));
+  }
+  corpus.canonicalize();
+  return {corpus.records().begin(), corpus.records().end()};
+}
+
+std::string write_run(const std::vector<AddressRecord>& records,
+                      std::uint32_t block_records,
+                      RunFileStats* stats = nullptr) {
+  std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+  RunWriter writer(out, {.block_records = block_records});
+  for (const auto& r : records) writer.append(r);
+  const auto s = writer.finish();
+  if (stats != nullptr) *stats = s;
+  return out.str();
+}
+
+std::vector<AddressRecord> read_run(const std::string& bytes) {
+  std::stringstream in(bytes,
+                       std::ios::in | std::ios::out | std::ios::binary);
+  RunReader reader(in);
+  std::vector<AddressRecord> out;
+  auto cursor = reader.cursor();
+  AddressRecord r;
+  while (cursor.next(r)) out.push_back(r);
+  return out;
+}
+
+void expect_same(const std::vector<AddressRecord>& got,
+                 const std::vector<AddressRecord>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].address, want[i].address) << "record " << i;
+    EXPECT_EQ(got[i].first_seen, want[i].first_seen) << "record " << i;
+    EXPECT_EQ(got[i].last_seen, want[i].last_seen) << "record " << i;
+    EXPECT_EQ(got[i].count, want[i].count) << "record " << i;
+    EXPECT_EQ(got[i].vantage_mask, want[i].vantage_mask) << "record " << i;
+  }
+}
+
+TEST(RunIo, RoundTripAcrossBlockSizes) {
+  const auto records = random_records(500, 11);
+  for (const std::uint32_t block_records : {1u, 2u, 7u, 64u, 4096u}) {
+    RunFileStats stats;
+    const auto bytes = write_run(records, block_records, &stats);
+    EXPECT_EQ(stats.records, records.size());
+    EXPECT_EQ(stats.bytes, bytes.size());
+    std::uint64_t observations = 0;
+    for (const auto& r : records) observations += r.count;
+    EXPECT_EQ(stats.observations, observations);
+    expect_same(read_run(bytes), records);
+  }
+}
+
+TEST(RunIo, EmptyRunRoundTrips) {
+  const auto bytes = write_run({}, 16);
+  std::stringstream in(bytes, std::ios::in | std::ios::binary);
+  RunReader reader(in);
+  EXPECT_EQ(reader.records(), 0u);
+  auto cursor = reader.cursor();
+  AddressRecord r;
+  EXPECT_FALSE(cursor.next(r));
+}
+
+TEST(RunIo, TagPackingEdgeCases) {
+  // One record per tag-bit combination the encoder special-cases:
+  // same-prefix IID deltas (tiny and huge), count==1 elision, zero
+  // lifetime, single-bit masks below and above the packed range, and the
+  // absolute record at a prefix change.
+  const std::vector<AddressRecord> records = {
+      rec(1, 0, 5, 5, 1, 1u << 0),              // zero lifetime, count 1
+      rec(1, 1, 5, 9, 2, 1u << 15),             // IID delta 1, packed mask
+      rec(1, 0x8000000000000000ull, 0, 1u << 30, 0xffffffffu,
+          0xffffffffu),                         // huge IID delta, max fields
+      rec(2, 0xffffffffffffffffull, 7, 7, 3, 1u << 16),  // mask past packing
+      rec(3, 0, 1, 2, 1, (1u << 3) | (1u << 19)),        // multi-bit mask
+      rec(3, 1, 0, 0xffffffffu, 1, 1u << 31),   // max lifetime, bit 31
+  };
+  for (const std::uint32_t block_records : {1u, 3u, 16u}) {
+    expect_same(read_run(write_run(records, block_records)), records);
+  }
+}
+
+TEST(RunIo, WriterRejectsNonAscendingAndZeroCount) {
+  std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+  RunWriter writer(out);
+  writer.append(rec(1, 5, 0, 0, 1, 1));
+  EXPECT_THROW(writer.append(rec(1, 5, 0, 0, 1, 1)),
+               std::invalid_argument);  // equal address
+  EXPECT_THROW(writer.append(rec(1, 4, 0, 0, 1, 1)),
+               std::invalid_argument);  // descending
+  EXPECT_THROW(writer.append(rec(2, 0, 0, 0, 0, 1)),
+               std::invalid_argument);  // count == 0
+  writer.append(rec(2, 0, 0, 0, 1, 1));
+  writer.finish();
+}
+
+TEST(RunIo, CursorAtFindsEveryRecordAndGaps) {
+  const auto records = random_records(300, 23);
+  const auto bytes = write_run(records, 8);
+  std::stringstream in(bytes, std::ios::in | std::ios::binary);
+  RunReader reader(in);
+
+  AddressRecord r;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto cursor = reader.cursor_at(records[i].address);
+    ASSERT_TRUE(cursor.next(r)) << "record " << i;
+    EXPECT_EQ(r.address, records[i].address) << "record " << i;
+    // The cursor keeps streaming the suffix.
+    if (i + 1 < records.size()) {
+      ASSERT_TRUE(cursor.next(r));
+      EXPECT_EQ(r.address, records[i + 1].address);
+    } else {
+      EXPECT_FALSE(cursor.next(r));
+    }
+  }
+
+  // Below the first record: the whole run. Past the last: empty.
+  auto low = reader.cursor_at(addr(0, 0));
+  ASSERT_TRUE(low.next(r));
+  EXPECT_EQ(r.address, records.front().address);
+  auto high = reader.cursor_at(
+      addr(0xffffffffffffffffull, 0xffffffffffffffffull));
+  EXPECT_FALSE(high.next(r));
+}
+
+TEST(RunIo, DetectsCorruptionAtEveryByteOffset) {
+  // Multi-block file; every byte is under a CRC (header, blocks, index),
+  // so any single-byte flip must throw somewhere on a full read — never
+  // yield a wrong record.
+  const auto records = random_records(48, 31);
+  const auto bytes = write_run(records, 4);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    EXPECT_THROW(
+        {
+          const auto got = read_run(corrupt);
+          // A successful decode with identical content can only mean the
+          // flip landed in a bit the format ignores — there are none.
+          expect_same(got, records);
+          ADD_FAILURE() << "corruption at byte " << i << " went undetected";
+        },
+        std::runtime_error)
+        << "byte " << i;
+  }
+}
+
+TEST(RunIo, DetectsTruncationAtEveryLength) {
+  const auto records = random_records(32, 37);
+  const auto bytes = write_run(records, 4);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(read_run(bytes.substr(0, len)), std::runtime_error)
+        << "length " << len;
+  }
+  EXPECT_THROW(read_run(bytes + "x"), std::runtime_error) << "trailing byte";
+  expect_same(read_run(bytes), records);  // the intact file still loads
+}
+
+// --- k-way merge properties ---------------------------------------------
+
+RecordStream stream_of(const std::vector<AddressRecord>& records) {
+  return [&records, i = std::size_t{0}](AddressRecord& out) mutable {
+    if (i >= records.size()) return false;
+    out = records[i++];
+    return true;
+  };
+}
+
+std::vector<AddressRecord> merge_all(
+    const std::vector<std::vector<AddressRecord>>& inputs) {
+  std::vector<RecordStream> streams;
+  streams.reserve(inputs.size());
+  for (const auto& in : inputs) streams.push_back(stream_of(in));
+  std::vector<AddressRecord> out;
+  merge_record_streams(std::move(streams), [&](const AddressRecord& r) {
+    out.push_back(r);
+    return true;
+  });
+  return out;
+}
+
+TEST(RunIo, MergeAggregatesDuplicatesLikeCorpus) {
+  // Random records partitioned into K runs, with duplicates across runs:
+  // the merge must equal the Corpus fold of the same multiset.
+  util::Rng rng(47);
+  Corpus reference(64);
+  std::vector<std::vector<Corpus>> partitions;
+  for (int k = 1; k <= 4; ++k) {
+    partitions.emplace_back();
+    for (int s = 0; s < k; ++s) partitions.back().emplace_back(16);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const auto a = addr(rng.bounded(40), rng.bounded(40));
+    const auto t = static_cast<util::SimTime>(rng.bounded(1 << 20));
+    const auto v = static_cast<std::uint8_t>(rng.bounded(34));
+    reference.add(a, t, v);
+    for (auto& shards : partitions) {
+      shards[rng.bounded(shards.size())].add(a, t, v);
+    }
+  }
+  reference.canonicalize();
+  const std::vector<AddressRecord> want = {reference.records().begin(),
+                                           reference.records().end()};
+
+  for (auto& shards : partitions) {
+    std::vector<std::vector<AddressRecord>> inputs;
+    for (auto& shard : shards) {
+      shard.canonicalize();
+      inputs.emplace_back(shard.records().begin(), shard.records().end());
+    }
+    expect_same(merge_all(inputs), want);
+  }
+}
+
+TEST(RunIo, MergeCountSumWrapsLikeCorpus) {
+  // The aggregation contract is field-for-field Corpus::add_record,
+  // including the u32 wrap on the count sum.
+  const auto merged = merge_all({{rec(1, 1, 0, 9, 0xffffffffu, 1)},
+                                 {rec(1, 1, 2, 5, 2, 2)}});
+  Corpus corpus(4);
+  corpus.add_record(rec(1, 1, 0, 9, 0xffffffffu, 1));
+  corpus.add_record(rec(1, 1, 2, 5, 2, 2));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].count, corpus.records()[0].count);
+  EXPECT_EQ(merged[0].count, 1u);  // wrapped
+  EXPECT_EQ(merged[0].first_seen, 0u);
+  EXPECT_EQ(merged[0].last_seen, 9u);
+  EXPECT_EQ(merged[0].vantage_mask, 3u);
+}
+
+TEST(RunIo, MergeStopsWhenEmitReturnsFalse) {
+  const std::vector<AddressRecord> input = {
+      rec(1, 0, 0, 0, 1, 1), rec(2, 0, 0, 0, 1, 1), rec(3, 0, 0, 0, 1, 1)};
+  std::vector<RecordStream> streams;
+  streams.push_back(stream_of(input));
+  std::size_t emitted = 0;
+  merge_record_streams(std::move(streams), [&](const AddressRecord&) {
+    return ++emitted < 2;
+  });
+  EXPECT_EQ(emitted, 2u);
+}
+
+TEST(RunIo, MergeOverRunFilesMatchesInMemoryStreams) {
+  // The same partition merged from actual run-file cursors.
+  const auto records = random_records(200, 53);
+  std::vector<std::vector<AddressRecord>> inputs(3);
+  util::Rng rng(59);
+  for (const auto& r : records) inputs[rng.bounded(3)].push_back(r);
+
+  std::vector<std::string> files;
+  for (const auto& in : inputs) files.push_back(write_run(in, 8));
+  std::vector<std::stringstream> streams_storage;
+  std::vector<std::unique_ptr<RunReader>> readers;
+  std::vector<RecordStream> streams;
+  for (const auto& bytes : files) {
+    streams_storage.emplace_back(bytes, std::ios::in | std::ios::binary);
+  }
+  for (auto& s : streams_storage) {
+    readers.push_back(std::make_unique<RunReader>(s));
+    streams.push_back(
+        [cursor = readers.back()->cursor()](AddressRecord& out) mutable {
+          return cursor.next(out);
+        });
+  }
+  std::vector<AddressRecord> merged;
+  merge_record_streams(std::move(streams), [&](const AddressRecord& r) {
+    merged.push_back(r);
+    return true;
+  });
+  expect_same(merged, records);
+}
+
+}  // namespace
+}  // namespace v6::hitlist
