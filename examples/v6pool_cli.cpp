@@ -22,12 +22,29 @@
 //       --timeline-out writes the sampled WindowRecords (JSONL default),
 //       --trace-out writes a Chrome trace-event file (chrome://tracing /
 //       Perfetto) of the study's stage spans plus sampling windows
+//       The study subcommand also fronts distributed collection:
+//       --collect-only runs stage 1 alone (for snapshot diffing);
+//       --dist-workers N simulates an N-worker coordinator/worker cluster
+//       (bit-identical to the single-process run); --dist-kills K kills
+//       exactly K workers mid-run to exercise recovery; --frames-out
+//       writes the V6DIST01 frame log (lint-dist input).
+//   v6pool_cli coordinator --dir D [--workers N] [--subsets S]
+//                          [--chunk-days C] [--heartbeat-timeout-ms MS]
+//                          [--save-corpus FILE] [--sites N] [--days D]
+//                          [--seed S]
+//       real multi-process mode: drive worker processes sharing --dir,
+//       merge their artifacts, optionally save the merged corpus
+//   v6pool_cli worker --dir D --id I [--chunk-delay-ms MS] [--sites N]
+//                     [--days D] [--seed S]
+//       one worker process; run N of these against one coordinator
 //   v6pool_cli lint-metrics FILE
 //       validate a Prometheus text exposition file (exit 0 iff clean)
 //   v6pool_cli lint-timeline FILE
 //       validate a JSONL timeline file (exit 0 iff clean)
 //   v6pool_cli lint-trace FILE
 //       validate a Chrome trace-event JSON file (exit 0 iff clean)
+//   v6pool_cli lint-dist FILE
+//       validate a V6DIST01 frame log (exit 0 iff clean)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -40,6 +57,9 @@
 #include "analysis/dataset_compare.h"
 #include "analysis/eui64_tracking.h"
 #include "core/study.h"
+#include "dist/coordinator.h"
+#include "dist/protocol.h"
+#include "dist/worker.h"
 #include "hitlist/corpus_io.h"
 #include "hitlist/release.h"
 #include "obs/exposition.h"
@@ -66,6 +86,45 @@ const char* flag_str(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return nullptr;
+}
+
+bool flag_set(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+// The shared simulation knobs. Every process of a distributed run — the
+// coordinator, each worker, and the single-process reference — must build
+// its StudyConfig through this one function from the same flags, because
+// bit-identity rests on all of them simulating the same world.
+core::StudyConfig build_study_config(int argc, char** argv) {
+  core::StudyConfig config;
+  config.world.total_sites =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
+  config.world.seed = flag_u64(argc, argv, "--seed", 42);
+  config.world.study_duration =
+      static_cast<util::SimDuration>(flag_u64(argc, argv, "--days", 120)) *
+      util::kDay;
+  config.backscan_start = config.world.study_duration + 26 * util::kDay;
+  config.hitlist_campaign.duration = std::max<util::SimDuration>(
+      config.world.study_duration - 25 * util::kDay, 4 * util::kWeek);
+  config.caida_campaign.duration =
+      std::min<util::SimDuration>(62 * util::kDay,
+                                  config.world.study_duration);
+  config.analysis.threads =
+      static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
+  if (const std::uint64_t budget_mb =
+          flag_u64(argc, argv, "--memory-budget-mb", 0);
+      budget_mb > 0) {
+    config.spill.memory_budget_bytes =
+        static_cast<std::size_t>(budget_mb) << 20;
+    if (const char* dir = flag_str(argc, argv, "--spill-dir")) {
+      config.spill.directory = dir;
+    }
+  }
+  return config;
 }
 
 int cmd_world(int argc, char** argv) {
@@ -96,35 +155,30 @@ int cmd_world(int argc, char** argv) {
 }
 
 int cmd_study(int argc, char** argv) {
-  core::StudyConfig config;
-  config.world.total_sites =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
-  config.world.seed = flag_u64(argc, argv, "--seed", 42);
-  config.world.study_duration =
-      static_cast<util::SimDuration>(flag_u64(argc, argv, "--days", 120)) *
-      util::kDay;
-  config.backscan_start = config.world.study_duration + 26 * util::kDay;
-  config.hitlist_campaign.duration = std::max<util::SimDuration>(
-      config.world.study_duration - 25 * util::kDay, 4 * util::kWeek);
-  config.caida_campaign.duration =
-      std::min<util::SimDuration>(62 * util::kDay,
-                                  config.world.study_duration);
-  config.analysis.threads =
-      static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
-  if (const std::uint64_t budget_mb =
-          flag_u64(argc, argv, "--memory-budget-mb", 0);
-      budget_mb > 0) {
-    config.spill.memory_budget_bytes =
-        static_cast<std::size_t>(budget_mb) << 20;
-    if (const char* dir = flag_str(argc, argv, "--spill-dir")) {
-      config.spill.directory = dir;
-    }
-  }
+  core::StudyConfig config = build_study_config(argc, argv);
+  const bool collect_only = flag_set(argc, argv, "--collect-only");
 
   core::RunOptions options;
   options.sample_interval =
       static_cast<util::SimDuration>(flag_u64(argc, argv, "--sample-days", 0)) *
       util::kDay;
+  if (collect_only) {
+    options.campaigns = false;
+    options.backscan = false;
+    options.analysis = false;
+  }
+  if (const std::uint64_t workers = flag_u64(argc, argv, "--dist-workers", 0);
+      workers > 0) {
+    dist::DistConfig dist_config;
+    dist_config.workers = static_cast<std::uint32_t>(workers);
+    dist_config.forced_kills =
+        static_cast<std::uint32_t>(flag_u64(argc, argv, "--dist-kills", 0));
+    dist_config.chunk_interval =
+        static_cast<util::SimDuration>(
+            flag_u64(argc, argv, "--dist-chunk-days", 7)) *
+        util::kDay;
+    options.distributed = dist_config;
+  }
 
   std::printf("running study: %u sites, %lld days, seed %llu\n",
               config.world.total_sites,
@@ -133,35 +187,50 @@ int cmd_study(int argc, char** argv) {
   core::Study study(config);
   const auto& r = study.run(std::move(options));
 
-  const auto& ntp = r.analysis.table1.front();
-  std::printf("\nNTP corpus    : %s addresses in %s ASNs, %s /48s\n",
-              util::with_commas(ntp.addresses).c_str(),
-              util::with_commas(ntp.asns).c_str(),
-              util::with_commas(ntp.slash48s).c_str());
-  std::printf("IPv6 Hitlist  : %s addresses (%s aliased prefixes known)\n",
-              util::with_commas(r.hitlist.corpus.size()).c_str(),
-              util::with_commas(r.hitlist.aliased_prefixes.size()).c_str());
-  std::printf("CAIDA /48     : %s addresses\n",
-              util::with_commas(r.caida.corpus.size()).c_str());
-  std::printf("backscan      : %s clients probed, %s responded\n",
-              util::with_commas(r.backscan.clients_probed).c_str(),
-              util::with_commas(r.backscan.clients_responded).c_str());
-
-  std::printf("lifetimes     : %.1f%% of addresses seen once, %.2f%% live "
-              "a month or more\n",
-              100.0 * r.analysis.address_lifetimes.fraction_once,
-              100.0 * r.analysis.address_lifetimes.fraction_month);
-  // Stages sharing one corpus pass report that pass's wall time each, so
-  // records are summed per stage (= kernel steps) but time is not.
-  std::uint64_t analysis_steps = 0;
-  for (const auto& stage : r.analysis.stage_stats) {
-    analysis_steps += stage.records;
+  std::printf("\nNTP corpus    : %s addresses (%s polls, %s answered)\n",
+              util::with_commas(study.ntp_size()).c_str(),
+              util::with_commas(r.polls_attempted).c_str(),
+              util::with_commas(r.polls_answered).c_str());
+  if (r.dist) {
+    std::printf("distributed   : %u workers over %u subsets, %s leases, "
+                "%s deaths, %s reassignments, %s stale uploads rejected\n",
+                r.dist->workers, r.dist->subsets,
+                util::with_commas(r.dist->leases_granted).c_str(),
+                util::with_commas(r.dist->worker_deaths).c_str(),
+                util::with_commas(r.dist->reassignments).c_str(),
+                util::with_commas(r.dist->stale_uploads_rejected).c_str());
   }
-  std::printf("analysis      : %zu stages, %s kernel steps on %u thread%s\n",
-              r.analysis.stage_stats.size(),
-              util::with_commas(analysis_steps).c_str(),
-              config.analysis.resolved_threads(),
-              config.analysis.resolved_threads() == 1 ? "" : "s");
+  if (!collect_only) {
+    const auto& ntp = r.analysis.table1.front();
+    std::printf("table 1       : %s addresses in %s ASNs, %s /48s\n",
+                util::with_commas(ntp.addresses).c_str(),
+                util::with_commas(ntp.asns).c_str(),
+                util::with_commas(ntp.slash48s).c_str());
+    std::printf("IPv6 Hitlist  : %s addresses (%s aliased prefixes known)\n",
+                util::with_commas(r.hitlist.corpus.size()).c_str(),
+                util::with_commas(r.hitlist.aliased_prefixes.size()).c_str());
+    std::printf("CAIDA /48     : %s addresses\n",
+                util::with_commas(r.caida.corpus.size()).c_str());
+    std::printf("backscan      : %s clients probed, %s responded\n",
+                util::with_commas(r.backscan.clients_probed).c_str(),
+                util::with_commas(r.backscan.clients_responded).c_str());
+
+    std::printf("lifetimes     : %.1f%% of addresses seen once, %.2f%% live "
+                "a month or more\n",
+                100.0 * r.analysis.address_lifetimes.fraction_once,
+                100.0 * r.analysis.address_lifetimes.fraction_month);
+    // Stages sharing one corpus pass report that pass's wall time each, so
+    // records are summed per stage (= kernel steps) but time is not.
+    std::uint64_t analysis_steps = 0;
+    for (const auto& stage : r.analysis.stage_stats) {
+      analysis_steps += stage.records;
+    }
+    std::printf("analysis      : %zu stages, %s kernel steps on %u thread%s\n",
+                r.analysis.stage_stats.size(),
+                util::with_commas(analysis_steps).c_str(),
+                config.analysis.resolved_threads(),
+                config.analysis.resolved_threads() == 1 ? "" : "s");
+  }
 
   // Out-of-core runs leave r.ntp empty. The analyses above streamed the
   // merged runs; the extras below (EUI-64 tracking, the /48 release)
@@ -196,6 +265,23 @@ int cmd_study(int argc, char** argv) {
     const auto bytes = study.save_ntp(out);
     std::printf("corpus        : %s bytes -> %s (binary snapshot)\n",
                 util::with_commas(bytes).c_str(), path);
+  }
+  if (const char* path = flag_str(argc, argv, "--frames-out")) {
+    if (!r.dist) {
+      std::fprintf(stderr,
+                   "--frames-out needs --dist-workers N to produce a "
+                   "frame log\n");
+      return 1;
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out.write(reinterpret_cast<const char*>(r.dist->frame_log.data()),
+              static_cast<std::streamsize>(r.dist->frame_log.size()));
+    std::printf("frames        : %s bytes -> %s (V6DIST01 log)\n",
+                util::with_commas(r.dist->frame_log.size()).c_str(), path);
   }
   if (const char* path = flag_str(argc, argv, "--release")) {
     std::ofstream out(path);
@@ -267,7 +353,96 @@ int cmd_study(int argc, char** argv) {
   return 0;
 }
 
-// Shared shape of the three lint subcommands: slurp FILE, run `lint`,
+int cmd_coordinator(int argc, char** argv) {
+  const char* dir = flag_str(argc, argv, "--dir");
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: v6pool_cli coordinator --dir D ...\n");
+    return 1;
+  }
+  const core::StudyConfig study_config = build_study_config(argc, argv);
+  dist::CoordinatorConfig config;
+  config.dir = dir;
+  config.workers =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--workers", 4));
+  config.subsets =
+      static_cast<std::uint32_t>(flag_u64(argc, argv, "--subsets", 0));
+  config.chunk_interval =
+      static_cast<util::SimDuration>(
+          flag_u64(argc, argv, "--chunk-days", 7)) *
+      util::kDay;
+  config.heartbeat_timeout_ms = static_cast<std::uint32_t>(
+      flag_u64(argc, argv, "--heartbeat-timeout-ms", 10000));
+  config.max_wall_ms = static_cast<std::uint32_t>(
+      flag_u64(argc, argv, "--max-wall-ms", 600000));
+
+  const util::SimTime start = study_config.world.study_start;
+  const util::SimTime end = start + study_config.world.study_duration;
+  std::printf("coordinator: %u workers, dir %s, window [%lld, %lld)\n",
+              config.workers, dir, static_cast<long long>(start),
+              static_cast<long long>(end));
+  dist::Coordinator coordinator(config);
+  const dist::CoordinatorResult result = coordinator.run(start, end);
+
+  std::printf("merged corpus : %s addresses (%s polls, %s answered)\n",
+              util::with_commas(result.corpus.size()).c_str(),
+              util::with_commas(result.polls_attempted).c_str(),
+              util::with_commas(result.polls_answered).c_str());
+  std::printf("fleet         : %s leases, %s uploads, %s deaths, "
+              "%s reassignments, %s stale rejected\n",
+              util::with_commas(result.leases_granted).c_str(),
+              util::with_commas(result.checkpoints_uploaded).c_str(),
+              util::with_commas(result.worker_deaths).c_str(),
+              util::with_commas(result.reassignments).c_str(),
+              util::with_commas(result.stale_uploads_rejected).c_str());
+  if (const char* path = flag_str(argc, argv, "--save-corpus")) {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    const auto bytes = hitlist::save_corpus(out, result.corpus);
+    std::printf("corpus        : %s bytes -> %s (binary snapshot)\n",
+                util::with_commas(bytes).c_str(), path);
+  }
+  return 0;
+}
+
+int cmd_worker(int argc, char** argv) {
+  const char* dir = flag_str(argc, argv, "--dir");
+  if (dir == nullptr) {
+    std::fprintf(stderr, "usage: v6pool_cli worker --dir D --id I ...\n");
+    return 1;
+  }
+  const core::StudyConfig study_config = build_study_config(argc, argv);
+  // Constructing the Study builds the identical world / data plane / DNS
+  // stack every other process of this run builds — the worker only ever
+  // reads from it under lease.
+  core::Study study(study_config);
+
+  dist::NodeEnv env;
+  env.world = &study.world();
+  env.plane = &study.plane();
+  env.dns = &study.pool_dns();
+  env.collector = study.config().collector;
+  env.start = study_config.world.study_start;
+  env.end = env.start + study_config.world.study_duration;
+
+  dist::WorkerConfig config;
+  config.dir = dir;
+  config.id = static_cast<std::uint32_t>(flag_u64(argc, argv, "--id", 1));
+  config.chunk_delay_ms = static_cast<std::uint32_t>(
+      flag_u64(argc, argv, "--chunk-delay-ms", 0));
+  config.max_idle_ms = static_cast<std::uint32_t>(
+      flag_u64(argc, argv, "--max-idle-ms", 600000));
+
+  std::printf("worker %u: dir %s\n", config.id, dir);
+  dist::Worker worker(env, config);
+  worker.run();
+  std::printf("worker %u: shutdown\n", config.id);
+  return 0;
+}
+
+// Shared shape of the lint subcommands: slurp FILE, run `lint`,
 // exit 0 iff it reports no problem.
 int lint_file(int argc, char** argv, const char* subcommand,
               std::optional<std::string> (*lint)(std::string_view)) {
@@ -308,6 +483,15 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "lint-trace") == 0) {
     return lint_file(argc, argv, "lint-trace", obs::lint_trace_events);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "lint-dist") == 0) {
+    return lint_file(argc, argv, "lint-dist", dist::lint_dist_frames);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "coordinator") == 0) {
+    return cmd_coordinator(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "worker") == 0) {
+    return cmd_worker(argc, argv);
+  }
   std::printf(
       "usage:\n"
       "  v6pool_cli world [--sites N] [--seed S]\n"
@@ -316,9 +500,16 @@ int main(int argc, char** argv) {
       "[--release FILE] [--save-corpus FILE] [--metrics-out FILE "
       "[--metrics-format prom|json]] [--sample-days D] "
       "[--timeline-out FILE [--timeline-format jsonl|csv]] "
-      "[--trace-out FILE]\n"
+      "[--trace-out FILE] [--collect-only] [--dist-workers N "
+      "[--dist-kills K] [--dist-chunk-days C] [--frames-out FILE]]\n"
+      "  v6pool_cli coordinator --dir D [--workers N] [--subsets S] "
+      "[--chunk-days C] [--heartbeat-timeout-ms MS] [--save-corpus FILE] "
+      "[--sites N] [--days D] [--seed S]\n"
+      "  v6pool_cli worker --dir D --id I [--chunk-delay-ms MS] "
+      "[--sites N] [--days D] [--seed S]\n"
       "  v6pool_cli lint-metrics FILE\n"
       "  v6pool_cli lint-timeline FILE\n"
-      "  v6pool_cli lint-trace FILE\n");
+      "  v6pool_cli lint-trace FILE\n"
+      "  v6pool_cli lint-dist FILE\n");
   return argc >= 2 ? 1 : 0;
 }

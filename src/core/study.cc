@@ -1,6 +1,7 @@
 #include "core/study.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -96,13 +97,39 @@ void Study::do_resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
                               const hitlist::CheckpointSink& sink) {
   if (collected_) return;
   collected_ = true;
-  results_.ntp = std::move(checkpoint.corpus);
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       collector_config());
-  collector.resume(results_.ntp, checkpoint.state, {}, sink);
+  if (config_.spill.active()) {
+    // Resume honors the memory budget: the checkpointed snapshot becomes
+    // the TieredCorpus's first spilled run and the resumed tail flushes
+    // through the same deterministic barriers as a fresh spilled run.
+    results_.ntp_runs = std::make_unique<hitlist::TieredCorpus>(
+        config_.spill, config_.metrics ? metrics_.get() : nullptr);
+    collector.resume(*results_.ntp_runs, std::move(checkpoint.corpus),
+                     checkpoint.state, {}, sink);
+  } else {
+    results_.ntp = std::move(checkpoint.corpus);
+    collector.resume(results_.ntp, checkpoint.state, {}, sink);
+  }
   results_.polls_attempted = collector.polls_attempted();
   results_.polls_answered = collector.polls_answered();
   results_.vantage_health = collector.vantage_health();
+  if (config_.metrics) set_vantage_gauges(*metrics_, results_.vantage_health);
+}
+
+void Study::do_collect_distributed(const dist::DistConfig& dist_config) {
+  if (collected_) return;
+  collected_ = true;
+  dist::SimCluster cluster(*world_, *plane_, *dns_, config_.collector,
+                           dist_config, nullptr,
+                           config_.metrics ? metrics_.get() : nullptr,
+                           config_.metrics ? sampler_ : nullptr);
+  const util::SimTime start = config_.world.study_start;
+  const util::SimTime end = start + config_.world.study_duration;
+  results_.dist = cluster.run(results_.ntp, start, end);
+  results_.polls_attempted = results_.dist->polls_attempted;
+  results_.polls_answered = results_.dist->polls_answered;
+  results_.vantage_health = results_.dist->vantage_health;
   if (config_.metrics) set_vantage_gauges(*metrics_, results_.vantage_health);
 }
 
@@ -292,6 +319,25 @@ std::size_t Study::save_ntp(std::ostream& out) const {
 }
 
 const StudyResults& Study::run(RunOptions options) {
+  if (options.distributed) {
+    // Distributed collection composes with the rest of the pipeline but
+    // not with knobs that change who owns stage-1 state. Fail loudly
+    // rather than silently diverge from the bit-identity contract.
+    if (config_.spill.active()) {
+      throw std::invalid_argument(
+          "RunOptions::distributed is incompatible with StudyConfig::spill");
+    }
+    if (options.resume_from) {
+      throw std::invalid_argument(
+          "RunOptions::distributed is incompatible with resume_from "
+          "(workers resume from their own chunk leases)");
+    }
+    if (options.checkpoint_sink) {
+      throw std::invalid_argument(
+          "RunOptions::distributed is incompatible with checkpoint_sink "
+          "(checkpoints flow through the coordinator protocol)");
+    }
+  }
   obs::Tracer& tracer = metrics_->tracer();
   const util::SimTime study_start = config_.world.study_start;
   const util::SimTime study_end = study_start + config_.world.study_duration;
@@ -316,7 +362,9 @@ const StudyResults& Study::run(RunOptions options) {
   const auto root = tracer.begin_span("study.run", study_start);
   if (options.collect && !collected_) {
     const auto span = tracer.begin_span("study.collect", study_start);
-    if (options.resume_from) {
+    if (options.distributed) {
+      do_collect_distributed(*options.distributed);
+    } else if (options.resume_from) {
       do_resume_collect(std::move(*options.resume_from),
                         options.checkpoint_sink);
     } else {

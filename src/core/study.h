@@ -28,6 +28,7 @@
 #include "analysis/dataset_compare.h"
 #include "analysis/lifetimes.h"
 #include "analysis/parallel_scan.h"
+#include "dist/sim_cluster.h"
 #include "hitlist/campaigns.h"
 #include "hitlist/checkpoint_io.h"
 #include "hitlist/corpus.h"
@@ -78,8 +79,11 @@ struct StudyConfig {
   // k-way-merged runs instead of an in-memory table. Saved corpus bytes
   // and analysis floats are bit-identical to the in-memory path at any
   // thread count and any budget. Resuming from a checkpoint
-  // (RunOptions::resume_from) always uses the in-memory path; spill
-  // applies to fresh collections only.
+  // (RunOptions::resume_from) honors the budget too: the checkpointed
+  // snapshot seeds the TieredCorpus as its first spilled run and the
+  // resumed tail flushes through the same deterministic barriers, so the
+  // merged output is bit-identical to both the in-memory resume and the
+  // uninterrupted run.
   hitlist::SpillConfig spill;
 
   // Analysis parallelism (stage 4): every analysis scan shards across
@@ -143,6 +147,9 @@ struct StudyResults {
   std::vector<hitlist::VantageHealthStats> vantage_health;
   // Stage 4 (empty until run_analysis()).
   AnalysisReport analysis;
+  // Distributed-collection report (set only when RunOptions::distributed
+  // drove stage 1): lease/recovery counters and the V6DIST01 frame log.
+  std::optional<dist::DistReport> dist;
   // Folded view of the study's metrics registry plus its trace spans,
   // captured when run() finishes (empty when driven via the legacy
   // per-stage shims without a final run()).
@@ -174,6 +181,15 @@ struct RunOptions {
   // passes) — never wall-clock timers — so StudyResults::timeline is
   // bit-identical at any thread count and sampling changes no result.
   util::SimDuration sample_interval = 0;
+  // Distributed stage 1: when set, collection runs through a simulated
+  // dist::SimCluster — N workers each collecting a vantage subset under
+  // chunk leases, with the coordinator's deterministic merge feeding the
+  // rest of the pipeline. The merged corpus, saved bytes, and every
+  // analysis float are bit-identical to the single-process run at any
+  // worker count, including under injected worker kills/stalls.
+  // Incompatible with spill, resume_from, checkpoint_sink, and
+  // plane.wire_fidelity (run() throws std::invalid_argument).
+  std::optional<dist::DistConfig> distributed;
 };
 
 class Study {
@@ -183,6 +199,9 @@ class Study {
   const sim::World& world() const noexcept { return *world_; }
   const StudyConfig& config() const noexcept { return config_; }
   netsim::DataPlane& plane() noexcept { return *plane_; }
+  // The pool DNS steering layer — exposed so out-of-process dist workers
+  // can wire a NodeEnv against this study's simulation stack.
+  netsim::PoolDns& pool_dns() noexcept { return *dns_; }
 
   // The study's fault plan, or nullptr when fault injection is off.
   const netsim::FaultSchedule* faults() const noexcept {
@@ -243,6 +262,7 @@ class Study {
 
  private:
   void do_collect(const hitlist::CheckpointSink& sink);
+  void do_collect_distributed(const dist::DistConfig& dist_config);
   void do_resume_collect(hitlist::CollectionCheckpoint&& checkpoint,
                          const hitlist::CheckpointSink& sink);
   void do_campaigns();

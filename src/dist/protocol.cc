@@ -1,0 +1,257 @@
+#include "dist/protocol.h"
+
+#include <map>
+#include <span>
+#include <stdexcept>
+
+#include "proto/buffer.h"
+#include "proto/checksum.h"
+
+namespace v6::dist {
+
+namespace {
+
+constexpr char kMagic[8] = {'V', '6', 'D', 'I', 'S', 'T', '0', '1'};
+constexpr std::size_t kMaxPath = 4096;
+
+bool known_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kRevoke);
+}
+
+void put_string(proto::BufferWriter& writer, const std::string& s) {
+  writer.u16(static_cast<std::uint16_t>(s.size()));
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(s.data()),
+                         s.size()));
+}
+
+std::string get_string(proto::BufferReader& reader) {
+  const std::uint16_t len = reader.u16();
+  std::string out(len, '\0');
+  reader.bytes(std::span(reinterpret_cast<std::uint8_t*>(out.data()), len));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Frame& frame) {
+  if (frame.payload.size() > kMaxPayload) {
+    throw std::runtime_error("dist frame: payload too large");
+  }
+  proto::BufferWriter writer;
+  writer.bytes(std::span(reinterpret_cast<const std::uint8_t*>(kMagic), 8));
+  writer.u8(static_cast<std::uint8_t>(frame.type));
+  writer.u32(frame.sender);
+  writer.u32(frame.subset);
+  writer.u32(frame.epoch);
+  writer.u64(frame.seq);
+  writer.u64(frame.sim_time);
+  writer.u32(static_cast<std::uint32_t>(frame.payload.size()));
+  writer.bytes(frame.payload);
+  // CRC over type..payload (everything after the magic), mirroring the
+  // checkpoint format's section-CRC convention.
+  writer.u32(proto::crc32(std::span(writer.data()).subspan(8)));
+  return std::move(writer).take();
+}
+
+Frame decode_frame(std::span<const std::uint8_t> data, std::size_t* consumed) {
+  proto::BufferReader reader(data);
+  std::uint8_t magic[8];
+  reader.bytes(magic);
+  if (reader.truncated() ||
+      !std::equal(std::begin(magic), std::end(magic), kMagic)) {
+    throw std::runtime_error("dist frame: bad magic");
+  }
+  Frame frame;
+  const std::uint8_t type = reader.u8();
+  frame.sender = reader.u32();
+  frame.subset = reader.u32();
+  frame.epoch = reader.u32();
+  frame.seq = reader.u64();
+  frame.sim_time = reader.u64();
+  const std::uint32_t payload_len = reader.u32();
+  if (reader.truncated()) {
+    throw std::runtime_error("dist frame: truncated header");
+  }
+  if (!known_type(type)) {
+    throw std::runtime_error("dist frame: unknown type");
+  }
+  frame.type = static_cast<FrameType>(type);
+  // Untrusted length sizes the read below; cap it before trusting it.
+  if (payload_len > kMaxPayload) {
+    throw std::runtime_error("dist frame: payload too large");
+  }
+  if (reader.remaining() < static_cast<std::size_t>(payload_len) + 4) {
+    throw std::runtime_error("dist frame: truncated payload");
+  }
+  frame.payload.resize(payload_len);
+  reader.bytes(frame.payload);
+  const std::size_t body_end = data.size() - reader.remaining();
+  const std::uint32_t crc = reader.u32();
+  if (reader.truncated()) {
+    throw std::runtime_error("dist frame: truncated CRC");
+  }
+  if (crc != proto::crc32(data.subspan(8, body_end - 8))) {
+    throw std::runtime_error("dist frame: CRC mismatch");
+  }
+  if (consumed != nullptr) *consumed = data.size() - reader.remaining();
+  return frame;
+}
+
+std::vector<std::uint8_t> encode_lease_grant(const LeaseGrant& grant) {
+  proto::BufferWriter writer;
+  writer.u64(grant.window_start);
+  writer.u64(grant.window_end);
+  writer.u64(grant.chunk_interval);
+  writer.u64(grant.resume_from);
+  writer.u32(grant.subset_count);
+  put_string(writer, grant.checkpoint_path);
+  return std::move(writer).take();
+}
+
+LeaseGrant decode_lease_grant(std::span<const std::uint8_t> payload) {
+  proto::BufferReader reader(payload);
+  LeaseGrant grant;
+  grant.window_start = reader.u64();
+  grant.window_end = reader.u64();
+  grant.chunk_interval = reader.u64();
+  grant.resume_from = reader.u64();
+  grant.subset_count = reader.u32();
+  grant.checkpoint_path = get_string(reader);
+  if (reader.truncated() || reader.remaining() != 0) {
+    throw std::runtime_error("dist frame: malformed lease grant payload");
+  }
+  return grant;
+}
+
+std::vector<std::uint8_t> encode_artifact(const Artifact& artifact) {
+  proto::BufferWriter writer;
+  put_string(writer, artifact.path);
+  writer.u64(artifact.bytes);
+  writer.u32(artifact.crc);
+  return std::move(writer).take();
+}
+
+Artifact decode_artifact(std::span<const std::uint8_t> payload) {
+  proto::BufferReader reader(payload);
+  Artifact artifact;
+  artifact.path = get_string(reader);
+  artifact.bytes = reader.u64();
+  artifact.crc = reader.u32();
+  if (reader.truncated() || reader.remaining() != 0) {
+    throw std::runtime_error("dist frame: malformed artifact payload");
+  }
+  return artifact;
+}
+
+std::optional<std::string> validate_artifact_path(std::string_view path) {
+  if (path.empty()) return "empty path";
+  if (path.size() > kMaxPath) return "path too long";
+  if (path.front() == '/') return "absolute path";
+  for (const char c : path) {
+    if (c == '\0') return "NUL in path";
+    if (c == '\n' || c == '\r') return "newline in path";
+    if (c == '\\') return "backslash in path";
+  }
+  // Reject any ".." segment (plain, leading, trailing, or interior).
+  std::size_t pos = 0;
+  while (pos <= path.size()) {
+    const std::size_t slash = path.find('/', pos);
+    const std::string_view segment =
+        path.substr(pos, (slash == std::string_view::npos ? path.size()
+                                                          : slash) -
+                             pos);
+    if (segment == "..") return "path escapes its directory";
+    if (slash == std::string_view::npos) break;
+    pos = slash + 1;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> lint_dist_frames(std::string_view log) {
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(log.data()), log.size());
+  std::map<std::uint32_t, std::uint64_t> next_seq;  // per sender
+  std::size_t offset = 0;
+  std::size_t index = 0;
+  const auto fail = [&](const std::string& reason) {
+    return "frame " + std::to_string(index) + ": " + reason;
+  };
+  while (offset < bytes.size()) {
+    Frame frame;
+    std::size_t consumed = 0;
+    try {
+      frame = decode_frame(bytes.subspan(offset), &consumed);
+    } catch (const std::exception& e) {
+      return fail(e.what());
+    }
+    const auto [it, fresh] = next_seq.try_emplace(frame.sender, 0);
+    if (frame.seq != it->second) {
+      return fail("sender " + std::to_string(frame.sender) +
+                  " seq " + std::to_string(frame.seq) + ", expected " +
+                  std::to_string(it->second));
+    }
+    it->second = frame.seq + 1;
+    switch (frame.type) {
+      case FrameType::kHello:
+      case FrameType::kHeartbeat:
+      case FrameType::kShutdown:
+      case FrameType::kRevoke:
+        if (!frame.payload.empty()) return fail("unexpected payload");
+        break;
+      case FrameType::kLeaseGrant: {
+        if (frame.sender != kCoordinatorId) {
+          return fail("lease grant from non-coordinator");
+        }
+        LeaseGrant grant;
+        try {
+          grant = decode_lease_grant(frame.payload);
+        } catch (const std::exception& e) {
+          return fail(e.what());
+        }
+        if (grant.window_end <= grant.window_start) {
+          return fail("lease window is empty or inverted");
+        }
+        if (grant.chunk_interval == 0) return fail("zero chunk interval");
+        if (grant.resume_from < grant.window_start ||
+            grant.resume_from >= grant.window_end) {
+          return fail("resume point outside the lease window");
+        }
+        if (grant.subset_count == 0) return fail("zero subset count");
+        if (frame.subset >= grant.subset_count) {
+          return fail("subset id out of range");
+        }
+        if (!grant.checkpoint_path.empty()) {
+          if (const auto why = validate_artifact_path(grant.checkpoint_path)) {
+            return fail(*why);
+          }
+        } else if (grant.resume_from != grant.window_start) {
+          return fail("recovery lease without a checkpoint path");
+        }
+        break;
+      }
+      case FrameType::kCheckpointUpload:
+      case FrameType::kComplete: {
+        if (frame.sender == kCoordinatorId) {
+          return fail("upload from the coordinator");
+        }
+        Artifact artifact;
+        try {
+          artifact = decode_artifact(frame.payload);
+        } catch (const std::exception& e) {
+          return fail(e.what());
+        }
+        if (const auto why = validate_artifact_path(artifact.path)) {
+          return fail(*why);
+        }
+        if (frame.subset == kNoSubset) return fail("upload without a subset");
+        break;
+      }
+    }
+    offset += consumed;
+    ++index;
+  }
+  return std::nullopt;
+}
+
+}  // namespace v6::dist

@@ -1,0 +1,81 @@
+#include "dist/transport.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+namespace v6::dist {
+
+namespace fs = std::filesystem;
+
+void write_file_atomic(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("dist: cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("dist: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("dist: rename to " + path +
+                             " failed: " + ec.message());
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("dist: cannot open " + path);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+Mailbox::Mailbox(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    throw std::runtime_error("dist: cannot create mailbox " + directory_ +
+                             ": " + ec.message());
+  }
+}
+
+void Mailbox::post(const Frame& frame) {
+  // f-<sender hex8>-<seq hex16>.frame: lexicographic == per-sender FIFO.
+  char name[40];
+  std::snprintf(name, sizeof(name), "f-%08x-%016llx.frame", frame.sender,
+                static_cast<unsigned long long>(frame.seq));
+  write_file_atomic(directory_ + "/" + name, encode_frame(frame));
+}
+
+std::vector<Frame> Mailbox::drain() {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(directory_)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    // Skip in-flight posts; only renamed-complete frames are real.
+    if (name.size() < 6 || name.substr(name.size() - 6) != ".frame") continue;
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  std::vector<Frame> frames;
+  frames.reserve(names.size());
+  for (const std::string& name : names) {
+    const std::string path = directory_ + "/" + name;
+    frames.push_back(decode_frame(read_file(path)));
+    std::error_code ec;
+    fs::remove(path, ec);  // best-effort; a re-read is idempotent enough
+  }
+  return frames;
+}
+
+}  // namespace v6::dist

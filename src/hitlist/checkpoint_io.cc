@@ -1,6 +1,9 @@
 #include "hitlist/checkpoint_io.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
@@ -99,6 +102,47 @@ CollectionCheckpoint load_checkpoint(std::istream& in) {
       std::move(state),
       load_corpus(std::span(bytes).subspan(state_end + 4))};
   return checkpoint;
+}
+
+std::size_t save_checkpoint_file(const std::string& path,
+                                 const CheckpointState& state,
+                                 const Corpus& corpus) {
+  const std::string tmp = path + ".tmp";
+  if (const auto parent = std::filesystem::path(path).parent_path();
+      !parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);  // best-effort; the
+    // open below reports the actionable failure
+  }
+  std::size_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("checkpoint: cannot open " + tmp);
+    }
+    written = save_checkpoint(out, state, corpus);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("checkpoint: write failed for " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("checkpoint: rename to " + path +
+                             " failed: " + ec.message());
+  }
+  return written;
+}
+
+CollectionCheckpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  return load_checkpoint(in);
 }
 
 }  // namespace v6::hitlist

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "hitlist/corpus.h"
 #include "hitlist/passive_collector.h"
@@ -37,5 +38,18 @@ std::size_t save_checkpoint(std::ostream& out, const CheckpointState& state,
 // Loads a checkpoint. Throws std::runtime_error on bad magic, truncation,
 // or CRC mismatch in either section.
 CollectionCheckpoint load_checkpoint(std::istream& in);
+
+// Durable-file variants for the distributed layer: the checkpoint is
+// written to `path + ".tmp"` and atomically renamed into place, so a
+// crash mid-write never leaves a half-checkpoint where a reader (the
+// coordinator, a recovering worker) expects a valid one. Returns bytes
+// written. Throws std::runtime_error on any filesystem failure.
+std::size_t save_checkpoint_file(const std::string& path,
+                                 const CheckpointState& state,
+                                 const Corpus& corpus);
+
+// Loads a checkpoint from a file; same validation (and exceptions) as the
+// stream loader, plus a loud error when the file cannot be opened.
+CollectionCheckpoint load_checkpoint_file(const std::string& path);
 
 }  // namespace v6::hitlist

@@ -92,7 +92,13 @@ void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
   bool steered = false;
   const sim::VantagePoint* vantage = dns_->resolve(client, ds.rng, t, &steered);
   const netsim::FaultSchedule* faults = plane_->faults();
-  if (shard.recording && steered && vantage != nullptr) {
+  // Vantage-subset filtering: `record` decides whether this worker OWNS
+  // the poll's vantage and therefore counts/records it. The simulation
+  // below runs identically either way — same draws, same fault verdicts,
+  // same retry control flow — so disjoint subsets stay in RNG lockstep.
+  const bool record =
+      shard.recording && vantage != nullptr && vantage_enabled(vantage->id);
+  if (record && steered) {
     ++shard.vantage[vantage->id].steered_polls;
   }
   // A burst is one sync event: its packets go out ~2s apart.
@@ -103,8 +109,9 @@ void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
     if (tk >= window_end) break;  // the collection window closes mid-burst
     if (vantage == nullptr) {
       // The poll went to one of the thousands of pool servers that are
-      // not ours — invisible to the study, and not retried here.
-      if (shard.recording) ++shard.tally.polls;
+      // not ours — invisible to the study, and not retried here. Exactly
+      // one worker of a distributed fleet owns this tally.
+      if (shard.recording && config_.count_unassigned) ++shard.tally.polls;
       continue;
     }
     VantageHealthStats& vh = shard.vantage[vantage->id];
@@ -113,7 +120,7 @@ void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
       const util::SimTime tj =
           tk + backoff_offset(attempt, config_.retry_backoff);
       if (tj >= window_end) break;
-      if (shard.recording) {
+      if (record) {
         ++shard.tally.polls;
         ++vh.polls;
         if (attempt > 0) ++vh.retries;
@@ -126,7 +133,7 @@ void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
       // agree without consulting any RNG.
       const bool faulted =
           faults != nullptr && !faults->delivers(vantage->id, client, tj);
-      if (shard.recording && faulted) ++vh.lost_to_fault;
+      if (record && faulted) ++vh.lost_to_fault;
       bool answered = false;
       if (config_.wire_fidelity) {
         const auto nonce = static_cast<std::uint32_t>(r1);
@@ -158,7 +165,7 @@ void PassiveCollector::process_event(ShardState& shard, DeviceState& ds,
         answered = served && !(unit(r2) < config_.loss_rate);
       }
       if (answered) {
-        if (shard.recording) {
+        if (record) {
           ++shard.tally.answered;
           ++vh.answered;
         }
@@ -215,10 +222,13 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     // (pre-checkpoint) traffic leaves no trace.
     shard.servers.reserve(vantages.size());
     for (const auto& vantage : vantages) {
-      auto observation_sink = [shardp = &shard, &hook, mu,
+      auto observation_sink = [this, shardp = &shard, &hook, mu,
                                address = vantage.address](
                                   const ntp::Observation& obs) {
-        if (!shardp->recording) return;
+        // The server still serves filtered-out vantages (keeping both
+        // execution paths' state identical across workers); only the
+        // recording of the observation is subset-local.
+        if (!shardp->recording || !vantage_enabled(obs.vantage)) return;
         shardp->corpus.add(obs.client, obs.time, obs.vantage);
         if (obs.vantage < shardp->vantage_obs.size()) {
           ++shardp->vantage_obs[obs.vantage];
@@ -539,6 +549,26 @@ void PassiveCollector::resume(Corpus& corpus, const CheckpointState& from,
                               const ObservationHook& hook,
                               const CheckpointSink& sink) {
   collect(corpus, from, hook, sink);
+}
+
+void PassiveCollector::resume(TieredCorpus& runs, Corpus&& snapshot,
+                              const CheckpointState& from,
+                              const ObservationHook& hook,
+                              const CheckpointSink& sink) {
+  tiered_ = &runs;
+  // The checkpointed prefix becomes the first on-disk run; the tail then
+  // spills through the normal barrier machinery. Run *boundaries* differ
+  // from an uninterrupted spilled run, but the k-way merge erases
+  // boundaries — the merged stream is a pure function of content.
+  if (snapshot.size() > 0) runs.spill(std::move(snapshot));
+  Corpus scratch(1);
+  try {
+    collect(scratch, from, hook, sink);
+  } catch (...) {
+    tiered_ = nullptr;
+    throw;
+  }
+  tiered_ = nullptr;
 }
 
 }  // namespace v6::hitlist

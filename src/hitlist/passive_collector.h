@@ -100,6 +100,21 @@ struct CollectorConfig {
   // Stage tag the sampler stamps on windows closed inside this collector
   // (the backscan pass runs a second collector with its own tag).
   std::string sampler_stage = "collect";
+  // Distributed-collection vantage subset: when non-empty, only polls to
+  // vantage ids v with vantage_filter[v] == true are *recorded* (corpus
+  // observations, tallies, per-vantage health). Every device still runs
+  // its full simulation — identical RNG draws, DNS steering, fault
+  // verdicts, and retry control flow — so N workers with disjoint filters
+  // merge bit-identically to one unfiltered run (Corpus aggregation is
+  // commutative and each poll is recorded by exactly one worker). Empty
+  // means record everything.
+  std::vector<bool> vantage_filter;
+  // Polls steered to pool servers that are not our vantages (the
+  // "invisible" tally) must be counted by exactly one worker for the
+  // summed polls_attempted to match the single-process value; the dist
+  // layer sets this true only on the subset-0 worker. Irrelevant (and
+  // left true) when vantage_filter is empty.
+  bool count_unassigned = true;
 };
 
 // Per-vantage degradation accounting, reported instead of aborting when a
@@ -170,8 +185,8 @@ class PassiveCollector {
   // every analysis and save() byte) is identical to the in-memory run at
   // any thread count and any budget; a test asserts exactly that.
   // Checkpoint sinks see the same corpus-so-far snapshots as the
-  // in-memory path (reconstructed from the runs); resume() is in-memory
-  // only.
+  // in-memory path (reconstructed from the runs); the tiered resume()
+  // overload below resumes a crashed out-of-core run.
   void run(TieredCorpus& runs, util::SimTime start, util::SimTime end,
            const ObservationHook& hook = {}, const CheckpointSink& sink = {});
 
@@ -180,8 +195,31 @@ class PassiveCollector {
   // collection replays silently up to from.resume_from, then records the
   // remainder of the window into `corpus`. Counters continue from the
   // checkpointed values.
+  //
+  // Sink-failure contract (worker-upload sinks throw on coordinator
+  // disconnect): if `sink` throws, the exception propagates and `corpus`
+  // is left EXACTLY as the caller passed it in — the tail recorded since
+  // resume_from lives in shard-private tables that are only merged into
+  // `corpus` after the chunk loop finishes cleanly. The caller may
+  // therefore either retry this resume() verbatim (same corpus, same
+  // `from`) or reload the last checkpoint the sink durably accepted and
+  // resume from that; both reproduce the uninterrupted run bit-exactly.
+  // The same guarantee holds when run()'s sink throws mid-collection.
   void resume(Corpus& corpus, const CheckpointState& from,
               const ObservationHook& hook = {},
+              const CheckpointSink& sink = {});
+
+  // Out-of-core resume: honors a spill budget while resuming. `snapshot`
+  // (the checkpointed corpus for `from`) is seeded into `runs` as its
+  // first on-disk run, then the tail collects through the same spill
+  // machinery as run(TieredCorpus&). The merged stream — and every
+  // analysis float and save() byte derived from it — is identical to the
+  // in-memory resume at any thread count and budget. On a sink throw,
+  // `runs` keeps every run spilled so far (including the seeded
+  // snapshot); recovery is a fresh TieredCorpus resumed from the last
+  // checkpoint the sink durably accepted, not a retry on the same `runs`.
+  void resume(TieredCorpus& runs, Corpus&& snapshot,
+              const CheckpointState& from, const ObservationHook& hook = {},
               const CheckpointSink& sink = {});
 
   std::uint64_t polls_attempted() const noexcept { return polls_; }
@@ -236,6 +274,14 @@ class PassiveCollector {
   // One sync event (burst + per-packet retries) for one device.
   void process_event(ShardState& shard, DeviceState& ds, util::SimTime t,
                      util::SimTime window_end) const;
+
+  // Whether this collector records traffic at the vantage (true for all
+  // vantages when CollectorConfig::vantage_filter is empty).
+  bool vantage_enabled(std::uint8_t vantage) const noexcept {
+    return config_.vantage_filter.empty() ||
+           (vantage < config_.vantage_filter.size() &&
+            config_.vantage_filter[vantage]);
+  }
 
   const sim::World* world_;
   netsim::DataPlane* plane_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/rng.h"
 
@@ -27,6 +28,8 @@ FaultSchedule::FaultSchedule(std::span<const sim::VantagePoint> vantages) {
   windows_.resize(vantages.size());
   for (const auto& v : vantages) by_address_[v.address] = v.id;
 }
+
+FaultSchedule::FaultSchedule(std::size_t lanes) { windows_.resize(lanes); }
 
 FaultSchedule::FaultSchedule(std::span<const sim::VantagePoint> vantages,
                              const FaultPlanConfig& config,
@@ -150,6 +153,152 @@ std::span<const OutageWindow> FaultSchedule::windows(
     std::uint8_t vantage) const noexcept {
   if (vantage >= windows_.size()) return {};
   return windows_[vantage];
+}
+
+// --- WorkerFaultSchedule ---------------------------------------------------
+
+namespace {
+
+// The dist layer keys lanes by uint32 worker ids; the base class's window
+// store is uint8-keyed. Constructors reject wider fleets up front.
+std::uint8_t lane(std::uint32_t worker) {
+  return static_cast<std::uint8_t>(worker);
+}
+
+}  // namespace
+
+WorkerFaultSchedule::WorkerFaultSchedule(std::uint32_t workers)
+    : FaultSchedule(static_cast<std::size_t>(workers)),
+      kill_at_(workers),
+      slows_(workers) {
+  if (workers > 255) {
+    throw std::invalid_argument("WorkerFaultSchedule: at most 255 workers");
+  }
+}
+
+WorkerFaultSchedule::WorkerFaultSchedule(std::uint32_t workers,
+                                         const WorkerFaultPlanConfig& config,
+                                         util::SimTime plan_start,
+                                         util::SimTime plan_end)
+    : WorkerFaultSchedule(workers) {
+  if (plan_end <= plan_start) return;
+  const auto span = static_cast<double>(plan_end - plan_start);
+  for (std::uint32_t w = 0; w < workers; ++w) {
+    util::Rng rng(util::mix64(config.seed ^ 0xd15fa017u ^
+                              util::mix64(static_cast<std::uint64_t>(w))));
+    // Same count scheme as the vantage plan: floor(mean) + Bernoulli(frac)
+    // keeps the per-worker expectation exactly at the configured mean.
+    const auto draw_count = [&rng](double mean) -> std::uint32_t {
+      if (mean <= 0.0) return 0;
+      const double floor_part = std::floor(mean);
+      auto n = static_cast<std::uint32_t>(floor_part);
+      if (rng.chance(mean - floor_part)) ++n;
+      return n;
+    };
+    if (rng.chance(std::min(1.0, config.kills_per_worker))) {
+      kill_at_[w] =
+          plan_start + static_cast<util::SimDuration>(rng.uniform() * span);
+    }
+    const std::uint32_t stalls = draw_count(config.stalls_per_worker);
+    std::vector<OutageWindow> stall_windows;
+    for (std::uint32_t i = 0; i < stalls; ++i) {
+      const auto start =
+          plan_start + static_cast<util::SimDuration>(rng.uniform() * span);
+      const auto len = std::max<util::SimDuration>(
+          1, static_cast<util::SimDuration>(
+                 rng.exponential(static_cast<double>(config.mean_stall))));
+      stall_windows.push_back({start, std::min(plan_end, start + len)});
+    }
+    std::sort(stall_windows.begin(), stall_windows.end(),
+              [](const OutageWindow& a, const OutageWindow& b) {
+                return a.start < b.start;
+              });
+    util::SimTime last_end = plan_start;
+    for (const auto& sw : stall_windows) {
+      if (sw.start < last_end) continue;  // drop overlaps, keep order
+      add_window(lane(w), sw.start, sw.end);
+      last_end = sw.end;
+    }
+    const std::uint32_t slows = draw_count(config.slows_per_worker);
+    std::vector<SlowWindow> slow_windows;
+    for (std::uint32_t i = 0; i < slows; ++i) {
+      const auto start =
+          plan_start + static_cast<util::SimDuration>(rng.uniform() * span);
+      const auto len = std::max<util::SimDuration>(
+          1, static_cast<util::SimDuration>(
+                 rng.exponential(static_cast<double>(config.mean_slow))));
+      slow_windows.push_back(
+          {start, std::min(plan_end, start + len), config.slow_factor});
+    }
+    std::sort(slow_windows.begin(), slow_windows.end(),
+              [](const SlowWindow& a, const SlowWindow& b) {
+                return a.start < b.start;
+              });
+    last_end = plan_start;
+    for (const auto& sw : slow_windows) {
+      if (sw.start < last_end) continue;
+      slows_[w].push_back(sw);
+      last_end = sw.end;
+    }
+  }
+}
+
+std::optional<util::SimTime> WorkerFaultSchedule::kill_at(
+    std::uint32_t worker) const noexcept {
+  if (worker >= kill_at_.size()) return std::nullopt;
+  return kill_at_[worker];
+}
+
+bool WorkerFaultSchedule::stalled(std::uint32_t worker,
+                                  util::SimTime t) const noexcept {
+  return worker <= 255 && in_outage(lane(worker), t);
+}
+
+util::SimTime WorkerFaultSchedule::stall_end(std::uint32_t worker,
+                                             util::SimTime t) const noexcept {
+  if (worker > 255) return t;
+  for (const OutageWindow& w : windows(lane(worker))) {
+    if (t >= w.start && t < w.end) return w.end;
+  }
+  return t;
+}
+
+double WorkerFaultSchedule::cost_factor(std::uint32_t worker,
+                                        util::SimTime t) const noexcept {
+  if (worker >= slows_.size()) return 1.0;
+  for (const SlowWindow& w : slows_[worker]) {
+    if (t >= w.start && t < w.end) return std::max(1.0, w.factor);
+  }
+  return 1.0;
+}
+
+void WorkerFaultSchedule::set_kill(std::uint32_t worker, util::SimTime t) {
+  if (worker >= kill_at_.size()) {
+    kill_at_.resize(worker + 1u);
+    slows_.resize(worker + 1u);
+  }
+  kill_at_[worker] = t;
+}
+
+void WorkerFaultSchedule::add_stall(std::uint32_t worker, util::SimTime start,
+                                    util::SimTime end) {
+  if (worker > 255) {
+    throw std::invalid_argument("WorkerFaultSchedule: at most 255 workers");
+  }
+  if (worker >= kill_at_.size()) {
+    kill_at_.resize(worker + 1u);
+    slows_.resize(worker + 1u);
+  }
+  add_window(lane(worker), start, end);
+}
+
+void WorkerFaultSchedule::add_slow(std::uint32_t worker, util::SimTime start,
+                                   util::SimTime end, double factor) {
+  if (worker >= slows_.size()) {
+    kill_at_.resize(worker + 1u);
+    slows_.resize(worker + 1u);
+  }
+  slows_[worker].push_back({start, end, factor});
 }
 
 }  // namespace v6::netsim

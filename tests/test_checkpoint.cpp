@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "core/study.h"
+#include "hitlist/corpus_io.h"
 #include "hitlist/passive_collector.h"
+#include "hitlist/tiered_corpus.h"
 #include "netsim/fault_schedule.h"
 #include "ntp/client_schedule.h"
 #include "sim/world.h"
@@ -312,6 +314,193 @@ TEST_F(CheckpointTest, StudyResumeMatchesUninterruptedCollect) {
               reference.results().polls_answered);
     expect_identical_health(resumed.results().vantage_health,
                             reference.results().vantage_health);
+  }
+}
+
+TEST_F(CheckpointTest, SpilledResumeHonorsBudgetAndStaysBitIdentical) {
+  // RunOptions::resume_from composed with an active spill budget: the
+  // checkpointed snapshot seeds the TieredCorpus as its first run, the
+  // tail spills through the same machinery as a budgeted run(), and the
+  // saved bytes match both the in-memory resume and the uninterrupted
+  // run — the StudyConfig::spill contract, end to end.
+  core::StudyConfig config;
+  config.world.seed = 9;
+  config.world.total_sites = 250;
+  config.world.study_duration = 6 * util::kDay;
+  config.collector.loss_rate = 0.0;
+  config.collector.threads = 2;
+  config.collector.retry_limit = 1;
+  config.collector.checkpoint_interval = 2 * util::kDay;
+  config.pool_capture_share = 1.0;
+  config.faults = busy_plan();
+
+  std::vector<std::string> snapshots;
+  std::string reference_bytes;
+  {
+    core::Study reference(config);
+    core::RunOptions options;
+    options.campaigns = options.backscan = options.analysis = false;
+    options.checkpoint_sink = [&](const CheckpointState& state,
+                                  const Corpus& corpus) {
+      std::stringstream out;
+      save_checkpoint(out, state, corpus);
+      snapshots.push_back(out.str());
+    };
+    reference.run(std::move(options));
+    std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+    reference.save_ntp(out);
+    reference_bytes = out.str();
+  }
+  ASSERT_EQ(snapshots.size(), 2u);  // boundaries at day 2 and 4
+  ASSERT_FALSE(reference_bytes.empty());
+
+  auto spilled_config = config;
+  spilled_config.spill.memory_budget_bytes = 1;  // spill at every barrier
+
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    SCOPED_TRACE(testing::Message() << "resume from checkpoint " << i);
+
+    const auto resume_bytes = [&](const core::StudyConfig& with) {
+      core::Study resumed(with);
+      core::RunOptions options;
+      options.campaigns = options.backscan = options.analysis = false;
+      std::stringstream in(snapshots[i]);
+      options.resume_from = load_checkpoint(in);
+      const auto& r = resumed.run(std::move(options));
+      if (with.spill.active()) {
+        // The budget was honored: the resume ran out of core, seeding
+        // the snapshot as the first run and spilling the tail.
+        EXPECT_NE(r.ntp_runs, nullptr);
+        if (r.ntp_runs != nullptr) {
+          EXPECT_GE(r.ntp_runs->stats().spills, 1u);
+          EXPECT_GE(r.ntp_runs->run_count(), 2u);
+        }
+      } else {
+        EXPECT_EQ(r.ntp_runs, nullptr);
+      }
+      std::stringstream out(std::ios::in | std::ios::out | std::ios::binary);
+      resumed.save_ntp(out);
+      return out.str();
+    };
+
+    EXPECT_EQ(resume_bytes(config), reference_bytes) << "in-memory resume";
+    EXPECT_EQ(resume_bytes(spilled_config), reference_bytes)
+        << "spilled resume";
+  }
+}
+
+TEST_F(CheckpointTest, ThrowingSinkMidResumeHonorsTheContract) {
+  // The sink-failure contract resume() documents (worker-upload sinks
+  // throw on coordinator disconnect): after a mid-resume sink throw the
+  // caller's corpus is EXACTLY as passed in, and both recovery paths —
+  // retry the same resume verbatim, or reload the last checkpoint the
+  // sink durably accepted — reproduce the uninterrupted run bit-exactly.
+  const util::SimTime end = 6 * util::kDay;
+  const auto config = checkpointing_config();
+  const netsim::FaultSchedule faults(world_->vantages(), busy_plan(), 0, end);
+
+  const auto with_collector = [&](auto fn) {
+    netsim::DataPlane plane(*world_, {config.loss_rate, 1});
+    plane.set_faults(&faults);
+    netsim::PoolDns dns(*world_);
+    dns.set_health_monitor(&faults, 15 * util::kMinute);
+    PassiveCollector collector(*world_, plane, dns, config);
+    fn(collector);
+  };
+
+  std::vector<std::string> snapshots;
+  Corpus reference(1 << 12);
+  with_collector([&](PassiveCollector& collector) {
+    collector.run(reference, 0, end, {},
+                  [&](const CheckpointState& state, const Corpus& corpus) {
+                    std::stringstream out;
+                    save_checkpoint(out, state, corpus);
+                    snapshots.push_back(out.str());
+                  });
+  });
+  ASSERT_EQ(snapshots.size(), 5u);  // boundaries at day 1..5
+
+  // "Crash" at the day-2 checkpoint, resume — and have the resumed run's
+  // sink die mid-upload at its second checkpoint (day 4). The first
+  // upload (day 3) completed, so it is the last durable checkpoint.
+  struct Crash {};
+  std::string last_durable;
+  std::stringstream in0(snapshots[1]);
+  auto resumed = load_checkpoint(in0);
+  with_collector([&](PassiveCollector& collector) {
+    int uploads = 0;
+    EXPECT_THROW(
+        collector.resume(resumed.corpus, resumed.state, {},
+                         [&](const CheckpointState& state,
+                             const Corpus& corpus) {
+                           if (++uploads == 2) throw Crash{};  // died mid-post
+                           std::stringstream out;
+                           save_checkpoint(out, state, corpus);
+                           last_durable = out.str();
+                         }),
+        Crash);
+    EXPECT_EQ(uploads, 2);
+  });
+  ASSERT_FALSE(last_durable.empty());
+
+  // (1) The corpus is exactly what the caller passed in: the tail lived
+  // in shard-private tables that were never merged.
+  {
+    std::stringstream in(snapshots[1]);
+    const auto pristine = load_checkpoint(in);
+    expect_identical_corpora(resumed.corpus, pristine.corpus);
+  }
+
+  // (2) Retrying the same resume verbatim completes the run bit-exactly.
+  with_collector([&](PassiveCollector& collector) {
+    collector.resume(resumed.corpus, resumed.state);
+  });
+  expect_identical_corpora(reference, resumed.corpus);
+
+  // (3) So does reloading the last durable checkpoint instead.
+  {
+    std::stringstream in(last_durable);
+    auto durable = load_checkpoint(in);
+    EXPECT_EQ(durable.state.resume_from, 3 * util::kDay);
+    with_collector([&](PassiveCollector& collector) {
+      collector.resume(durable.corpus, durable.state);
+    });
+    expect_identical_corpora(reference, durable.corpus);
+  }
+
+  // Tiered variant: on a sink throw `runs` keeps whatever spilled, so
+  // recovery is a fresh TieredCorpus resumed from the last durable
+  // checkpoint — which must reproduce the reference merged stream.
+  SpillConfig spill;
+  spill.memory_budget_bytes = 1;
+  {
+    TieredCorpus runs(spill);
+    std::stringstream in(snapshots[1]);
+    auto ck = load_checkpoint(in);
+    with_collector([&](PassiveCollector& collector) {
+      int uploads = 0;
+      EXPECT_THROW(
+          collector.resume(runs, std::move(ck.corpus), ck.state, {},
+                           [&](const CheckpointState&, const Corpus&) {
+                             if (++uploads == 2) throw Crash{};
+                           }),
+          Crash);
+    });
+    EXPECT_GE(runs.run_count(), 1u);  // at least the seeded snapshot
+  }
+  {
+    TieredCorpus runs(spill);
+    std::stringstream in(last_durable);
+    auto ck = load_checkpoint(in);
+    with_collector([&](PassiveCollector& collector) {
+      collector.resume(runs, std::move(ck.corpus), ck.state);
+    });
+    EXPECT_GE(runs.stats().spills, 1u);
+    std::stringstream got(std::ios::in | std::ios::out | std::ios::binary);
+    std::stringstream want(std::ios::in | std::ios::out | std::ios::binary);
+    runs.save(got);
+    save_corpus(want, reference);
+    EXPECT_EQ(got.str(), want.str());
   }
 }
 

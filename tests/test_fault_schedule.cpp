@@ -179,5 +179,71 @@ TEST_F(FaultScheduleTest, MarkedDownLagsCrashAndRecovery) {
   EXPECT_FALSE(faults.marked_down(v.id, 5600, delay));
 }
 
+// --- WorkerFaultSchedule (distributed collection) --------------------------
+
+TEST(WorkerFaultSchedule, EmptyPlanIsHealthy) {
+  const WorkerFaultSchedule plan(8);
+  EXPECT_EQ(plan.worker_count(), 8u);
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    EXPECT_FALSE(plan.kill_at(w).has_value());
+    EXPECT_FALSE(plan.stalled(w, 12345));
+    EXPECT_EQ(plan.stall_end(w, 12345), 12345);
+    EXPECT_DOUBLE_EQ(plan.cost_factor(w, 12345), 1.0);
+  }
+  // Out-of-range workers (respawned replacements) are fault-free.
+  EXPECT_FALSE(plan.kill_at(200).has_value());
+  EXPECT_FALSE(plan.stalled(200, 0));
+  EXPECT_DOUBLE_EQ(plan.cost_factor(200, 0), 1.0);
+}
+
+TEST(WorkerFaultSchedule, TooManyWorkersRejected) {
+  EXPECT_THROW(WorkerFaultSchedule(256), std::invalid_argument);
+}
+
+TEST(WorkerFaultSchedule, SeededPlanIsDeterministicAndInWindow) {
+  WorkerFaultPlanConfig config;
+  config.seed = 11;
+  config.kills_per_worker = 0.6;
+  config.stalls_per_worker = 2.0;
+  config.slows_per_worker = 1.0;
+  const util::SimTime start = util::kDay;
+  const util::SimTime end = 60 * util::kDay;
+
+  const WorkerFaultSchedule a(16, config, start, end);
+  const WorkerFaultSchedule b(16, config, start, end);
+  bool any_kill = false, any_stall = false;
+  for (std::uint32_t w = 0; w < 16; ++w) {
+    ASSERT_EQ(a.kill_at(w), b.kill_at(w)) << w;
+    if (const auto kill = a.kill_at(w)) {
+      any_kill = true;
+      EXPECT_GE(*kill, start);
+      EXPECT_LT(*kill, end);
+    }
+    for (util::SimTime t = start; t < end; t += util::kHour) {
+      ASSERT_EQ(a.stalled(w, t), b.stalled(w, t)) << w << " " << t;
+      ASSERT_EQ(a.cost_factor(w, t), b.cost_factor(w, t)) << w << " " << t;
+      any_stall = any_stall || a.stalled(w, t);
+      EXPECT_GE(a.cost_factor(w, t), 1.0);
+    }
+  }
+  EXPECT_TRUE(any_kill);
+  EXPECT_TRUE(any_stall);
+}
+
+TEST(WorkerFaultSchedule, InjectedFaultsAnswerQueries) {
+  WorkerFaultSchedule plan(2);
+  plan.set_kill(0, 5000);
+  plan.add_stall(1, 100, 400);
+  plan.add_slow(1, 600, 900, 3.0);
+
+  EXPECT_EQ(plan.kill_at(0), std::optional<util::SimTime>(5000));
+  EXPECT_FALSE(plan.kill_at(1).has_value());
+  EXPECT_TRUE(plan.stalled(1, 250));
+  EXPECT_FALSE(plan.stalled(0, 250));
+  EXPECT_EQ(plan.stall_end(1, 250), 400);
+  EXPECT_DOUBLE_EQ(plan.cost_factor(1, 700), 3.0);
+  EXPECT_DOUBLE_EQ(plan.cost_factor(1, 950), 1.0);
+}
+
 }  // namespace
 }  // namespace v6::netsim

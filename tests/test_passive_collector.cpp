@@ -253,5 +253,48 @@ TEST_F(PassiveCollectorTest, WindowBoundsRespected) {
   });
 }
 
+// The distributed-collection partition property: S workers recording
+// disjoint vantage subsets (v % S), with only subset 0 counting
+// unassigned polls, merge bit-identically to one unfiltered run — every
+// record field, every counter.
+TEST_F(PassiveCollectorTest, VantageSubsetPartitionReassembles) {
+  CollectorConfig base;
+  base.loss_rate = 0.01;
+  base.retry_limit = 2;
+  const util::SimTime start = 0;
+  const util::SimTime end = 5 * util::kDay;
+
+  netsim::DataPlane ref_plane(*world_, {base.loss_rate, 1});
+  netsim::PoolDns ref_dns(*world_);
+  PassiveCollector reference_collector(*world_, ref_plane, ref_dns, base);
+  Corpus reference(1 << 12);
+  reference_collector.run(reference, start, end);
+
+  const std::size_t vantage_count = world_->vantages().size();
+  for (const std::uint32_t subset_count : {2u, 3u}) {
+    Corpus merged(1 << 12);
+    std::uint64_t polls = 0, answered = 0;
+    for (std::uint32_t s = 0; s < subset_count; ++s) {
+      CollectorConfig cfg = base;
+      cfg.vantage_filter.assign(vantage_count, false);
+      for (std::size_t v = 0; v < vantage_count; ++v) {
+        cfg.vantage_filter[v] = (v % subset_count == s);
+      }
+      cfg.count_unassigned = (s == 0);
+      netsim::DataPlane plane(*world_, {cfg.loss_rate, 1});
+      netsim::PoolDns dns(*world_);
+      PassiveCollector collector(*world_, plane, dns, cfg);
+      Corpus part(1 << 12);
+      collector.run(part, start, end);
+      merged.merge(part);
+      polls += collector.polls_attempted();
+      answered += collector.polls_answered();
+    }
+    expect_identical_corpora(merged, reference);
+    EXPECT_EQ(polls, reference_collector.polls_attempted()) << subset_count;
+    EXPECT_EQ(answered, reference_collector.polls_answered()) << subset_count;
+  }
+}
+
 }  // namespace
 }  // namespace v6::hitlist
