@@ -28,6 +28,20 @@
 //       (bit-identical to the single-process run); --dist-kills K kills
 //       exactly K workers mid-run to exercise recovery; --frames-out
 //       writes the V6DIST01 frame log (lint-dist input).
+//   v6pool_cli query --corpus FILE [--addr A] [--p48 A] [--p64 A]
+//                    [--oui O] [--queries FILE]
+//       load a V6CORP snapshot into the serving layer (one epoch) and
+//       answer point / /48-density / /64-entropy / per-OUI EUI-64-risk
+//       queries; --queries FILE runs one `kind arg` query per line
+//   v6pool_cli serve [--sites N] [--days D] [--seed S] [--threads T]
+//                    [--memory-budget-mb M] [--epoch-days E]
+//                    [--retain-epochs R] [--addr A] [--p48 A] [--p64 A]
+//                    [--oui O] [--queries FILE]
+//       run stage 1 with the hitlist-as-a-service layer on: the collector
+//       publishes an immutable epoch snapshot every E sim-days (plus the
+//       final window-end epoch), prints one line per retained epoch
+//       (records, table sizes, answer digest), then answers the given
+//       queries against the final epoch
 //   v6pool_cli coordinator --dir D [--workers N] [--subsets S]
 //                          [--chunk-days C] [--heartbeat-timeout-ms MS]
 //                          [--save-corpus FILE] [--sites N] [--days D]
@@ -46,8 +60,10 @@
 //   v6pool_cli lint-dist FILE
 //       validate a V6DIST01 frame log (exit 0 iff clean)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -56,6 +72,7 @@
 
 #include "analysis/dataset_compare.h"
 #include "analysis/eui64_tracking.h"
+#include "analysis/scan_source.h"
 #include "core/study.h"
 #include "dist/coordinator.h"
 #include "dist/protocol.h"
@@ -71,14 +88,53 @@ namespace {
 
 using namespace v6;
 
-std::uint64_t flag_u64(int argc, char** argv, const char* name,
-                       std::uint64_t fallback) {
+[[noreturn]] void die_flag(const char* name, const char* value,
+                           const std::string& why) {
+  std::fprintf(stderr, "v6pool_cli: bad value '%s' for %s: %s\n", value, name,
+               why.c_str());
+  std::exit(2);
+}
+
+// A numeric flag. Absent -> fallback; present but unparseable or above
+// `max` -> loud exit(2) naming the flag. Never silently defaults a typo'd
+// value: a study quietly run at the wrong scale is the worst failure mode
+// a CLI can have.
+std::uint64_t flag_u64(
+    int argc, char** argv, const char* name, std::uint64_t fallback,
+    std::uint64_t max = std::numeric_limits<std::uint64_t>::max()) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], name) == 0) {
-      return util::parse_dec_u64(argv[i + 1]).value_or(fallback);
+      const auto parsed = util::parse_dec_u64(argv[i + 1]);
+      if (!parsed) {
+        die_flag(name, argv[i + 1], "expected a non-negative integer");
+      }
+      if (*parsed > max) {
+        die_flag(name, argv[i + 1],
+                 "exceeds the maximum of " + std::to_string(max));
+      }
+      return *parsed;
     }
   }
   return fallback;
+}
+
+// Flags that land in 32-bit config fields: same contract, range-checked
+// here instead of silently truncated by a narrowing cast at the call site.
+std::uint32_t flag_u32(int argc, char** argv, const char* name,
+                       std::uint32_t fallback) {
+  return static_cast<std::uint32_t>(
+      flag_u64(argc, argv, name, fallback,
+               std::numeric_limits<std::uint32_t>::max()));
+}
+
+// Day-count flags: bounded before the * kDay multiply so an oversized
+// value cannot wrap the int64 sim clock (previously it silently did).
+util::SimDuration flag_days(int argc, char** argv, const char* name,
+                            std::uint64_t fallback_days) {
+  constexpr std::uint64_t kMaxDays = 36'500'000;  // 100k years of sim time
+  return static_cast<util::SimDuration>(
+             flag_u64(argc, argv, name, fallback_days, kMaxDays)) *
+         util::kDay;
 }
 
 const char* flag_str(int argc, char** argv, const char* name) {
@@ -101,22 +157,18 @@ bool flag_set(int argc, char** argv, const char* name) {
 // bit-identity rests on all of them simulating the same world.
 core::StudyConfig build_study_config(int argc, char** argv) {
   core::StudyConfig config;
-  config.world.total_sites =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
+  config.world.total_sites = flag_u32(argc, argv, "--sites", 5000);
   config.world.seed = flag_u64(argc, argv, "--seed", 42);
-  config.world.study_duration =
-      static_cast<util::SimDuration>(flag_u64(argc, argv, "--days", 120)) *
-      util::kDay;
+  config.world.study_duration = flag_days(argc, argv, "--days", 120);
   config.backscan_start = config.world.study_duration + 26 * util::kDay;
   config.hitlist_campaign.duration = std::max<util::SimDuration>(
       config.world.study_duration - 25 * util::kDay, 4 * util::kWeek);
   config.caida_campaign.duration =
       std::min<util::SimDuration>(62 * util::kDay,
                                   config.world.study_duration);
-  config.analysis.threads =
-      static_cast<unsigned>(flag_u64(argc, argv, "--threads", 1));
+  config.analysis.threads = flag_u32(argc, argv, "--threads", 1);
   if (const std::uint64_t budget_mb =
-          flag_u64(argc, argv, "--memory-budget-mb", 0);
+          flag_u64(argc, argv, "--memory-budget-mb", 0, 1ull << 34);
       budget_mb > 0) {
     config.spill.memory_budget_bytes =
         static_cast<std::size_t>(budget_mb) << 20;
@@ -129,8 +181,7 @@ core::StudyConfig build_study_config(int argc, char** argv) {
 
 int cmd_world(int argc, char** argv) {
   sim::WorldConfig config;
-  config.total_sites =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "--sites", 5000));
+  config.total_sites = flag_u32(argc, argv, "--sites", 5000);
   config.seed = flag_u64(argc, argv, "--seed", 42);
   const auto world = sim::World::generate(config);
 
@@ -159,24 +210,18 @@ int cmd_study(int argc, char** argv) {
   const bool collect_only = flag_set(argc, argv, "--collect-only");
 
   core::RunOptions options;
-  options.sample_interval =
-      static_cast<util::SimDuration>(flag_u64(argc, argv, "--sample-days", 0)) *
-      util::kDay;
+  options.sample_interval = flag_days(argc, argv, "--sample-days", 0);
   if (collect_only) {
     options.campaigns = false;
     options.backscan = false;
     options.analysis = false;
   }
-  if (const std::uint64_t workers = flag_u64(argc, argv, "--dist-workers", 0);
+  if (const std::uint32_t workers = flag_u32(argc, argv, "--dist-workers", 0);
       workers > 0) {
     dist::DistConfig dist_config;
-    dist_config.workers = static_cast<std::uint32_t>(workers);
-    dist_config.forced_kills =
-        static_cast<std::uint32_t>(flag_u64(argc, argv, "--dist-kills", 0));
-    dist_config.chunk_interval =
-        static_cast<util::SimDuration>(
-            flag_u64(argc, argv, "--dist-chunk-days", 7)) *
-        util::kDay;
+    dist_config.workers = workers;
+    dist_config.forced_kills = flag_u32(argc, argv, "--dist-kills", 0);
+    dist_config.chunk_interval = flag_days(argc, argv, "--dist-chunk-days", 7);
     options.distributed = dist_config;
   }
 
@@ -362,18 +407,12 @@ int cmd_coordinator(int argc, char** argv) {
   const core::StudyConfig study_config = build_study_config(argc, argv);
   dist::CoordinatorConfig config;
   config.dir = dir;
-  config.workers =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "--workers", 4));
-  config.subsets =
-      static_cast<std::uint32_t>(flag_u64(argc, argv, "--subsets", 0));
-  config.chunk_interval =
-      static_cast<util::SimDuration>(
-          flag_u64(argc, argv, "--chunk-days", 7)) *
-      util::kDay;
-  config.heartbeat_timeout_ms = static_cast<std::uint32_t>(
-      flag_u64(argc, argv, "--heartbeat-timeout-ms", 10000));
-  config.max_wall_ms = static_cast<std::uint32_t>(
-      flag_u64(argc, argv, "--max-wall-ms", 600000));
+  config.workers = flag_u32(argc, argv, "--workers", 4);
+  config.subsets = flag_u32(argc, argv, "--subsets", 0);
+  config.chunk_interval = flag_days(argc, argv, "--chunk-days", 7);
+  config.heartbeat_timeout_ms =
+      flag_u32(argc, argv, "--heartbeat-timeout-ms", 10000);
+  config.max_wall_ms = flag_u32(argc, argv, "--max-wall-ms", 600000);
 
   const util::SimTime start = study_config.world.study_start;
   const util::SimTime end = start + study_config.world.study_duration;
@@ -429,17 +468,189 @@ int cmd_worker(int argc, char** argv) {
 
   dist::WorkerConfig config;
   config.dir = dir;
-  config.id = static_cast<std::uint32_t>(flag_u64(argc, argv, "--id", 1));
-  config.chunk_delay_ms = static_cast<std::uint32_t>(
-      flag_u64(argc, argv, "--chunk-delay-ms", 0));
-  config.max_idle_ms = static_cast<std::uint32_t>(
-      flag_u64(argc, argv, "--max-idle-ms", 600000));
+  config.id = flag_u32(argc, argv, "--id", 1);
+  config.chunk_delay_ms = flag_u32(argc, argv, "--chunk-delay-ms", 0);
+  config.max_idle_ms = flag_u32(argc, argv, "--max-idle-ms", 600000);
 
   std::printf("worker %u: dir %s\n", config.id, dir);
   dist::Worker worker(env, config);
   worker.run();
   std::printf("worker %u: shutdown\n", config.id);
   return 0;
+}
+
+// "aa:bb:cc", "aa-bb-cc", or bare hex "aabbcc".
+std::optional<net::Oui> parse_oui(std::string_view text) {
+  std::string hex;
+  for (const char c : text) {
+    if (c == ':' || c == '-') continue;
+    hex.push_back(c);
+  }
+  const auto value = util::parse_hex_u64(hex);
+  if (!value || *value > 0xffffff) return std::nullopt;
+  return net::Oui(static_cast<std::uint32_t>(*value));
+}
+
+// Answers one query against the served snapshot, printing one line.
+// Returns false when the argument does not parse.
+bool answer_query(const serve::QueryService& service, std::string_view kind,
+                  const char* arg) {
+  if (kind == "point") {
+    const auto addr = net::Ipv6Address::parse(arg);
+    if (!addr) return false;
+    if (const auto rec = service.point(*addr)) {
+      std::printf("point %s known count=%u first=%u last=%u vantages=%#x\n",
+                  addr->to_string().c_str(), rec->count, rec->first_seen,
+                  rec->last_seen, rec->vantage_mask);
+    } else {
+      std::printf("point %s unknown\n", addr->to_string().c_str());
+    }
+    return true;
+  }
+  if (kind == "density48") {
+    const auto addr = net::Ipv6Address::parse(arg);
+    if (!addr) return false;
+    std::printf("density48 %s %llu\n",
+                net::slash48_of(*addr).to_string().c_str(),
+                static_cast<unsigned long long>(
+                    service.slash48_density(*addr)));
+    return true;
+  }
+  if (kind == "entropy64") {
+    const auto addr = net::Ipv6Address::parse(arg);
+    if (!addr) return false;
+    const serve::Slash64Summary sum = service.slash64_entropy(*addr);
+    std::printf(
+        "entropy64 %s addresses=%llu low=%llu medium=%llu high=%llu "
+        "eui64=%llu dominant=%s\n",
+        net::slash64_of(*addr).to_string().c_str(),
+        static_cast<unsigned long long>(sum.addresses),
+        static_cast<unsigned long long>(sum.low),
+        static_cast<unsigned long long>(sum.medium),
+        static_cast<unsigned long long>(sum.high),
+        static_cast<unsigned long long>(sum.eui64),
+        sum.addresses == 0 ? "none" : net::to_string(sum.dominant()));
+    return true;
+  }
+  if (kind == "oui") {
+    const auto oui = parse_oui(arg);
+    if (!oui) return false;
+    const serve::OuiRisk risk = service.oui_risk(*oui);
+    std::printf(
+        "oui %s eui64_addresses=%llu unique_macs=%llu trackable_macs=%llu "
+        "mac_slash64_pairs=%llu\n",
+        oui->to_string().c_str(),
+        static_cast<unsigned long long>(risk.eui64_addresses),
+        static_cast<unsigned long long>(risk.unique_macs),
+        static_cast<unsigned long long>(risk.trackable_macs),
+        static_cast<unsigned long long>(risk.mac_slash64_pairs));
+    return true;
+  }
+  return false;
+}
+
+// Runs every --addr/--p48/--p64/--oui flag and --queries FILE line (format:
+// `point|density48|entropy64|oui ARG`, '#' comments) against the service.
+int answer_queries(const serve::QueryService& service, int argc, char** argv) {
+  static constexpr std::pair<const char*, const char*> kFlags[] = {
+      {"--addr", "point"},
+      {"--p48", "density48"},
+      {"--p64", "entropy64"},
+      {"--oui", "oui"},
+  };
+  for (int i = 1; i + 1 < argc; ++i) {
+    for (const auto& [flag, kind] : kFlags) {
+      if (std::strcmp(argv[i], flag) != 0) continue;
+      if (!answer_query(service, kind, argv[i + 1])) {
+        die_flag(flag, argv[i + 1], "expected a parseable query argument");
+      }
+    }
+  }
+  if (const char* path = flag_str(argc, argv, "--queries")) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream fields(line);
+      std::string kind, arg;
+      fields >> kind >> arg;
+      if (!answer_query(service, kind, arg.c_str())) {
+        std::fprintf(stderr, "%s:%zu: bad query line '%s'\n", path, lineno,
+                     line.c_str());
+        return 2;
+      }
+    }
+  }
+  return 0;
+}
+
+void print_snapshot_banner(const serve::Snapshot& snap) {
+  std::printf("epoch %llu  as_of day %lld  records %s  /48s %zu  /64s %zu  "
+              "OUIs %zu  digest %016llx\n",
+              static_cast<unsigned long long>(snap.epoch()),
+              static_cast<long long>(snap.as_of() / util::kDay),
+              util::with_commas(snap.records()).c_str(), snap.slash48_count(),
+              snap.slash64_count(), snap.oui_count(),
+              static_cast<unsigned long long>(snap.digest()));
+}
+
+int cmd_query(int argc, char** argv) {
+  const char* path = flag_str(argc, argv, "--corpus");
+  if (path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: v6pool_cli query --corpus FILE [--addr A] [--p48 A] "
+                 "[--p64 A] [--oui O] [--queries FILE]\n");
+    return 1;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  hitlist::Corpus corpus(1);
+  try {
+    corpus = hitlist::load_corpus(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return 1;
+  }
+  corpus.canonicalize();
+  serve::QueryService service;
+  const auto snap = service.publish(analysis::make_source(corpus), 0);
+  print_snapshot_banner(*snap);
+  return answer_queries(service, argc, argv);
+}
+
+int cmd_serve(int argc, char** argv) {
+  core::StudyConfig config = build_study_config(argc, argv);
+  core::RunOptions options;
+  options.campaigns = false;
+  options.backscan = false;
+  options.analysis = false;
+  options.serve.enabled = true;
+  options.serve.epoch_interval = flag_days(argc, argv, "--epoch-days", 30);
+  options.serve.retain_epochs = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--retain-epochs", 8, 1ull << 20));
+
+  std::printf("serving study: %u sites, %lld days, seed %llu, epoch every "
+              "%lld days (retain %zu)\n",
+              config.world.total_sites,
+              static_cast<long long>(config.world.study_duration / util::kDay),
+              static_cast<unsigned long long>(config.world.seed),
+              static_cast<long long>(options.serve.epoch_interval / util::kDay),
+              options.serve.retain_epochs);
+  core::Study study(config);
+  serve::QueryService& service = study.query_service();
+  study.run(std::move(options));
+
+  for (const auto& snap : service.retained()) print_snapshot_banner(*snap);
+  return answer_queries(service, argc, argv);
 }
 
 // Shared shape of the lint subcommands: slurp FILE, run `lint`,
@@ -474,6 +685,12 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "study") == 0) {
     return cmd_study(argc, argv);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "query") == 0) {
+    return cmd_query(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "serve") == 0) {
+    return cmd_serve(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "lint-metrics") == 0) {
     return lint_file(argc, argv, "lint-metrics", obs::lint_prometheus);
   }
@@ -502,6 +719,11 @@ int main(int argc, char** argv) {
       "[--timeline-out FILE [--timeline-format jsonl|csv]] "
       "[--trace-out FILE] [--collect-only] [--dist-workers N "
       "[--dist-kills K] [--dist-chunk-days C] [--frames-out FILE]]\n"
+      "  v6pool_cli query --corpus FILE [--addr A] [--p48 A] [--p64 A] "
+      "[--oui O] [--queries FILE]\n"
+      "  v6pool_cli serve [--sites N] [--days D] [--seed S] [--threads T] "
+      "[--memory-budget-mb M] [--epoch-days E] [--retain-epochs R] "
+      "[--addr A] [--p48 A] [--p64 A] [--oui O] [--queries FILE]\n"
       "  v6pool_cli coordinator --dir D [--workers N] [--subsets S] "
       "[--chunk-days C] [--heartbeat-timeout-ms MS] [--save-corpus FILE] "
       "[--sites N] [--days D] [--seed S]\n"

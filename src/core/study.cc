@@ -36,11 +36,25 @@ Study::Study(const StudyConfig& config) : config_(config) {
   }
 }
 
-hitlist::CollectorConfig Study::collector_config() const {
+serve::QueryService& Study::query_service() {
+  if (serve_ == nullptr) {
+    serve_ = std::make_unique<serve::QueryService>();
+    if (config_.metrics) serve_->set_metrics(metrics_.get());
+  }
+  return *serve_;
+}
+
+hitlist::CollectorConfig Study::collector_config() {
   hitlist::CollectorConfig cfg = config_.collector;
   if (config_.metrics) {
     cfg.metrics = metrics_.get();
     cfg.sampler = sampler_;
+  }
+  if (serve_ != nullptr && serve_epoch_interval_ > 0) {
+    cfg.epoch_interval = serve_epoch_interval_;
+    cfg.epoch_sink = [this](util::SimTime t, const hitlist::Corpus& u) {
+      serve_->publish(analysis::make_source(u), t);
+    };
   }
   return cfg;
 }
@@ -176,6 +190,11 @@ void Study::do_backscan() {
   auto serial_config = collector_config();
   serial_config.threads = util::Parallelism::serial();
   serial_config.sampler_stage = "backscan";
+  // The backscan week is a different corpus; its pass must not publish
+  // serving epochs (the hook gate in the collector already prevents it —
+  // clearing here states the intent).
+  serial_config.epoch_sink = {};
+  serial_config.epoch_interval = 0;
   hitlist::PassiveCollector collector(*world_, *plane_, *dns_,
                                       serial_config);
   const auto hook = [&](const ntp::Observation& obs,
@@ -356,6 +375,18 @@ const StudyResults& Study::run(RunOptions options) {
     sampler_ = sampler.get();
   }
 
+  // Serving: interior epochs come from the collector's merge barriers
+  // (collector_config() wires the sink); the final window-end epoch is
+  // published below regardless of path. Distributed collection runs the
+  // cluster's own merge protocol, so it publishes the final epoch only.
+  const bool serving = options.serve.enabled;
+  if (serving) {
+    query_service().set_retain_epochs(options.serve.retain_epochs);
+    if (!options.distributed) {
+      serve_epoch_interval_ = options.serve.epoch_interval;
+    }
+  }
+
   // Spans are stamped with the *simulated* window each stage covers (the
   // study runs on a virtual clock); skipped/already-done stages record no
   // span.
@@ -370,6 +401,16 @@ const StudyResults& Study::run(RunOptions options) {
     } else {
       do_collect(options.checkpoint_sink);
     }
+    if (serving) {
+      // The window-end epoch: every serving run that collected publishes
+      // at least one snapshot covering the full (canonicalized) corpus.
+      const analysis::ScanSource src =
+          results_.ntp_runs != nullptr
+              ? analysis::make_source(*results_.ntp_runs)
+              : analysis::make_source(results_.ntp);
+      serve_->publish(src, study_end);
+    }
+    serve_epoch_interval_ = 0;
     tracer.end_span(span, study_end);
     if (sampler_ != nullptr) sampler_->sample(study_end, "collect");
   }

@@ -41,6 +41,7 @@
 #include "obs/snapshot.h"
 #include "obs/timeline.h"
 #include "scan/backscanner.h"
+#include "serve/query_service.h"
 #include "sim/world.h"
 
 namespace v6::core {
@@ -190,6 +191,17 @@ struct RunOptions {
   // Incompatible with spill, resume_from, checkpoint_sink, and
   // plane.wire_fidelity (run() throws std::invalid_argument).
   std::optional<dist::DistConfig> distributed;
+  // Hitlist-as-a-service: with serve.enabled, stage 1 publishes epoch
+  // snapshots into Study::query_service() — interior epochs every
+  // serve.epoch_interval sim-seconds at collection merge barriers
+  // (in-memory and tiered single-process paths), plus one final epoch
+  // covering the full corpus at window end (all paths, including
+  // distributed and resumed runs). Readers on other threads may query
+  // the service throughout; per-epoch answers are bit-identical at any
+  // reader/ingest thread count. Call query_service() once before
+  // spawning run() on a background thread (lazy construction is not
+  // thread-safe).
+  serve::ServeConfig serve;
 };
 
 class Study {
@@ -219,6 +231,12 @@ class Study {
   // only while config().metrics is true.
   obs::Registry& metrics_registry() noexcept { return *metrics_; }
   const obs::Registry& metrics_registry() const noexcept { return *metrics_; }
+
+  // The serving layer (lazily constructed, metrics-wired per
+  // config().metrics). Construct it on this thread before handing the
+  // study to a background ingest thread; after that, the service itself
+  // is safe to query from any number of reader threads.
+  serve::QueryService& query_service();
 
   // --- Legacy per-stage API (thin shims over run()) ---------------------
   // Deprecated: prefer run(RunOptions). Kept so existing callers compile.
@@ -269,9 +287,10 @@ class Study {
   void do_backscan();
   void do_analysis();
   // Effective per-stage configs: copies of the user's with the metrics
-  // registry (and, during a sampled run(), the timeline sampler) wired in
-  // (when config_.metrics is on).
-  hitlist::CollectorConfig collector_config() const;
+  // registry (and, during a sampled run(), the timeline sampler and the
+  // serving layer's epoch sink) wired in (when config_.metrics is on;
+  // epoch publication is independent of the metrics toggle).
+  hitlist::CollectorConfig collector_config();
 
   StudyConfig config_;
   std::unique_ptr<sim::World> world_;
@@ -284,6 +303,12 @@ class Study {
   // Non-null only while a run() with sample_interval > 0 is in flight
   // (the sampler itself lives on that run()'s stack).
   obs::TimelineSampler* sampler_ = nullptr;
+  // The serving layer; null until query_service() (or a serving run())
+  // first touches it. unique_ptr for the same pinning reason as metrics_.
+  std::unique_ptr<serve::QueryService> serve_;
+  // Non-zero only while a run() with serve.enabled and a positive
+  // epoch_interval is in flight (mirrors sampler_).
+  util::SimDuration serve_epoch_interval_ = 0;
   StudyResults results_;
   bool collected_ = false;
   bool campaigned_ = false;

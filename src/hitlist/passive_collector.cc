@@ -384,6 +384,23 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     tiered_->spill(std::move(combined));
   };
 
+  // The corpus-so-far at a merge barrier: whatever the caller's corpus
+  // already held (a resumed-from snapshot) plus every shard's recordings —
+  // in tiered mode, the spilled runs collapsed back into memory plus
+  // whatever the shards still hold. Union at a barrier, so the result is
+  // a pure function of the boundary time, not the shard count.
+  const auto union_snapshot = [&]() -> Corpus {
+    std::size_t records = corpus.size();
+    for (const ShardState& shard : states) records += shard.corpus.size();
+    Corpus snapshot = tiered_ != nullptr
+                          ? tiered_->collapse()
+                          : Corpus(std::max<std::size_t>(records, 1));
+    corpus.for_each(
+        [&snapshot](const AddressRecord& r) { snapshot.add_record(r); });
+    for (const ShardState& shard : states) snapshot.merge(shard.corpus);
+    return snapshot;
+  };
+
   const bool checkpointing = sink && config_.checkpoint_interval > 0;
   // A hook observes sightings in chunk-iteration order (and may feed
   // order-sensitive consumers like the backscanner's shared RNG), so the
@@ -391,6 +408,9 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
   // runs whole-window and leaves sampling to the caller's stage sample.
   const bool sampling =
       config_.sampler != nullptr && config_.metrics != nullptr && !hook;
+  // Epoch publication obeys the same hooked-pass exemption as sampling.
+  const bool epoching =
+      config_.epoch_sink && config_.epoch_interval > 0 && !hook;
   util::SimTime lo = std::max(from.window_start, from.resume_from);
   while (lo < from.window_end) {
     util::SimTime hi = from.window_end;
@@ -405,6 +425,12 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
     }
     if (sampling) {
       hi = std::min(hi, config_.sampler->next_boundary(lo));
+    }
+    if (epoching) {
+      const std::int64_t k =
+          (lo - from.window_start) / config_.epoch_interval + 1;
+      hi = std::min<util::SimTime>(
+          hi, from.window_start + k * config_.epoch_interval);
     }
     if (tiered_ != nullptr && tiered_->config().barrier_interval > 0) {
       // The spill grid guarantees interior merge barriers even when
@@ -439,7 +465,6 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
       snap.polls_attempted = from.polls_attempted;
       snap.polls_answered = from.polls_answered;
       snap.vantage_health = base_vh;
-      std::size_t records = corpus.size();
       for (const ShardState& shard : states) {
         snap.polls_attempted += shard.tally.polls;
         snap.polls_answered += shard.tally.answered;
@@ -452,20 +477,19 @@ void PassiveCollector::collect(Corpus& corpus, const CheckpointState& from,
           snap.vantage_health[v].steered_polls +=
               shard.vantage[v].steered_polls;
         }
-        records += shard.corpus.size();
       }
-      // The snapshot is the corpus as of `hi`: whatever the caller's
-      // corpus already held (the resumed-from snapshot) plus every
-      // shard's recordings so far — in tiered mode, the spilled runs
-      // collapsed back into memory plus whatever the shards still hold.
-      Corpus snapshot = tiered_ != nullptr
-                            ? tiered_->collapse()
-                            : Corpus(std::max<std::size_t>(records, 1));
-      corpus.for_each(
-          [&snapshot](const AddressRecord& r) { snapshot.add_record(r); });
-      for (const ShardState& shard : states) snapshot.merge(shard.corpus);
+      Corpus snapshot = union_snapshot();
       metric_checkpoints_.inc();
       sink(snap, snapshot);
+    }
+    // Epoch publication rides the same merge barrier. Canonicalized so
+    // the handed corpus's layout — and every serve::Snapshot table built
+    // from it — is a pure function of its content.
+    if (epoching && hi < from.window_end &&
+        (hi - from.window_start) % config_.epoch_interval == 0) {
+      Corpus snapshot = union_snapshot();
+      snapshot.canonicalize();
+      config_.epoch_sink(hi, snapshot);
     }
     // All shards joined at `hi` — a merge barrier, so the flushed counter
     // state is exact and thread-count-independent when the sampler reads

@@ -115,6 +115,18 @@ struct CollectorConfig {
   // layer sets this true only on the subset-0 worker. Irrelevant (and
   // left true) when vantage_filter is empty.
   bool count_unassigned = true;
+  // Serving-layer epoch publication (see serve::QueryService). With a
+  // sink and a positive interval, the chunk loop pauses at every sim-time
+  // boundary window_start + k * epoch_interval, joins all shards, and
+  // hands the sink the *canonicalized* union corpus as of that boundary.
+  // Because the union is built at a merge barrier from commutative
+  // aggregates and canonicalize() sorts it, the handed corpus is
+  // bit-identical at any shard count — which is what lets the serving
+  // layer promise per-epoch determinism. Ignored on hooked passes (the
+  // grid must not reshape a hooked run's chunking; see `sampler`). The
+  // window-end epoch is the caller's job, mirroring the sampler contract.
+  std::function<void(util::SimTime, const Corpus&)> epoch_sink = {};
+  util::SimDuration epoch_interval = 0;
 };
 
 // Per-vantage degradation accounting, reported instead of aborting when a

@@ -1,0 +1,174 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "analysis/scan_source.h"
+#include "net/eui64.h"
+
+namespace v6::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv(std::uint64_t& h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+std::shared_ptr<const Snapshot> Snapshot::build(
+    const analysis::ScanSource& src, std::uint64_t epoch,
+    util::SimTime as_of) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch_ = epoch;
+  snap->as_of_ = as_of;
+  snap->records_.reserve(static_cast<std::size_t>(src.records));
+
+  // (MAC, /64) sightings collected during the pass; sorted and deduped
+  // afterwards to derive per-OUI exposure.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> mac_slash64;
+
+  src.visit(0, src.span, [&](const hitlist::AddressRecord& rec) {
+    snap->records_.push_back(rec);
+    snap->observations_ += rec.count;
+
+    const std::uint64_t hi = rec.address.hi64();
+    const std::uint64_t key48 = hi >> 16;
+    if (snap->slash48_.empty() || snap->slash48_.back().key != key48) {
+      snap->slash48_.push_back({key48, 0});
+    }
+    ++snap->slash48_.back().count;
+
+    if (snap->slash64_.empty() || snap->slash64_.back().hi != hi) {
+      snap->slash64_.push_back({hi, {}});
+    }
+    Slash64Summary& sum = snap->slash64_.back().summary;
+    ++sum.addresses;
+    switch (net::entropy_band(net::iid_entropy(rec.address.iid()))) {
+      case net::EntropyBand::kLow: ++sum.low; break;
+      case net::EntropyBand::kMedium: ++sum.medium; break;
+      case net::EntropyBand::kHigh: ++sum.high; break;
+    }
+    if (const auto mac = net::mac_from_eui64(rec.address.iid())) {
+      ++sum.eui64;
+      mac_slash64.emplace_back(mac->to_u64(), hi);
+    }
+  });
+
+  // Per-OUI fold: dedup (MAC, /64) pairs, then walk MAC groups (pairs
+  // sort MAC-major, so each MAC's /64s are contiguous).
+  std::sort(mac_slash64.begin(), mac_slash64.end());
+  mac_slash64.erase(std::unique(mac_slash64.begin(), mac_slash64.end()),
+                    mac_slash64.end());
+  // eui64_addresses counts *records*, not deduped pairs, so tally it from
+  // the per-/64 summaries keyed by OUI in a second cheap pass below.
+  std::vector<OuiRow>& ouis = snap->oui_;
+  for (std::size_t i = 0; i < mac_slash64.size();) {
+    const std::uint64_t mac = mac_slash64[i].first;
+    std::size_t j = i;
+    while (j < mac_slash64.size() && mac_slash64[j].first == mac) ++j;
+    const auto oui = static_cast<std::uint32_t>(mac >> 24);
+    if (ouis.empty() || ouis.back().oui != oui) ouis.push_back({oui, {}});
+    OuiRisk& risk = ouis.back().risk;
+    ++risk.unique_macs;
+    if (j - i >= 2) ++risk.trackable_macs;
+    risk.mac_slash64_pairs += j - i;
+    i = j;
+  }
+  // MAC-major sort order is OUI-major too, so `ouis` is already ascending.
+  // Count EUI-64 records per OUI (duplicates across /64s included).
+  for (const hitlist::AddressRecord& rec : snap->records_) {
+    const auto mac = net::mac_from_eui64(rec.address.iid());
+    if (!mac) continue;
+    const std::uint32_t oui = mac->oui().value();
+    const auto it = std::lower_bound(
+        ouis.begin(), ouis.end(), oui,
+        [](const OuiRow& row, std::uint32_t v) { return row.oui < v; });
+    if (it != ouis.end() && it->oui == oui) ++it->risk.eui64_addresses;
+  }
+
+  // Answer-table digest: any two snapshots with equal digests answer every
+  // query identically (the tables below are the complete answer surface).
+  std::uint64_t h = kFnvOffset;
+  fnv(h, snap->records_.size());
+  for (const hitlist::AddressRecord& rec : snap->records_) {
+    fnv(h, rec.address.hi64());
+    fnv(h, rec.address.lo64());
+    fnv(h, (static_cast<std::uint64_t>(rec.first_seen) << 32) | rec.last_seen);
+    fnv(h, (static_cast<std::uint64_t>(rec.count) << 32) | rec.vantage_mask);
+  }
+  for (const Slash48Row& row : snap->slash48_) {
+    fnv(h, row.key);
+    fnv(h, row.count);
+  }
+  for (const Slash64Row& row : snap->slash64_) {
+    fnv(h, row.hi);
+    fnv(h, row.summary.low);
+    fnv(h, row.summary.medium);
+    fnv(h, row.summary.high);
+    fnv(h, row.summary.eui64);
+  }
+  for (const OuiRow& row : snap->oui_) {
+    fnv(h, row.oui);
+    fnv(h, row.risk.unique_macs);
+    fnv(h, row.risk.trackable_macs);
+    fnv(h, row.risk.mac_slash64_pairs);
+    fnv(h, row.risk.eui64_addresses);
+  }
+  snap->digest_ = h;
+  return snap;
+}
+
+std::optional<hitlist::AddressRecord> Snapshot::find(
+    const net::Ipv6Address& address) const noexcept {
+  const auto it = std::lower_bound(
+      records_.begin(), records_.end(), address,
+      [](const hitlist::AddressRecord& rec, const net::Ipv6Address& a) {
+        return rec.address < a;
+      });
+  if (it == records_.end() || it->address != address) return std::nullopt;
+  return *it;
+}
+
+std::uint64_t Snapshot::slash48_density(
+    const net::Ipv6Address& address) const noexcept {
+  const std::uint64_t key = address.hi64() >> 16;
+  const auto it = std::lower_bound(
+      slash48_.begin(), slash48_.end(), key,
+      [](const Slash48Row& row, std::uint64_t k) { return row.key < k; });
+  if (it == slash48_.end() || it->key != key) return 0;
+  return it->count;
+}
+
+const Slash64Summary* Snapshot::slash64(
+    const net::Ipv6Address& address) const noexcept {
+  const std::uint64_t hi = address.hi64();
+  const auto it = std::lower_bound(
+      slash64_.begin(), slash64_.end(), hi,
+      [](const Slash64Row& row, std::uint64_t k) { return row.hi < k; });
+  if (it == slash64_.end() || it->hi != hi) return nullptr;
+  return &it->summary;
+}
+
+const OuiRisk* Snapshot::oui_risk(net::Oui oui) const noexcept {
+  const auto it = std::lower_bound(
+      oui_.begin(), oui_.end(), oui.value(),
+      [](const OuiRow& row, std::uint32_t v) { return row.oui < v; });
+  if (it == oui_.end() || it->oui != oui.value()) return nullptr;
+  return &it->risk;
+}
+
+std::size_t Snapshot::memory_bytes() const noexcept {
+  return records_.capacity() * sizeof(hitlist::AddressRecord) +
+         slash48_.capacity() * sizeof(Slash48Row) +
+         slash64_.capacity() * sizeof(Slash64Row) +
+         oui_.capacity() * sizeof(OuiRow);
+}
+
+}  // namespace v6::serve

@@ -1,0 +1,86 @@
+# CLI misconfiguration gate, run as a CTest job: malformed or overflowing
+# numeric flags must make v6pool_cli exit nonzero with a diagnostic that
+# names the flag — never silently fall back to the default or truncate
+# (the exact "quietly run the wrong study" failure mode the serving issue
+# bundled). Valid invocations must keep exiting 0. Expects
+# -DCLI=<path to v6pool_cli> and -DWORK=<scratch dir>.
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "cli_flags.cmake needs -DCLI= and -DWORK=")
+endif()
+
+file(MAKE_DIRECTORY "${WORK}")
+
+# Each entry: "<expected flag in stderr>|<comma-separated argv>".
+set(bad_cases
+  "--sites|world,--sites,abc"
+  "--sites|world,--sites,5000000000"
+  "--seed|world,--seed,12x"
+  "--days|study,--days,99999999999999"
+  "--sample-days|study,--sites,200,--days,5,--sample-days,banana"
+  "--threads|study,--sites,200,--days,5,--threads,-3"
+  "--workers|coordinator,--dir,${WORK},--workers,many"
+  "--id|worker,--dir,${WORK},--sites,200,--id,0x2"
+  "--retain-epochs|serve,--sites,200,--days,5,--retain-epochs,1e9"
+)
+
+foreach(case IN LISTS bad_cases)
+  string(REPLACE "|" ";" parts "${case}")
+  list(GET parts 0 flag)
+  list(GET parts 1 argv)
+  string(REPLACE "," ";" argv "${argv}")
+  execute_process(
+    COMMAND ${CLI} ${argv}
+    RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "expected failure, got rc=0: ${CLI} ${argv}")
+  endif()
+  if(NOT err MATCHES "${flag}")
+    message(FATAL_ERROR
+            "diagnostic for '${argv}' does not name ${flag}: ${err}")
+  endif()
+endforeach()
+
+# Build a tiny corpus once for the query-side negative and positive paths.
+execute_process(
+  COMMAND ${CLI} study --sites 200 --days 5 --collect-only
+          --save-corpus ${WORK}/flags.corpus
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference study failed (rc=${rc})")
+endif()
+
+# A malformed --oui must name the flag; a malformed --queries line must
+# name the file and line.
+execute_process(
+  COMMAND ${CLI} query --corpus ${WORK}/flags.corpus --oui zz
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "--oui")
+  message(FATAL_ERROR "bad --oui not rejected (rc=${rc}): ${err}")
+endif()
+file(WRITE "${WORK}/bad_queries.txt" "point not-an-address\n")
+execute_process(
+  COMMAND ${CLI} query --corpus ${WORK}/flags.corpus
+          --queries ${WORK}/bad_queries.txt
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "bad_queries.txt:1")
+  message(FATAL_ERROR "bad query line not rejected (rc=${rc}): ${err}")
+endif()
+
+# Valid flags keep working: world prints its inventory, query answers a
+# point lookup against the saved corpus.
+execute_process(
+  COMMAND ${CLI} world --sites 200 --seed 7
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "valid world invocation failed (rc=${rc})")
+endif()
+execute_process(
+  COMMAND ${CLI} query --corpus ${WORK}/flags.corpus --addr ::1
+          --p48 2001:db8::1 --oui f0:02:20
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "point ::1")
+  message(FATAL_ERROR "valid query invocation failed (rc=${rc}): ${out}")
+endif()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS "cli flags: malformed inputs rejected loudly, valid ones ok")

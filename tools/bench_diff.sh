@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Compare two BENCH_*.json files on their deterministic keys only.
+#
+#   bench_diff.sh <committed.json> <regenerated.json>
+#
+# The bench JSON is flat (one "key": value pair per line, see
+# bench::BenchJson), so this stays a line filter: timing- and
+# rate-dependent keys (seconds, qps, speedups, byte footprints) are
+# dropped, everything else — record counts, epoch counts, digests,
+# identity verdicts, scale parameters — must match exactly. Exit 1 with
+# a unified diff when the committed figure has drifted from what the
+# code now produces.
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <committed.json> <regenerated.json>" >&2
+  exit 2
+fi
+
+committed="$1"
+regenerated="$2"
+
+for f in "$committed" "$regenerated"; do
+  if [[ ! -s "$f" ]]; then
+    echo "bench_diff: missing or empty input: $f" >&2
+    exit 2
+  fi
+done
+
+# Keys whose values legitimately vary run to run.
+volatile='_qps|_seconds|_per_sec|_speedup|_bytes|_mib|_rate|wall|elapsed'
+
+stable_keys() {
+  grep -E '^[[:space:]]*"' "$1" | grep -Ev "\"[a-z0-9_]*(${volatile})[a-z0-9_]*\"[[:space:]]*:" \
+    | sed -e 's/,[[:space:]]*$//'
+}
+
+if ! diff -u \
+    <(stable_keys "$committed") \
+    <(stable_keys "$regenerated") \
+    --label "committed:$committed" --label "regenerated:$regenerated"; then
+  echo "bench_diff: deterministic keys drifted between $committed and $regenerated" >&2
+  exit 1
+fi
+
+echo "bench_diff: $regenerated matches committed figures on deterministic keys"
