@@ -85,78 +85,14 @@ void print_cdf(const std::string& caption,
   util::print_series(std::cout, caption, {"x", "cdf"}, {xs, ys});
 }
 
-namespace {
-
-std::string json_escape(const std::string& raw) {
-  std::string out;
-  out.reserve(raw.size() + 2);
-  for (const char c : raw) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-BenchJson::BenchJson(std::string bench_name) {
-  text("bench", bench_name);
-  // World scale travels with every metric so a trajectory chart can
-  // discard runs measured at a different scale.
+BenchJson scaled_bench_json(const std::string& bench_name) {
+  BenchJson json(bench_name);
   const auto config = bench_config();
-  integer("sites", config.world.total_sites);
-  integer("days", static_cast<std::uint64_t>(config.world.study_duration /
-                                             util::kDay));
-  integer("seed", config.world.seed);
-}
-
-void BenchJson::number(const std::string& key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.17g", value);
-  entries_.emplace_back(key, buf);
-}
-
-void BenchJson::integer(const std::string& key, std::uint64_t value) {
-  entries_.emplace_back(key, std::to_string(value));
-}
-
-void BenchJson::boolean(const std::string& key, bool value) {
-  entries_.emplace_back(key, value ? "true" : "false");
-}
-
-void BenchJson::text(const std::string& key, const std::string& value) {
-  entries_.emplace_back(key, "\"" + json_escape(value) + "\"");
-}
-
-bool BenchJson::write(const std::string& path) const {
-  std::FILE* out = std::fopen(path.c_str(), "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
-    return false;
-  }
-  std::fputs("{\n", out);
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    std::fprintf(out, "  \"%s\": %s%s\n",
-                 json_escape(entries_[i].first).c_str(),
-                 entries_[i].second.c_str(),
-                 i + 1 < entries_.size() ? "," : "");
-  }
-  std::fputs("}\n", out);
-  std::fclose(out);
-  std::printf("[wrote %s]\n", path.c_str());
-  return true;
+  json.integer("sites", config.world.total_sites);
+  json.integer("days", static_cast<std::uint64_t>(
+                           config.world.study_duration / util::kDay));
+  json.integer("seed", config.world.seed);
+  return json;
 }
 
 }  // namespace v6::bench

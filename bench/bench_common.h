@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench_json.h"
 #include "core/study.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -45,26 +46,11 @@ class Comparison {
   util::TablePrinter table_;
 };
 
-// Machine-readable bench output. Accumulates flat key/value metrics and
-// writes them as one JSON object (a `BENCH_*.json` file in the working
-// directory) so CI can archive the perf trajectory run over run instead
-// of scraping stdout tables.
-class BenchJson {
- public:
-  explicit BenchJson(std::string bench_name);
-
-  void number(const std::string& key, double value);
-  void integer(const std::string& key, std::uint64_t value);
-  void boolean(const std::string& key, bool value);
-  void text(const std::string& key, const std::string& value);
-
-  // Writes the object to `path` and prints the path; returns false (and
-  // reports on stderr) if the file cannot be written.
-  bool write(const std::string& path) const;
-
- private:
-  std::vector<std::pair<std::string, std::string>> entries_;
-};
+// A BenchJson (bench_json.h) with the bench's world scale stamped in, so
+// a trajectory chart can discard runs measured at a different scale.
+// World-scaled benches start from this; scale-free microbenches construct
+// BenchJson directly.
+BenchJson scaled_bench_json(const std::string& bench_name);
 
 // Runs fn() and prints its wall-clock seconds.
 void timed(const std::string& label, const std::function<void()>& fn);

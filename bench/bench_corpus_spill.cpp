@@ -136,7 +136,7 @@ int main() {
               "populations\n",
               100.0 * full_entropy_share);
 
-  bench::BenchJson json("bench_corpus_spill");
+  bench::BenchJson json = bench::scaled_bench_json("bench_corpus_spill");
   json.integer("spill_budget_mib", budget_mib);
   json.integer("unique_addresses", merged_records);
   json.integer("observations", observations);

@@ -80,7 +80,7 @@ int main() {
     return cluster.run(out, start, end);
   };
 
-  bench::BenchJson json("bench_dist_collection");
+  bench::BenchJson json = bench::scaled_bench_json("bench_dist_collection");
   json.integer("polls_attempted", reference_polls);
   json.number("single_process_seconds", single_s);
   json.number("single_process_polls_per_sec",

@@ -1,0 +1,245 @@
+// Batch-kernel microbench: records/sec for every batched hot-path kernel
+// under the scalar reference and the AVX2 backend, with a per-row
+// bit-identity verdict. This is the tracked kernel perf trajectory —
+// BENCH_kernels.json is committed and diffed by tools/bench_diff.sh, so
+// a backend that drifts from the scalar reference (a stable key flip)
+// fails CI even if it got faster.
+//
+// Scale-free: inputs are synthetic arrays, no simulated world. Rescale
+// with V6_BENCH_KERNEL_RECORDS (default 1<<20 records per pass).
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "kernels/batch.h"
+#include "kernels/dispatch.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace v6;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const auto parsed = util::parse_dec_u64(value);
+  return parsed.value_or(fallback);
+}
+
+// Runs fn() repeatedly until it has accumulated enough wall time for a
+// stable rate, returns records per second.
+double measure_per_sec(std::size_t records_per_pass,
+                       const std::function<void()>& fn) {
+  fn();  // warm caches and page in the buffers
+  std::uint64_t passes = 1;
+  for (;;) {
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t p = 0; p < passes; ++p) fn();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (seconds >= 0.2) {
+      return static_cast<double>(records_per_pass) *
+             static_cast<double>(passes) / seconds;
+    }
+    passes *= 2;
+  }
+}
+
+struct Row {
+  std::string kernel;
+  double scalar_per_sec = 0;
+  double avx2_per_sec = 0;  // 0 when AVX2 is unavailable
+  bool bit_identical = true;
+};
+
+}  // namespace
+
+int main() {
+  const auto n = static_cast<std::size_t>(
+      env_u64("V6_BENCH_KERNEL_RECORDS", 1ull << 20));
+  const bool has_avx2 =
+      kernels::detected_backend() == kernels::Backend::kAvx2;
+  std::printf(
+      "================================================================\n"
+      "bench_kernels — batched hot-path kernels, scalar vs AVX2\n"
+      "%s records per pass, AVX2 %s "
+      "(V6_BENCH_KERNEL_RECORDS to rescale)\n"
+      "================================================================\n",
+      util::with_commas(n).c_str(),
+      has_avx2 ? "available" : "NOT available (scalar rates only)");
+
+  // Shared synthetic inputs: well-mixed IIDs with structured outliers so
+  // the classify kernel takes every branch, raw address bytes for the
+  // hash, and permutation inputs over an odd domain (cycle-walk heavy).
+  std::vector<std::uint64_t> iids(n);
+  std::vector<std::uint8_t> accepted(n);
+  std::vector<std::uint8_t> bytes(n * 16);
+  constexpr std::uint64_t kDomain = 1000003;
+  const kernels::FeistelSpec spec =
+      kernels::make_feistel_spec(kDomain, 0xbe7cful);
+  std::vector<std::uint64_t> perm_in(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t r = util::mix64(i + 1);
+    iids[i] = (i % 17 == 0) ? (r & 0xffff) : r;
+    accepted[i] = static_cast<std::uint8_t>(r & 1);
+    perm_in[i] = r % kDomain;
+  }
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    bytes[i] = static_cast<std::uint8_t>(util::mix64(i) >> 13);
+  }
+
+  std::vector<double> entropy_s(n), entropy_v(n);
+  std::vector<net::AddressCategory> cat_s(n), cat_v(n);
+  std::vector<std::uint64_t> u64_s(n), u64_v(n);
+
+  std::vector<Row> rows;
+
+  {
+    Row row{.kernel = "iid_entropy"};
+    row.scalar_per_sec = measure_per_sec(n, [&] {
+      kernels::detail::iid_entropy_batch_scalar(iids.data(), n,
+                                                entropy_s.data());
+    });
+    if (has_avx2) {
+      row.avx2_per_sec = measure_per_sec(n, [&] {
+        kernels::detail::iid_entropy_batch_avx2(iids.data(), n,
+                                                entropy_v.data());
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        row.bit_identical = row.bit_identical &&
+                            std::bit_cast<std::uint64_t>(entropy_s[i]) ==
+                                std::bit_cast<std::uint64_t>(entropy_v[i]);
+      }
+    }
+    rows.push_back(row);
+  }
+  {
+    Row row{.kernel = "classify_iid"};
+    row.scalar_per_sec = measure_per_sec(n, [&] {
+      kernels::detail::classify_iid_batch_scalar(iids.data(),
+                                                 accepted.data(), n,
+                                                 cat_s.data());
+    });
+    if (has_avx2) {
+      row.avx2_per_sec = measure_per_sec(n, [&] {
+        kernels::detail::classify_iid_batch_avx2(iids.data(),
+                                                 accepted.data(), n,
+                                                 cat_v.data());
+      });
+      row.bit_identical =
+          std::memcmp(cat_s.data(), cat_v.data(),
+                      n * sizeof(net::AddressCategory)) == 0;
+    }
+    rows.push_back(row);
+  }
+  {
+    Row row{.kernel = "ipv6_hash"};
+    row.scalar_per_sec = measure_per_sec(n, [&] {
+      kernels::detail::ipv6_hash_batch_scalar(bytes.data(), 16, n,
+                                              u64_s.data());
+    });
+    if (has_avx2) {
+      row.avx2_per_sec = measure_per_sec(n, [&] {
+        kernels::detail::ipv6_hash_batch_avx2(bytes.data(), 16, n,
+                                              u64_v.data());
+      });
+      row.bit_identical = u64_s == u64_v;
+    }
+    rows.push_back(row);
+  }
+  {
+    Row row{.kernel = "feistel_apply"};
+    row.scalar_per_sec = measure_per_sec(n, [&] {
+      kernels::detail::feistel_apply_batch_scalar(spec, perm_in.data(), n,
+                                                  u64_s.data());
+    });
+    if (has_avx2) {
+      row.avx2_per_sec = measure_per_sec(n, [&] {
+        kernels::detail::feistel_apply_batch_avx2(spec, perm_in.data(), n,
+                                                  u64_v.data());
+      });
+      row.bit_identical = u64_s == u64_v;
+    }
+    rows.push_back(row);
+  }
+  {
+    Row row{.kernel = "feistel_invert"};
+    // Invert what apply produced so every input is in-domain.
+    std::vector<std::uint64_t> inv_in = u64_s;
+    row.scalar_per_sec = measure_per_sec(n, [&] {
+      kernels::detail::feistel_invert_batch_scalar(spec, inv_in.data(), n,
+                                                   u64_s.data());
+    });
+    if (has_avx2) {
+      row.avx2_per_sec = measure_per_sec(n, [&] {
+        kernels::detail::feistel_invert_batch_avx2(spec, inv_in.data(), n,
+                                                   u64_v.data());
+      });
+      row.bit_identical = u64_s == u64_v;
+    }
+    rows.push_back(row);
+  }
+
+  util::TablePrinter table(
+      {"kernel", "scalar Mrec/s", "avx2 Mrec/s", "speedup",
+       "bit-identical"});
+  bench::BenchJson json("bench_kernels");
+  json.integer("records", n);
+  json.boolean("avx2_available", has_avx2);
+  json.text("dispatch_backend",
+            kernels::to_string(kernels::active_backend()));
+
+  bool all_identical = true;
+  double best_speedup = 0;
+  for (const Row& row : rows) {
+    const double speedup =
+        row.scalar_per_sec > 0 && row.avx2_per_sec > 0
+            ? row.avx2_per_sec / row.scalar_per_sec
+            : 0;
+    best_speedup = std::max(best_speedup, speedup);
+    all_identical = all_identical && row.bit_identical;
+    char scalar_mrps[32], avx2_mrps[32], speedup_text[32];
+    std::snprintf(scalar_mrps, sizeof scalar_mrps, "%.1f",
+                  row.scalar_per_sec / 1e6);
+    std::snprintf(avx2_mrps, sizeof avx2_mrps, "%.1f",
+                  row.avx2_per_sec / 1e6);
+    std::snprintf(speedup_text, sizeof speedup_text, "%.2fx", speedup);
+    table.add_row({row.kernel, scalar_mrps,
+                   has_avx2 ? avx2_mrps : "-",
+                   has_avx2 ? speedup_text : "-",
+                   row.bit_identical ? "yes" : "NO — BACKEND BUG"});
+    json.number(row.kernel + "_scalar_per_sec", row.scalar_per_sec);
+    json.number(row.kernel + "_avx2_per_sec", row.avx2_per_sec);
+    json.number(row.kernel + "_speedup", speedup);
+    json.boolean(row.kernel + "_bit_identical", row.bit_identical);
+  }
+  table.print(std::cout);
+
+  json.boolean("all_bit_identical", all_identical);
+  json.number("best_speedup", best_speedup);
+  // Volatile key (matches the drift gate's _speedup pattern) recording
+  // whether some kernel cleared 2x this run — the trajectory headline.
+  json.boolean("any_speedup_ge_2x", best_speedup >= 2.0);
+  json.write("BENCH_kernels.json");
+
+  if (!all_identical) {
+    std::fprintf(stderr,
+                 "FAIL: an AVX2 kernel diverged from the scalar "
+                 "reference\n");
+    return 1;
+  }
+  std::printf("all kernels bit-identical across backends\n");
+  return 0;
+}

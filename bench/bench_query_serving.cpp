@@ -100,7 +100,7 @@ int main() {
   const util::SimDuration epoch_interval = std::max<util::SimDuration>(
       config.world.study_duration / 6, util::kDay);
 
-  bench::BenchJson json("bench_query_serving");
+  bench::BenchJson json = bench::scaled_bench_json("bench_query_serving");
   // BenchJson already records the requested env scale; these are the
   // values after this bench's own caps.
   json.integer("capped_sites", config.world.total_sites);
@@ -187,13 +187,13 @@ int main() {
         read_qps_total / 1e6, identical ? "ok" : "FAIL");
 
     char key[64];
-    std::snprintf(key, sizeof(key), "readers_%u_mixed_qps", readers);
+    std::snprintf(key, sizeof(key), "readers_%u_mixed_per_sec", readers);
     json.number(key, mixed_s > 0
                          ? static_cast<double>(mixed_queries) / mixed_s
                          : 0);
-    std::snprintf(key, sizeof(key), "readers_%u_read_qps", readers);
+    std::snprintf(key, sizeof(key), "readers_%u_read_per_sec", readers);
     json.number(key, read_qps_total);
-    std::snprintf(key, sizeof(key), "readers_%u_identical", readers);
+    std::snprintf(key, sizeof(key), "readers_%u_bit_identical", readers);
     json.boolean(key, identical);
 
     if (readers == 1) {
@@ -213,8 +213,8 @@ int main() {
     }
   }
 
-  json.boolean("all_identical", all_identical);
-  json.number("best_read_qps", best_read_qps);
+  json.boolean("all_bit_identical", all_identical);
+  json.number("best_read_per_sec", best_read_qps);
   json.write("BENCH_query_serving.json");
 
   if (!all_identical) {

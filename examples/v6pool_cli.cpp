@@ -59,6 +59,11 @@
 //       validate a Chrome trace-event JSON file (exit 0 iff clean)
 //   v6pool_cli lint-dist FILE
 //       validate a V6DIST01 frame log (exit 0 iff clean)
+//
+// Every subcommand also accepts --kernels scalar|auto, pinning the
+// batch-kernel backend for the process (auto picks the best SIMD tier
+// the CPU supports; results are bit-identical either way). Setting
+// V6_FORCE_SCALAR=1 in the environment pins scalar even over --kernels.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -79,6 +84,7 @@
 #include "dist/worker.h"
 #include "hitlist/corpus_io.h"
 #include "hitlist/release.h"
+#include "kernels/dispatch.h"
 #include "obs/exposition.h"
 #include "obs/timeline.h"
 #include "obs/trace_export.h"
@@ -149,6 +155,23 @@ bool flag_set(int argc, char** argv, const char* name) {
     if (std::strcmp(argv[i], name) == 0) return true;
   }
   return false;
+}
+
+// --kernels scalar|auto pins (or re-enables) the batch-kernel backend for
+// the whole process, every subcommand. Same contract as the numeric
+// flags: an unknown value exits 2 naming the flag, never silently runs
+// with a backend the user did not ask for. The V6_FORCE_SCALAR env pin
+// still wins over --kernels auto (see kernels::resolve_backend).
+void apply_kernels_flag(int argc, char** argv) {
+  const char* value = flag_str(argc, argv, "--kernels");
+  if (value == nullptr) return;
+  if (std::strcmp(value, "scalar") == 0) {
+    kernels::force_backend(kernels::Backend::kScalar);
+  } else if (std::strcmp(value, "auto") == 0) {
+    kernels::force_backend(std::nullopt);
+  } else {
+    die_flag("--kernels", value, "expected 'scalar' or 'auto'");
+  }
 }
 
 // The shared simulation knobs. Every process of a distributed run — the
@@ -679,6 +702,7 @@ int lint_file(int argc, char** argv, const char* subcommand,
 }  // namespace
 
 int main(int argc, char** argv) {
+  apply_kernels_flag(argc, argv);
   if (argc >= 2 && std::strcmp(argv[1], "world") == 0) {
     return cmd_world(argc, argv);
   }
@@ -712,6 +736,8 @@ int main(int argc, char** argv) {
   std::printf(
       "usage:\n"
       "  v6pool_cli world [--sites N] [--seed S]\n"
+      "  every subcommand also takes --kernels scalar|auto (batch-kernel "
+      "backend; default auto = best the CPU supports)\n"
       "  v6pool_cli study [--sites N] [--days D] [--seed S] "
       "[--memory-budget-mb M] [--spill-dir DIR] "
       "[--release FILE] [--save-corpus FILE] [--metrics-out FILE "

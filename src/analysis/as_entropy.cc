@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "kernels/batch.h"
 #include "net/entropy.h"
 
 namespace v6::analysis {
+
+namespace {
+// Records per batch entropy call.
+constexpr std::size_t kChunk = 1024;
+}  // namespace
 
 std::vector<AsEntropyProfile> top_as_entropy_profiles(
     const ScanSource& source, const sim::World& world, std::size_t n,
@@ -15,17 +21,39 @@ std::vector<AsEntropyProfile> top_as_entropy_profiles(
   // Appending shard vectors in ascending shard order keeps each AS's
   // sample sequence equal to the serial visit order, so the resulting
   // distributions are bit-identical at any thread count.
-  auto samples = scan_corpus<PerAsSamples>(
+  auto samples = scan_corpus_blocks<PerAsSamples>(
       source, config, "top_as_entropy_profiles",
       [] { return PerAsSamples(); },
-      [&](PerAsSamples& m, const hitlist::AddressRecord& rec) {
-        if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
-            static_cast<util::SimTime>(rec.last_seen) < window_start) {
-          return;
+      [&](PerAsSamples& m, std::span<const hitlist::AddressRecord> block) {
+        // Gate first (window + AS attribution), then batch the entropy
+        // for the whole chunk and keep only gated-in samples; entropies
+        // of skipped records are computed-but-unused, never tallied.
+        std::uint64_t iids[kChunk];
+        double entropies[kChunk];
+        std::uint32_t as_of[kChunk];
+        bool eligible[kChunk];
+        for (std::size_t base = 0; base < block.size(); base += kChunk) {
+          const std::size_t n = std::min(kChunk, block.size() - base);
+          kernels::extract_iid_batch(
+              reinterpret_cast<const std::uint8_t*>(block.data() + base),
+              sizeof(hitlist::AddressRecord), n, iids);
+          for (std::size_t i = 0; i < n; ++i) {
+            const hitlist::AddressRecord& rec = block[base + i];
+            eligible[i] = false;
+            if (static_cast<util::SimTime>(rec.first_seen) >= window_end ||
+                static_cast<util::SimTime>(rec.last_seen) < window_start) {
+              continue;
+            }
+            const auto as_index = world.as_index_of(rec.address);
+            if (!as_index) continue;
+            eligible[i] = true;
+            as_of[i] = *as_index;
+          }
+          kernels::iid_entropy_batch(iids, n, entropies);
+          for (std::size_t i = 0; i < n; ++i) {
+            if (eligible[i]) m[as_of[i]].push_back(entropies[i]);
+          }
         }
-        const auto as_index = world.as_index_of(rec.address);
-        if (!as_index) return;
-        m[*as_index].push_back(net::iid_entropy(rec.address));
       },
       [](PerAsSamples& into, PerAsSamples&& from) {
         for (auto& [as_index, entropies] : from) {

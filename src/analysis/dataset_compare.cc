@@ -57,13 +57,15 @@ DatasetSummary summarize_dataset(const std::string& name,
   // main scan below reads the result concurrently, but read-only).
   BaseState base_cov;
   if (base != nullptr) {
-    base_cov = scan_corpus<BaseState>(
+    base_cov = scan_corpus_blocks<BaseState>(
         *base, config, "summarize_dataset/base", [] { return BaseState(); },
-        [&world](BaseState& s, const hitlist::AddressRecord& rec) {
-          if (const auto as_index = world.as_index_of(rec.address)) {
-            s.asns.insert(*as_index);
+        [&world](BaseState& s, std::span<const hitlist::AddressRecord> block) {
+          for (const auto& rec : block) {
+            if (const auto as_index = world.as_index_of(rec.address)) {
+              s.asns.insert(*as_index);
+            }
+            s.s48s.insert(rec.address.hi64() >> 16);
           }
-          s.s48s.insert(rec.address.hi64() >> 16);
         },
         [](BaseState& into, BaseState&& from) {
           union_into(into.asns, std::move(from.asns));
@@ -72,22 +74,26 @@ DatasetSummary summarize_dataset(const std::string& name,
         stats);
   }
 
-  const auto cov = scan_corpus<CoverageState>(
+  // Set inserts and AS lookups have no batch kernel; the block form still
+  // drops the per-record type-erased callback to one call per block.
+  const auto cov = scan_corpus_blocks<CoverageState>(
       corpus, config, "summarize_dataset", [] { return CoverageState(); },
-      [&](CoverageState& s, const hitlist::AddressRecord& rec) {
-        const std::uint64_t s48 = rec.address.hi64() >> 16;
-        s.s48s.insert(s48);
-        if (const auto as_index = world.as_index_of(rec.address)) {
-          s.asns.insert(*as_index);
-          if (base != nullptr && base_cov.asns.contains(*as_index)) {
-            s.common_asns.insert(*as_index);
+      [&](CoverageState& s, std::span<const hitlist::AddressRecord> block) {
+        for (const auto& rec : block) {
+          const std::uint64_t s48 = rec.address.hi64() >> 16;
+          s.s48s.insert(s48);
+          if (const auto as_index = world.as_index_of(rec.address)) {
+            s.asns.insert(*as_index);
+            if (base != nullptr && base_cov.asns.contains(*as_index)) {
+              s.common_asns.insert(*as_index);
+            }
           }
-        }
-        if (base != nullptr) {
-          if (base_has_contains && base->contains(rec.address)) {
-            ++s.common_addresses;
+          if (base != nullptr) {
+            if (base_has_contains && base->contains(rec.address)) {
+              ++s.common_addresses;
+            }
+            if (base_cov.s48s.contains(s48)) s.common_s48s.insert(s48);
           }
-          if (base_cov.s48s.contains(s48)) s.common_s48s.insert(s48);
         }
       },
       [](CoverageState& into, CoverageState&& from) {

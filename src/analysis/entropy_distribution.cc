@@ -1,5 +1,8 @@
 #include "analysis/entropy_distribution.h"
 
+#include <algorithm>
+
+#include "kernels/batch.h"
 #include "net/entropy.h"
 
 namespace v6::analysis {
@@ -15,17 +18,34 @@ void append_samples(Samples& into, Samples&& from) {
   into.insert(into.end(), from.begin(), from.end());
 }
 
+// Records hashed per batch-kernel call (bounds the IID staging buffer).
+constexpr std::size_t kChunk = 1024;
+
+// Appends one entropy sample per record of `block`, via the batch kernel
+// writing straight into the sample vector (bit-identical to per-record
+// net::iid_entropy under either kernel backend).
+void append_block_entropies(Samples& s,
+                            std::span<const hitlist::AddressRecord> block) {
+  const std::size_t old = s.size();
+  s.resize(old + block.size());
+  std::uint64_t iids[kChunk];
+  for (std::size_t base = 0; base < block.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, block.size() - base);
+    kernels::extract_iid_batch(
+        reinterpret_cast<const std::uint8_t*>(block.data() + base),
+        sizeof(hitlist::AddressRecord), n, iids);
+    kernels::iid_entropy_batch(iids, n, s.data() + old + base);
+  }
+}
+
 }  // namespace
 
 util::EmpiricalDistribution entropy_distribution(
     const ScanSource& source, const AnalysisConfig& config,
     std::vector<AnalysisStageStats>* stats) {
-  auto samples = scan_corpus<Samples>(
+  auto samples = scan_corpus_blocks<Samples>(
       source, config, "entropy_distribution", [] { return Samples(); },
-      [](Samples& s, const hitlist::AddressRecord& rec) {
-        s.push_back(net::iid_entropy(rec.address));
-      },
-      append_samples, stats);
+      append_block_entropies, append_samples, stats);
   return util::EmpiricalDistribution(std::move(samples));
 }
 
@@ -37,9 +57,16 @@ util::EmpiricalDistribution entropy_distribution(
 
 util::EmpiricalDistribution entropy_distribution(
     std::span<const net::Ipv6Address> addresses) {
-  std::vector<double> samples;
-  samples.reserve(addresses.size());
-  for (const auto& a : addresses) samples.push_back(net::iid_entropy(a));
+  static_assert(sizeof(net::Ipv6Address) == 16);
+  std::vector<double> samples(addresses.size());
+  std::uint64_t iids[kChunk];
+  for (std::size_t base = 0; base < addresses.size(); base += kChunk) {
+    const std::size_t n = std::min(kChunk, addresses.size() - base);
+    kernels::extract_iid_batch(
+        reinterpret_cast<const std::uint8_t*>(addresses.data() + base),
+        sizeof(net::Ipv6Address), n, iids);
+    kernels::iid_entropy_batch(iids, n, samples.data() + base);
+  }
   return util::EmpiricalDistribution(std::move(samples));
 }
 

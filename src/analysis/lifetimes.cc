@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "kernels/batch.h"
 #include "util/thread_pool.h"
 
 namespace v6::analysis {
@@ -42,22 +43,27 @@ AddressLifetimeReport address_lifetimes(
     const ScanSource& source, std::span<const util::SimDuration> ccdf_points,
     const AnalysisConfig& config, std::vector<AnalysisStageStats>* stats) {
   const std::size_t n_points = ccdf_points.size();
-  const auto tallies = scan_corpus<AddressTallies>(
+  const auto tallies = scan_corpus_blocks<AddressTallies>(
       source, config, "address_lifetimes",
       [n_points] {
         AddressTallies t;
         t.at_least.assign(n_points, 0);
         return t;
       },
-      [&ccdf_points](AddressTallies& t, const hitlist::AddressRecord& rec) {
-        ++t.total;
-        const util::SimDuration life = rec.lifetime();
-        if (life == 0) ++t.once;
-        if (life >= util::kWeek) ++t.week;
-        if (life >= util::kMonth) ++t.month;
-        if (life >= 6 * util::kMonth) ++t.six;
-        for (std::size_t i = 0; i < ccdf_points.size(); ++i) {
-          if (life >= ccdf_points[i]) ++t.at_least[i];
+      // Pure integer tallies: the block form trades the per-record
+      // type-erased callback for one plain loop per block.
+      [&ccdf_points](AddressTallies& t,
+                     std::span<const hitlist::AddressRecord> block) {
+        t.total += block.size();
+        for (const auto& rec : block) {
+          const util::SimDuration life = rec.lifetime();
+          if (life == 0) ++t.once;
+          if (life >= util::kWeek) ++t.week;
+          if (life >= util::kMonth) ++t.month;
+          if (life >= 6 * util::kMonth) ++t.six;
+          for (std::size_t i = 0; i < ccdf_points.size(); ++i) {
+            if (life >= ccdf_points[i]) ++t.at_least[i];
+          }
         }
       },
       [](AddressTallies& into, AddressTallies&& from) {
@@ -143,24 +149,38 @@ IidLifetimeReport iid_lifetimes(const ScanSource& source,
     for (auto& v : t.at_most) v.assign(n_points, 0);
   }
   std::uint64_t merge_us = 0;
-  util::run_sharded(entries.size(), shards,
-                    [&](unsigned s, std::size_t begin, std::size_t end) {
-                      BandTallies& t = shard_tallies[s];
-                      for (std::size_t i = begin; i < end; ++i) {
-                        const auto& [iid, span] = entries[i];
-                        const auto band = static_cast<std::size_t>(
-                            net::entropy_band(net::iid_entropy(iid)));
-                        ++t.total[band];
-                        const auto life =
-                            static_cast<util::SimDuration>(span.last) -
-                            span.first;
-                        if (life == 0) ++t.once[band];
-                        if (life >= util::kWeek) ++t.week[band];
-                        for (std::size_t p = 0; p < n_points; ++p) {
-                          if (life <= cdf_points[p]) ++t.at_most[band][p];
-                        }
-                      }
-                    });
+  util::run_sharded(
+      entries.size(), shards,
+      [&](unsigned s, std::size_t begin, std::size_t end) {
+        // Entropy is the expensive part of this pass; band it through the
+        // batch kernel a chunk at a time (bit-identical to per-IID
+        // net::iid_entropy on either backend, so every band tally — and
+        // the report floats derived from them — is dispatch-independent).
+        constexpr std::size_t kChunk = 1024;
+        std::uint64_t iids[kChunk];
+        double entropies[kChunk];
+        BandTallies& t = shard_tallies[s];
+        for (std::size_t base = begin; base < end; base += kChunk) {
+          const std::size_t n = std::min(kChunk, end - base);
+          for (std::size_t i = 0; i < n; ++i) {
+            iids[i] = entries[base + i].first;
+          }
+          kernels::iid_entropy_batch(iids, n, entropies);
+          for (std::size_t i = 0; i < n; ++i) {
+            const Span& span = entries[base + i].second;
+            const auto band =
+                static_cast<std::size_t>(net::entropy_band(entropies[i]));
+            ++t.total[band];
+            const auto life =
+                static_cast<util::SimDuration>(span.last) - span.first;
+            if (life == 0) ++t.once[band];
+            if (life >= util::kWeek) ++t.week[band];
+            for (std::size_t p = 0; p < n_points; ++p) {
+              if (life <= cdf_points[p]) ++t.at_most[band][p];
+            }
+          }
+        }
+      });
   {
     const std::uint64_t t_merge = monotonic_micros();
     for (unsigned s = 1; s < shards; ++s) {

@@ -36,22 +36,25 @@ void ParallelScan::run(const ScanSource& source) {
   // shards == 1 it runs inline on the calling thread — the exact serial
   // path (single state, no pool, no merge). The pool's wait_idle()
   // handshake orders each worker's writes to states[s]/shard_records[s]
-  // before the merge below reads them.
-  util::run_sharded(span, shards,
-                    [&](unsigned s, std::size_t begin, std::size_t end) {
-                      auto& row = states[s];
-                      row.reserve(n_kernels);
-                      for (const auto& k : kernels_) row.push_back(k.make());
-                      std::uint64_t n = 0;
-                      source.visit(
-                          begin, end, [&](const hitlist::AddressRecord& rec) {
-                            for (std::size_t k = 0; k < n_kernels; ++k) {
-                              kernels_[k].step(row[k], rec);
-                            }
-                            ++n;
-                          });
-                      shard_records[s] = n;
-                    });
+  // before the merge below reads them. Each shard streams its range as
+  // contiguous blocks: every kernel sees every block, so one type-erased
+  // callback amortizes over the whole block instead of costing one
+  // indirect call per record per kernel.
+  util::run_sharded(
+      span, shards, [&](unsigned s, std::size_t begin, std::size_t end) {
+        auto& row = states[s];
+        row.reserve(n_kernels);
+        for (const auto& k : kernels_) row.push_back(k.make());
+        std::uint64_t n = 0;
+        source.visit_blocks(
+            begin, end, [&](std::span<const hitlist::AddressRecord> block) {
+              for (std::size_t k = 0; k < n_kernels; ++k) {
+                kernels_[k].step_block(row[k], block);
+              }
+              n += block.size();
+            });
+        shard_records[s] = n;
+      });
 
   const std::uint64_t scanned = std::accumulate(
       shard_records.begin(), shard_records.end(), std::uint64_t{0});

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -93,25 +94,32 @@ class ParallelScan {
   ParallelScan(const ParallelScan&) = delete;
   ParallelScan& operator=(const ParallelScan&) = delete;
 
-  // Registers one kernel:
+  // Registers one block kernel — the primary form:
   //   make()                -> State, one per shard, before the scan;
-  //   step(state, record)   per record, shard-local (no locking needed);
+  //   step_block(state, block)  per contiguous record block, shard-local
+  //                         (no locking needed). Blocks concatenate to
+  //                         the ascending record stream; boundaries carry
+  //                         no meaning, so the kernel must fold a block
+  //                         exactly as it would fold its records one by
+  //                         one (batch kernels are bit-identical to their
+  //                         per-record references, so handing a block to
+  //                         kernels/batch.h satisfies this).
   //   merge(into, from)     folds shard s into the running aggregate, in
   //                         ascending shard order (from is expiring);
   //   finish(state)         consumes the fully merged State.
   // Kernels must not throw (they run on ThreadPool workers).
-  template <typename State, typename MakeFn, typename StepFn,
+  template <typename State, typename MakeFn, typename StepBlockFn,
             typename MergeFn, typename FinishFn>
-  void add_kernel(std::string stage, MakeFn make, StepFn step, MergeFn merge,
-                  FinishFn finish) {
+  void add_block_kernel(std::string stage, MakeFn make, StepBlockFn step_block,
+                        MergeFn merge, FinishFn finish) {
     Kernel k;
     k.stage = std::move(stage);
     k.make = [make = std::move(make)]() -> void* {
       return new State(make());
     };
-    k.step = [step = std::move(step)](void* s,
-                                      const hitlist::AddressRecord& rec) {
-      step(*static_cast<State*>(s), rec);
+    k.step_block = [step_block = std::move(step_block)](
+                       void* s, std::span<const hitlist::AddressRecord> b) {
+      step_block(*static_cast<State*>(s), b);
     };
     k.merge = [merge = std::move(merge)](void* into, void* from) {
       merge(*static_cast<State*>(into),
@@ -122,6 +130,23 @@ class ParallelScan {
     };
     k.destroy = [](void* s) { delete static_cast<State*>(s); };
     kernels_.push_back(std::move(k));
+  }
+
+  // Per-record kernel registration: step(state, record) runs for every
+  // record, wrapped in a loop over each block. Not deprecated — genuinely
+  // scalar folds (rare branches, tiny states) read better this way — but
+  // hot kernels should register the block form and batch.
+  template <typename State, typename MakeFn, typename StepFn,
+            typename MergeFn, typename FinishFn>
+  void add_kernel(std::string stage, MakeFn make, StepFn step, MergeFn merge,
+                  FinishFn finish) {
+    add_block_kernel<State>(
+        std::move(stage), std::move(make),
+        [step = std::move(step)](State& s,
+                                 std::span<const hitlist::AddressRecord> b) {
+          for (const auto& rec : b) step(s, rec);
+        },
+        std::move(merge), std::move(finish));
   }
 
   // One pass over `source`: every registered kernel sees every record.
@@ -141,7 +166,8 @@ class ParallelScan {
   struct Kernel {
     std::string stage;
     std::function<void*()> make;
-    std::function<void(void*, const hitlist::AddressRecord&)> step;
+    std::function<void(void*, std::span<const hitlist::AddressRecord>)>
+        step_block;
     std::function<void(void*, void*)> merge;
     std::function<void(void*)> finish;
     void (*destroy)(void*) = nullptr;
@@ -152,23 +178,41 @@ class ParallelScan {
   std::vector<AnalysisStageStats> stats_;
 };
 
-// Single-kernel convenience: scans `source` and returns the merged State.
-// When `stats` is non-null the stage's AnalysisStageStats is appended.
-template <typename State, typename MakeFn, typename StepFn, typename MergeFn>
-State scan_corpus(const ScanSource& source, const AnalysisConfig& config,
-                  std::string_view stage, MakeFn make, StepFn step,
-                  MergeFn merge,
-                  std::vector<AnalysisStageStats>* stats = nullptr) {
+// Single-kernel convenience over the block contract: scans `source` and
+// returns the merged State. When `stats` is non-null the stage's
+// AnalysisStageStats is appended.
+template <typename State, typename MakeFn, typename StepBlockFn,
+          typename MergeFn>
+State scan_corpus_blocks(const ScanSource& source,
+                         const AnalysisConfig& config, std::string_view stage,
+                         MakeFn make, StepBlockFn step_block, MergeFn merge,
+                         std::vector<AnalysisStageStats>* stats = nullptr) {
   ParallelScan scan(config);
   std::optional<State> out;
-  scan.add_kernel<State>(
-      std::string(stage), std::move(make), std::move(step), std::move(merge),
+  scan.add_block_kernel<State>(
+      std::string(stage), std::move(make), std::move(step_block),
+      std::move(merge),
       [&out](State&& merged) { out.emplace(std::move(merged)); });
   scan.run(source);
   if (stats != nullptr) {
     stats->insert(stats->end(), scan.stats().begin(), scan.stats().end());
   }
   return std::move(*out);
+}
+
+// Single-kernel convenience, per-record form.
+template <typename State, typename MakeFn, typename StepFn, typename MergeFn>
+State scan_corpus(const ScanSource& source, const AnalysisConfig& config,
+                  std::string_view stage, MakeFn make, StepFn step,
+                  MergeFn merge,
+                  std::vector<AnalysisStageStats>* stats = nullptr) {
+  return scan_corpus_blocks<State>(
+      source, config, stage, std::move(make),
+      [step = std::move(step)](State& s,
+                               std::span<const hitlist::AddressRecord> b) {
+        for (const auto& rec : b) step(s, rec);
+      },
+      std::move(merge), stats);
 }
 
 template <typename State, typename MakeFn, typename StepFn, typename MergeFn>

@@ -8,11 +8,17 @@
 #include "analysis/entropy_distribution.h"
 #include "analysis/scan_source.h"
 #include "hitlist/corpus_io.h"
+#include "kernels/dispatch.h"
 
 namespace v6::core {
 
 Study::Study(const StudyConfig& config) : config_(config) {
   metrics_ = std::make_unique<obs::Registry>();
+  // Record which batch-kernel backend this run dispatches to (resolved
+  // once; env pin > CLI override > CPUID). An info gauge, not a counter:
+  // the backend is per-process state, and snapshots should say which
+  // code path produced the numbers.
+  if (config.metrics) kernels::register_backend_gauge(*metrics_);
   world_ = std::make_unique<sim::World>(sim::World::generate(config.world));
   netsim::DataPlaneConfig plane_config = config.plane;
   if (config.metrics) plane_config.metrics = metrics_.get();

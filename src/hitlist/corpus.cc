@@ -1,8 +1,11 @@
 #include "hitlist/corpus.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <stdexcept>
+
+#include "kernels/batch.h"
 
 namespace v6::hitlist {
 
@@ -12,6 +15,19 @@ namespace {
 // constructor allocate unbounded memory up front; growth is amortized
 // doubling past this point anyway.
 constexpr std::size_t kMaxEagerReserve = std::size_t{1} << 20;
+
+// Records hashed per batch-kernel call on the insert/rebuild paths.
+constexpr std::size_t kHashChunk = 1024;
+
+// The batch hash kernel walks the address bytes of a record array with a
+// byte stride, which requires the address to sit at offset 0 and the
+// Ipv6Address representation to be exactly its 16 raw bytes.
+static_assert(sizeof(net::Ipv6Address) == 16);
+static_assert(offsetof(AddressRecord, address) == 0);
+
+const std::uint8_t* address_bytes(const AddressRecord* rec) noexcept {
+  return reinterpret_cast<const std::uint8_t*>(rec);
+}
 
 }  // namespace
 
@@ -63,7 +79,12 @@ Corpus& Corpus::operator=(Corpus&& other) noexcept {
 }
 
 std::uint32_t* Corpus::lookup_slot(const net::Ipv6Address& address) noexcept {
-  std::size_t i = net::Ipv6AddressHash{}(address) & index_mask_;
+  return lookup_slot(address, net::Ipv6AddressHash{}(address));
+}
+
+std::uint32_t* Corpus::lookup_slot(const net::Ipv6Address& address,
+                                   std::uint64_t hash) noexcept {
+  std::size_t i = static_cast<std::size_t>(hash) & index_mask_;
   while (true) {
     std::uint32_t& slot = index_[i];
     if (slot == kEmptySlot || records_[slot].address == address) return &slot;
@@ -119,13 +140,13 @@ void Corpus::add(const net::Ipv6Address& address, util::SimTime t,
   rec.vantage_mask |= vantage_bit;
 }
 
-void Corpus::add_record(const AddressRecord& incoming) {
-  revive_if_moved_from();
-  std::uint32_t* slot = lookup_slot(incoming.address);
+void Corpus::merge_record_hashed(const AddressRecord& incoming,
+                                 std::uint64_t hash) {
+  std::uint32_t* slot = lookup_slot(incoming.address, hash);
   if (*slot == kEmptySlot) {
     if (records_.size() + 1 >= index_.size() - index_.size() / 3) {
       grow_index();
-      slot = lookup_slot(incoming.address);
+      slot = lookup_slot(incoming.address, hash);
     }
     if (records_.size() >= kEmptySlot) {
       throw std::length_error("corpus: record id space exhausted");
@@ -139,11 +160,32 @@ void Corpus::add_record(const AddressRecord& incoming) {
     rec.count += incoming.count;
     rec.vantage_mask |= incoming.vantage_mask;
   }
+}
+
+void Corpus::add_record(const AddressRecord& incoming) {
+  revive_if_moved_from();
+  merge_record_hashed(incoming, net::Ipv6AddressHash{}(incoming.address));
   observations_ += incoming.count;
 }
 
+void Corpus::add_block(std::span<const AddressRecord> block) {
+  revive_if_moved_from();
+  std::uint64_t hashes[kHashChunk];
+  for (std::size_t base = 0; base < block.size(); base += kHashChunk) {
+    const std::size_t n = std::min(kHashChunk, block.size() - base);
+    kernels::ipv6_hash_batch(address_bytes(block.data() + base),
+                             sizeof(AddressRecord), n, hashes);
+    for (std::size_t i = 0; i < n; ++i) {
+      const AddressRecord& incoming = block[base + i];
+      merge_record_hashed(incoming, hashes[i]);
+      observations_ += incoming.count;
+    }
+  }
+}
+
 void Corpus::merge(const Corpus& other) {
-  other.for_each([this](const AddressRecord& rec) { add_record(rec); });
+  other.for_each_block(
+      [this](std::span<const AddressRecord> block) { add_block(block); });
 }
 
 const AddressRecord* Corpus::find(
@@ -170,10 +212,18 @@ void Corpus::canonicalize() {
 void Corpus::rebuild_index(std::size_t capacity) {
   index_.assign(capacity, kEmptySlot);
   index_mask_ = capacity - 1;
-  for (std::size_t r = 0; r < records_.size(); ++r) {
-    std::size_t i = net::Ipv6AddressHash{}(records_[r].address) & index_mask_;
-    while (index_[i] != kEmptySlot) i = (i + 1) & index_mask_;
-    index_[i] = static_cast<std::uint32_t>(r);
+  // Addresses are unique here, so insertion is probe-and-place with the
+  // hashes computed a block at a time by the batch kernel.
+  std::uint64_t hashes[kHashChunk];
+  for (std::size_t base = 0; base < records_.size(); base += kHashChunk) {
+    const std::size_t n = std::min(kHashChunk, records_.size() - base);
+    kernels::ipv6_hash_batch(address_bytes(records_.data() + base),
+                             sizeof(AddressRecord), n, hashes);
+    for (std::size_t r = 0; r < n; ++r) {
+      std::size_t i = static_cast<std::size_t>(hashes[r]) & index_mask_;
+      while (index_[i] != kEmptySlot) i = (i + 1) & index_mask_;
+      index_[i] = static_cast<std::uint32_t>(base + r);
+    }
   }
 }
 

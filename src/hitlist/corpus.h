@@ -69,6 +69,15 @@ class Corpus {
   // Merges one pre-aggregated record (same semantics as merge()).
   void add_record(const AddressRecord& record);
 
+  // Merges a contiguous block of pre-aggregated records (same semantics
+  // as add_record over each, in order). The hot path for block handoff:
+  // addresses are hashed through the batch kernel
+  // (kernels::ipv6_hash_batch) a block at a time instead of one indirect
+  // hash call per record. Backend-independent: both kernel backends are
+  // bit-identical, so probe sequences — and therefore the table layout —
+  // never depend on the dispatch choice.
+  void add_block(std::span<const AddressRecord> block);
+
   const AddressRecord* find(const net::Ipv6Address& address) const noexcept;
 
   // Re-sorts the record array into ascending address order (and rebuilds
@@ -98,8 +107,17 @@ class Corpus {
            index_.capacity() * sizeof(std::uint32_t);
   }
 
-  // Iterates all records in insertion order (ascending address order
-  // after canonicalize()).
+  // Hands the whole record array to `fn` as one contiguous block, in
+  // insertion order (ascending address order after canonicalize()). The
+  // block form of for_each(): callers feed the span straight into the
+  // batch kernels.
+  template <typename Fn>
+  void for_each_block(Fn&& fn) const {
+    fn(std::span<const AddressRecord>(records_));
+  }
+
+  // deprecated: block API — iterate via for_each_block() and the batch
+  // kernels instead; kept so out-of-tree per-record callers compile.
   template <typename Fn>
   void for_each(Fn&& fn) const {
     for (const auto& rec : records_) fn(rec);
@@ -107,13 +125,24 @@ class Corpus {
 
   // Sharded iteration domain for analysis::ParallelScan: the number of
   // stored records. Partitioning [0, slot_span()) into contiguous ranges
-  // and concatenating for_each_in_slot_range() over them in ascending
-  // order visits records in exactly for_each() order — the invariant the
-  // parallel analyses' determinism rests on.
+  // and concatenating for_each_block_in_slot_range() over them in
+  // ascending order visits records in exactly for_each() order — the
+  // invariant the parallel analyses' determinism rests on.
   std::size_t slot_span() const noexcept { return records_.size(); }
 
-  // Iterates the records stored at positions [begin, end), in order.
+  // Hands the records stored at positions [begin, end) to `fn` as one
+  // contiguous block (the array is dense, so a sub-range IS a block).
   // `end` is clamped to slot_span().
+  template <typename Fn>
+  void for_each_block_in_slot_range(std::size_t begin, std::size_t end,
+                                    Fn&& fn) const {
+    end = std::min(end, records_.size());
+    if (begin >= end) return;
+    fn(std::span<const AddressRecord>(records_.data() + begin, end - begin));
+  }
+
+  // deprecated: block API — use for_each_block_in_slot_range(); kept so
+  // out-of-tree per-record callers compile.
   template <typename Fn>
   void for_each_in_slot_range(std::size_t begin, std::size_t end,
                               Fn&& fn) const {
@@ -131,8 +160,14 @@ class Corpus {
   static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
 
   // Index slot holding `address`'s record id, or the empty slot where it
-  // would go.
+  // would go. The two-argument form takes the precomputed address hash
+  // (the batch-insert path hashes whole blocks up front).
   std::uint32_t* lookup_slot(const net::Ipv6Address& address) noexcept;
+  std::uint32_t* lookup_slot(const net::Ipv6Address& address,
+                             std::uint64_t hash) noexcept;
+  // add_record with the hash already in hand (does NOT bump
+  // observations_; callers account for it).
+  void merge_record_hashed(const AddressRecord& record, std::uint64_t hash);
   void grow_index();
   void rebuild_index(std::size_t capacity);
   // Re-creates a minimal table after a move emptied this corpus.

@@ -298,6 +298,24 @@ void TieredCorpus::scan_segments(
                        });
 }
 
+void TieredCorpus::scan_segment_blocks(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::span<const AddressRecord>)>& fn) const {
+  // The k-way merge surfaces one aggregated record at a time; stage them
+  // in a scan-local buffer and hand off full blocks. Same stream, same
+  // order — only the callback granularity changes.
+  std::vector<AddressRecord> buffer;
+  buffer.reserve(kScanBlockRecords);
+  scan_segments(begin, end, [&](const AddressRecord& rec) {
+    buffer.push_back(rec);
+    if (buffer.size() == kScanBlockRecords) {
+      fn(std::span<const AddressRecord>(buffer));
+      buffer.clear();
+    }
+  });
+  if (!buffer.empty()) fn(std::span<const AddressRecord>(buffer));
+}
+
 std::optional<AddressRecord> TieredCorpus::find(
     const net::Ipv6Address& address) const {
   std::optional<AddressRecord> result;

@@ -31,6 +31,7 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -118,6 +119,17 @@ class TieredCorpus {
   void scan_segments(std::size_t begin, std::size_t end,
                      const std::function<void(const AddressRecord&)>& fn)
       const;
+
+  // Block form of scan_segments: the merged stream of segments
+  // [begin, end) arrives as contiguous spans of up to kScanBlockRecords
+  // records (the k-way merge emits one record at a time, so records are
+  // staged in a scan-local buffer — the span is only valid inside the
+  // callback). Concatenating the blocks replays scan_segments exactly;
+  // block boundaries carry no meaning.
+  static constexpr std::size_t kScanBlockRecords = 4096;
+  void scan_segment_blocks(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::span<const AddressRecord>)>& fn) const;
 
   // Point lookup across all runs (aggregating duplicates). Decodes one
   // block per run — meant for tests and spot checks, not hot loops.

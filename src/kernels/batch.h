@@ -1,0 +1,116 @@
+// Batched kernels for the per-record hot paths.
+//
+// Each kernel takes a contiguous (or strided) input array and fills an
+// output array, so callers hand whole blocks from the block-oriented scan
+// API (analysis::ScanSource::visit_blocks) instead of invoking a
+// per-record function through a callback. Every kernel has two
+// implementations:
+//
+//   * a scalar reference (batch_scalar.cc) that calls the exact same
+//     per-record routine the pre-batch code paths used — bit-identical to
+//     the legacy path by construction;
+//   * an AVX2 implementation (batch_avx2.cc, compiled with a per-source
+//     -mavx2 flag so no other object contains AVX2 codegen) asserted
+//     bit-identical to the scalar reference by tests/test_kernels.cpp and
+//     per row in bench_kernels.
+//
+// The public entry points dispatch through dispatch.h (env pin >
+// force_backend() > CPUID). The per-backend entry points are exposed so
+// tests and the bench can compare backends inside one process; calling an
+// *_avx2 function is only valid when detected_backend() == kAvx2.
+//
+// Layering: kernels depends on net/ and util/ only. The corpus hash takes
+// a strided byte pointer instead of an AddressRecord so hitlist/ can
+// depend on kernels without a cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/feistel_core.h"
+#include "net/classify.h"
+
+namespace v6::kernels {
+
+// ---------------------------------------------------------------------------
+// IID nibble entropy: out[i] = net::iid_entropy(iids[i]).
+// ---------------------------------------------------------------------------
+void iid_entropy_batch(const std::uint64_t* iids, std::size_t n, double* out);
+
+// ---------------------------------------------------------------------------
+// Structural classification: out[i] = net::classify_iid(iids[i],
+// ipv4_accepted ? ipv4_accepted[i] != 0 : false).
+// ---------------------------------------------------------------------------
+void classify_iid_batch(const std::uint64_t* iids,
+                        const std::uint8_t* ipv4_accepted, std::size_t n,
+                        net::AddressCategory* out);
+
+// ---------------------------------------------------------------------------
+// Corpus hash: out[i] = net::Ipv6AddressHash{}(address at
+// `bytes + i * stride_bytes`), where each address is the usual 16-byte
+// big-endian blob. stride_bytes = 16 walks a packed Ipv6Address array;
+// stride_bytes = sizeof(AddressRecord) walks the address field of a record
+// array.
+// ---------------------------------------------------------------------------
+void ipv6_hash_batch(const std::uint8_t* bytes, std::size_t stride_bytes,
+                     std::size_t n, std::uint64_t* out);
+
+// ---------------------------------------------------------------------------
+// Feistel permutation over [0, spec.domain_size):
+//   out[i] = feistel_apply(spec, in[i])   (resp. feistel_invert).
+// Inputs must already lie inside the domain, as with the per-record API.
+// ---------------------------------------------------------------------------
+void feistel_apply_batch(const FeistelSpec& spec, const std::uint64_t* in,
+                         std::size_t n, std::uint64_t* out);
+void feistel_invert_batch(const FeistelSpec& spec, const std::uint64_t* in,
+                          std::size_t n, std::uint64_t* out);
+
+// Per-backend entry points (see header comment for the calling contract).
+namespace detail {
+
+void iid_entropy_batch_scalar(const std::uint64_t* iids, std::size_t n,
+                              double* out);
+void classify_iid_batch_scalar(const std::uint64_t* iids,
+                               const std::uint8_t* ipv4_accepted,
+                               std::size_t n, net::AddressCategory* out);
+void ipv6_hash_batch_scalar(const std::uint8_t* bytes,
+                            std::size_t stride_bytes, std::size_t n,
+                            std::uint64_t* out);
+void feistel_apply_batch_scalar(const FeistelSpec& spec,
+                                const std::uint64_t* in, std::size_t n,
+                                std::uint64_t* out);
+void feistel_invert_batch_scalar(const FeistelSpec& spec,
+                                 const std::uint64_t* in, std::size_t n,
+                                 std::uint64_t* out);
+
+void iid_entropy_batch_avx2(const std::uint64_t* iids, std::size_t n,
+                            double* out);
+void classify_iid_batch_avx2(const std::uint64_t* iids,
+                             const std::uint8_t* ipv4_accepted, std::size_t n,
+                             net::AddressCategory* out);
+void ipv6_hash_batch_avx2(const std::uint8_t* bytes, std::size_t stride_bytes,
+                          std::size_t n, std::uint64_t* out);
+void feistel_apply_batch_avx2(const FeistelSpec& spec, const std::uint64_t* in,
+                              std::size_t n, std::uint64_t* out);
+void feistel_invert_batch_avx2(const FeistelSpec& spec,
+                               const std::uint64_t* in, std::size_t n,
+                               std::uint64_t* out);
+
+}  // namespace detail
+
+// Convenience for block callers: pulls the big-endian IID (address bytes
+// 8..15) out of a strided record/address array so the u64 kernels above
+// can run on it. Plain inline helper, not dispatched — it is a bswap load
+// per record either way.
+inline void extract_iid_batch(const std::uint8_t* bytes,
+                              std::size_t stride_bytes, std::size_t n,
+                              std::uint64_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* p = bytes + i * stride_bytes + 8;
+    std::uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) v = (v << 8) | p[b];
+    out[i] = v;
+  }
+}
+
+}  // namespace v6::kernels

@@ -1,0 +1,114 @@
+// Scalar reference kernels + the dispatching public entry points.
+//
+// The scalar kernels are deliberately just loops over the per-record
+// routines the pre-batch code paths called (net::iid_entropy,
+// net::classify_iid, net::Ipv6AddressHash, feistel_core) — identity with
+// the legacy per-record path holds by construction, and the AVX2 backend
+// is then asserted identical to *this* file by tests and bench rows.
+#include "kernels/batch.h"
+
+#include <cstring>
+
+#include "kernels/dispatch.h"
+#include "net/entropy.h"
+#include "net/ipv6.h"
+
+namespace v6::kernels {
+
+namespace {
+
+net::Ipv6Address load_address(const std::uint8_t* p) {
+  net::Ipv6Address::Bytes b;
+  std::memcpy(b.data(), p, 16);
+  return net::Ipv6Address(b);
+}
+
+}  // namespace
+
+namespace detail {
+
+void iid_entropy_batch_scalar(const std::uint64_t* iids, std::size_t n,
+                              double* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = net::iid_entropy(iids[i]);
+}
+
+void classify_iid_batch_scalar(const std::uint64_t* iids,
+                               const std::uint8_t* ipv4_accepted,
+                               std::size_t n, net::AddressCategory* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = net::classify_iid(iids[i],
+                               ipv4_accepted != nullptr && ipv4_accepted[i]);
+  }
+}
+
+void ipv6_hash_batch_scalar(const std::uint8_t* bytes,
+                            std::size_t stride_bytes, std::size_t n,
+                            std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = net::Ipv6AddressHash{}(load_address(bytes + i * stride_bytes));
+  }
+}
+
+void feistel_apply_batch_scalar(const FeistelSpec& spec,
+                                const std::uint64_t* in, std::size_t n,
+                                std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = feistel_apply(spec, in[i]);
+}
+
+void feistel_invert_batch_scalar(const FeistelSpec& spec,
+                                 const std::uint64_t* in, std::size_t n,
+                                 std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = feistel_invert(spec, in[i]);
+}
+
+}  // namespace detail
+
+// Public entry points: one backend check per *block*, not per record —
+// that is the entire point of the batch API.
+
+void iid_entropy_batch(const std::uint64_t* iids, std::size_t n, double* out) {
+  if (active_backend() == Backend::kAvx2) {
+    detail::iid_entropy_batch_avx2(iids, n, out);
+  } else {
+    detail::iid_entropy_batch_scalar(iids, n, out);
+  }
+}
+
+void classify_iid_batch(const std::uint64_t* iids,
+                        const std::uint8_t* ipv4_accepted, std::size_t n,
+                        net::AddressCategory* out) {
+  if (active_backend() == Backend::kAvx2) {
+    detail::classify_iid_batch_avx2(iids, ipv4_accepted, n, out);
+  } else {
+    detail::classify_iid_batch_scalar(iids, ipv4_accepted, n, out);
+  }
+}
+
+void ipv6_hash_batch(const std::uint8_t* bytes, std::size_t stride_bytes,
+                     std::size_t n, std::uint64_t* out) {
+  if (active_backend() == Backend::kAvx2) {
+    detail::ipv6_hash_batch_avx2(bytes, stride_bytes, n, out);
+  } else {
+    detail::ipv6_hash_batch_scalar(bytes, stride_bytes, n, out);
+  }
+}
+
+void feistel_apply_batch(const FeistelSpec& spec, const std::uint64_t* in,
+                         std::size_t n, std::uint64_t* out) {
+  if (active_backend() == Backend::kAvx2) {
+    detail::feistel_apply_batch_avx2(spec, in, n, out);
+  } else {
+    detail::feistel_apply_batch_scalar(spec, in, n, out);
+  }
+}
+
+void feistel_invert_batch(const FeistelSpec& spec, const std::uint64_t* in,
+                          std::size_t n, std::uint64_t* out) {
+  if (active_backend() == Backend::kAvx2) {
+    detail::feistel_invert_batch_avx2(spec, in, n, out);
+  } else {
+    detail::feistel_invert_batch_scalar(spec, in, n, out);
+  }
+}
+
+}  // namespace v6::kernels

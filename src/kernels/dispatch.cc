@@ -1,0 +1,87 @@
+#include "kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace v6::kernels {
+
+namespace {
+
+// Cached resolution. -1 = not yet resolved; otherwise a Backend value.
+std::atomic<int> g_active{-1};
+// Explicit override. -1 = none; otherwise a Backend value.
+std::atomic<int> g_forced{-1};
+
+bool cpu_supports_avx2() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const char* to_string(Backend backend) noexcept {
+  switch (backend) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+Backend resolve_backend(const char* env_force_scalar,
+                        std::optional<Backend> forced,
+                        bool cpu_has_avx2) noexcept {
+  // The env pin wins over everything: it is the knob CI matrices and the
+  // identity tests rely on, and must not be silently overridden by a
+  // --kernels=auto default travelling through force_backend().
+  if (env_force_scalar != nullptr && env_force_scalar[0] != '\0' &&
+      std::strcmp(env_force_scalar, "0") != 0) {
+    return Backend::kScalar;
+  }
+  if (forced) return *forced;
+  return cpu_has_avx2 ? Backend::kAvx2 : Backend::kScalar;
+}
+
+Backend detected_backend() noexcept {
+  return cpu_supports_avx2() ? Backend::kAvx2 : Backend::kScalar;
+}
+
+Backend active_backend() noexcept {
+  const int cached = g_active.load(std::memory_order_acquire);
+  if (cached >= 0) return static_cast<Backend>(cached);
+  // Benign race: every thread resolves from the same inputs and stores
+  // the same value. (forced flips invalidate the cache in
+  // force_backend(), so this path only runs on first touch.)
+  const int forced_raw = g_forced.load(std::memory_order_acquire);
+  const std::optional<Backend> forced =
+      forced_raw < 0 ? std::nullopt
+                     : std::optional<Backend>(static_cast<Backend>(forced_raw));
+  const Backend resolved = resolve_backend(std::getenv("V6_FORCE_SCALAR"),
+                                           forced, cpu_supports_avx2());
+  g_active.store(static_cast<int>(resolved), std::memory_order_release);
+  return resolved;
+}
+
+void force_backend(std::optional<Backend> backend) noexcept {
+  g_forced.store(backend ? static_cast<int>(*backend) : -1,
+                 std::memory_order_release);
+  g_active.store(-1, std::memory_order_release);  // re-resolve on next use
+}
+
+void register_backend_gauge(obs::Registry& registry) {
+  registry
+      .gauge("v6_kernel_backend",
+             "Batch-kernel backend this run dispatched to (info gauge; "
+             "value 1, label names the backend)",
+             {{"backend", to_string(active_backend())}})
+      .set(1.0);
+}
+
+}  // namespace v6::kernels

@@ -1,0 +1,63 @@
+// Runtime backend dispatch for the batched hot-path kernels (batch.h).
+//
+// Every batch kernel ships a scalar reference implementation and, on
+// x86-64, an AVX2 implementation compiled into its own translation unit
+// with -mavx2 (never via a global -march flag: common objects must stay
+// runnable on any x86-64, so vector codegen is quarantined to the one TU
+// the dispatcher only ever calls after a CPUID check). The selected
+// backend is a pure function of three inputs, in precedence order:
+//
+//   1. the V6_FORCE_SCALAR environment variable ("" or "0" = off,
+//      anything else pins the scalar backend) — the pin CI and tests use
+//      to compare backends on any host;
+//   2. an explicit force_backend() override (the CLI's --kernels flag);
+//   3. CPUID: AVX2 when the running CPU reports it, scalar otherwise.
+//
+// Backends are bit-identical by construction (asserted by tests and by
+// bench_kernels per row), so dispatch only ever trades wall-clock time —
+// no output byte anywhere in the pipeline depends on the choice.
+//
+// Thread-safety: the decision is cached in one atomic; concurrent first
+// calls race benignly (every thread computes the same value). Overrides
+// (force_backend) are meant for process start-up, before hot loops run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace v6::obs {
+class Registry;
+}  // namespace v6::obs
+
+namespace v6::kernels {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+
+const char* to_string(Backend backend) noexcept;
+
+// The backend every batch kernel will use for this call, after applying
+// the precedence above. Cached after the first call.
+Backend active_backend() noexcept;
+
+// What CPUID alone would pick on this machine (ignores the env pin and
+// any force_backend() override).
+Backend detected_backend() noexcept;
+
+// Pins the backend (nullopt = back to env/CPUID resolution). Call at
+// process start-up; later calls take effect but mid-run flips are only
+// a wall-clock change, never a results change.
+void force_backend(std::optional<Backend> backend) noexcept;
+
+// The dispatch decision, as a pure function — unit-testable without
+// mutating process state. `env_force_scalar` is the raw V6_FORCE_SCALAR
+// value (nullptr when unset).
+Backend resolve_backend(const char* env_force_scalar,
+                        std::optional<Backend> forced,
+                        bool cpu_has_avx2) noexcept;
+
+// Records the dispatch choice once as the `v6_kernel_backend` info gauge
+// (value 1, label backend=<name>), so every metrics export names the
+// kernel backend the run used.
+void register_backend_gauge(obs::Registry& registry);
+
+}  // namespace v6::kernels

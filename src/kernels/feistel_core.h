@@ -1,0 +1,110 @@
+// The Feistel permutation's arithmetic core, host/device-portable.
+//
+// Restructured the way the pos2 FeistelCipher is written: a POD spec plus
+// free inline functions of that spec — no virtuals, no exceptions, no
+// library calls — so the identical round math compiles into the scalar
+// reference loop, the AVX2 batch kernel (batch.h), and, later, a GPU
+// translation unit, without any of them linking the host-only sim
+// library. sim::FeistelPermutation (sim/feistel.h) is now a thin owner of
+// a FeistelSpec that forwards to these functions, so per-record callers
+// and batch callers run literally the same integer arithmetic.
+//
+// Every function here is exact integer math: backends cannot diverge on
+// it by construction (no floating point, no library calls).
+#pragma once
+
+#include <cstdint>
+
+// Expands to __host__ __device__ under CUDA so this header can be
+// included from a device TU unchanged (the shape the SNIPPETS
+// FeistelCipher uses); a no-op everywhere else.
+#if defined(__CUDACC__)
+#define V6_HOST_DEVICE __host__ __device__
+#else
+#define V6_HOST_DEVICE
+#endif
+
+namespace v6::kernels {
+
+// Everything a Feistel evaluation needs, as plain data. Derived from
+// (domain_size, key) by make_feistel_spec below.
+struct FeistelSpec {
+  std::uint64_t domain_size = 1;
+  std::uint64_t key = 0;
+  std::uint64_t half_mask = 1;
+  int half_bits = 1;
+  int rounds = 4;
+};
+
+// splitmix64's mixing step, inlined (bit-identical to util::mix64: same
+// constants, same operations — integer arithmetic has one answer).
+V6_HOST_DEVICE inline std::uint64_t feistel_mix64(std::uint64_t x) noexcept {
+  std::uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Balanced network over the smallest even bit width covering the domain
+// (mirrors the historical sim::FeistelPermutation constructor exactly).
+V6_HOST_DEVICE inline FeistelSpec make_feistel_spec(
+    std::uint64_t domain_size, std::uint64_t key) noexcept {
+  FeistelSpec spec;
+  spec.domain_size = domain_size ? domain_size : 1;
+  spec.key = key;
+  int bits = 1;
+  while ((std::uint64_t{1} << bits) < spec.domain_size && bits < 62) ++bits;
+  if (bits % 2) ++bits;
+  spec.half_bits = bits / 2;
+  spec.half_mask = (std::uint64_t{1} << spec.half_bits) - 1;
+  return spec;
+}
+
+V6_HOST_DEVICE inline std::uint64_t feistel_round(
+    const FeistelSpec& spec, std::uint64_t half, int round) noexcept {
+  return feistel_mix64(half ^ spec.key ^
+                       (static_cast<std::uint64_t>(round) << 56)) &
+         spec.half_mask;
+}
+
+V6_HOST_DEVICE inline std::uint64_t feistel_encrypt_once(
+    const FeistelSpec& spec, std::uint64_t x) noexcept {
+  std::uint64_t left = (x >> spec.half_bits) & spec.half_mask;
+  std::uint64_t right = x & spec.half_mask;
+  for (int r = 0; r < spec.rounds; ++r) {
+    const std::uint64_t next = left ^ feistel_round(spec, right, r);
+    left = right;
+    right = next;
+  }
+  return (left << spec.half_bits) | right;
+}
+
+V6_HOST_DEVICE inline std::uint64_t feistel_decrypt_once(
+    const FeistelSpec& spec, std::uint64_t y) noexcept {
+  std::uint64_t left = (y >> spec.half_bits) & spec.half_mask;
+  std::uint64_t right = y & spec.half_mask;
+  for (int r = spec.rounds - 1; r >= 0; --r) {
+    const std::uint64_t prev = right ^ feistel_round(spec, left, r);
+    right = left;
+    left = prev;
+  }
+  return (left << spec.half_bits) | right;
+}
+
+// Cycle-walking apply/invert: re-encrypt until the value falls back into
+// the domain (expected < 4 iterations; the cover set is < 4x the domain).
+V6_HOST_DEVICE inline std::uint64_t feistel_apply(const FeistelSpec& spec,
+                                                  std::uint64_t x) noexcept {
+  std::uint64_t y = feistel_encrypt_once(spec, x);
+  while (y >= spec.domain_size) y = feistel_encrypt_once(spec, y);
+  return y;
+}
+
+V6_HOST_DEVICE inline std::uint64_t feistel_invert(const FeistelSpec& spec,
+                                                   std::uint64_t y) noexcept {
+  std::uint64_t x = feistel_decrypt_once(spec, y);
+  while (x >= spec.domain_size) x = feistel_decrypt_once(spec, x);
+  return x;
+}
+
+}  // namespace v6::kernels

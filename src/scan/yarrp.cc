@@ -36,31 +36,43 @@ std::vector<TraceResult> YarrpTracer::trace(
   const sim::FeistelPermutation order(space ? space : 1,
                                       config_.seed ^ 0x9a44b);
   const std::uint64_t rate = config_.probe_rate ? config_.probe_rate : 1;
-  for (std::uint64_t k = 0; k < space; ++k) {
-    const std::uint64_t probe_index = order.apply(k);
-    const std::size_t ti = probe_index / config_.max_hops;
-    const auto ttl = static_cast<std::uint8_t>(
-        1 + probe_index % config_.max_hops);
-    const util::SimTime t = t0 + static_cast<util::SimTime>(k / rate);
-    // State rides in ident/seq so responses need no lookup table.
-    const auto ident = static_cast<std::uint16_t>(
-        util::mix64(targets[ti].lo64() ^ config_.seed));
-    ++sent_;
-    metric_probes_.inc();
-    const auto result = plane_->hop_limited_echo(
-        config_.source, targets[ti], ttl, ident, ttl, t);
-    switch (result.kind) {
-      case netsim::ProbeResult::Kind::kTimeExceeded:
-        results[ti].hops[ttl - 1] = result.responder;
-        results[ti].hop_responded[ttl - 1] = true;
-        metric_responses_.inc();
-        break;
-      case netsim::ProbeResult::Kind::kEchoReply:
-        results[ti].destination_reached = true;
-        metric_responses_.inc();
-        break;
-      case netsim::ProbeResult::Kind::kTimeout:
-        break;
+  // Probe indices come from the permutation a chunk at a time
+  // (apply_batch is bit-identical to per-index apply, so the probe
+  // schedule — and every trace — is unchanged).
+  constexpr std::uint64_t kChunk = 1024;
+  std::uint64_t ks[kChunk];
+  std::uint64_t probe_indices[kChunk];
+  for (std::uint64_t base = 0; base < space; base += kChunk) {
+    const std::uint64_t n = std::min(kChunk, space - base);
+    for (std::uint64_t i = 0; i < n; ++i) ks[i] = base + i;
+    order.apply_batch(ks, n, probe_indices);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t k = base + i;
+      const std::uint64_t probe_index = probe_indices[i];
+      const std::size_t ti = probe_index / config_.max_hops;
+      const auto ttl = static_cast<std::uint8_t>(
+          1 + probe_index % config_.max_hops);
+      const util::SimTime t = t0 + static_cast<util::SimTime>(k / rate);
+      // State rides in ident/seq so responses need no lookup table.
+      const auto ident = static_cast<std::uint16_t>(
+          util::mix64(targets[ti].lo64() ^ config_.seed));
+      ++sent_;
+      metric_probes_.inc();
+      const auto result = plane_->hop_limited_echo(
+          config_.source, targets[ti], ttl, ident, ttl, t);
+      switch (result.kind) {
+        case netsim::ProbeResult::Kind::kTimeExceeded:
+          results[ti].hops[ttl - 1] = result.responder;
+          results[ti].hop_responded[ttl - 1] = true;
+          metric_responses_.inc();
+          break;
+        case netsim::ProbeResult::Kind::kEchoReply:
+          results[ti].destination_reached = true;
+          metric_responses_.inc();
+          break;
+        case netsim::ProbeResult::Kind::kTimeout:
+          break;
+      }
     }
   }
   return results;

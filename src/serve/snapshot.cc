@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "analysis/scan_source.h"
+#include "kernels/batch.h"
 #include "net/eui64.h"
 
 namespace v6::serve {
@@ -34,30 +35,47 @@ std::shared_ptr<const Snapshot> Snapshot::build(
   // afterwards to derive per-OUI exposure.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> mac_slash64;
 
-  src.visit(0, src.span, [&](const hitlist::AddressRecord& rec) {
-    snap->records_.push_back(rec);
-    snap->observations_ += rec.count;
+  // Block-driven pass: IID entropies come from the batch kernel a chunk
+  // at a time (bit-identical to per-record net::iid_entropy on either
+  // backend, so the snapshot digest is dispatch-independent).
+  constexpr std::size_t kChunk = 1024;
+  std::uint64_t iids[kChunk];
+  double entropies[kChunk];
+  src.visit_blocks(0, src.span, [&](std::span<const hitlist::AddressRecord>
+                                        block) {
+    for (std::size_t base = 0; base < block.size(); base += kChunk) {
+      const std::size_t n = std::min(kChunk, block.size() - base);
+      kernels::extract_iid_batch(
+          reinterpret_cast<const std::uint8_t*>(block.data() + base),
+          sizeof(hitlist::AddressRecord), n, iids);
+      kernels::iid_entropy_batch(iids, n, entropies);
+      for (std::size_t i = 0; i < n; ++i) {
+        const hitlist::AddressRecord& rec = block[base + i];
+        snap->records_.push_back(rec);
+        snap->observations_ += rec.count;
 
-    const std::uint64_t hi = rec.address.hi64();
-    const std::uint64_t key48 = hi >> 16;
-    if (snap->slash48_.empty() || snap->slash48_.back().key != key48) {
-      snap->slash48_.push_back({key48, 0});
-    }
-    ++snap->slash48_.back().count;
+        const std::uint64_t hi = rec.address.hi64();
+        const std::uint64_t key48 = hi >> 16;
+        if (snap->slash48_.empty() || snap->slash48_.back().key != key48) {
+          snap->slash48_.push_back({key48, 0});
+        }
+        ++snap->slash48_.back().count;
 
-    if (snap->slash64_.empty() || snap->slash64_.back().hi != hi) {
-      snap->slash64_.push_back({hi, {}});
-    }
-    Slash64Summary& sum = snap->slash64_.back().summary;
-    ++sum.addresses;
-    switch (net::entropy_band(net::iid_entropy(rec.address.iid()))) {
-      case net::EntropyBand::kLow: ++sum.low; break;
-      case net::EntropyBand::kMedium: ++sum.medium; break;
-      case net::EntropyBand::kHigh: ++sum.high; break;
-    }
-    if (const auto mac = net::mac_from_eui64(rec.address.iid())) {
-      ++sum.eui64;
-      mac_slash64.emplace_back(mac->to_u64(), hi);
+        if (snap->slash64_.empty() || snap->slash64_.back().hi != hi) {
+          snap->slash64_.push_back({hi, {}});
+        }
+        Slash64Summary& sum = snap->slash64_.back().summary;
+        ++sum.addresses;
+        switch (net::entropy_band(entropies[i])) {
+          case net::EntropyBand::kLow: ++sum.low; break;
+          case net::EntropyBand::kMedium: ++sum.medium; break;
+          case net::EntropyBand::kHigh: ++sum.high; break;
+        }
+        if (const auto mac = net::mac_from_eui64(iids[i])) {
+          ++sum.eui64;
+          mac_slash64.emplace_back(mac->to_u64(), hi);
+        }
+      }
     }
   });
 

@@ -1,70 +1,17 @@
 #include "sim/feistel.h"
 
-#include "util/rng.h"
+#include "kernels/batch.h"
 
 namespace v6::sim {
 
-namespace {
-constexpr int kRounds = 4;
-
-int bits_for(std::uint64_t n) noexcept {
-  int bits = 1;
-  while ((std::uint64_t{1} << bits) < n && bits < 62) ++bits;
-  return bits;
-}
-}  // namespace
-
-FeistelPermutation::FeistelPermutation(std::uint64_t domain_size,
-                                       std::uint64_t key) noexcept
-    : domain_size_(domain_size ? domain_size : 1), key_(key) {
-  // Balanced network over the smallest even bit width covering the domain.
-  int bits = bits_for(domain_size_);
-  if (bits % 2) ++bits;
-  half_bits_ = bits / 2;
-  half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+void FeistelPermutation::apply_batch(const std::uint64_t* in, std::size_t n,
+                                     std::uint64_t* out) const {
+  kernels::feistel_apply_batch(spec_, in, n, out);
 }
 
-std::uint64_t FeistelPermutation::round_function(std::uint64_t half,
-                                                 int round) const noexcept {
-  return util::mix64(half ^ key_ ^
-                     (static_cast<std::uint64_t>(round) << 56)) &
-         half_mask_;
-}
-
-std::uint64_t FeistelPermutation::encrypt_once(std::uint64_t x) const noexcept {
-  std::uint64_t left = (x >> half_bits_) & half_mask_;
-  std::uint64_t right = x & half_mask_;
-  for (int r = 0; r < kRounds; ++r) {
-    const std::uint64_t next = left ^ round_function(right, r);
-    left = right;
-    right = next;
-  }
-  return (left << half_bits_) | right;
-}
-
-std::uint64_t FeistelPermutation::decrypt_once(std::uint64_t y) const noexcept {
-  std::uint64_t left = (y >> half_bits_) & half_mask_;
-  std::uint64_t right = y & half_mask_;
-  for (int r = kRounds - 1; r >= 0; --r) {
-    const std::uint64_t prev = right ^ round_function(left, r);
-    right = left;
-    left = prev;
-  }
-  return (left << half_bits_) | right;
-}
-
-std::uint64_t FeistelPermutation::apply(std::uint64_t x) const noexcept {
-  // Cycle-walk: re-encrypt until the value falls back inside the domain.
-  // Expected iterations < 4 because the cover set is < 4x the domain.
-  std::uint64_t y = encrypt_once(x);
-  while (y >= domain_size_) y = encrypt_once(y);
-  return y;
-}
-
-std::uint64_t FeistelPermutation::invert(std::uint64_t y) const noexcept {
-  std::uint64_t x = decrypt_once(y);
-  while (x >= domain_size_) x = decrypt_once(x);
-  return x;
+void FeistelPermutation::invert_batch(const std::uint64_t* in, std::size_t n,
+                                      std::uint64_t* out) const {
+  kernels::feistel_invert_batch(spec_, in, n, out);
 }
 
 }  // namespace v6::sim

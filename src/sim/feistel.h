@@ -5,9 +5,19 @@
 // assigned prefix slots that rotate over time (slot = perm_g(site)), and the
 // data plane must answer "which site owns this slot in generation g?"
 // without materializing per-generation tables (slot -> perm_g^{-1}(slot)).
+//
+// The arithmetic lives in kernels/feistel_core.h as host/device-portable
+// free functions of a POD spec; this class is a thin owner of that spec.
+// Per-record apply/invert and the batch entry points therefore run the
+// same integer math — apply_batch additionally dispatches to the AVX2
+// kernel when the CPU has it (bit-identical either way; see
+// kernels/dispatch.h).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+
+#include "kernels/feistel_core.h"
 
 namespace v6::sim {
 
@@ -15,24 +25,33 @@ class FeistelPermutation {
  public:
   // Permutes [0, domain_size). domain_size must be >= 1. The permutation is
   // determined entirely by (domain_size, key).
-  FeistelPermutation(std::uint64_t domain_size, std::uint64_t key) noexcept;
+  FeistelPermutation(std::uint64_t domain_size, std::uint64_t key) noexcept
+      : spec_(kernels::make_feistel_spec(domain_size, key)) {}
 
-  std::uint64_t domain_size() const noexcept { return domain_size_; }
+  std::uint64_t domain_size() const noexcept { return spec_.domain_size; }
+
+  // The POD arithmetic spec, for callers that feed the batch kernels
+  // directly (device scheduling loops, bench_kernels).
+  const kernels::FeistelSpec& spec() const noexcept { return spec_; }
 
   // x must be < domain_size.
-  std::uint64_t apply(std::uint64_t x) const noexcept;
+  std::uint64_t apply(std::uint64_t x) const noexcept {
+    return kernels::feistel_apply(spec_, x);
+  }
   // Inverse: invert(apply(x)) == x.
-  std::uint64_t invert(std::uint64_t y) const noexcept;
+  std::uint64_t invert(std::uint64_t y) const noexcept {
+    return kernels::feistel_invert(spec_, y);
+  }
+
+  // Batch forms: out[i] = apply(in[i]) / invert(in[i]) for i in [0, n).
+  // Backend-dispatched; bit-identical to the per-record loop.
+  void apply_batch(const std::uint64_t* in, std::size_t n,
+                   std::uint64_t* out) const;
+  void invert_batch(const std::uint64_t* in, std::size_t n,
+                    std::uint64_t* out) const;
 
  private:
-  std::uint64_t round_function(std::uint64_t half, int round) const noexcept;
-  std::uint64_t encrypt_once(std::uint64_t x) const noexcept;
-  std::uint64_t decrypt_once(std::uint64_t y) const noexcept;
-
-  std::uint64_t domain_size_;
-  std::uint64_t key_;
-  int half_bits_;          // each Feistel half is this wide
-  std::uint64_t half_mask_;
+  kernels::FeistelSpec spec_;
 };
 
 }  // namespace v6::sim

@@ -21,6 +21,8 @@ set(bad_cases
   "--workers|coordinator,--dir,${WORK},--workers,many"
   "--id|worker,--dir,${WORK},--sites,200,--id,0x2"
   "--retain-epochs|serve,--sites,200,--days,5,--retain-epochs,1e9"
+  "--kernels|world,--sites,200,--kernels,avx512"
+  "--kernels|study,--sites,200,--days,5,--kernels,Scalar"
 )
 
 foreach(case IN LISTS bad_cases)
@@ -74,6 +76,14 @@ execute_process(
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "valid world invocation failed (rc=${rc})")
 endif()
+foreach(backend scalar auto)
+  execute_process(
+    COMMAND ${CLI} world --sites 200 --seed 7 --kernels ${backend}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "--kernels ${backend} rejected (rc=${rc})")
+  endif()
+endforeach()
 execute_process(
   COMMAND ${CLI} query --corpus ${WORK}/flags.corpus --addr ::1
           --p48 2001:db8::1 --oui f0:02:20

@@ -1,0 +1,61 @@
+# Kernel-dispatch identity gate, run as a CTest job: the CLI runs the
+# same study three ways — auto dispatch (best SIMD tier the CPU has),
+# --kernels scalar, and auto with V6_FORCE_SCALAR=1 in the environment —
+# and every saved artifact (corpus snapshot, /48 release, analysis
+# metrics in JSON) must be byte-identical across all three. This is the
+# batch-kernel layer's headline invariant checked end to end through the
+# real binary: SIMD is an implementation detail, never a result. Expects
+# -DCLI=<path to v6pool_cli> and -DWORK=<scratch dir>.
+if(NOT DEFINED CLI OR NOT DEFINED WORK)
+  message(FATAL_ERROR "kernel_identity.cmake needs -DCLI= and -DWORK=")
+endif()
+
+file(MAKE_DIRECTORY "${WORK}")
+set(common study --sites 400 --days 10 --threads 2 --seed 97)
+
+# Metrics snapshots differ legitimately across runs in one family only:
+# wall-time histograms (v6_analysis_wall_us etc.) and the backend info
+# gauge itself. Keep the run comparable by diffing the corpus + release
+# artifacts, which must match bit for bit.
+execute_process(
+  COMMAND ${CLI} ${common} --kernels auto
+          --save-corpus ${WORK}/auto.corpus --release ${WORK}/auto.release
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "auto-dispatch study failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CLI} ${common} --kernels scalar
+          --save-corpus ${WORK}/scalar.corpus
+          --release ${WORK}/scalar.release
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--kernels scalar study failed (rc=${rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env V6_FORCE_SCALAR=1
+          ${CLI} ${common} --kernels auto
+          --save-corpus ${WORK}/env.corpus --release ${WORK}/env.release
+  RESULT_VARIABLE rc OUTPUT_QUIET)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "V6_FORCE_SCALAR=1 study failed (rc=${rc})")
+endif()
+
+foreach(artifact corpus release)
+  foreach(variant scalar env)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK}/auto.${artifact} ${WORK}/${variant}.${artifact}
+      RESULT_VARIABLE compare_rc)
+    if(NOT compare_rc EQUAL 0)
+      message(FATAL_ERROR
+              "${artifact} differs between auto dispatch and ${variant}")
+    endif()
+  endforeach()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK}")
+message(STATUS
+        "kernel identity: artifacts byte-identical across dispatch modes")

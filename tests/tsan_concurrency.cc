@@ -4,9 +4,10 @@
 // registered as an ordinary CTest test, so every `ctest` run races-checks
 // the ThreadPool, the collector's shard/merge/serialized-hook pattern,
 // EmpiricalDistribution's guarded lazy sort under concurrent const
-// readers, the ParallelScan shard/deterministic-merge engine, and the
-// striped obs::Registry under racing writers and live snapshots. Any
-// data race makes TSan abort the process with a non-zero exit.
+// readers, the ParallelScan shard/deterministic-merge engine, the
+// striped obs::Registry under racing writers and live snapshots, and the
+// batch-kernel dispatch cache's cold-start stampede. Any data race makes
+// TSan abort the process with a non-zero exit.
 //
 // The full library suite can additionally be built instrumented with
 // `cmake -DV6_SANITIZER=thread` (see the top-level CMakeLists.txt); this
@@ -23,6 +24,8 @@
 
 #include "analysis/parallel_scan.h"
 #include "hitlist/corpus.h"
+#include "kernels/batch.h"
+#include "kernels/dispatch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/stats.h"
@@ -249,6 +252,52 @@ void tracer_race() {
   }
 }
 
+// The kernel dispatch cache's claim (kernels/dispatch.h): first-touch
+// resolution from many threads at once is a benign same-value race on an
+// atomic — every thread must land on the same backend, and batch kernels
+// called during the stampede must produce the per-record reference
+// values. force_backend() clears the cache, so each round re-runs the
+// cold-start path under contention.
+void kernel_dispatch_race() {
+  constexpr unsigned kThreads = 8;
+  constexpr std::size_t kIids = 256;
+  std::uint64_t iids[kIids];
+  for (std::size_t i = 0; i < kIids; ++i) {
+    iids[i] = 0x9e3779b97f4a7c15ULL * (i + 1);
+  }
+  for (int round = 0; round < 8; ++round) {
+    // Alternate between a pinned-scalar round and an auto round; both
+    // start with a cold cache.
+    v6::kernels::force_backend(
+        (round & 1) ? std::optional<v6::kernels::Backend>(
+                          v6::kernels::Backend::kScalar)
+                    : std::nullopt);
+    std::vector<v6::kernels::Backend> seen(kThreads);
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned w = 0; w < kThreads; ++w) {
+      threads.emplace_back([&seen, &iids, w] {
+        seen[w] = v6::kernels::active_backend();
+        double entropies[kIids];
+        v6::kernels::iid_entropy_batch(iids, kIids, entropies);
+        for (std::size_t i = 0; i < kIids; ++i) {
+          check(entropies[i] >= 0.0 && entropies[i] <= 1.0,
+                "dispatch-race entropy range");
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (unsigned w = 1; w < kThreads; ++w) {
+      check(seen[w] == seen[0], "dispatch-race backend agreement");
+    }
+    if (round & 1) {
+      check(seen[0] == v6::kernels::Backend::kScalar,
+            "dispatch-race forced scalar honored");
+    }
+  }
+  v6::kernels::force_backend(std::nullopt);
+}
+
 }  // namespace
 
 int main() {
@@ -258,6 +307,7 @@ int main() {
   parallel_scan_analysis();
   metrics_registry_race();
   tracer_race();
+  kernel_dispatch_race();
   std::printf("tsan concurrency checks passed\n");
   return 0;
 }
