@@ -19,6 +19,7 @@
 #include "analysis/scan_source.h"
 #include "bench_common.h"
 #include "net/eui64.h"
+#include "obs/cluster.h"
 #include "serve/query_service.h"
 #include "serve/snapshot.h"
 #include "util/rng.h"
@@ -210,6 +211,50 @@ int main() {
       json.integer("slash64_keys", current ? current->slash64_count() : 0);
       json.integer("oui_keys", current ? current->oui_count() : 0);
       json.integer("snapshot_bytes", current ? current->memory_bytes() : 0);
+
+      // Serve-side latency percentiles: a fixed query volume through the
+      // instrumented service entry points (the reader loops above query
+      // the pinned snapshot directly and bypass the latency histograms).
+      // The percentile values are wall-clock — the "wall" in the key
+      // names keeps them out of bench_diff's deterministic-key set.
+      util::Rng lat_rng(0x1a7e);
+      constexpr std::uint64_t kLatencyQueries = 20'000;
+      for (std::uint64_t i = 0; i < kLatencyQueries; ++i) {
+        const net::Ipv6Address probe =
+            net::Ipv6Address::from_u64(lat_rng.next(), lat_rng.next());
+        (void)service.point(probe);
+        (void)service.slash48_density(probe);
+        (void)service.slash64_entropy(probe);
+        (void)service.oui_risk(net::Oui(
+            static_cast<std::uint32_t>(lat_rng.next() & 0xffffff)));
+      }
+      json.integer("latency_queries_per_kind", kLatencyQueries);
+      const obs::Snapshot metrics = study.metrics_registry().snapshot();
+      for (const auto& sample : metrics.samples) {
+        if (sample.name != "v6_serve_latency_us" ||
+            sample.labels.size() != 1) {
+          continue;
+        }
+        const std::string& kind = sample.labels[0].second;
+        const obs::HistogramSummary summary =
+            obs::summarize_histogram(sample.histogram);
+        char key[64];
+        std::printf(
+            "serve latency %-9s p50 %.2fus p90 %.2fus p99 %.2fus "
+            "(%llu observations)\n",
+            kind.c_str(), summary.p50.value_or(0), summary.p90.value_or(0),
+            summary.p99.value_or(0),
+            static_cast<unsigned long long>(summary.count));
+        std::snprintf(key, sizeof(key), "latency_%s_p50_wall_us",
+                      kind.c_str());
+        json.number(key, summary.p50.value_or(0));
+        std::snprintf(key, sizeof(key), "latency_%s_p90_wall_us",
+                      kind.c_str());
+        json.number(key, summary.p90.value_or(0));
+        std::snprintf(key, sizeof(key), "latency_%s_p99_wall_us",
+                      kind.c_str());
+        json.number(key, summary.p99.value_or(0));
+      }
     }
   }
 

@@ -59,6 +59,15 @@
 //       validate a Chrome trace-event JSON file (exit 0 iff clean)
 //   v6pool_cli lint-dist FILE
 //       validate a V6DIST01 frame log (exit 0 iff clean)
+//   v6pool_cli obs-report [study flags] [--query-count Q] [--out FILE]
+//       run stage 1 with serving + timeline sampling, drive a
+//       deterministic query workload, and emit the unified run-report
+//       JSON (config digest, kernel backend, metric totals, serve-side
+//       latency percentiles, epoch digests, timeline pointer); with
+//       --dist-workers also aggregates per-worker kObsReport frames and
+//       honors the --cluster-*-out artifact flags
+//   v6pool_cli lint-report FILE
+//       validate a v6pool_run_report JSON artifact (exit 0 iff clean)
 //
 // Every subcommand also accepts --kernels scalar|auto, pinning the
 // batch-kernel backend for the process (auto picks the best SIMD tier
@@ -75,6 +84,8 @@
 #include <string_view>
 #include <utility>
 
+#include <vector>
+
 #include "analysis/dataset_compare.h"
 #include "analysis/eui64_tracking.h"
 #include "analysis/scan_source.h"
@@ -85,6 +96,7 @@
 #include "hitlist/corpus_io.h"
 #include "hitlist/release.h"
 #include "kernels/dispatch.h"
+#include "obs/cluster.h"
 #include "obs/exposition.h"
 #include "obs/timeline.h"
 #include "obs/trace_export.h"
@@ -200,6 +212,58 @@ core::StudyConfig build_study_config(int argc, char** argv) {
     }
   }
   return config;
+}
+
+// FNV-1a over the canonical config string: the run report's config digest,
+// so two reports are comparable iff they describe the same simulation.
+std::uint64_t fnv1a64(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+// Writes the cluster-observability artifacts of a distributed run:
+// --cluster-metrics-out (aggregated Prometheus exposition),
+// --cluster-timeline-out (merged per-worker JSONL windows), and
+// --cluster-trace-out (multi-lane Chrome trace, one pid lane per worker
+// report). Returns 0, or 1 on an unopenable path.
+int write_cluster_artifacts(int argc, char** argv,
+                            const obs::ClusterAggregator& cluster) {
+  if (const char* path = flag_str(argc, argv, "--cluster-metrics-out")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    const obs::Snapshot merged = cluster.cluster_snapshot();
+    out << obs::render(merged, obs::ExpositionFormat::kPrometheus);
+    std::printf("cluster metrics : %zu samples -> %s (prom)\n",
+                merged.samples.size(), path);
+  }
+  if (const char* path = flag_str(argc, argv, "--cluster-timeline-out")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << cluster.render_cluster_timeline();
+    std::printf("cluster timeline: %zu windows -> %s (jsonl)\n",
+                cluster.cluster_timeline().size(), path);
+  }
+  if (const char* path = flag_str(argc, argv, "--cluster-trace-out")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << cluster.render_trace();
+    std::printf("cluster trace   : %zu lanes -> %s (chrome://tracing)\n",
+                cluster.report_count(), path);
+  }
+  return 0;
 }
 
 int cmd_world(int argc, char** argv) {
@@ -351,6 +415,21 @@ int cmd_study(int argc, char** argv) {
     std::printf("frames        : %s bytes -> %s (V6DIST01 log)\n",
                 util::with_commas(r.dist->frame_log.size()).c_str(), path);
   }
+  if (r.dist) {
+    std::printf("cluster obs   : %zu worker reports aggregated\n",
+                r.dist->cluster_obs.report_count());
+    if (const int rc = write_cluster_artifacts(argc, argv, r.dist->cluster_obs);
+        rc != 0) {
+      return rc;
+    }
+  } else if (flag_str(argc, argv, "--cluster-metrics-out") != nullptr ||
+             flag_str(argc, argv, "--cluster-timeline-out") != nullptr ||
+             flag_str(argc, argv, "--cluster-trace-out") != nullptr) {
+    std::fprintf(stderr,
+                 "--cluster-*-out needs --dist-workers N to produce "
+                 "cluster observability\n");
+    return 1;
+  }
   if (const char* path = flag_str(argc, argv, "--release")) {
     std::ofstream out(path);
     if (!out) {
@@ -456,6 +535,12 @@ int cmd_coordinator(int argc, char** argv) {
               util::with_commas(result.worker_deaths).c_str(),
               util::with_commas(result.reassignments).c_str(),
               util::with_commas(result.stale_uploads_rejected).c_str());
+  std::printf("cluster obs   : %zu worker reports aggregated\n",
+              result.cluster_obs.report_count());
+  if (const int rc = write_cluster_artifacts(argc, argv, result.cluster_obs);
+      rc != 0) {
+    return rc;
+  }
   if (const char* path = flag_str(argc, argv, "--save-corpus")) {
     std::ofstream out(path, std::ios::binary);
     if (!out) {
@@ -676,6 +761,234 @@ int cmd_serve(int argc, char** argv) {
   return answer_queries(service, argc, argv);
 }
 
+// One per-kind serve-latency summary object for the run report:
+// {"count":N,"sum_us":X,"p50_us":X|null,"p90_us":X|null,"p99_us":X|null}.
+// Percentiles come from obs::summarize_histogram over the bucket shape;
+// null (valid JSON, accepted by lint_report) when the kind never ran.
+void append_latency_summary(std::string& out, const obs::Snapshot& metrics,
+                            serve::QueryKind kind) {
+  const char* name = serve::to_string(kind);
+  const obs::Labels want{{"kind", name}};
+  const obs::MetricSample* found = nullptr;
+  for (const obs::MetricSample& s : metrics.samples) {
+    if (s.type == obs::MetricType::kHistogram &&
+        s.name == "v6_serve_latency_us" && s.labels == want) {
+      found = &s;
+      break;
+    }
+  }
+  obs::HistogramSummary summary;
+  if (found != nullptr) summary = obs::summarize_histogram(found->histogram);
+  out += '"';
+  out += name;
+  out += "\":{\"count\":";
+  out += std::to_string(summary.count);
+  out += ",\"sum_us\":";
+  out += obs::detail::format_double(summary.sum);
+  const auto pct = [&out](const char* key,
+                          const std::optional<double>& value) {
+    out += ",\"";
+    out += key;
+    out += "\":";
+    out += value ? obs::detail::format_double(*value) : "null";
+  };
+  pct("p50_us", summary.p50);
+  pct("p90_us", summary.p90);
+  pct("p99_us", summary.p99);
+  out += '}';
+}
+
+// obs-report: run stage 1 with serving + timeline sampling on, drive a
+// deterministic query workload so the serve-latency histograms hold real
+// samples, and emit the unified run-report JSON artifact (validated by
+// obs::lint_report before it is written — the CLI never ships a report
+// its own linter rejects).
+int cmd_obs_report(int argc, char** argv) {
+  core::StudyConfig config = build_study_config(argc, argv);
+  core::RunOptions options;
+  options.campaigns = false;
+  options.backscan = false;
+  options.analysis = false;
+  options.serve.enabled = true;
+  options.serve.epoch_interval = flag_days(argc, argv, "--epoch-days", 0);
+  options.serve.retain_epochs = static_cast<std::size_t>(
+      flag_u64(argc, argv, "--retain-epochs", 8, 1ull << 20));
+  options.sample_interval = flag_days(argc, argv, "--sample-days", 7);
+  if (const std::uint32_t workers = flag_u32(argc, argv, "--dist-workers", 0);
+      workers > 0) {
+    dist::DistConfig dist_config;
+    dist_config.workers = workers;
+    dist_config.forced_kills = flag_u32(argc, argv, "--dist-kills", 0);
+    dist_config.chunk_interval = flag_days(argc, argv, "--dist-chunk-days", 7);
+    options.distributed = dist_config;
+  }
+
+  const std::uint32_t dist_workers =
+      options.distributed ? options.distributed->workers : 0;
+  const std::uint32_t dist_kills =
+      options.distributed ? options.distributed->forced_kills : 0;
+
+  std::printf("obs-report: %u sites, %lld days, seed %llu\n",
+              config.world.total_sites,
+              static_cast<long long>(config.world.study_duration / util::kDay),
+              static_cast<unsigned long long>(config.world.seed));
+  core::Study study(config);
+  serve::QueryService& service = study.query_service();
+  const auto& r = study.run(std::move(options));
+
+  // Deterministic query workload: the first --query-count canonicalized
+  // corpus addresses, each driven through all four query kinds (the OUI
+  // is derived from the address's would-be EUI-64 bytes). The targets are
+  // a pure function of the corpus; only the measured latencies are
+  // wall-clock, and those sit outside the determinism gates by design.
+  const std::uint64_t query_count =
+      flag_u64(argc, argv, "--query-count", 64, 1ull << 20);
+  hitlist::Corpus collapsed(1);
+  const hitlist::Corpus* ntp = &r.ntp;
+  if (r.ntp_runs != nullptr) {
+    collapsed = r.ntp_runs->collapse();
+    ntp = &collapsed;
+  }
+  std::vector<net::Ipv6Address> targets;
+  ntp->for_each([&](const hitlist::AddressRecord& rec) {
+    if (targets.size() < query_count) targets.push_back(rec.address);
+  });
+  for (const net::Ipv6Address& a : targets) {
+    (void)service.point(a);
+    (void)service.slash48_density(a);
+    (void)service.slash64_entropy(a);
+    const auto& b = a.bytes();
+    (void)service.oui_risk(net::Oui(
+        (static_cast<std::uint32_t>(b[8] ^ 0x02) << 16) |
+        (static_cast<std::uint32_t>(b[9]) << 8) | b[10]));
+  }
+
+  // Re-snapshot AFTER the workload: StudyResults::metrics was folded when
+  // run() returned, before any latency sample existed.
+  const obs::Snapshot metrics = study.metrics_registry().snapshot();
+
+  const char* timeline_path = flag_str(argc, argv, "--timeline-out");
+  if (timeline_path != nullptr) {
+    if (r.timeline.empty()) {
+      std::fprintf(stderr,
+                   "--timeline-out needs --sample-days D (D > 0) to "
+                   "produce any windows\n");
+      return 1;
+    }
+    std::ofstream out(timeline_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", timeline_path);
+      return 1;
+    }
+    out << obs::render_timeline(r.timeline, obs::TimelineFormat::kJsonl);
+  }
+
+  const std::uint64_t days =
+      static_cast<std::uint64_t>(config.world.study_duration / util::kDay);
+  const std::uint64_t threads = flag_u64(argc, argv, "--threads", 1,
+                                         std::numeric_limits<std::uint32_t>::max());
+  const std::string config_text =
+      "sites=" + std::to_string(config.world.total_sites) +
+      ",days=" + std::to_string(days) +
+      ",seed=" + std::to_string(config.world.seed) +
+      ",threads=" + std::to_string(threads) +
+      ",dist_workers=" + std::to_string(dist_workers) +
+      ",dist_kills=" + std::to_string(dist_kills);
+  char digest_buf[32];
+  std::snprintf(digest_buf, sizeof digest_buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(config_text)));
+
+  std::string json = "{\"report\":\"v6pool_run_report\",\"version\":1";
+  json += ",\"config\":{\"sites\":" + std::to_string(config.world.total_sites);
+  json += ",\"days\":" + std::to_string(days);
+  json += ",\"seed\":" + std::to_string(config.world.seed);
+  json += ",\"threads\":" + std::to_string(threads);
+  json += ",\"digest\":\"";
+  json += digest_buf;
+  json += "\"}";
+  json += ",\"kernel_backend\":\"";
+  json += kernels::to_string(kernels::active_backend());
+  json += "\"";
+  json += ",\"metrics\":{\"polls_attempted\":" +
+          std::to_string(r.polls_attempted);
+  json += ",\"polls_answered\":" + std::to_string(r.polls_answered);
+  json += ",\"records\":" + std::to_string(study.ntp_size());
+  json += ",\"samples\":" + std::to_string(metrics.samples.size()) + "}";
+  json += ",\"serve_latency\":{";
+  static constexpr serve::QueryKind kKinds[] = {
+      serve::QueryKind::kPoint, serve::QueryKind::kDensity48,
+      serve::QueryKind::kEntropy64, serve::QueryKind::kOuiRisk};
+  bool first = true;
+  for (const serve::QueryKind kind : kKinds) {
+    if (!first) json += ',';
+    first = false;
+    append_latency_summary(json, metrics, kind);
+  }
+  json += "}";
+  json += ",\"epochs\":[";
+  first = true;
+  for (const auto& snap : service.retained()) {
+    if (!first) json += ',';
+    first = false;
+    char epoch_digest[32];
+    std::snprintf(epoch_digest, sizeof epoch_digest, "%016llx",
+                  static_cast<unsigned long long>(snap->digest()));
+    json += "{\"epoch\":" + std::to_string(snap->epoch());
+    json += ",\"as_of_day\":" +
+            std::to_string(static_cast<long long>(snap->as_of() / util::kDay));
+    json += ",\"records\":" + std::to_string(snap->records());
+    json += ",\"digest\":\"";
+    json += epoch_digest;
+    json += "\"}";
+  }
+  json += "]";
+  json += ",\"timeline\":{\"windows\":" + std::to_string(r.timeline.size());
+  json += ",\"path\":";
+  if (timeline_path != nullptr) {
+    obs::detail::append_json_string(json, timeline_path);
+  } else {
+    json += "null";
+  }
+  json += "}";
+  if (r.dist) {
+    json += ",\"dist\":{\"workers\":" + std::to_string(r.dist->workers);
+    json += ",\"subsets\":" + std::to_string(r.dist->subsets);
+    json += ",\"obs_reports\":" +
+            std::to_string(r.dist->cluster_obs.report_count());
+    json += ",\"leases\":" + std::to_string(r.dist->leases_granted);
+    json += ",\"worker_deaths\":" + std::to_string(r.dist->worker_deaths);
+    json += "}";
+  } else {
+    json += ",\"dist\":null";
+  }
+  json += "}\n";
+
+  if (const auto problem = obs::lint_report(json)) {
+    std::fprintf(stderr, "internal error: generated report fails lint: %s\n",
+                 problem->c_str());
+    return 1;
+  }
+  if (const char* path = flag_str(argc, argv, "--out")) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", path);
+      return 1;
+    }
+    out << json;
+    std::printf("run report    : %zu bytes, %zu queries -> %s (json)\n",
+                json.size(), targets.size() * 4, path);
+  } else {
+    std::fputs(json.c_str(), stdout);
+  }
+  if (r.dist) {
+    if (const int rc = write_cluster_artifacts(argc, argv, r.dist->cluster_obs);
+        rc != 0) {
+      return rc;
+    }
+  }
+  return 0;
+}
+
 // Shared shape of the lint subcommands: slurp FILE, run `lint`,
 // exit 0 iff it reports no problem.
 int lint_file(int argc, char** argv, const char* subcommand,
@@ -727,6 +1040,12 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "lint-dist") == 0) {
     return lint_file(argc, argv, "lint-dist", dist::lint_dist_frames);
   }
+  if (argc >= 2 && std::strcmp(argv[1], "lint-report") == 0) {
+    return lint_file(argc, argv, "lint-report", obs::lint_report);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "obs-report") == 0) {
+    return cmd_obs_report(argc, argv);
+  }
   if (argc >= 2 && std::strcmp(argv[1], "coordinator") == 0) {
     return cmd_coordinator(argc, argv);
   }
@@ -744,7 +1063,14 @@ int main(int argc, char** argv) {
       "[--metrics-format prom|json]] [--sample-days D] "
       "[--timeline-out FILE [--timeline-format jsonl|csv]] "
       "[--trace-out FILE] [--collect-only] [--dist-workers N "
-      "[--dist-kills K] [--dist-chunk-days C] [--frames-out FILE]]\n"
+      "[--dist-kills K] [--dist-chunk-days C] [--frames-out FILE] "
+      "[--cluster-metrics-out FILE] [--cluster-timeline-out FILE] "
+      "[--cluster-trace-out FILE]]\n"
+      "  v6pool_cli obs-report [--sites N] [--days D] [--seed S] "
+      "[--threads T] [--epoch-days E] [--sample-days D] [--query-count Q] "
+      "[--out FILE] [--timeline-out FILE] [--dist-workers N "
+      "[--dist-kills K] [--cluster-metrics-out FILE] "
+      "[--cluster-timeline-out FILE] [--cluster-trace-out FILE]]\n"
       "  v6pool_cli query --corpus FILE [--addr A] [--p48 A] [--p64 A] "
       "[--oui O] [--queries FILE]\n"
       "  v6pool_cli serve [--sites N] [--days D] [--seed S] [--threads T] "
@@ -758,6 +1084,7 @@ int main(int argc, char** argv) {
       "  v6pool_cli lint-metrics FILE\n"
       "  v6pool_cli lint-timeline FILE\n"
       "  v6pool_cli lint-trace FILE\n"
-      "  v6pool_cli lint-dist FILE\n");
+      "  v6pool_cli lint-dist FILE\n"
+      "  v6pool_cli lint-report FILE\n");
   return argc >= 2 ? 1 : 0;
 }

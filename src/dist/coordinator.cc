@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "dist/transport.h"
 
@@ -169,6 +170,26 @@ CoordinatorResult Coordinator::run(util::SimTime start, util::SimTime end) {
           slot.running = false;
           slot.final_path = artifact.path;
           if (peer.lease == frame.subset) peer.lease = kNoSubset;
+          break;
+        }
+        case FrameType::kObsReport: {
+          // Same epoch fence as uploads: a zombie's report must not
+          // replace the live lease's, and a malformed payload is treated
+          // exactly like a hostile artifact path.
+          if (frame.subset >= subset_count) break;
+          SubsetSlot& slot = subsets[frame.subset];
+          if (frame.epoch != slot.epoch || slot.done) {
+            ++result.stale_uploads_rejected;
+            break;
+          }
+          try {
+            ObsReport report = decode_obs_report(frame.payload);
+            result.cluster_obs.add_worker(frame.sender, frame.subset,
+                                          std::move(report.snapshot),
+                                          std::move(report.windows));
+          } catch (const std::exception&) {
+            ++result.stale_uploads_rejected;
+          }
           break;
         }
         case FrameType::kLeaseGrant:

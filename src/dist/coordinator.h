@@ -17,6 +17,7 @@
 #include "dist/protocol.h"
 #include "hitlist/checkpoint_io.h"
 #include "hitlist/corpus.h"
+#include "obs/cluster.h"
 #include "util/sim_time.h"
 
 namespace v6::dist {
@@ -46,6 +47,10 @@ struct CoordinatorResult {
   std::uint64_t worker_deaths = 0;
   std::uint64_t reassignments = 0;
   std::uint64_t stale_uploads_rejected = 0;
+  // Per-subset worker observability reports (kObsReport frames), epoch-
+  // fenced exactly like checkpoint uploads. Counter families aggregate to
+  // the single-process values because only completing leases report.
+  obs::ClusterAggregator cluster_obs;
 };
 
 class Coordinator {

@@ -44,6 +44,9 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/snapshot.h"
+#include "obs/timeline.h"
+
 namespace v6::dist {
 
 inline constexpr std::uint32_t kCoordinatorId = 0xfffffffe;
@@ -62,6 +65,7 @@ enum class FrameType : std::uint8_t {
   kComplete = 5,          // worker -> coordinator: Artifact payload
   kShutdown = 6,          // coordinator -> fleet: run over (payload empty)
   kRevoke = 7,            // coordinator -> worker: lease fenced off (empty)
+  kObsReport = 8,         // worker -> coordinator: ObsReport payload
 };
 
 struct Frame {
@@ -96,6 +100,36 @@ struct Artifact {
   std::uint32_t crc = 0;
 };
 
+// kObsReport payload: the worker's observability state for one finished
+// lease — its registry snapshot (metric samples only; trace spans stay
+// process-local) plus the lease's timeline windows. Sent at the same
+// deterministic completion barrier as kComplete, so the frame bytes are a
+// pure function of (config, seed, fault plan) for the deterministic
+// counter families; wall-clock histogram fields ride along but carry no
+// determinism promise. The coordinator feeds decoded reports into
+// obs::ClusterAggregator.
+//
+// Wire layout (inside the CRC-framed payload, all integers big-endian):
+//   u32 sample_count, then per sample:
+//     name, help (u16-length strings)  · u8 type (0=counter 1=gauge 2=hist)
+//     u16 label_count, then key/value string pairs
+//     counter: u64 value · gauge: u64 double-bits
+//     histogram: u32 bound_count · bound_count u64 double-bits ·
+//                bound_count+1 u64 per-bucket counts · u64 count ·
+//                u64 sum double-bits
+//   u32 window_count, then per window:
+//     u64 begin · u64 end · stage string
+//     u32 counter_count:   name, labels, u64 delta
+//     u32 gauge_count:     name, labels, u64 value double-bits
+//     u32 vantage_count:   u32 vantage, u64 polls/answered/fault_lost/records
+//     u32 histogram_count: name, labels, u64 count_delta, u64 sum double-bits
+// Every untrusted element count is bounds-checked against the bytes left
+// before any allocation sized by it.
+struct ObsReport {
+  obs::Snapshot snapshot;  // samples only; spans is always empty
+  obs::Timeline windows;
+};
+
 // --- codecs ----------------------------------------------------------------
 
 std::vector<std::uint8_t> encode_frame(const Frame& frame);
@@ -112,6 +146,9 @@ LeaseGrant decode_lease_grant(std::span<const std::uint8_t> payload);
 
 std::vector<std::uint8_t> encode_artifact(const Artifact& artifact);
 Artifact decode_artifact(std::span<const std::uint8_t> payload);
+
+std::vector<std::uint8_t> encode_obs_report(const ObsReport& report);
+ObsReport decode_obs_report(std::span<const std::uint8_t> payload);
 
 // Artifact/checkpoint paths cross process boundaries, so they are treated
 // as hostile: relative, no "..", no NUL/newline, no leading '/', at most

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 
+#include "dist/obs_report.h"
 #include "hitlist/checkpoint_io.h"
 
 #include "util/rng.h"
@@ -328,9 +329,17 @@ DistReport SimCluster::run(hitlist::Corpus& out, util::SimTime start,
               static_cast<std::uint64_t>(g), encode_lease_grant(grant));
 
     // --- the lease itself -------------------------------------------------
+    // Per-lease observability: a private registry + sampler whose grid
+    // coincides with the checkpoint grid (same interval, same origin), so
+    // wiring them adds no merge barriers and perturbs neither the corpus
+    // nor the frame schedule. Aborted leases discard the pair; only the
+    // completing lease's report is uploaded.
+    obs::Registry lease_registry;
+    obs::TimelineSampler lease_sampler(lease_registry, config_.chunk_interval,
+                                       from.window_start);
     hitlist::CollectorConfig cfg = collector_cfg_;
-    cfg.metrics = nullptr;
-    cfg.sampler = nullptr;
+    cfg.metrics = &lease_registry;
+    cfg.sampler = &lease_sampler;
     cfg.checkpoint_interval = config_.chunk_interval;
     cfg.vantage_filter.assign(vantage_count, false);
     for (std::size_t v = 0; v < vantage_count; ++v) {
@@ -420,6 +429,17 @@ DistReport SimCluster::run(hitlist::Corpus& out, util::SimTime start,
       ss.polls = collector.polls_attempted();
       ss.answered = collector.polls_answered();
       ss.health = collector.vantage_health();
+      // Close the lease's final window (the collector leaves the
+      // window-end sample to the caller) and upload the observability
+      // report at the completion barrier, just before kComplete.
+      lease_sampler.sample(static_cast<util::SimTime>(end), cfg.sampler_stage);
+      ObsReport obs_report = build_obs_report(collector, lease_sampler.take());
+      wire.emit(FrameType::kObsReport, wk.id, ss.id, ss.epoch,
+                static_cast<std::uint64_t>(lane),
+                encode_obs_report(obs_report));
+      report.cluster_obs.add_worker(wk.id, ss.id,
+                                    std::move(obs_report.snapshot),
+                                    std::move(obs_report.windows));
       Artifact artifact;
       artifact.path =
           checkpoint_path(ss.id, ss.epoch, static_cast<std::uint64_t>(end));

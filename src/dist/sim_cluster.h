@@ -34,6 +34,7 @@
 
 #include "dist/protocol.h"
 #include "hitlist/corpus.h"
+#include "obs/cluster.h"
 #include "hitlist/passive_collector.h"
 #include "netsim/fault_schedule.h"
 #include "netsim/pool_dns.h"
@@ -108,14 +109,23 @@ struct DistReport {
   // Concatenated V6DIST01 frames of everything said on the wire; passes
   // lint_dist_frames().
   std::vector<std::uint8_t> frame_log;
+  // Per-subset worker observability reports, decoded from the kObsReport
+  // frames each completing lease uploads. Counter families aggregate to
+  // exactly the single-process values at any worker count and under any
+  // fault plan (only the COMPLETING lease's cumulative totals count per
+  // subset — aborted leases upload nothing).
+  obs::ClusterAggregator cluster_obs;
 };
 
 class SimCluster {
  public:
   // `collector_cfg` is the single-process collector configuration the
-  // cluster must reproduce; its metrics/sampler are ignored (per-lease
-  // collectors run unwired; the cluster reports totals into `registry`
-  // itself after the merge). `faults` (optional) lets the caller inject
+  // cluster must reproduce; its metrics/sampler are replaced per lease
+  // (each lease runs a private Registry + TimelineSampler whose grid
+  // coincides with the checkpoint grid; the completing lease uploads the
+  // pair as a kObsReport frame, aggregated into DistReport::cluster_obs).
+  // The cluster still reports merged totals into the caller's `registry`
+  // after the merge. `faults` (optional) lets the caller inject
   // forced kills on top of config.worker_faults; pass nullptr to let the
   // cluster build the plan from the config alone.
   SimCluster(const sim::World& world, netsim::DataPlane& plane,

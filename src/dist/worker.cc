@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "dist/obs_report.h"
 #include "dist/transport.h"
 #include "hitlist/checkpoint_io.h"
 
@@ -61,8 +62,6 @@ void Worker::run() {
       }
 
       hitlist::CollectorConfig cfg = env_.collector;
-      cfg.metrics = nullptr;
-      cfg.sampler = nullptr;
       cfg.checkpoint_interval =
           static_cast<util::SimDuration>(grant.chunk_interval);
       const std::size_t vantage_count = env_.world->vantages().size();
@@ -87,6 +86,19 @@ void Worker::run() {
         from.window_end = static_cast<util::SimTime>(grant.window_end);
         from.resume_from = static_cast<util::SimTime>(grant.window_start);
       }
+
+      // Per-lease observability: a private registry + sampler whose grid
+      // coincides with the checkpoint grid (same interval, anchored at the
+      // window start), so wiring them adds no merge barriers. The pair is
+      // uploaded as a kObsReport frame at the completion barrier; a killed
+      // worker uploads nothing and the replacement lease's report carries
+      // the checkpoint-restored cumulative totals.
+      obs::Registry lease_registry;
+      obs::TimelineSampler lease_sampler(lease_registry,
+                                         cfg.checkpoint_interval,
+                                         from.window_start);
+      cfg.metrics = &lease_registry;
+      cfg.sampler = &lease_sampler;
 
       hitlist::PassiveCollector collector(*env_.world, *env_.plane, *env_.dns,
                                           cfg);
@@ -124,6 +136,15 @@ void Worker::run() {
                       std::to_string(epoch) + ".v6ckpt";
       artifact.bytes = hitlist::save_checkpoint_file(
           config_.dir + "/" + artifact.path, final_state, corpus);
+      // Close the lease's final window (the collector leaves the
+      // window-end sample to the caller) and upload the observability
+      // report at the completion barrier, just before kComplete.
+      lease_sampler.sample(from.window_end, cfg.sampler_stage);
+      const ObsReport obs_report =
+          build_obs_report(collector, lease_sampler.take());
+      send(FrameType::kObsReport, subset, epoch,
+           static_cast<std::uint64_t>(from.window_end),
+           encode_obs_report(obs_report));
       send(FrameType::kComplete, subset, epoch,
            static_cast<std::uint64_t>(from.window_end),
            encode_artifact(artifact));

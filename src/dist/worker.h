@@ -27,8 +27,10 @@ struct NodeEnv {
   const sim::World* world = nullptr;
   netsim::DataPlane* plane = nullptr;
   const netsim::PoolDns* dns = nullptr;
-  // Base collector configuration (metrics/sampler are ignored; the
-  // vantage filter and checkpoint interval come from each lease).
+  // Base collector configuration (metrics/sampler are replaced by a
+  // per-lease registry + sampler whose report is uploaded as a
+  // kObsReport frame; the vantage filter and checkpoint interval come
+  // from each lease).
   hitlist::CollectorConfig collector;
   util::SimTime start = 0;
   util::SimTime end = 0;

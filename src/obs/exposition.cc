@@ -6,6 +6,8 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -411,6 +413,19 @@ std::optional<std::string> lint_prometheus(std::string_view text) {
   std::unordered_set<std::string> family_sampled;
   std::unordered_set<std::string> helped;
   std::unordered_set<std::string> series_seen;
+  // Histogram internal-consistency state, keyed by family + the sorted
+  // non-le labels (one entry per histogram series group). std::map so the
+  // end-of-scan checks report in a deterministic order.
+  struct HistogramState {
+    std::string display;  // "family{labels}" for end-of-scan messages
+    bool has_bucket = false;
+    double last_cumulative = 0.0;
+    bool has_inf = false;
+    double inf_value = 0.0;
+    bool has_count = false;
+    double count_value = 0.0;
+  };
+  std::map<std::string, HistogramState> hist_state;
   std::size_t line_no = 0;
   std::size_t start = 0;
   const auto fail = [&](std::string_view what) {
@@ -509,11 +524,71 @@ std::optional<std::string> lint_prometheus(std::string_view text) {
     const std::string family = family_of(name);
     family_sampled.insert(family);
     family_sampled.insert(std::string(name));
-    // A histogram family's _bucket series must carry an `le` label.
     if (declared_type.contains(family) &&
-        declared_type[family] == "histogram" && name.ends_with("_bucket") &&
-        line.find("le=\"") == std::string_view::npos) {
-      return fail("histogram _bucket sample without le label");
+        declared_type[family] == "histogram") {
+      // A histogram family's _bucket series must carry an `le` label.
+      std::string le;
+      bool has_le = false;
+      for (const auto& [k, v] : label_pairs) {
+        if (k == "le") {
+          le = v;
+          has_le = true;
+        }
+      }
+      if (name.ends_with("_bucket") && !has_le) {
+        return fail("histogram _bucket sample without le label");
+      }
+      if (name.ends_with("_bucket") || name.ends_with("_count")) {
+        // `value` is already validated; strtod covers the +Inf/NaN forms
+        // from_chars rejects.
+        const double parsed = std::strtod(std::string(value).c_str(), nullptr);
+        std::string key = family;
+        std::string display = family + "{";
+        for (const auto& [k, v] : label_pairs) {  // sorted above
+          if (k == "le") continue;
+          key.push_back('\x1f');
+          key += k;
+          key.push_back('\x1f');
+          key += v;
+          if (display.back() != '{') display.push_back(',');
+          display += k + "=\"" + v + "\"";
+        }
+        display.push_back('}');
+        auto& st = hist_state[key];
+        if (st.display.empty()) st.display = std::move(display);
+        if (name.ends_with("_bucket")) {
+          // Buckets are cumulative; our renderer emits them in ascending
+          // le order, so a drop between consecutive lines means a
+          // negative bucket count somewhere.
+          if (st.has_bucket && parsed < st.last_cumulative) {
+            return fail("histogram _bucket counts decrease in le order");
+          }
+          st.has_bucket = true;
+          st.last_cumulative = parsed;
+          if (le == "+Inf") {
+            st.has_inf = true;
+            st.inf_value = parsed;
+          }
+        } else {
+          st.has_count = true;
+          st.count_value = parsed;
+        }
+      }
+    }
+  }
+  // End-of-scan histogram invariants: a series group with buckets must
+  // close with the +Inf bucket, must expose _count, and the two must
+  // agree — every observation lands in some bucket.
+  for (const auto& [key, st] : hist_state) {
+    if (st.has_bucket && !st.has_inf) {
+      return "histogram " + st.display + ": missing +Inf bucket";
+    }
+    if (st.has_bucket && !st.has_count) {
+      return "histogram " + st.display + ": missing _count sample";
+    }
+    if (st.has_inf && st.has_count && st.inf_value != st.count_value) {
+      return "histogram " + st.display +
+             ": +Inf bucket does not equal _count";
     }
   }
   return std::nullopt;

@@ -112,11 +112,23 @@ void TimelineSampler::sample(util::SimTime at, std::string_view stage) {
         rec.gauges.push_back(WindowGauge{s.name, s.labels, s.gauge_value});
         break;
       }
-      case MetricType::kHistogram:
-        // Excluded by design: the analysis stage feeds wall-clock stage
-        // timings into histograms, which would break the timeline's
-        // bit-identity across runs and thread counts.
+      case MetricType::kHistogram: {
+        // Count/sum movement only; bucket shapes stay in the end-of-run
+        // snapshot. These fields carry wall-clock timings (stage
+        // durations, serve latency) and are explicitly outside the
+        // timeline's bit-identity contract.
+        const std::string key = series_key(s.name, s.labels);
+        auto [cit, cfresh] = prev_hist_counts_.try_emplace(key, 0);
+        auto [sit, sfresh] = prev_hist_sums_.try_emplace(key, 0.0);
+        const std::uint64_t count_delta = s.histogram.count - cit->second;
+        const double sum_delta = s.histogram.sum - sit->second;
+        cit->second = s.histogram.count;
+        sit->second = s.histogram.sum;
+        if (count_delta == 0) break;
+        rec.histograms.push_back(
+            WindowHistogram{s.name, s.labels, count_delta, sum_delta});
         break;
+      }
     }
   }
   rec.vantages.reserve(vantages.size());
@@ -150,56 +162,77 @@ std::string series_name(std::string_view name, const Labels& labels) {
   return out;
 }
 
+void append_window_json(std::string& out, const WindowRecord& rec) {
+  out += "{\"begin\":";
+  append_i64(out, rec.begin);
+  out += ",\"end\":";
+  append_i64(out, rec.end);
+  out += ",\"stage\":";
+  detail::append_json_string(out, rec.stage);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const WindowCounter& c : rec.counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, series_name(c.name, c.labels));
+    out.push_back(':');
+    append_u64(out, c.delta);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const WindowGauge& g : rec.gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, series_name(g.name, g.labels));
+    out.push_back(':');
+    if (std::isfinite(g.value)) {
+      out += detail::format_double(g.value);
+    } else {
+      out += "null";  // JSON has no Inf/NaN literals
+    }
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const WindowHistogram& h : rec.histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    detail::append_json_string(out, series_name(h.name, h.labels));
+    out += ":{\"count\":";
+    append_u64(out, h.count_delta);
+    out += ",\"sum\":";
+    if (std::isfinite(h.sum_delta)) {
+      out += detail::format_double(h.sum_delta);
+    } else {
+      out += "null";
+    }
+    out.push_back('}');
+  }
+  out += "},\"vantages\":[";
+  first = true;
+  for (const VantageWindow& vw : rec.vantages) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"vantage\":";
+    append_u64(out, vw.vantage);
+    out += ",\"polls\":";
+    append_u64(out, vw.polls);
+    out += ",\"answered\":";
+    append_u64(out, vw.answered);
+    out += ",\"fault_lost\":";
+    append_u64(out, vw.fault_lost);
+    out += ",\"records\":";
+    append_u64(out, vw.records);
+    out.push_back('}');
+  }
+  out += "]}";
+}
+
 std::string render_timeline_jsonl(const Timeline& timeline) {
   std::string out;
   out.reserve(timeline.size() * 192);
   for (const WindowRecord& rec : timeline) {
-    out += "{\"begin\":";
-    append_i64(out, rec.begin);
-    out += ",\"end\":";
-    append_i64(out, rec.end);
-    out += ",\"stage\":";
-    detail::append_json_string(out, rec.stage);
-    out += ",\"counters\":{";
-    bool first = true;
-    for (const WindowCounter& c : rec.counters) {
-      if (!first) out.push_back(',');
-      first = false;
-      detail::append_json_string(out, series_name(c.name, c.labels));
-      out.push_back(':');
-      append_u64(out, c.delta);
-    }
-    out += "},\"gauges\":{";
-    first = true;
-    for (const WindowGauge& g : rec.gauges) {
-      if (!first) out.push_back(',');
-      first = false;
-      detail::append_json_string(out, series_name(g.name, g.labels));
-      out.push_back(':');
-      if (std::isfinite(g.value)) {
-        out += detail::format_double(g.value);
-      } else {
-        out += "null";  // JSON has no Inf/NaN literals
-      }
-    }
-    out += "},\"vantages\":[";
-    first = true;
-    for (const VantageWindow& vw : rec.vantages) {
-      if (!first) out.push_back(',');
-      first = false;
-      out += "{\"vantage\":";
-      append_u64(out, vw.vantage);
-      out += ",\"polls\":";
-      append_u64(out, vw.polls);
-      out += ",\"answered\":";
-      append_u64(out, vw.answered);
-      out += ",\"fault_lost\":";
-      append_u64(out, vw.fault_lost);
-      out += ",\"records\":";
-      append_u64(out, vw.records);
-      out.push_back('}');
-    }
-    out += "]}\n";
+    append_window_json(out, rec);
+    out.push_back('\n');
   }
   return out;
 }
@@ -251,6 +284,12 @@ std::string render_timeline_csv(const Timeline& timeline) {
     for (const WindowGauge& g : rec.gauges) {
       row(rec.begin, rec.end, rec.stage, "gauge",
           series_name(g.name, g.labels), detail::format_double(g.value));
+    }
+    for (const WindowHistogram& h : rec.histograms) {
+      row(rec.begin, rec.end, rec.stage, "histogram_count",
+          series_name(h.name, h.labels), u64_text(h.count_delta));
+      row(rec.begin, rec.end, rec.stage, "histogram_sum",
+          series_name(h.name, h.labels), detail::format_double(h.sum_delta));
     }
     for (const VantageWindow& vw : rec.vantages) {
       std::string vantage;
@@ -493,6 +532,12 @@ std::string_view timeline_format_suffix(TimelineFormat format) {
 std::string render_timeline(const Timeline& timeline, TimelineFormat format) {
   return format == TimelineFormat::kCsv ? render_timeline_csv(timeline)
                                         : render_timeline_jsonl(timeline);
+}
+
+std::string render_window_json(const WindowRecord& rec) {
+  std::string out;
+  append_window_json(out, rec);
+  return out;
 }
 
 std::optional<std::string> lint_json(std::string_view text) {

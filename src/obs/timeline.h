@@ -12,10 +12,12 @@
 // (all collection shards joined, or between sequential stages), where each
 // striped counter's fold is an exact integer sum of the increments issued
 // so far — a pure function of the simulated workload, independent of
-// thread count. Histograms are deliberately EXCLUDED from WindowRecord:
-// the analysis stage observes wall-clock stage timings into them, which
-// would break the bit-identity guarantee the timeline tests pin down
-// (identical WindowRecord sequences at threads {1, 2, 4}).
+// thread count. Histogram count/sum movement IS folded into each window
+// (WindowRecord::histograms) so latency histograms show up on the
+// timeline, but those fields stay OUTSIDE the bit-identity guarantee the
+// timeline tests pin down (identical counter/gauge/vantage sequences at
+// threads {1, 2, 4}): the analysis and serve layers observe wall-clock
+// timings into them.
 //
 // Windows are contiguous and gapless: window k covers
 // (timeline[k-1].end, timeline[k].end]. Stages whose *simulated* window
@@ -79,6 +81,20 @@ struct WindowGauge {
   double value = 0.0;
 };
 
+// A histogram family instance's movement over one window: how many
+// observations landed and how much they summed to. Bucket-level deltas are
+// deliberately not carried — the end-of-run snapshot has the full bucket
+// shape; the timeline only needs to show *when* observations happened.
+// Histograms record wall-clock timings (stage durations, serve latency),
+// so these fields are real but NOT covered by the bit-identity contract
+// the counter/gauge/vantage fields obey.
+struct WindowHistogram {
+  std::string name;
+  Labels labels;
+  std::uint64_t count_delta = 0;
+  double sum_delta = 0.0;
+};
+
 // One sampling window: (begin, end] in sim time, the pipeline stage that
 // closed it, and everything that moved inside it. Counters and gauges
 // inherit Registry::snapshot()'s (name, labels) sort order; vantages are
@@ -90,6 +106,8 @@ struct WindowRecord {
   std::vector<WindowCounter> counters;
   std::vector<WindowGauge> gauges;
   std::vector<VantageWindow> vantages;
+  // Wall-clock histogram movement; excluded from bit-identity assertions.
+  std::vector<WindowHistogram> histograms;
 };
 
 using Timeline = std::vector<WindowRecord>;
@@ -129,6 +147,8 @@ class TimelineSampler {
   // Previous folded values, keyed by name + serialized labels.
   std::map<std::string, std::uint64_t> prev_counters_;
   std::map<std::string, std::uint64_t> prev_gauge_bits_;
+  std::map<std::string, std::uint64_t> prev_hist_counts_;
+  std::map<std::string, double> prev_hist_sums_;
   Timeline timeline_;
 };
 
@@ -146,6 +166,11 @@ std::string_view timeline_format_suffix(TimelineFormat format);
 // long-form CSV (begin,end,stage,kind,series,value) with RFC 4180
 // quoting (kCsv).
 std::string render_timeline(const Timeline& timeline, TimelineFormat format);
+
+// One window as a JSON object (no trailing newline) — exactly one JSONL
+// line of render_timeline(kJsonl). The cluster-timeline renderer reuses
+// it to keep the two window shapes byte-compatible.
+std::string render_window_json(const WindowRecord& rec);
 
 // Dependency-free JSON syntax validator (objects, arrays, strings with
 // escapes, numbers, literals). Returns nullopt on success, else

@@ -4,6 +4,7 @@
 #include <charconv>
 #include <cstdio>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "obs/exposition.h"
@@ -18,31 +19,34 @@ void append_i64(std::string& out, std::int64_t v) {
   out += buf;
 }
 
-// One trace event line: {"name":...,"ph":"B","ts":N,"pid":1,"tid":T[,args]}
+// One trace event line: {"name":...,"ph":"B","ts":N,"pid":P,"tid":T[,args]}
 void append_event(std::string& out, std::string_view name, char ph,
-                  std::int64_t ts, int tid, std::string_view extra = {}) {
+                  std::int64_t ts, std::int64_t pid, int tid,
+                  std::string_view extra = {}) {
   out += "{\"name\":";
   detail::append_json_string(out, name);
   out += ",\"ph\":\"";
   out.push_back(ph);
   out += "\",\"ts\":";
   append_i64(out, ts);
-  out += ",\"pid\":1,\"tid\":";
+  out += ",\"pid\":";
+  append_i64(out, pid);
+  out += ",\"tid\":";
   append_i64(out, tid);
   out += extra;
   out += "}";
 }
 
-}  // namespace
-
-std::string render_trace_events(const Snapshot& snapshot,
-                                const Timeline& timeline) {
-  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
-  bool first = true;
-  const auto emit = [&out, &first](auto&&... event_args) {
+// Emits one process lane (spans on tid 1, windows on tid 2) under `pid`.
+// `first` threads the top-level event-separator state across lanes.
+void append_lane(std::string& out, bool& first, std::int64_t pid,
+                 const Snapshot& snapshot, const Timeline& timeline) {
+  const auto emit = [&out, &first, pid](std::string_view name, char ph,
+                                        std::int64_t ts, int tid,
+                                        std::string_view extra = {}) {
     if (!first) out += ",\n";
     first = false;
-    append_event(out, event_args...);
+    append_event(out, name, ph, ts, pid, tid, extra);
   };
 
   // Spans → B/E pairs on tid 1. Walk the spans in recorded order keeping a
@@ -97,7 +101,35 @@ std::string render_trace_events(const Snapshot& snapshot,
     args += "}";
     emit("window_throughput", 'C', rec.end, 2, args);
   }
+}
 
+}  // namespace
+
+std::string render_trace_events(const Snapshot& snapshot,
+                                const Timeline& timeline) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  append_lane(out, first, 1, snapshot, timeline);
+  out += "\n]}\n";
+  return out;
+}
+
+std::string render_cluster_trace(const std::vector<TraceLane>& lanes) {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (const TraceLane& lane : lanes) {
+    // process_name metadata labels the pid lane in the viewer. ts/tid are
+    // carried (0) so the linter's per-event requirements stay uniform.
+    if (!first) out += ",\n";
+    first = false;
+    std::string args = ",\"args\":{\"name\":";
+    detail::append_json_string(args, lane.name);
+    args += "}";
+    append_event(out, "process_name", 'M', 0,
+                 static_cast<std::int64_t>(lane.pid), 0, args);
+    append_lane(out, first, static_cast<std::int64_t>(lane.pid),
+                lane.snapshot, lane.timeline);
+  }
   out += "\n]}\n";
   return out;
 }
@@ -106,9 +138,10 @@ std::optional<std::string> lint_trace_events(std::string_view text) {
   if (const auto err = lint_json(text)) return err;
 
   // Events are one per line by construction; scan each line carrying a
-  // "ph" field, tracking per-tid ts monotonicity and B/E balance.
-  std::map<std::int64_t, std::int64_t> last_ts;
-  std::map<std::int64_t, std::int64_t> open_depth;
+  // "ph" field, tracking per-(pid, tid) ts monotonicity and B/E balance.
+  using Lane = std::pair<std::int64_t, std::int64_t>;
+  std::map<Lane, std::int64_t> last_ts;
+  std::map<Lane, std::int64_t> open_depth;
   std::size_t line_no = 0;
   std::size_t start = 0;
   const auto fail = [&](std::string_view what) {
@@ -142,21 +175,23 @@ std::optional<std::string> lint_trace_events(std::string_view text) {
     const auto tid = field_int(line, "tid");
     if (!ts) return fail("event missing ts");
     if (!tid) return fail("event missing tid");
-    if (const auto it = last_ts.find(*tid);
+    const Lane lane{field_int(line, "pid").value_or(1), *tid};
+    if (const auto it = last_ts.find(lane);
         it != last_ts.end() && *ts < it->second) {
-      return fail("ts not monotone within tid");
+      return fail("ts not monotone within pid/tid lane");
     }
-    last_ts[*tid] = *ts;
+    last_ts[lane] = *ts;
     if (ph == 'B') {
-      ++open_depth[*tid];
+      ++open_depth[lane];
     } else if (ph == 'E') {
-      if (open_depth[*tid] == 0) return fail("E without matching B");
-      --open_depth[*tid];
+      if (open_depth[lane] == 0) return fail("E without matching B");
+      --open_depth[lane];
     }
   }
-  for (const auto& [tid, depth] : open_depth) {
+  for (const auto& [lane, depth] : open_depth) {
     if (depth != 0) {
-      return "tid " + std::to_string(tid) + ": " + std::to_string(depth) +
+      return "pid " + std::to_string(lane.first) + " tid " +
+             std::to_string(lane.second) + ": " + std::to_string(depth) +
              " unclosed B event(s)";
     }
   }

@@ -33,10 +33,25 @@ namespace v6::obs {
 std::string render_trace_events(const Snapshot& snapshot,
                                 const Timeline& timeline);
 
+// One process lane of a multi-worker trace: the lane's spans/windows get
+// their own Perfetto pid (plus a process_name metadata event), so a
+// cluster run loads as one lane per worker side by side.
+struct TraceLane {
+  std::uint32_t pid = 1;
+  std::string name;    // process_name shown by the viewer
+  Snapshot snapshot;   // spans -> tid 1 (samples ignored here)
+  Timeline timeline;   // windows -> tid 2
+};
+
+// Byte-deterministic multi-lane render; lanes are emitted in the order
+// given (callers sort by worker id for determinism).
+std::string render_cluster_trace(const std::vector<TraceLane>& lanes);
+
 // Validates a trace-event export: the whole text is valid JSON
 // (lint_json), every event's ph/ts/tid parse, ts is monotone
-// non-decreasing per tid, and B/E events pair up (never unbalanced, all
-// closed at the end). Returns nullopt on success, else a description.
+// non-decreasing per (pid, tid) lane, and B/E events pair up (never
+// unbalanced, all closed at the end). Events without an explicit pid
+// count as pid 1. Returns nullopt on success, else a description.
 std::optional<std::string> lint_trace_events(std::string_view text);
 
 }  // namespace v6::obs

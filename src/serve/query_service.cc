@@ -1,10 +1,39 @@
 #include "serve/query_service.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "analysis/scan_source.h"
 
 namespace v6::serve {
+
+namespace {
+
+// RAII latency probe: observes the enclosing scope's wall-clock duration
+// (µs) into the query kind's histogram on destruction. A no-op handle
+// (metrics unwired) costs one branch.
+class LatencyProbe {
+ public:
+  explicit LatencyProbe(const obs::Histogram& histogram) noexcept
+      : histogram_(histogram),
+        begin_(std::chrono::steady_clock::now()) {}
+  ~LatencyProbe() {
+    const auto elapsed = std::chrono::steady_clock::now() - begin_;
+    histogram_.observe(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+  }
+
+ private:
+  const obs::Histogram& histogram_;
+  std::chrono::steady_clock::time_point begin_;
+};
+
+}  // namespace
+
+std::vector<double> serve_latency_buckets_us() {
+  return {0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1000.0, 4000.0, 16000.0,
+          100000.0};
+}
 
 const char* to_string(QueryKind kind) noexcept {
   switch (kind) {
@@ -22,9 +51,15 @@ QueryService::QueryService(std::size_t retain_epochs)
 void QueryService::set_metrics(obs::Registry* registry) {
   if (registry == nullptr) return;
   for (std::size_t i = 0; i < kQueryKinds; ++i) {
+    const obs::Labels labels{{"kind", to_string(static_cast<QueryKind>(i))}};
     metric_queries_[i] = registry->counter(
         "v6_serve_queries_total", "Queries answered by the serving layer",
-        {{"kind", to_string(static_cast<QueryKind>(i))}});
+        labels);
+    metric_latency_[i] = registry->histogram(
+        "v6_serve_latency_us",
+        "Wall-clock latency of counted convenience queries (microseconds; "
+        "not covered by the determinism gates)",
+        serve_latency_buckets_us(), labels);
   }
   metric_epochs_ = registry->counter("v6_serve_epochs_published_total",
                                      "Snapshot epochs published");
@@ -74,6 +109,8 @@ std::vector<std::shared_ptr<const Snapshot>> QueryService::retained() const {
 
 std::optional<hitlist::AddressRecord> QueryService::point(
     const net::Ipv6Address& address) const {
+  const LatencyProbe probe(
+      metric_latency_[static_cast<std::size_t>(QueryKind::kPoint)]);
   count_queries(QueryKind::kPoint);
   const auto snap = current();
   if (!snap) return std::nullopt;
@@ -82,6 +119,8 @@ std::optional<hitlist::AddressRecord> QueryService::point(
 
 std::uint64_t QueryService::slash48_density(
     const net::Ipv6Address& address) const {
+  const LatencyProbe probe(
+      metric_latency_[static_cast<std::size_t>(QueryKind::kDensity48)]);
   count_queries(QueryKind::kDensity48);
   const auto snap = current();
   if (!snap) return 0;
@@ -90,6 +129,8 @@ std::uint64_t QueryService::slash48_density(
 
 Slash64Summary QueryService::slash64_entropy(
     const net::Ipv6Address& address) const {
+  const LatencyProbe probe(
+      metric_latency_[static_cast<std::size_t>(QueryKind::kEntropy64)]);
   count_queries(QueryKind::kEntropy64);
   const auto snap = current();
   if (!snap) return {};
@@ -98,6 +139,8 @@ Slash64Summary QueryService::slash64_entropy(
 }
 
 OuiRisk QueryService::oui_risk(net::Oui oui) const {
+  const LatencyProbe probe(
+      metric_latency_[static_cast<std::size_t>(QueryKind::kOuiRisk)]);
   count_queries(QueryKind::kOuiRisk);
   const auto snap = current();
   if (!snap) return {};

@@ -100,7 +100,11 @@ class QueryService {
   // --- Counted convenience queries against the current epoch -----------
   // Each loads current() once; a null current answers "unknown"/zero.
   // Readers pinning one epoch across a batch should query the Snapshot
-  // directly and tally with count_queries().
+  // directly and tally with count_queries(). Each observes its wall-clock
+  // duration into v6_serve_latency_us{kind=...} — real elapsed time, so
+  // (like the analysis stage wall_us histograms) those samples sit
+  // explicitly OUTSIDE the determinism gates; everything else the serve
+  // layer exports stays bit-identical.
 
   std::optional<hitlist::AddressRecord> point(
       const net::Ipv6Address& address) const;
@@ -121,9 +125,16 @@ class QueryService {
   std::size_t retain_epochs_;
   std::atomic<std::uint64_t> epoch_counter_{0};
   obs::Counter metric_queries_[kQueryKinds];
+  obs::Histogram metric_latency_[kQueryKinds];
   obs::Counter metric_epochs_;
   obs::Gauge metric_epoch_;
   obs::Gauge metric_records_;
 };
+
+// Latency bucket edges for the serve path, in microseconds: point lookups
+// answer in well under a microsecond, so the ladder starts at 0.25µs and
+// climbs ~4x to 100ms (the default stage-duration ladder starts at 100µs —
+// far too coarse here).
+std::vector<double> serve_latency_buckets_us();
 
 }  // namespace v6::serve

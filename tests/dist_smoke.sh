@@ -22,6 +22,8 @@ echo "=== single-process reference ==="
 echo "=== coordinator + 4 workers, kill -9 two mid-run ==="
 "$CLI" coordinator --dir run --workers 4 --chunk-days 2 \
   "${STUDY_FLAGS[@]}" --heartbeat-timeout-ms 2000 --max-wall-ms 190000 \
+  --cluster-metrics-out cluster_metrics.prom \
+  --cluster-trace-out cluster_trace.json \
   --save-corpus dist.corpus > coordinator.log 2>&1 &
 coord_pid=$!
 
@@ -60,6 +62,22 @@ if ! "$CLI" lint-dist run/frames.log; then
   echo "FAIL: frames.log failed lint-dist"
   exit 1
 fi
+
+# The coordinator aggregated every surviving worker's kObsReport frames;
+# the merged exposition and the multi-lane trace must lint clean even
+# after two kill -9's and the lease reassignments they caused.
+if ! "$CLI" lint-metrics cluster_metrics.prom; then
+  echo "FAIL: cluster_metrics.prom failed lint-metrics"
+  exit 1
+fi
+if ! "$CLI" lint-trace cluster_trace.json; then
+  echo "FAIL: cluster_trace.json failed lint-trace"
+  exit 1
+fi
+# Keep the merged observability artifacts next to the scratch dir so the
+# caller (CI) can archive them after the scratch dir is removed.
+cp cluster_metrics.prom cluster_trace.json "$(dirname "$WORK")/" 2>/dev/null \
+  || true
 
 # The coordinator must actually have observed the two deaths (otherwise
 # the kill landed after the fleet finished and the smoke proved nothing).

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace v6::dist {
@@ -159,6 +160,111 @@ TEST(DistProtocol, ValidateArtifactPath) {
   EXPECT_FALSE(validate_artifact_path("ckpt/..odd").has_value());
 }
 
+// --- obs report ------------------------------------------------------------
+
+ObsReport sample_obs_report() {
+  ObsReport report;
+  obs::MetricSample counter;
+  counter.name = "v6_collector_polls_total";
+  counter.help = "NTP poll packets attempted by pool clients";
+  counter.type = obs::MetricType::kCounter;
+  counter.counter_value = 113828;
+  report.snapshot.samples.push_back(counter);
+  obs::MetricSample gauge;
+  gauge.name = "v6_worker_backlog";
+  gauge.type = obs::MetricType::kGauge;
+  gauge.labels = {{"stage", "collect"}};
+  gauge.gauge_value = -2.5;
+  report.snapshot.samples.push_back(gauge);
+  obs::MetricSample hist;
+  hist.name = "v6_serve_latency_us";
+  hist.type = obs::MetricType::kHistogram;
+  hist.labels = {{"kind", "point"}};
+  hist.histogram.bounds = {1.0, 4.0};
+  hist.histogram.counts = {1, 2, 1};
+  hist.histogram.count = 4;
+  hist.histogram.sum = 17.25;
+  report.snapshot.samples.push_back(hist);
+
+  obs::WindowRecord window;
+  window.begin = 0;
+  window.end = 604800;
+  window.stage = "collect";
+  window.counters.push_back({"v6_collector_records_total", {}, 2189});
+  window.gauges.push_back({"depth", {{"kind", "a"}}, 1.5});
+  window.vantages.push_back({2, 10, 9, 1, 8});
+  window.histograms.push_back({"wall_us", {}, 3, 123.5});
+  report.windows.push_back(std::move(window));
+  return report;
+}
+
+TEST(DistProtocol, ObsReportRoundTrip) {
+  const ObsReport in = sample_obs_report();
+  const ObsReport out = decode_obs_report(encode_obs_report(in));
+  ASSERT_EQ(out.snapshot.samples.size(), 3u);
+  EXPECT_EQ(out.snapshot.samples[0].name, "v6_collector_polls_total");
+  EXPECT_EQ(out.snapshot.samples[0].help,
+            "NTP poll packets attempted by pool clients");
+  EXPECT_EQ(out.snapshot.samples[0].counter_value, 113828u);
+  EXPECT_EQ(out.snapshot.samples[1].labels, in.snapshot.samples[1].labels);
+  EXPECT_EQ(out.snapshot.samples[1].gauge_value, -2.5);
+  EXPECT_EQ(out.snapshot.samples[2].histogram.bounds,
+            in.snapshot.samples[2].histogram.bounds);
+  EXPECT_EQ(out.snapshot.samples[2].histogram.counts,
+            in.snapshot.samples[2].histogram.counts);
+  EXPECT_EQ(out.snapshot.samples[2].histogram.count, 4u);
+  EXPECT_EQ(out.snapshot.samples[2].histogram.sum, 17.25);
+  EXPECT_TRUE(out.snapshot.spans.empty());
+  ASSERT_EQ(out.windows.size(), 1u);
+  EXPECT_EQ(out.windows[0].begin, 0);
+  EXPECT_EQ(out.windows[0].end, 604800);
+  EXPECT_EQ(out.windows[0].stage, "collect");
+  ASSERT_EQ(out.windows[0].counters.size(), 1u);
+  EXPECT_EQ(out.windows[0].counters[0].delta, 2189u);
+  ASSERT_EQ(out.windows[0].gauges.size(), 1u);
+  EXPECT_EQ(out.windows[0].gauges[0].value, 1.5);
+  ASSERT_EQ(out.windows[0].vantages.size(), 1u);
+  EXPECT_EQ(out.windows[0].vantages[0].polls, 10u);
+  ASSERT_EQ(out.windows[0].histograms.size(), 1u);
+  EXPECT_EQ(out.windows[0].histograms[0].count_delta, 3u);
+  EXPECT_EQ(out.windows[0].histograms[0].sum_delta, 123.5);
+}
+
+TEST(DistProtocol, EmptyObsReportRoundTrip) {
+  const ObsReport out = decode_obs_report(encode_obs_report(ObsReport{}));
+  EXPECT_TRUE(out.snapshot.samples.empty());
+  EXPECT_TRUE(out.windows.empty());
+}
+
+// The same hostile-input promise the frame codec makes: truncating the
+// payload at ANY byte offset must throw, never misparse or allocate from
+// an unchecked length (every element count is validated against the bytes
+// actually remaining).
+TEST(DistProtocol, ObsReportTruncationAtEveryLengthIsRejected) {
+  const std::vector<std::uint8_t> payload =
+      encode_obs_report(sample_obs_report());
+  ASSERT_GT(payload.size(), 8u);
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    const std::vector<std::uint8_t> cut(payload.begin(),
+                                        payload.begin() + len);
+    EXPECT_THROW(decode_obs_report(cut), std::runtime_error)
+        << "obs report truncated to " << len << " bytes still decoded";
+  }
+}
+
+TEST(DistProtocol, ObsReportTrailingBytesRejected) {
+  std::vector<std::uint8_t> payload = encode_obs_report(sample_obs_report());
+  payload.push_back(0);
+  EXPECT_THROW(decode_obs_report(payload), std::runtime_error);
+}
+
+TEST(DistProtocol, ObsReportHugeCountClaimsRejected) {
+  // A hostile sample_count far beyond the payload must bounce on the
+  // bounds check, not reserve gigabytes.
+  std::vector<std::uint8_t> payload = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(decode_obs_report(payload), std::runtime_error);
+}
+
 // --- linter ----------------------------------------------------------------
 
 std::vector<std::uint8_t> lint_log(std::vector<Frame> frames) {
@@ -269,6 +375,52 @@ TEST(DistLint, HeartbeatWithPayloadIsReported) {
   beat.seq = 0;
   beat.payload = {1, 2, 3};
   const auto log = lint_log({beat});
+  EXPECT_TRUE(lint_dist_frames(as_view(log)).has_value());
+}
+
+TEST(DistLint, WellFormedObsReportIsClean) {
+  Frame frame;
+  frame.type = FrameType::kObsReport;
+  frame.sender = 1;
+  frame.subset = 0;
+  frame.seq = 0;
+  frame.payload = encode_obs_report(sample_obs_report());
+  const auto log = lint_log({frame});
+  EXPECT_FALSE(lint_dist_frames(as_view(log)).has_value());
+}
+
+TEST(DistLint, ObsReportFromCoordinatorIsReported) {
+  Frame frame;
+  frame.type = FrameType::kObsReport;
+  frame.sender = kCoordinatorId;
+  frame.subset = 0;
+  frame.seq = 0;
+  frame.payload = encode_obs_report(ObsReport{});
+  const auto log = lint_log({frame});
+  const auto problem = lint_dist_frames(as_view(log));
+  ASSERT_TRUE(problem.has_value());
+  EXPECT_NE(problem->find("coordinator"), std::string::npos) << *problem;
+}
+
+TEST(DistLint, ObsReportWithoutSubsetIsReported) {
+  Frame frame;
+  frame.type = FrameType::kObsReport;
+  frame.sender = 1;
+  frame.subset = kNoSubset;
+  frame.seq = 0;
+  frame.payload = encode_obs_report(ObsReport{});
+  const auto log = lint_log({frame});
+  EXPECT_TRUE(lint_dist_frames(as_view(log)).has_value());
+}
+
+TEST(DistLint, ObsReportWithMalformedPayloadIsReported) {
+  Frame frame;
+  frame.type = FrameType::kObsReport;
+  frame.sender = 1;
+  frame.subset = 0;
+  frame.seq = 0;
+  frame.payload = {0xff, 0xff, 0xff, 0xff};  // hostile sample_count
+  const auto log = lint_log({frame});
   EXPECT_TRUE(lint_dist_frames(as_view(log)).has_value());
 }
 

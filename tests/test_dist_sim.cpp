@@ -9,13 +9,16 @@
 #include <gtest/gtest.h>
 
 #include <bit>
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 #include "core/study.h"
 #include "hitlist/corpus_io.h"
 #include "obs/exposition.h"
 #include "obs/timeline.h"
+#include "obs/trace_export.h"
 
 namespace v6::dist {
 namespace {
@@ -185,6 +188,108 @@ TEST_F(DistIdentityTest, SeededFaultPlanIsDeterministicAndIdentical) {
   EXPECT_EQ(a.leases_granted, b.leases_granted);
   EXPECT_EQ(a.finished_at, b.finished_at);
   EXPECT_EQ(a.frame_log, b.frame_log);
+}
+
+std::uint64_t vantage_counter(const obs::Snapshot& snapshot,
+                              std::string_view family,
+                              std::uint32_t vantage) {
+  const obs::Labels labels = {{"vantage", std::to_string(vantage)}};
+  for (const auto& s : snapshot.samples) {
+    if (s.name == family && s.labels == labels) return s.counter_value;
+  }
+  return 0;
+}
+
+// The cluster observability identity: the deterministic counter families
+// aggregated from the per-lease kObsReport uploads equal the
+// single-process collector totals bit-for-bit at any worker count under
+// faults — only the completing lease per subset reports, so reassignment
+// never double-counts.
+TEST_F(DistIdentityTest, ClusterObsCountersMatchSingleProcessBitForBit) {
+  const auto& reference = study_->results();
+  for (const std::uint32_t workers : {1u, 2u, 4u}) {
+    DistConfig config;
+    config.workers = workers;
+    config.forced_kills = workers / 2;
+    config.chunk_interval = 3 * util::kDay;
+    hitlist::Corpus merged(1);
+    const DistReport report = run_cluster(config, merged);
+
+    // One report per subset (subsets default to the worker count), and
+    // the merged counter families reassemble the single-process totals.
+    EXPECT_EQ(report.cluster_obs.report_count(), workers);
+    const obs::Snapshot snap = report.cluster_obs.cluster_snapshot();
+    EXPECT_EQ(snap.counter_sum("v6_collector_polls_total"),
+              reference.polls_attempted)
+        << workers << " workers";
+    EXPECT_EQ(snap.counter_sum("v6_collector_answered_total"),
+              reference.polls_answered)
+        << workers << " workers";
+    for (std::size_t v = 0; v < reference.vantage_health.size(); ++v) {
+      const auto id = static_cast<std::uint32_t>(v);
+      EXPECT_EQ(vantage_counter(snap, "v6_collector_vantage_polls_total", id),
+                reference.vantage_health[v].polls)
+          << workers << " workers, vantage " << v;
+      EXPECT_EQ(
+          vantage_counter(snap, "v6_collector_vantage_answered_total", id),
+          reference.vantage_health[v].answered)
+          << workers << " workers, vantage " << v;
+      EXPECT_EQ(
+          vantage_counter(snap, "v6_collector_vantage_fault_lost_total", id),
+          reference.vantage_health[v].lost_to_fault)
+          << workers << " workers, vantage " << v;
+    }
+
+    // The cluster exposition renders deterministically and lints clean.
+    const std::string prom =
+        obs::render(snap, obs::ExpositionFormat::kPrometheus);
+    EXPECT_FALSE(obs::lint_prometheus(prom).has_value());
+
+    // The merged trace carries one pid lane per worker report and passes
+    // the trace linter.
+    const std::string trace = report.cluster_obs.render_trace();
+    EXPECT_FALSE(obs::lint_trace_events(trace).has_value());
+    std::size_t lanes = 0;
+    for (std::size_t at = trace.find("\"process_name\"");
+         at != std::string::npos;
+         at = trace.find("\"process_name\"", at + 1)) {
+      ++lanes;
+    }
+    EXPECT_EQ(lanes, workers) << workers << " workers";
+
+    // Every line of the merged cluster timeline is valid JSON.
+    const std::string cluster_tl = report.cluster_obs.render_cluster_timeline();
+    EXPECT_FALSE(cluster_tl.empty());
+    std::size_t start = 0;
+    while (start < cluster_tl.size()) {
+      std::size_t nl = cluster_tl.find('\n', start);
+      if (nl == std::string::npos) nl = cluster_tl.size();
+      EXPECT_FALSE(
+          obs::lint_json(cluster_tl.substr(start, nl - start)).has_value());
+      start = nl + 1;
+    }
+  }
+}
+
+// Under a seeded stochastic fault plan the aggregated cluster counters
+// still reassemble the single-process totals: aborted leases discard
+// their partial registries, the completing lease's report carries the
+// checkpoint-restored cumulative state.
+TEST_F(DistIdentityTest, ClusterObsSurvivesSeededFaultPlan) {
+  DistConfig config;
+  config.workers = 3;
+  config.chunk_interval = 2 * util::kDay;
+  config.worker_faults.seed = 5;
+  config.worker_faults.kills_per_worker = 0.7;
+  config.worker_faults.stalls_per_worker = 1.5;
+  config.worker_faults.mean_stall = 8 * util::kHour;
+  hitlist::Corpus merged(1);
+  const DistReport report = run_cluster(config, merged);
+  const obs::Snapshot snap = report.cluster_obs.cluster_snapshot();
+  EXPECT_EQ(snap.counter_sum("v6_collector_polls_total"),
+            study_->results().polls_attempted);
+  EXPECT_EQ(snap.counter_sum("v6_collector_answered_total"),
+            study_->results().polls_answered);
 }
 
 TEST_F(DistIdentityTest, RespawnDisabledFailsLoudlyWhenFleetDies) {

@@ -438,6 +438,51 @@ TEST(ExpositionLint, DuplicateSeriesAreRejected) {
   EXPECT_EQ(lint_prometheus("a{x=\"1\"} 1\na{x=\"2\"} 2\n"), std::nullopt);
 }
 
+TEST(ExpositionLint, HistogramConsistencyAccepted) {
+  // A well-formed histogram group: cumulative buckets, +Inf present and
+  // equal to _count; per-kind groups are independent.
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{le=\"1\"} 2\n"
+                            "h_bucket{le=\"+Inf\"} 5\n"
+                            "h_sum 9.5\n"
+                            "h_count 5\n"),
+            std::nullopt);
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{kind=\"a\",le=\"1\"} 2\n"
+                            "h_bucket{kind=\"a\",le=\"+Inf\"} 2\n"
+                            "h_count{kind=\"a\"} 2\n"
+                            "h_bucket{kind=\"b\",le=\"1\"} 0\n"
+                            "h_bucket{kind=\"b\",le=\"+Inf\"} 1\n"
+                            "h_count{kind=\"b\"} 1\n"),
+            std::nullopt);
+}
+
+TEST(ExpositionLint, HistogramConsistencyViolationsRejected) {
+  // Cumulative bucket counts must never decrease in le order.
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{le=\"1\"} 5\n"
+                            "h_bucket{le=\"+Inf\"} 3\n"
+                            "h_count 3\n"),
+            std::optional<std::string>(
+                "line 3: histogram _bucket counts decrease in le order"));
+  // A bucketed group must close with +Inf...
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{le=\"1\"} 2\n"
+                            "h_count 2\n"),
+            std::optional<std::string>("histogram h{}: missing +Inf bucket"));
+  // ...must expose _count...
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{le=\"+Inf\"} 2\n"),
+            std::optional<std::string>("histogram h{}: missing _count sample"));
+  // ...and the +Inf bucket must equal _count (every observation lands in
+  // some bucket).
+  EXPECT_EQ(lint_prometheus("# TYPE h histogram\n"
+                            "h_bucket{le=\"+Inf\"} 2\n"
+                            "h_count 3\n"),
+            std::optional<std::string>(
+                "histogram h{}: +Inf bucket does not equal _count"));
+}
+
 TEST(Exposition, LabelValuesAreEscapedAndRoundTripTheLinter) {
   Registry registry;
   registry.counter("esc_total", "", {{"path", "a\\b\"c\nd"}}).inc(1);

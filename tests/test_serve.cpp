@@ -15,6 +15,8 @@
 #include "analysis/scan_source.h"
 #include "core/study.h"
 #include "net/eui64.h"
+#include "obs/cluster.h"
+#include "obs/exposition.h"
 #include "serve/snapshot.h"
 
 namespace v6::serve {
@@ -241,6 +243,57 @@ TEST(QueryServiceTest, CountersReachRegistry) {
   EXPECT_EQ(epochs, 1u);
   EXPECT_EQ(epoch_gauge, 1.0);
   EXPECT_EQ(records_gauge, 1.0);
+}
+
+TEST(QueryServiceTest, LatencyHistogramsRecordWallClockPerKind) {
+  obs::Registry registry;
+  hitlist::Corpus corpus(16);
+  corpus.add(net::Ipv6Address::from_u64(0x1, 0x1), 1, 1);
+  corpus.canonicalize();
+
+  QueryService service;
+  service.set_metrics(&registry);
+  service.publish(analysis::make_source(corpus), 100);
+  service.point(net::Ipv6Address::from_u64(0x1, 0x1));
+  service.point(net::Ipv6Address::from_u64(0x1, 0x2));
+  service.slash48_density(net::Ipv6Address::from_u64(0x1, 0x1));
+  service.slash64_entropy(net::Ipv6Address::from_u64(0x1, 0x1));
+  service.oui_risk(net::Oui(0x001122));
+
+  // One v6_serve_latency_us histogram per queried kind, each internally
+  // consistent: the bucket counts sum to `count` (every observation lands
+  // in some bucket), and the observation count equals the query count.
+  // The observed values are wall-clock and carry no determinism promise.
+  std::uint64_t families_seen = 0;
+  for (const auto& sample : registry.snapshot().samples) {
+    if (sample.name != "v6_serve_latency_us") continue;
+    ++families_seen;
+    ASSERT_EQ(sample.labels.size(), 1u);
+    EXPECT_EQ(sample.labels[0].first, "kind");
+    const std::string& kind = sample.labels[0].second;
+    const std::uint64_t expected = kind == "point" ? 2u : 1u;
+    EXPECT_EQ(sample.histogram.count, expected) << kind;
+    std::uint64_t bucket_sum = 0;
+    for (const std::uint64_t c : sample.histogram.counts) bucket_sum += c;
+    EXPECT_EQ(bucket_sum, sample.histogram.count) << kind;
+    EXPECT_EQ(sample.histogram.bounds, serve_latency_buckets_us()) << kind;
+    EXPECT_GE(sample.histogram.sum, 0.0) << kind;
+  }
+  EXPECT_EQ(families_seen, kQueryKinds);
+
+  // The rendered exposition passes the linter's histogram-consistency
+  // checks, and the percentile estimator produces values for every kind.
+  const std::string prom =
+      obs::render(registry.snapshot(), obs::ExpositionFormat::kPrometheus);
+  EXPECT_FALSE(obs::lint_prometheus(prom).has_value());
+  for (const auto& sample : registry.snapshot().samples) {
+    if (sample.name != "v6_serve_latency_us") continue;
+    const obs::HistogramSummary summary =
+        obs::summarize_histogram(sample.histogram);
+    EXPECT_GT(summary.count, 0u);
+    EXPECT_TRUE(summary.p50.has_value());
+    EXPECT_TRUE(summary.p99.has_value());
+  }
 }
 
 TEST(QueryServiceTest, StudyPublishesEpochsOnTheGrid) {

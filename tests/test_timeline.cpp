@@ -116,16 +116,30 @@ TEST(TimelineSampler, GaugesRecordedOnlyWhenBitPatternChanges) {
             std::bit_cast<std::uint64_t>(-0.25));
 }
 
-TEST(TimelineSampler, HistogramsNeverEnterWindows) {
+TEST(TimelineSampler, HistogramDeltasFoldIntoWindows) {
   Registry registry;
   auto h = registry.histogram("wall_us");
   TimelineSampler sampler(registry, 10, 0);
   h.observe(123.0);
+  h.observe(2.0);
   sampler.sample(10, "s");
+  h.observe(1.0);
+  sampler.sample(20, "s");
+  sampler.sample(30, "s");  // no movement: omitted like a zero counter delta
+
   const Timeline& tl = sampler.timeline();
-  ASSERT_EQ(tl.size(), 1u);
+  ASSERT_EQ(tl.size(), 3u);
+  // Histograms ride in their own field, never the counter/gauge lists.
   EXPECT_TRUE(tl[0].counters.empty());
   EXPECT_TRUE(tl[0].gauges.empty());
+  ASSERT_EQ(tl[0].histograms.size(), 1u);
+  EXPECT_EQ(tl[0].histograms[0].name, "wall_us");
+  EXPECT_EQ(tl[0].histograms[0].count_delta, 2u);
+  EXPECT_EQ(tl[0].histograms[0].sum_delta, 125.0);
+  ASSERT_EQ(tl[1].histograms.size(), 1u);
+  EXPECT_EQ(tl[1].histograms[0].count_delta, 1u);
+  EXPECT_EQ(tl[1].histograms[0].sum_delta, 1.0);
+  EXPECT_TRUE(tl[2].histograms.empty());
 }
 
 TEST(TimelineSampler, VantageFamiliesSplitIntoSortedVantageSeries) {
@@ -165,6 +179,7 @@ Timeline tiny_timeline() {
   w.counters.push_back({"polls_total", {}, 12});
   w.counters.push_back({"records_total", {{"kind", "a\"b"}}, 3});
   w.gauges.push_back({"depth", {}, 1.5});
+  w.histograms.push_back({"wall_us", {}, 3, 123.5});
   w.vantages.push_back({2, 10, 9, 1, 8});
   tl.push_back(std::move(w));
   WindowRecord v;
@@ -191,10 +206,11 @@ TEST(TimelineExposition, JsonlGolden) {
       text,
       "{\"begin\":0,\"end\":86400,\"stage\":\"collect\","
       "\"counters\":{\"polls_total\":12,\"records_total{kind=\\\"a\\\\\\\"b\\\""
-      "}\":3},\"gauges\":{\"depth\":1.5},\"vantages\":[{\"vantage\":2,"
+      "}\":3},\"gauges\":{\"depth\":1.5},\"histograms\":{\"wall_us\":"
+      "{\"count\":3,\"sum\":123.5}},\"vantages\":[{\"vantage\":2,"
       "\"polls\":10,\"answered\":9,\"fault_lost\":1,\"records\":8}]}\n"
       "{\"begin\":86400,\"end\":86400,\"stage\":\"analysis\",\"counters\":{},"
-      "\"gauges\":{},\"vantages\":[]}\n");
+      "\"gauges\":{},\"histograms\":{},\"vantages\":[]}\n");
   EXPECT_FALSE(lint_timeline_jsonl(text).has_value());
 }
 
@@ -207,6 +223,8 @@ TEST(TimelineExposition, CsvGolden) {
             "0,86400,collect,counter,\"records_total{kind=\"\"a\\\"\"b\"\"}\""
             ",3\n"
             "0,86400,collect,gauge,depth,1.5\n"
+            "0,86400,collect,histogram_count,wall_us,3\n"
+            "0,86400,collect,histogram_sum,wall_us,123.5\n"
             "0,86400,collect,vantage_polls,2,10\n"
             "0,86400,collect,vantage_answered,2,9\n"
             "0,86400,collect,vantage_fault_lost,2,1\n"
@@ -417,6 +435,14 @@ TEST(TimelineStudy, WindowDeltasTelescopeToCounterTotals) {
   EXPECT_TRUE(fault_seen);  // the fault plan is active in this config
 }
 
+// Histogram windows carry wall-clock count/sum movement (stage durations,
+// serve latency) and are explicitly outside the bit-identity contract;
+// drop them before byte-level comparisons of the rendered exports.
+Timeline strip_histograms(Timeline tl) {
+  for (auto& w : tl) w.histograms.clear();
+  return tl;
+}
+
 TEST(TimelineStudy, BitIdenticalAcrossThreadCounts) {
   const auto r1 = run_sampled(1, 6 * util::kDay);
   const auto r2 = run_sampled(2, 6 * util::kDay);
@@ -424,11 +450,14 @@ TEST(TimelineStudy, BitIdenticalAcrossThreadCounts) {
   ASSERT_FALSE(r1.timeline.empty());
   expect_same_timeline(r1.timeline, r2.timeline);
   expect_same_timeline(r1.timeline, r4.timeline);
-  // The rendered exports are therefore byte-identical too.
-  EXPECT_EQ(render_timeline(r1.timeline, TimelineFormat::kJsonl),
-            render_timeline(r4.timeline, TimelineFormat::kJsonl));
-  EXPECT_EQ(render_timeline(r1.timeline, TimelineFormat::kCsv),
-            render_timeline(r4.timeline, TimelineFormat::kCsv));
+  // The rendered exports are therefore byte-identical too, once the
+  // wall-clock histogram fields are stripped.
+  const Timeline t1 = strip_histograms(r1.timeline);
+  const Timeline t4 = strip_histograms(r4.timeline);
+  EXPECT_EQ(render_timeline(t1, TimelineFormat::kJsonl),
+            render_timeline(t4, TimelineFormat::kJsonl));
+  EXPECT_EQ(render_timeline(t1, TimelineFormat::kCsv),
+            render_timeline(t4, TimelineFormat::kCsv));
 }
 
 TEST(TimelineStudy, SamplingLeavesResultsByteIdentical) {
